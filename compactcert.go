@@ -1,0 +1,223 @@
+// Package compactcert is the public API of the reproduction of
+// "What can be certified compactly? Compact local certification of MSO
+// properties in tree-like graphs" (Bousquet, Feuilloley, Pierron,
+// PODC 2022).
+//
+// It exposes, behind one facade:
+//
+//   - the local certification model (schemes, certificate assignments,
+//     a sequential referee and a goroutine-per-node network simulator);
+//   - the paper's certification schemes: constant-size MSO certification
+//     on trees (Theorem 2.2), O(t log n) treedepth certification
+//     (Theorem 2.4), kernelization-based MSO/FO certification on
+//     bounded-treedepth graphs (Theorem 2.6), minor-freeness schemes
+//     (Corollary 2.7), and the generic baselines (universal, existential
+//     FO, depth-2 FO — Lemma 2.1);
+//   - the lower-bound machinery (Theorems 2.3 and 2.5): gadget builders,
+//     string coders and the communication-complexity reduction.
+//
+// Quick start:
+//
+//	g := compactcert.RandomTree(100, rng)
+//	scheme, _ := compactcert.TreeMSOScheme("perfect-matching")
+//	assignment, result, err := compactcert.ProveAndVerify(g, scheme)
+package compactcert
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automata"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/kernel"
+	"repro/internal/logic"
+	"repro/internal/minor"
+	"repro/internal/netsim"
+	"repro/internal/rooted"
+	"repro/internal/treedepth"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation of each.
+type (
+	// Graph is an undirected, loopless graph with unique vertex IDs.
+	Graph = graph.Graph
+	// Scheme is a local certification: Prove assigns certificates,
+	// Verify runs at each vertex on its radius-1 view.
+	Scheme = cert.Scheme
+	// Assignment maps vertex indices to certificates.
+	Assignment = cert.Assignment
+	// Result aggregates the per-vertex verdicts.
+	Result = cert.Result
+	// Formula is an FO/MSO formula over graphs.
+	Formula = logic.Formula
+)
+
+// NewGraph creates an empty graph on n vertices with IDs 1..n.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// ParseFormula parses the textual FO/MSO syntax, e.g.
+// "forall x. forall y. x = y | x ~ y | exists z. x ~ z & z ~ y".
+func ParseFormula(src string) (Formula, error) { return logic.Parse(src) }
+
+// ProveAndVerify asks the scheme for an honest assignment and runs the
+// sequential referee.
+func ProveAndVerify(g *Graph, s Scheme) (Assignment, Result, error) {
+	return cert.ProveAndVerify(g, s)
+}
+
+// RunDistributed executes one verification round on a simulated network:
+// one goroutine per vertex, one certificate-exchange round over channels.
+func RunDistributed(ctx context.Context, g *Graph, s Scheme, a Assignment) (netsim.Report, error) {
+	return netsim.Run(ctx, g, s, a)
+}
+
+// TreeMSOScheme returns a Theorem 2.2 scheme (O(1)-bit certificates on
+// trees) for a named property from the built-in automata library:
+// "perfect-matching", "is-star", "max-degree-<=2", "max-degree-<=3",
+// "diameter-<=4", "leaves->=3".
+func TreeMSOScheme(property string) (Scheme, error) {
+	switch property {
+	case "perfect-matching":
+		return automata.NewPerfectMatchingScheme()
+	case "is-star":
+		return automata.NewStarScheme()
+	case "max-degree-<=2":
+		return automata.NewMaxDegreeScheme(2)
+	case "max-degree-<=3":
+		return automata.NewMaxDegreeScheme(3)
+	case "diameter-<=4":
+		return automata.NewDiameterScheme(4)
+	case "leaves->=3":
+		return automata.NewLeavesAtLeastScheme(3)
+	default:
+		return nil, fmt.Errorf("compactcert: unknown tree property %q", property)
+	}
+}
+
+// TreeFOScheme compiles an FO sentence into a Theorem 2.2 scheme via
+// rank-k type discovery (constant-size certificates on trees).
+func TreeFOScheme(sentence string) (Scheme, error) {
+	f, err := logic.Parse(sentence)
+	if err != nil {
+		return nil, err
+	}
+	return automata.NewTypeScheme(f)
+}
+
+// TreedepthScheme returns the Theorem 2.4 scheme certifying
+// "treedepth <= t" with O(t log n)-bit certificates.
+func TreedepthScheme(t int) Scheme { return &treedepth.Scheme{T: t} }
+
+// ModelProvider supplies an elimination-tree witness for a graph, letting
+// provers skip the exponential exact computation on large instances.
+type ModelProvider = func(*Graph) (*rooted.Tree, error)
+
+// TreedepthSchemeWithModel is TreedepthScheme with a witness provider
+// (e.g. the second return value of RandomBoundedTreedepth).
+func TreedepthSchemeWithModel(t int, provider ModelProvider) Scheme {
+	return &treedepth.Scheme{T: t, ModelProvider: provider}
+}
+
+// KernelMSOSchemeWithModel is KernelMSOScheme with a witness provider.
+func KernelMSOSchemeWithModel(t int, sentence string, provider ModelProvider) (Scheme, error) {
+	f, err := logic.Parse(sentence)
+	if err != nil {
+		return nil, err
+	}
+	s, err := kernel.NewMSOScheme(t, f)
+	if err != nil {
+		return nil, err
+	}
+	s.ModelProvider = provider
+	return s, nil
+}
+
+// KernelMSOScheme returns the Theorem 2.6 scheme certifying an FO/MSO
+// sentence on graphs of treedepth at most t, with O(t log n + f(t, phi))
+// bit certificates.
+func KernelMSOScheme(t int, sentence string) (Scheme, error) {
+	f, err := logic.Parse(sentence)
+	if err != nil {
+		return nil, err
+	}
+	return kernel.NewMSOScheme(t, f)
+}
+
+// PathMinorFreeScheme returns the Corollary 2.7 scheme for
+// P_t-minor-freeness (O(log n) bits).
+func PathMinorFreeScheme(t int) (Scheme, error) { return minor.NewPathMinorFreeScheme(t) }
+
+// CycleMinorFreeScheme returns the Corollary 2.7 scheme for
+// C_t-minor-freeness (O(log n) bits per block membership).
+func CycleMinorFreeScheme(t int) (Scheme, error) { return minor.NewCycleMinorFreeScheme(t) }
+
+// UniversalScheme certifies an arbitrary decidable property with
+// O(n^2)-bit whole-graph certificates — the paper's generic upper bound.
+func UniversalScheme(name string, property func(*Graph) (bool, error)) Scheme {
+	return &core.Universal{PropertyName: name, Property: property}
+}
+
+// ExistentialFOScheme returns the Lemma 2.1 scheme for purely existential
+// FO sentences (O(q log n) bits).
+func ExistentialFOScheme(sentence string) (Scheme, error) {
+	f, err := logic.Parse(sentence)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewExistentialFO(f)
+}
+
+// Depth2FOScheme returns the Lemma 2.1 scheme for FO sentences of
+// quantifier depth at most 2 (O(log n) bits).
+func Depth2FOScheme(sentence string) (Scheme, error) {
+	f, err := logic.Parse(sentence)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDepth2FO(f)
+}
+
+// Generators re-exported for examples and downstream users.
+
+// Path returns the path graph P_n.
+func Path(n int) *Graph { return graphgen.Path(n) }
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *Graph { return graphgen.Cycle(n) }
+
+// Star returns the star K_{1,n-1}.
+func Star(n int) *Graph { return graphgen.Star(n) }
+
+// RandomTree returns a uniformly random labelled tree.
+func RandomTree(n int, rng *rand.Rand) *Graph { return graphgen.RandomTree(n, rng) }
+
+// RandomBoundedTreedepth returns a random connected graph of treedepth at
+// most t together with a witness usable as a model provider.
+func RandomBoundedTreedepth(n, t int, density float64, rng *rand.Rand) (*Graph, func(*Graph) (*rooted.Tree, error)) {
+	g, parents := graphgen.BoundedTreedepth(n, t, density, rng)
+	provider := func(gg *Graph) (*rooted.Tree, error) {
+		return treedepth.FromParentSlice(gg, parents)
+	}
+	return g, provider
+}
+
+// ExactTreedepth computes the exact treedepth of a connected graph
+// (n <= 64) and an optimal elimination tree.
+func ExactTreedepth(g *Graph) (int, *rooted.Tree, error) { return treedepth.Exact(g) }
+
+// Tamper utilities for fault-injection demos.
+
+// FlipRandomBits returns a corrupted copy of the assignment.
+func FlipRandomBits(a Assignment, k int, rng *rand.Rand) Assignment {
+	return cert.FlipBits(k)(a, rng)
+}
+
+// SwapTwoCertificates returns a copy with two certificates exchanged.
+func SwapTwoCertificates(a Assignment, rng *rand.Rand) Assignment {
+	return cert.SwapCertificates()(a, rng)
+}

@@ -1,0 +1,187 @@
+package compactcert
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// These are cross-module integration tests over the public facade: every
+// constructor produces a working scheme, and the full prove → verify →
+// tamper cycle behaves.
+
+func TestFacadeTreeSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := RandomTree(60, rng)
+	for _, prop := range []string{"leaves->=3", "diameter-<=4", "perfect-matching", "is-star", "max-degree-<=2", "max-degree-<=3"} {
+		s, err := TreeMSOScheme(prop)
+		if err != nil {
+			t.Fatalf("%s: %v", prop, err)
+		}
+		holds, err := s.Holds(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", prop, err)
+		}
+		if !holds {
+			if _, err := s.Prove(tree); err == nil {
+				t.Errorf("%s: proved a no-instance", prop)
+			}
+			continue
+		}
+		a, res, err := ProveAndVerify(tree, s)
+		if err != nil || !res.Accepted {
+			t.Fatalf("%s: %v %v", prop, err, res)
+		}
+		if a.MaxBits() > 32 {
+			t.Errorf("%s: %d bits is not constant-looking", prop, a.MaxBits())
+		}
+	}
+	if _, err := TreeMSOScheme("no-such-property"); err == nil {
+		t.Error("unknown property accepted")
+	}
+}
+
+func TestFacadeTreeFOScheme(t *testing.T) {
+	s, err := TreeFOScheme("forall x. exists y. x ~ y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Path(30)
+	a, res, err := ProveAndVerify(g, s)
+	if err != nil || !res.Accepted {
+		t.Fatalf("%v %v", err, res)
+	}
+	if a.MaxBits() != 18 {
+		t.Errorf("type scheme bits = %d, want 18 (2 + 16)", a.MaxBits())
+	}
+}
+
+func TestFacadeTreedepthAndKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, provider := RandomBoundedTreedepth(100, 3, 0.4, rng)
+	td := TreedepthSchemeWithModel(3, provider)
+	a, res, err := ProveAndVerify(g, td)
+	if err != nil || !res.Accepted {
+		t.Fatalf("treedepth: %v %v", err, res)
+	}
+	if a.MaxBits() == 0 {
+		t.Error("empty treedepth certificates")
+	}
+	km, err := KernelMSOSchemeWithModel(3, "forall x. exists y. x ~ y", provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err = ProveAndVerify(g, km)
+	if err != nil || !res.Accepted {
+		t.Fatalf("kernel: %v %v", err, res)
+	}
+}
+
+func TestFacadeMinorSchemes(t *testing.T) {
+	pt, err := PathMinorFreeScheme(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := ProveAndVerify(Star(40), pt)
+	if err != nil || !res.Accepted {
+		t.Fatalf("P4-minor-free: %v %v", err, res)
+	}
+	ct, err := CycleMinorFreeScheme(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err = ProveAndVerify(Path(20), ct)
+	if err != nil || !res.Accepted {
+		t.Fatalf("C4-minor-free: %v %v", err, res)
+	}
+}
+
+func TestFacadeGenericSchemes(t *testing.T) {
+	u := UniversalScheme("has-edge", func(g *Graph) (bool, error) { return g.M() > 0, nil })
+	_, res, err := ProveAndVerify(Path(10), u)
+	if err != nil || !res.Accepted {
+		t.Fatalf("universal: %v %v", err, res)
+	}
+	ex, err := ExistentialFOScheme("exists x. exists y. x ~ y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err = ProveAndVerify(Path(10), ex)
+	if err != nil || !res.Accepted {
+		t.Fatalf("existential: %v %v", err, res)
+	}
+	d2, err := Depth2FOScheme("exists x. forall y. x = y | x ~ y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err = ProveAndVerify(Star(12), d2)
+	if err != nil || !res.Accepted {
+		t.Fatalf("depth2: %v %v", err, res)
+	}
+}
+
+func TestFacadeDistributedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree := RandomTree(50, rng)
+	s, err := TreeMSOScheme("leaves->=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, res, err := ProveAndVerify(tree, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunDistributed(context.Background(), tree, s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != res.Accepted {
+		t.Fatal("distributed and sequential disagree")
+	}
+	// Tamper: the distributed round must reject.
+	bad := FlipRandomBits(a, 3, rng)
+	rep, err = RunDistributed(context.Background(), tree, s, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Error("corrupted assignment accepted by the distributed round")
+	}
+}
+
+func TestFacadeExactTreedepth(t *testing.T) {
+	td, model, err := ExactTreedepth(Path(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td != 3 || model == nil {
+		t.Fatalf("td(P7) = %d", td)
+	}
+}
+
+func TestFacadeParseFormula(t *testing.T) {
+	if _, err := ParseFormula("forall x. x = x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseFormula("forall ."); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestFacadeSwapTamper(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, provider := RandomBoundedTreedepth(40, 3, 0.4, rng)
+	s := TreedepthSchemeWithModel(3, provider)
+	a, _, err := ProveAndVerify(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := SwapTwoCertificates(a, rng)
+	rep, err := RunDistributed(context.Background(), g, s, swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Error("swapped certificates accepted (possible but unlikely; investigate)")
+	}
+}

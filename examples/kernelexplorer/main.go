@@ -1,0 +1,72 @@
+// Kernelexplorer: a tour of the Section 6 machinery. It generates
+// bounded-treedepth graphs, kernelizes them at several ranks, verifies
+// rank-equivalence with Ehrenfeucht–Fraïssé games, and certifies an MSO
+// property through the kernel (Theorem 2.6), printing the certificate
+// breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	compactcert "repro"
+	"repro/internal/ef"
+	"repro/internal/kernel"
+	"repro/internal/treedepth"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const tdBound = 3
+
+	fmt.Println("rank-k kernelization on treedepth<=3 graphs (Section 6)")
+	fmt.Println("n      k  kernel-n  G ~_k kernel?")
+	for _, n := range []int{12, 30, 60} {
+		g, provider := compactcert.RandomBoundedTreedepth(n, tdBound, 0.5, rng)
+		model, err := provider(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = treedepth.MakeCoherent(g, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, k := range []int{1, 2} {
+			red, err := kernel.Reduce(g, model, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			equivalent := "skipped (n large)"
+			if n <= 30 {
+				if ef.EquivalentGraphs(g, red.Kernel, k) {
+					equivalent = "yes (EF verified)"
+				} else {
+					equivalent = "NO — BUG"
+				}
+			}
+			fmt.Printf("%-6d %d  %-8d  %s\n", n, k, red.Kernel.N(), equivalent)
+		}
+	}
+
+	// Certify a genuine MSO property (2-colourability) through the kernel.
+	// Treedepth 2 keeps the rank-3 kernels small enough for exhaustive
+	// set-quantifier evaluation.
+	fmt.Println()
+	fmt.Println("Theorem 2.6: certifying 2-colourability on treedepth<=2 graphs")
+	formula := "existsset S. forall x. forall y. " +
+		"x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))"
+	for trial := 0; trial < 4; trial++ {
+		g, provider := compactcert.RandomBoundedTreedepth(40, 2, 0.4, rng)
+		scheme, err := compactcert.KernelMSOSchemeWithModel(2, formula, provider)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, res, err := compactcert.ProveAndVerify(g, scheme)
+		if err != nil {
+			fmt.Printf("trial %d: not 2-colourable — prover refused (%v)\n", trial, err)
+			continue
+		}
+		fmt.Printf("trial %d: certified, accepted=%v, max %d bits\n", trial, res.Accepted, a.MaxBits())
+	}
+}

@@ -1,0 +1,379 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/rooted"
+)
+
+func mustRooted(t *testing.T, g *graph.Graph, root int) *rooted.Tree {
+	t.Helper()
+	tr, err := rooted.FromGraph(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConstraintEval(t *testing.T) {
+	counts := []int{2, 0, 5}
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{CountAtLeast{0, 2}, true},
+		{CountAtLeast{0, 3}, false},
+		{CountAtMost{1, 0}, true},
+		{CountAtMost{2, 4}, false},
+		{CountAtLeast{9, 1}, false}, // out of range counts as 0
+		{CountAtMost{9, 0}, true},
+		{True{}, true},
+		{AndC{CountAtLeast{0, 1}, CountAtMost{1, 0}}, true},
+		{OrC{CountAtLeast{1, 1}, CountAtLeast{2, 5}}, true},
+		{NotC{CountAtLeast{0, 1}}, false},
+		{CountExactly(0, 2), true},
+		{CountExactly(0, 1), false},
+	}
+	for i, c := range cases {
+		if got := c.c.Eval(counts); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.c, got, c.want)
+		}
+	}
+}
+
+func TestTotalChildrenExactly(t *testing.T) {
+	c := TotalChildrenExactly(3, 2)
+	if !c.Eval([]int{1, 2}) || !c.Eval([]int{3, 0}) || !c.Eval([]int{0, 3}) {
+		t.Error("vectors summing to 3 rejected")
+	}
+	if c.Eval([]int{2, 2}) || c.Eval([]int{1, 1}) {
+		t.Error("vectors not summing to 3 accepted")
+	}
+}
+
+func TestAutomataAreDeterministic(t *testing.T) {
+	autos := []*Automaton{
+		MaxDegreeAutomaton(2),
+		MaxDegreeAutomaton(3),
+		PerfectMatchingAutomaton(),
+		StarAutomaton(),
+		DiameterAutomaton(3),
+		DiameterAutomaton(4),
+		LeavesAtLeastAutomaton(2),
+		LeavesAtLeastAutomaton(3),
+	}
+	for _, a := range autos {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if err := a.CheckDeterministic(6); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestAutomataMatchGroundTruth cross-validates every library automaton
+// against its combinatorial reference on many random trees, and checks
+// root invariance by running from every possible root.
+func TestAutomataMatchGroundTruth(t *testing.T) {
+	type entry struct {
+		name  string
+		auto  *Automaton
+		truth func(*graph.Graph) (bool, error)
+	}
+	entries := []entry{
+		{"maxdeg2", MaxDegreeAutomaton(2), func(g *graph.Graph) (bool, error) { return g.MaxDegree() <= 2, nil }},
+		{"maxdeg3", MaxDegreeAutomaton(3), func(g *graph.Graph) (bool, error) { return g.MaxDegree() <= 3, nil }},
+		{"pm", PerfectMatchingAutomaton(), TreeHasPerfectMatching},
+		{"star", StarAutomaton(), IsStarGraph},
+		{"diam3", DiameterAutomaton(3), func(g *graph.Graph) (bool, error) { return g.Diameter() <= 3, nil }},
+		{"diam5", DiameterAutomaton(5), func(g *graph.Graph) (bool, error) { return g.Diameter() <= 5, nil }},
+		{"leaves3", LeavesAtLeastAutomaton(3), func(g *graph.Graph) (bool, error) { return CountLeaves(g) >= 3, nil }},
+		{"leaves5", LeavesAtLeastAutomaton(5), func(g *graph.Graph) (bool, error) { return CountLeaves(g) >= 5, nil }},
+	}
+	rng := rand.New(rand.NewSource(42))
+	var trees []*graph.Graph
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		trees = append(trees, graphgen.Path(n))
+	}
+	trees = append(trees, graphgen.Star(5), graphgen.Star(9),
+		graphgen.Caterpillar(4, 2), graphgen.CompleteBinaryTree(3),
+		graphgen.Spider(3, 3))
+	for i := 0; i < 25; i++ {
+		trees = append(trees, graphgen.RandomTree(3+rng.Intn(12), rng))
+	}
+	for _, e := range entries {
+		for ti, g := range trees {
+			want, err := e.truth(g)
+			if err != nil {
+				t.Fatalf("%s tree %d: ground truth: %v", e.name, ti, err)
+			}
+			for root := 0; root < g.N(); root++ {
+				tr := mustRooted(t, g, root)
+				got, err := e.auto.Accepts(tr, nil)
+				if err != nil {
+					t.Fatalf("%s tree %d root %d: %v", e.name, ti, root, err)
+				}
+				if got != want {
+					t.Errorf("%s on tree %d (%v) rooted at %d: automaton %v, truth %v",
+						e.name, ti, g, root, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRunRejectsByAbsence(t *testing.T) {
+	// K_{1,3} rooted at center has 3 available children for the matching
+	// automaton: no state fits the center.
+	g := graphgen.Star(4)
+	tr := mustRooted(t, g, 0)
+	_, ok, err := PerfectMatchingAutomaton().Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("run found for a tree with no perfect matching")
+	}
+}
+
+func TestValidateCatchesBadAutomata(t *testing.T) {
+	bad := &Automaton{Name: "bad", NumStates: 2, NumLabels: 1,
+		Delta:     [][]Constraint{{True{}}},
+		Accepting: []bool{true, false}}
+	if err := bad.Validate(); err == nil {
+		t.Error("short Delta accepted")
+	}
+	bad2 := &Automaton{Name: "bad2", NumStates: 1, NumLabels: 1,
+		Delta:     [][]Constraint{{nil}},
+		Accepting: []bool{true}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("nil constraint accepted")
+	}
+}
+
+func TestNonDeterminismDetected(t *testing.T) {
+	ambiguous := &Automaton{Name: "ambi", NumStates: 2, NumLabels: 1,
+		Delta:     [][]Constraint{{True{}}, {True{}}},
+		Accepting: []bool{true, true}}
+	if err := ambiguous.CheckDeterministic(2); err == nil {
+		t.Error("ambiguous automaton passed determinism check")
+	}
+	tr := mustRooted(t, graphgen.Path(2), 0)
+	if _, _, err := ambiguous.Run(tr, nil); err == nil {
+		t.Error("ambiguous run not reported")
+	}
+}
+
+func TestTreeSchemeCompletenessAndSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schemes := make([]*TreeScheme, 0, 4)
+	for _, build := range []func() (*TreeScheme, error){
+		func() (*TreeScheme, error) { return NewMaxDegreeScheme(3) },
+		NewPerfectMatchingScheme,
+		NewStarScheme,
+		func() (*TreeScheme, error) { return NewDiameterScheme(6) },
+		func() (*TreeScheme, error) { return NewLeavesAtLeastScheme(2) },
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes = append(schemes, s)
+	}
+	// For each scheme, collect yes-instances among a pool of trees and
+	// check prove/verify round-trips with constant-size certificates.
+	pool := []*graph.Graph{
+		graphgen.Path(2), graphgen.Path(6), graphgen.Star(4),
+		graphgen.Caterpillar(3, 1), graphgen.CompleteBinaryTree(3),
+	}
+	for i := 0; i < 10; i++ {
+		pool = append(pool, graphgen.RandomTree(4+rng.Intn(30), rng))
+	}
+	for _, s := range schemes {
+		certified := 0
+		for _, g := range pool {
+			holds, err := s.Holds(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !holds {
+				if _, err := s.Prove(g); err == nil {
+					t.Errorf("%s proved a no-instance", s.Name())
+				}
+				continue
+			}
+			certified++
+			a, res, err := cert.ProveAndVerify(g, s)
+			if err != nil {
+				t.Fatalf("%s on %v: %v", s.Name(), g, err)
+			}
+			if !res.Accepted {
+				t.Fatalf("%s rejected yes-instance %v at %v", s.Name(), g, res.Rejecters)
+			}
+			if a.MaxBits() != s.CertificateBits() {
+				t.Errorf("%s: %d bits, want constant %d", s.Name(), a.MaxBits(), s.CertificateBits())
+			}
+		}
+		if certified == 0 {
+			t.Errorf("%s: no yes-instance in pool — test is vacuous", s.Name())
+		}
+	}
+}
+
+func TestTreeSchemeSoundnessProbe(t *testing.T) {
+	// No-instance for max-degree<=2: a star. Probe adversarial certificates.
+	s, err := NewMaxDegreeScheme(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	rep, err := cert.ProbeSoundness(graphgen.Star(6), s, nil, s.CertificateBits(), 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breaches != 0 {
+		t.Fatalf("%d soundness breaches", rep.Breaches)
+	}
+	// No-instance for perfect matching: odd path.
+	pm, err := NewPerfectMatchingScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = cert.ProbeSoundness(graphgen.Path(7), pm, nil, pm.CertificateBits(), 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breaches != 0 {
+		t.Fatalf("%d PM soundness breaches", rep.Breaches)
+	}
+}
+
+func TestTreeSchemeStateTamperDetected(t *testing.T) {
+	// Flipping the state of an internal vertex must be caught by a
+	// transition check somewhere.
+	s, err := NewPerfectMatchingScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphgen.Path(6)
+	a, err := s.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		b := a.Clone()
+		// State is the last bit (NumStates=2 -> 1 bit at offset 2).
+		b[v][2] ^= 1
+		res, err := cert.RunSequential(g, s, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Errorf("state flip at vertex %d accepted", v)
+		}
+	}
+}
+
+func TestTreeSchemeOrientationTamperDetected(t *testing.T) {
+	s, err := NewMaxDegreeScheme(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphgen.CompleteBinaryTree(3)
+	a, err := s.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the orientation field of a mid-tree vertex.
+	for _, v := range []int{1, 2, 3} {
+		b := a.Clone()
+		b[v][0] ^= 1
+		b[v][1] ^= 1
+		res, err := cert.RunSequential(g, s, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Errorf("orientation corruption at vertex %d accepted", v)
+		}
+	}
+}
+
+func TestTreeSchemeRejectsNonTreePromise(t *testing.T) {
+	s, err := NewMaxDegreeScheme(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prove(graphgen.Cycle(5)); err == nil {
+		t.Error("non-tree proved")
+	}
+	if _, err := s.Holds(graphgen.Cycle(5)); err == nil {
+		t.Error("non-tree ground truth did not error")
+	}
+}
+
+func TestCertificateBitsConstant(t *testing.T) {
+	s, err := NewDiameterScheme(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Certificate size must not depend on n.
+	sizes := map[int]bool{}
+	for _, n := range []int{2, 10, 100, 500} {
+		g := graphgen.Path(n)
+		if n > 6 {
+			// diameter n-1 > 5: skip no-instances
+			continue
+		}
+		a, err := s.Prove(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[a.MaxBits()] = true
+	}
+	if len(sizes) != 1 {
+		t.Errorf("certificate sizes vary: %v", sizes)
+	}
+}
+
+func TestLeavesAutomatonEdgeCases(t *testing.T) {
+	a := LeavesAtLeastAutomaton(2)
+	// Single vertex: 0 leaves.
+	if ok, err := a.Accepts(mustRooted(t, graphgen.Path(1), 0), nil); err != nil || ok {
+		t.Errorf("single vertex: (%v,%v), want reject", ok, err)
+	}
+	// P2: both endpoints are leaves.
+	if ok, err := a.Accepts(mustRooted(t, graphgen.Path(2), 0), nil); err != nil || !ok {
+		t.Errorf("P2: (%v,%v), want accept", ok, err)
+	}
+	// P3 rooted at middle and at end: 2 leaves either way.
+	for root := 0; root < 3; root++ {
+		if ok, err := a.Accepts(mustRooted(t, graphgen.Path(3), root), nil); err != nil || !ok {
+			t.Errorf("P3 root %d: (%v,%v), want accept", root, ok, err)
+		}
+	}
+	// Star with 4 leaves, at least 5 leaves: reject.
+	a5 := LeavesAtLeastAutomaton(5)
+	if ok, err := a5.Accepts(mustRooted(t, graphgen.Star(5), 0), nil); err != nil || ok {
+		t.Errorf("K_{1,4} >=5 leaves: (%v,%v), want reject", ok, err)
+	}
+}
+
+func BenchmarkPerfectMatchingProve(b *testing.B) {
+	s, err := NewPerfectMatchingScheme()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graphgen.Path(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Prove(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

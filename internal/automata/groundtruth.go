@@ -1,0 +1,108 @@
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rooted"
+)
+
+// This file provides combinatorial reference implementations for the
+// properties recognized by the library automata. They serve as the
+// independent ground truth in schemes and as cross-validation for the
+// automata themselves.
+
+// TreeHasPerfectMatching decides perfect matching existence on a tree by
+// the classic leaf-up greedy algorithm (exact on trees).
+func TreeHasPerfectMatching(g *graph.Graph) (bool, error) {
+	if !g.IsTree() {
+		return false, fmt.Errorf("automata: perfect-matching ground truth needs a tree")
+	}
+	if g.N()%2 != 0 {
+		return false, nil
+	}
+	t, err := rooted.FromGraph(g, 0)
+	if err != nil {
+		return false, err
+	}
+	matched := make([]bool, g.N())
+	for _, v := range t.PostOrder() {
+		unmatched := 0
+		for _, c := range t.Children(v) {
+			if !matched[c] {
+				unmatched++
+			}
+		}
+		switch unmatched {
+		case 0:
+			// v stays unmatched, available for its parent.
+		case 1:
+			matched[v] = true
+		default:
+			return false, nil
+		}
+	}
+	return matched[t.Root()], nil
+}
+
+// IsStarGraph decides whether the tree is a star K_{1,m} (including the
+// degenerate one- and two-vertex stars).
+func IsStarGraph(g *graph.Graph) (bool, error) {
+	if !g.IsTree() {
+		return false, fmt.Errorf("automata: star ground truth needs a tree")
+	}
+	return g.Diameter() <= 2, nil
+}
+
+// CountLeaves returns the number of degree-1 vertices.
+func CountLeaves(g *graph.Graph) int {
+	leaves := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 1 {
+			leaves++
+		}
+	}
+	return leaves
+}
+
+// NewMaxDegreeScheme returns the Theorem 2.2 scheme for "max degree <= d".
+func NewMaxDegreeScheme(d int) (*TreeScheme, error) {
+	return NewTreeScheme(MaxDegreeAutomaton(d), func(g *graph.Graph) (bool, error) {
+		if !g.IsTree() {
+			return false, fmt.Errorf("automata: max-degree scheme needs a tree")
+		}
+		return g.MaxDegree() <= d, nil
+	})
+}
+
+// NewPerfectMatchingScheme returns the Theorem 2.2 scheme for "the tree
+// has a perfect matching".
+func NewPerfectMatchingScheme() (*TreeScheme, error) {
+	return NewTreeScheme(PerfectMatchingAutomaton(), TreeHasPerfectMatching)
+}
+
+// NewStarScheme returns the Theorem 2.2 scheme for "the tree is a star".
+func NewStarScheme() (*TreeScheme, error) {
+	return NewTreeScheme(StarAutomaton(), IsStarGraph)
+}
+
+// NewDiameterScheme returns the Theorem 2.2 scheme for "diameter <= d".
+func NewDiameterScheme(d int) (*TreeScheme, error) {
+	return NewTreeScheme(DiameterAutomaton(d), func(g *graph.Graph) (bool, error) {
+		if !g.IsTree() {
+			return false, fmt.Errorf("automata: diameter scheme needs a tree")
+		}
+		return g.Diameter() <= d, nil
+	})
+}
+
+// NewLeavesAtLeastScheme returns the Theorem 2.2 scheme for "the tree has
+// at least k leaves".
+func NewLeavesAtLeastScheme(k int) (*TreeScheme, error) {
+	return NewTreeScheme(LeavesAtLeastAutomaton(k), func(g *graph.Graph) (bool, error) {
+		if !g.IsTree() {
+			return false, fmt.Errorf("automata: leaves scheme needs a tree")
+		}
+		return CountLeaves(g) >= k, nil
+	})
+}

@@ -1,0 +1,334 @@
+package automata
+
+// This file hand-builds UOP tree automata for classic MSO properties of
+// unrooted trees, substituting for the non-constructive logic-to-automata
+// translation the paper cites ([7], Proposition 8). Each automaton:
+//
+//   - operates on the tree rooted anywhere (the recognized property is
+//     root-invariant, which tests verify on sample trees);
+//   - is deterministic: at most one state fits any (label, child counts)
+//     configuration, so runs — and hence certificates — are unique;
+//   - rejects by absence of a run (some vertex fits no state) or at the
+//     root (non-accepting state / root constraint violated).
+//
+// All automata here use a single label (unlabeled trees).
+
+// MaxDegreeAutomaton recognizes "every vertex has degree <= d" (d >= 1).
+//
+// States: qLow = vertex has <= d-1 children (fine anywhere), qFull =
+// vertex has exactly d children (fine only at the root, where there is no
+// parent edge). A vertex with more than d children, or with a qFull child,
+// fits no state.
+func MaxDegreeAutomaton(d int) *Automaton {
+	if d < 1 {
+		panic("automata: MaxDegreeAutomaton needs d >= 1")
+	}
+	const qLow, qFull = 0, 1
+	return &Automaton{
+		Name:      "max-degree<=d",
+		NumStates: 2,
+		NumLabels: 1,
+		Delta: [][]Constraint{
+			qLow:  {AndC{CountAtMost{qFull, 0}, totalAtMost(d-1, 2)}},
+			qFull: {AndC{CountAtMost{qFull, 0}, CountExactly(qLow, d)}},
+		},
+		Accepting:  []bool{qLow: true, qFull: true},
+		StateNames: []string{"low", "full"},
+	}
+}
+
+// PerfectMatchingAutomaton recognizes "the tree has a perfect matching".
+//
+// States: qM = the subtree of v has a perfect matching (v matched inside),
+// qU = the subtree of v minus v has a perfect matching (v is available to
+// match its parent). The classic greedy argument makes this exact on
+// trees: a vertex with exactly one available child matches it (qM); with
+// none it stays available (qU); with two or more available children no
+// matching exists.
+func PerfectMatchingAutomaton() *Automaton {
+	const qM, qU = 0, 1
+	return &Automaton{
+		Name:      "perfect-matching",
+		NumStates: 2,
+		NumLabels: 1,
+		Delta: [][]Constraint{
+			qM: {CountExactly(qU, 1)},
+			qU: {CountAtMost{qU, 0}},
+		},
+		Accepting:  []bool{qM: true, qU: false},
+		StateNames: []string{"matched", "unmatched"},
+	}
+}
+
+// StarAutomaton recognizes "the tree is a star K_{1,m} for some m >= 0"
+// (a single vertex and a single edge count as stars).
+//
+// States: qLeaf = no children; qCenter = >= 1 children, all leaves;
+// qHang = exactly one child which is a center (the rooted view of a star
+// rooted at one of its leaves). qHang may only appear at the root, which
+// every transition enforces by forbidding qHang children.
+func StarAutomaton() *Automaton {
+	const qLeaf, qCenter, qHang = 0, 1, 2
+	noHang := CountAtMost{qHang, 0}
+	return &Automaton{
+		Name:      "is-star",
+		NumStates: 3,
+		NumLabels: 1,
+		Delta: [][]Constraint{
+			qLeaf:   {NoChildren(qLeaf, qCenter, qHang)},
+			qCenter: {AndC{CountAtLeast{qLeaf, 1}, CountAtMost{qCenter, 0}, noHang}},
+			qHang:   {AndC{CountAtMost{qLeaf, 0}, CountExactly(qCenter, 1), noHang}},
+		},
+		Accepting:  []bool{qLeaf: true, qCenter: true, qHang: true},
+		StateNames: []string{"leaf", "center", "hang"},
+	}
+}
+
+// DiameterAutomaton recognizes "the tree has diameter <= d" (d >= 0).
+//
+// State h in [0, d] is the height of the vertex's subtree. Transitions
+// enforce (a) the height recurrence (some child at h-1, none higher) and
+// (b) the diameter constraint through this vertex: no two child heights
+// h1 >= h2 with h1 + h2 + 2 > d — expressed with unary threshold atoms
+// only, as the paper's Appendix C.2 describes.
+func DiameterAutomaton(d int) *Automaton {
+	if d < 0 {
+		panic("automata: DiameterAutomaton needs d >= 0")
+	}
+	numStates := d + 1
+	delta := make([][]Constraint, numStates)
+	for h := 0; h <= d; h++ {
+		var c AndC
+		if h == 0 {
+			for q := 0; q <= d; q++ {
+				c = append(c, CountAtMost{q, 0})
+			}
+		} else {
+			c = append(c, CountAtLeast{h - 1, 1})
+			for q := h; q <= d; q++ {
+				c = append(c, CountAtMost{q, 0})
+			}
+			// Diameter through v: forbid child height pairs summing past d-2.
+			for h1 := 0; h1 <= h-1; h1++ {
+				for h2 := 0; h2 <= h1; h2++ {
+					if h1+h2+2 > d {
+						if h1 == h2 {
+							c = append(c, CountAtMost{h1, 1})
+						} else {
+							c = append(c, NotC{AndC{CountAtLeast{h1, 1}, CountAtLeast{h2, 1}}})
+						}
+					}
+				}
+			}
+		}
+		delta[h] = []Constraint{c}
+	}
+	accepting := make([]bool, numStates)
+	names := make([]string, numStates)
+	for h := range accepting {
+		accepting[h] = true
+		names[h] = "h=" + itoa(h)
+	}
+	return &Automaton{
+		Name:       "diameter<=d",
+		NumStates:  numStates,
+		NumLabels:  1,
+		Delta:      delta,
+		Accepting:  accepting,
+		StateNames: names,
+	}
+}
+
+// LeavesAtLeastAutomaton recognizes "the unrooted tree has at least k
+// leaves (degree-1 vertices)", k >= 1.
+//
+// State s in [0, k] is the number of unrooted-tree leaves in the vertex's
+// subtree, capped at k, counting every non-root vertex correctly: a
+// vertex with no children is a leaf (it has a parent edge). The root
+// needs the adjustment done by the root constraint: a root with exactly
+// one child is itself a leaf.
+func LeavesAtLeastAutomaton(k int) *Automaton {
+	if k < 1 {
+		panic("automata: LeavesAtLeastAutomaton needs k >= 1")
+	}
+	numStates := k + 1
+	delta := make([][]Constraint, numStates)
+	for s := 0; s <= k; s++ {
+		switch {
+		case s == 0:
+			// No leaves below: impossible for a childless vertex (it is a
+			// leaf itself, state min(1,k) >= 1), so state 0 needs >= 1
+			// children, all in state 0 — which in turn is impossible, and
+			// the constraint set correctly has no models on trees. Keep it
+			// for completeness of the state space.
+			delta[s] = []Constraint{AndC{atLeastOneChild(numStates), onlyStates(numStates, 0)}}
+		case s < k:
+			// Exact capped sum s: every child-count vector with weighted sum
+			// s where no child is saturated... children with state < k
+			// contribute their value; a saturated child (state k) forces
+			// sum >= k > s, so forbid it. A childless vertex is a leaf:
+			// contributes via the s==1 case's empty-children option.
+			delta[s] = []Constraint{cappedSumExactly(s, k, s == 1)}
+		default: // s == k: saturated
+			delta[s] = []Constraint{cappedSumAtLeast(k)}
+		}
+	}
+	accepting := make([]bool, numStates)
+	accepting[k] = true
+	rootConstraints := make([]Constraint, numStates)
+	if k >= 1 {
+		// A root with exactly one child is an unrooted leaf itself, so
+		// state k-1 plus that adjustment reaches k.
+		accepting[k-1] = true
+		rootConstraints[k-1] = TotalChildrenExactly(1, numStates)
+	}
+	names := make([]string, numStates)
+	for s := range names {
+		names[s] = "leaves=" + itoa(s)
+	}
+	return &Automaton{
+		Name:            "leaves>=k",
+		NumStates:       numStates,
+		NumLabels:       1,
+		Delta:           delta,
+		Accepting:       accepting,
+		RootConstraints: rootConstraints,
+		StateNames:      names,
+	}
+}
+
+// cappedSumExactly builds the constraint "sum over states q in [1,k] of
+// q*count(q) == s, and count(k) == 0 unless s == k" for s < k. When
+// allowEmptyLeaf is set (s == 1), the childless configuration is also
+// included: a childless vertex is an unrooted leaf contributing itself.
+func cappedSumExactly(s, k int, allowEmptyLeaf bool) Constraint {
+	var out OrC
+	// Enumerate count vectors (c_1..c_{k-1}) with sum q*c_q == s and at
+	// least one child; state-0 children are unconstrained multipliers of 0,
+	// and saturated children (state k) are forbidden since they push the
+	// sum to >= k.
+	counts := make([]int, k)
+	var rec func(q, remaining int)
+	rec = func(q, remaining int) {
+		if q == k {
+			if remaining == 0 {
+				var c AndC
+				totalPos := 0
+				for state := 1; state < k; state++ {
+					c = append(c, CountExactly(state, counts[state]))
+					totalPos += counts[state]
+				}
+				c = append(c, CountAtMost{k, 0})
+				if totalPos == 0 {
+					// All contributions zero: vertex must not be childless
+					// (childless means leaf, handled separately) — require a
+					// state-0 child to exist.
+					c = append(c, CountAtLeast{0, 1})
+				}
+				out = append(out, c)
+			}
+			return
+		}
+		for take := 0; q*take <= remaining; take++ {
+			counts[q] = take
+			rec(q+1, remaining-q*take)
+			counts[q] = 0
+			if q == 0 {
+				break // state 0 contributes nothing; a single iteration suffices
+			}
+		}
+	}
+	rec(0, s)
+	if allowEmptyLeaf {
+		var none AndC
+		for q := 0; q <= k; q++ {
+			none = append(none, CountAtMost{q, 0})
+		}
+		out = append(out, none)
+	}
+	return out
+}
+
+// cappedSumAtLeast builds "sum over states q in [1,k] of q*count(q) >= k":
+// either some saturated child, or the unsaturated contributions already
+// reach k, expressed as the negation of the finite union of all vectors
+// with sum <= k-1.
+func cappedSumAtLeast(k int) Constraint {
+	var under OrC
+	counts := make([]int, k)
+	var rec func(q, budget int)
+	rec = func(q, budget int) {
+		if q == k {
+			var c AndC
+			for state := 1; state < k; state++ {
+				c = append(c, CountExactly(state, counts[state]))
+			}
+			c = append(c, CountAtMost{k, 0})
+			under = append(under, c)
+			return
+		}
+		if q == 0 {
+			rec(q+1, budget)
+			return
+		}
+		for take := 0; q*take <= budget; take++ {
+			counts[q] = take
+			rec(q+1, budget-q*take)
+			counts[q] = 0
+		}
+	}
+	rec(0, k-1)
+	return NotC{C: under}
+}
+
+func totalAtMost(n, numStates int) Constraint {
+	var c OrC
+	for t := 0; t <= n; t++ {
+		c = append(c, TotalChildrenExactly(t, numStates))
+	}
+	return c
+}
+
+func atLeastOneChild(numStates int) Constraint {
+	var c OrC
+	for q := 0; q < numStates; q++ {
+		c = append(c, CountAtLeast{q, 1})
+	}
+	return c
+}
+
+func onlyStates(numStates int, allowed ...int) Constraint {
+	ok := make(map[int]bool, len(allowed))
+	for _, q := range allowed {
+		ok[q] = true
+	}
+	var c AndC
+	for q := 0; q < numStates; q++ {
+		if !ok[q] {
+			c = append(c, CountAtMost{q, 0})
+		}
+	}
+	return c
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,202 @@
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/rooted"
+)
+
+// TreeScheme is the certification scheme of Theorem 2.2: any MSO property
+// of trees — here given as a UOP tree automaton — is certified with O(1)
+// bits per vertex.
+//
+// The certificate of a vertex is (distance to the root mod 3, automaton
+// state): 2 + ceil(log2 |Q|) bits, independent of n. The verification at
+// each vertex is the paper's:
+//
+//  1. orientation: either exactly one neighbour is one level up (mod 3)
+//     and all others one level down, or the vertex is the root (level 0,
+//     all neighbours one level down);
+//  2. the automaton description is shared (scheme parameter — the paper
+//     writes it into every certificate; it is independent of n either
+//     way);
+//  3. the vertex's state, together with the states of the neighbours it
+//     identified as children, is a correct transition; the root's state
+//     additionally is accepting.
+//
+// The scheme operates under the paper's promise that the input graph is a
+// tree: with O(1)-bit certificates acyclicity itself is not certifiable
+// (it needs Theta(log n)), so Prove rejects non-trees and Holds reports
+// an error for them.
+type TreeScheme struct {
+	Automaton *Automaton
+	// GroundTruth computes the certified property centrally; when nil,
+	// the automaton itself (run from a canonical root) is the ground
+	// truth.
+	GroundTruth func(g *graph.Graph) (bool, error)
+	// Labels optionally assigns an input label to each vertex identifier
+	// (the paper's extension to constant-size inputs). Nil means all 0.
+	Labels map[graph.ID]int
+}
+
+var _ cert.Scheme = (*TreeScheme)(nil)
+
+// NewTreeScheme builds a TreeScheme after validating the automaton.
+func NewTreeScheme(a *Automaton, groundTruth func(*graph.Graph) (bool, error)) (*TreeScheme, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &TreeScheme{Automaton: a, GroundTruth: groundTruth}, nil
+}
+
+// Name implements cert.Scheme.
+func (s *TreeScheme) Name() string { return "tree-mso(" + s.Automaton.Name + ")" }
+
+// stateBits returns the certificate width of the state field.
+func (s *TreeScheme) stateBits() int {
+	return bitio.UintWidth(uint64(s.Automaton.NumStates - 1))
+}
+
+// CertificateBits returns the exact certificate size in bits — a
+// constant: 2 bits of orientation plus the state field.
+func (s *TreeScheme) CertificateBits() int { return 2 + s.stateBits() }
+
+func (s *TreeScheme) labelOf(id graph.ID) int {
+	if s.Labels == nil {
+		return 0
+	}
+	return s.Labels[id]
+}
+
+// Holds implements cert.Scheme.
+func (s *TreeScheme) Holds(g *graph.Graph) (bool, error) {
+	if !g.IsTree() {
+		return false, fmt.Errorf("automata: %s: input is not a tree (promise violated)", s.Name())
+	}
+	if s.GroundTruth != nil {
+		return s.GroundTruth(g)
+	}
+	t, labels, err := s.rootedView(g)
+	if err != nil {
+		return false, err
+	}
+	return s.Automaton.Accepts(t, labels)
+}
+
+// rootedView roots g at its minimum-ID vertex and collects labels.
+func (s *TreeScheme) rootedView(g *graph.Graph) (*rooted.Tree, []int, error) {
+	root := 0
+	for v := 1; v < g.N(); v++ {
+		if g.IDOf(v) < g.IDOf(root) {
+			root = v
+		}
+	}
+	t, err := rooted.FromGraph(g, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		labels[v] = s.labelOf(g.IDOf(v))
+	}
+	return t, labels, nil
+}
+
+// Prove implements cert.Scheme.
+func (s *TreeScheme) Prove(g *graph.Graph) (cert.Assignment, error) {
+	if !g.IsTree() {
+		return nil, fmt.Errorf("automata: %s: input is not a tree", s.Name())
+	}
+	t, labels, err := s.rootedView(g)
+	if err != nil {
+		return nil, err
+	}
+	states, ok, err := s.Automaton.Run(t, labels)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("automata: %s: property does not hold (no run)", s.Name())
+	}
+	if !s.acceptAtRoot(t, states) {
+		return nil, fmt.Errorf("automata: %s: property does not hold (root rejects)", s.Name())
+	}
+	depths := t.Depths()
+	a := make(cert.Assignment, g.N())
+	width := s.stateBits()
+	for v := 0; v < g.N(); v++ {
+		var w bitio.Writer
+		w.WriteUint(uint64(depths[v]%3), 2)
+		w.WriteUint(uint64(states[v]), width)
+		a[v] = w.Clone()
+	}
+	return a, nil
+}
+
+func (s *TreeScheme) acceptAtRoot(t *rooted.Tree, states []int) bool {
+	counts := make([]int, s.Automaton.NumStates)
+	for _, c := range t.Children(t.Root()) {
+		counts[states[c]]++
+	}
+	return s.Automaton.CheckRoot(states[t.Root()], counts)
+}
+
+// Verify implements cert.Scheme.
+func (s *TreeScheme) Verify(v cert.View) bool {
+	d3, state, ok := s.decodeCert(v.Cert)
+	if !ok {
+		return false
+	}
+	childCounts := make([]int, s.Automaton.NumStates)
+	parents := 0
+	up := (d3 + 2) % 3   // parent level
+	down := (d3 + 1) % 3 // child level
+	for _, nb := range v.Neighbors {
+		nd3, nstate, ok := s.decodeCert(nb.Cert)
+		if !ok {
+			return false
+		}
+		switch nd3 {
+		case up:
+			parents++
+		case down:
+			childCounts[nstate]++
+		default:
+			return false // same level mod 3: inconsistent orientation
+		}
+	}
+	isRoot := false
+	switch {
+	case parents == 1:
+		// regular vertex
+	case parents == 0 && d3 == 0:
+		isRoot = true
+	default:
+		return false
+	}
+	if !s.Automaton.CheckLocal(state, s.labelOf(v.ID), childCounts) {
+		return false
+	}
+	if isRoot && !s.Automaton.CheckRoot(state, childCounts) {
+		return false
+	}
+	return true
+}
+
+// decodeCert splits a certificate into (distance mod 3, state); it fails
+// closed on malformed input.
+func (s *TreeScheme) decodeCert(c cert.Certificate) (d3 int, state int, ok bool) {
+	r := bitio.NewReader(c)
+	d, err := r.ReadUint(2)
+	if err != nil || d > 2 {
+		return 0, 0, false
+	}
+	q, err := r.ReadUint(s.stateBits())
+	if err != nil || q >= uint64(s.Automaton.NumStates) || r.Remaining() != 0 {
+		return 0, 0, false
+	}
+	return int(d), int(q), true
+}

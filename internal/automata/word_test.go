@@ -1,0 +1,199 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+)
+
+func TestWordAutomataRecognition(t *testing.T) {
+	even := EvenOnesAutomaton()
+	cases := []struct {
+		word []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0, 0}, true},
+		{[]int{1}, false},
+		{[]int{1, 0, 1}, true},
+		{[]int{1, 1, 1}, false},
+	}
+	for _, c := range cases {
+		got, err := even.AcceptsWord(c.word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("even-ones(%v) = %v, want %v", c.word, got, c.want)
+		}
+	}
+	no11 := NoConsecutiveOnesAutomaton()
+	if ok, _ := no11.AcceptsWord([]int{1, 0, 1, 0, 1}); !ok {
+		t.Error("alternating word rejected")
+	}
+	if ok, _ := no11.AcceptsWord([]int{0, 1, 1}); ok {
+		t.Error("word with 11 accepted")
+	}
+}
+
+func TestWordAutomatonValidate(t *testing.T) {
+	bad := &WordAutomaton{Name: "bad", NumStates: 1, NumLetters: 1, Start: 5,
+		Delta: [][]int{{0}}, Accepting: []bool{true}}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad start accepted")
+	}
+	bad2 := &WordAutomaton{Name: "bad2", NumStates: 1, NumLetters: 1, Start: 0,
+		Delta: [][]int{{7}}, Accepting: []bool{true}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range transition accepted")
+	}
+}
+
+// lettersFor builds the letter table for a path graph, assigning word[i]
+// to the vertex at position i in ID order along the path from the
+// smaller-ID endpoint (which for graphgen.Path is vertex 0).
+func lettersFor(g *graph.Graph, word []int) map[graph.ID]int {
+	letters := map[graph.ID]int{}
+	for i, w := range word {
+		letters[g.IDOf(i)] = w
+	}
+	return letters
+}
+
+func TestWordSchemeRoundTripQuick(t *testing.T) {
+	even := EvenOnesAutomaton()
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%30) + 1
+		rng := rand.New(rand.NewSource(seed))
+		word := make([]int, n)
+		ones := 0
+		for i := range word {
+			word[i] = rng.Intn(2)
+			ones += word[i]
+		}
+		g := graphgen.Path(n)
+		s, err := NewWordScheme(even, lettersFor(g, word))
+		if err != nil {
+			return false
+		}
+		holds, err := s.Holds(g)
+		if err != nil {
+			return false
+		}
+		if holds != (ones%2 == 0) {
+			return false
+		}
+		if !holds {
+			_, err := s.Prove(g)
+			return err != nil
+		}
+		a, res, err := cert.ProveAndVerify(g, s)
+		if err != nil || !res.Accepted {
+			return false
+		}
+		return a.MaxBits() == s.CertificateBits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSchemeParityIsBeyondFO(t *testing.T) {
+	// The point of the warm-up: even-ones is regular (so certifiable at
+	// O(1)) but not first-order; the scheme still handles it.
+	g := graphgen.Path(8)
+	word := []int{1, 0, 1, 0, 0, 1, 1, 0} // four ones: even
+	s, err := NewWordScheme(EvenOnesAutomaton(), lettersFor(g, word))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, res, err := cert.ProveAndVerify(g, s)
+	if err != nil || !res.Accepted {
+		t.Fatalf("%v %v", err, res)
+	}
+	if a.MaxBits() != 3 {
+		t.Errorf("bits = %d, want 3", a.MaxBits())
+	}
+}
+
+func TestWordSchemeSoundness(t *testing.T) {
+	g := graphgen.Path(7)
+	word := []int{1, 0, 0, 0, 0, 0, 0} // one 1: odd — no-instance
+	s, err := NewWordScheme(EvenOnesAutomaton(), lettersFor(g, word))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	rep, err := cert.ProbeSoundness(g, s, nil, s.CertificateBits(), 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breaches != 0 {
+		t.Fatalf("%d soundness breaches", rep.Breaches)
+	}
+}
+
+func TestWordSchemeStateTamperDetected(t *testing.T) {
+	g := graphgen.Path(9)
+	word := []int{1, 1, 0, 1, 1, 0, 0, 0, 0}
+	s, err := NewWordScheme(NoConsecutiveOnesAutomaton(), lettersFor(g, word))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prove(g); err == nil {
+		t.Fatal("word with 11 proved")
+	}
+	word = []int{1, 0, 1, 0, 1, 0, 1, 0, 1}
+	s, err = NewWordScheme(NoConsecutiveOnesAutomaton(), lettersFor(g, word))
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := s.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip each state bit in turn: some vertex must reject every time.
+	width := s.stateBits()
+	for v := 0; v < g.N(); v++ {
+		for b := 0; b < width; b++ {
+			bad := honest.Clone()
+			bad[v][2+b] ^= 1
+			res, err := cert.RunSequential(g, s, bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Accepted {
+				t.Errorf("state bit flip at vertex %d accepted", v)
+			}
+		}
+	}
+}
+
+func TestWordSchemeRejectsNonPath(t *testing.T) {
+	s, err := NewWordScheme(EvenOnesAutomaton(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prove(graphgen.Star(5)); err == nil {
+		t.Error("star accepted as a word")
+	}
+	if _, err := s.Holds(graphgen.Cycle(4)); err == nil {
+		t.Error("cycle accepted as a word")
+	}
+}
+
+func TestWordSchemeSingleVertex(t *testing.T) {
+	g := graphgen.Path(1)
+	s, err := NewWordScheme(EvenOnesAutomaton(), lettersFor(g, []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := cert.ProveAndVerify(g, s)
+	if err != nil || !res.Accepted {
+		t.Fatalf("single vertex: %v %v", err, res)
+	}
+}

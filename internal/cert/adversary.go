@@ -1,0 +1,195 @@
+package cert
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Tamper is an adversarial transformation of a certificate assignment.
+// Tampering models the failures local certification exists to catch:
+// corrupted memory, replayed state from another vertex, truncation, and
+// outright forgery.
+type Tamper func(a Assignment, rng *rand.Rand) Assignment
+
+// FlipBits returns a tamper flipping k random bits across non-empty
+// certificates.
+func FlipBits(k int) Tamper {
+	return func(a Assignment, rng *rand.Rand) Assignment {
+		out := a.Clone()
+		var nonEmpty []int
+		for v, c := range out {
+			if len(c) > 0 {
+				nonEmpty = append(nonEmpty, v)
+			}
+		}
+		if len(nonEmpty) == 0 {
+			return out
+		}
+		for i := 0; i < k; i++ {
+			v := nonEmpty[rng.Intn(len(nonEmpty))]
+			p := rng.Intn(len(out[v]))
+			out[v][p] ^= 1
+		}
+		return out
+	}
+}
+
+// SwapCertificates returns a tamper exchanging the certificates of two
+// random distinct vertices (a "replay" fault).
+func SwapCertificates() Tamper {
+	return func(a Assignment, rng *rand.Rand) Assignment {
+		out := a.Clone()
+		if len(out) < 2 {
+			return out
+		}
+		u := rng.Intn(len(out))
+		v := rng.Intn(len(out) - 1)
+		if v >= u {
+			v++
+		}
+		out[u], out[v] = out[v], out[u]
+		return out
+	}
+}
+
+// TruncateOne returns a tamper cutting a random suffix off one random
+// non-empty certificate.
+func TruncateOne() Tamper {
+	return func(a Assignment, rng *rand.Rand) Assignment {
+		out := a.Clone()
+		var nonEmpty []int
+		for v, c := range out {
+			if len(c) > 0 {
+				nonEmpty = append(nonEmpty, v)
+			}
+		}
+		if len(nonEmpty) == 0 {
+			return out
+		}
+		v := nonEmpty[rng.Intn(len(nonEmpty))]
+		out[v] = out[v][:rng.Intn(len(out[v]))]
+		return out
+	}
+}
+
+// RandomizeOne returns a tamper replacing one certificate with uniformly
+// random bits of the same length.
+func RandomizeOne() Tamper {
+	return func(a Assignment, rng *rand.Rand) Assignment {
+		out := a.Clone()
+		if len(out) == 0 {
+			return out
+		}
+		v := rng.Intn(len(out))
+		for i := range out[v] {
+			out[v][i] = byte(rng.Intn(2))
+		}
+		return out
+	}
+}
+
+// RandomAssignment produces an assignment of uniformly random certificates
+// with sizes up to maxBits, used to probe soundness on no-instances.
+func RandomAssignment(n, maxBits int, rng *rand.Rand) Assignment {
+	a := make(Assignment, n)
+	for v := range a {
+		size := rng.Intn(maxBits + 1)
+		c := make(Certificate, size)
+		for i := range c {
+			c[i] = byte(rng.Intn(2))
+		}
+		a[v] = c
+	}
+	return a
+}
+
+// SoundnessReport summarizes a soundness probe.
+type SoundnessReport struct {
+	Trials   int
+	Breaches int   // assignments that were (wrongly) accepted
+	Breach   []int // trial indices of breaches, for reproduction
+}
+
+// ProbeSoundness attacks a no-instance: it submits `trials` adversarial
+// assignments (random ones plus, when seed assignments are supplied,
+// tampered variants of them) and reports how many are wrongly accepted.
+// Any breach is a soundness bug in the scheme.
+func ProbeSoundness(g *graph.Graph, s Scheme, seeds []Assignment, maxBits, trials int, rng *rand.Rand) (SoundnessReport, error) {
+	holds, err := s.Holds(g)
+	if err != nil {
+		return SoundnessReport{}, fmt.Errorf("cert: ground truth: %w", err)
+	}
+	if holds {
+		return SoundnessReport{}, fmt.Errorf("cert: ProbeSoundness needs a no-instance")
+	}
+	tampers := []Tamper{FlipBits(1), FlipBits(3), SwapCertificates(), TruncateOne(), RandomizeOne()}
+	rep := SoundnessReport{Trials: trials}
+	for i := 0; i < trials; i++ {
+		var a Assignment
+		if len(seeds) > 0 && i%2 == 0 {
+			seed := seeds[rng.Intn(len(seeds))]
+			if len(seed) == g.N() {
+				a = tampers[rng.Intn(len(tampers))](seed, rng)
+			}
+		}
+		if a == nil {
+			a = RandomAssignment(g.N(), maxBits, rng)
+		}
+		res, err := RunSequential(g, s, a)
+		if err != nil {
+			return rep, err
+		}
+		if res.Accepted {
+			rep.Breaches++
+			rep.Breach = append(rep.Breach, i)
+		}
+	}
+	return rep, nil
+}
+
+// ProbeTamperDetection attacks a yes-instance: starting from the honest
+// assignment it applies each tamper `perTamper` times and counts how often
+// the corruption goes undetected while actually changing the assignment.
+// Note that a tamper may occasionally produce another valid certificate
+// assignment (e.g. flipping a bit in an unread field); callers treat the
+// returned rate as a diagnostic, while dedicated tests assert detection of
+// specific, semantically meaningful corruptions.
+func ProbeTamperDetection(g *graph.Graph, s Scheme, honest Assignment, perTamper int, rng *rand.Rand) (detected, changed int, err error) {
+	tampers := []Tamper{FlipBits(1), FlipBits(5), SwapCertificates(), TruncateOne(), RandomizeOne()}
+	for _, tm := range tampers {
+		for i := 0; i < perTamper; i++ {
+			a := tm(honest, rng)
+			if assignmentsEqual(a, honest) {
+				continue
+			}
+			changed++
+			res, rerr := RunSequential(g, s, a)
+			if rerr != nil {
+				return detected, changed, rerr
+			}
+			if !res.Accepted {
+				detected++
+			}
+		}
+	}
+	return detected, changed, nil
+}
+
+func assignmentsEqual(a, b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+// Package combin provides the combinatorial coders behind the lower
+// bounds of Section 7: integer partitions with ranking/unranking (the
+// depth-2 tree counting of [42] used in Theorem 2.3), the combinatorial
+// number system, and injections from bit strings to non-isomorphic
+// bounded-depth rooted trees and to perfect matchings (Theorem 2.5).
+package combin
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// PartitionCount returns p(n), the number of integer partitions of n,
+// computed by the Euler recurrence with memoization.
+func PartitionCount(n int) *big.Int {
+	if n < 0 {
+		return big.NewInt(0)
+	}
+	// parts[m][k] = number of partitions of m into parts of size <= k.
+	table := make([][]*big.Int, n+1)
+	for m := 0; m <= n; m++ {
+		table[m] = make([]*big.Int, n+1)
+	}
+	var count func(m, k int) *big.Int
+	count = func(m, k int) *big.Int {
+		if m == 0 {
+			return big.NewInt(1)
+		}
+		if k == 0 {
+			return big.NewInt(0)
+		}
+		if k > m {
+			k = m
+		}
+		if table[m][k] != nil {
+			return table[m][k]
+		}
+		// Either no part of size k, or at least one.
+		res := new(big.Int).Add(count(m, k-1), count(m-k, k))
+		table[m][k] = res
+		return res
+	}
+	return count(n, n)
+}
+
+// UnrankPartition returns the partition of n with the given rank (0-based)
+// in the lexicographic-by-largest-part order induced by the counting
+// recurrence, as a non-increasing slice of parts.
+func UnrankPartition(n int, rank *big.Int) ([]int, error) {
+	total := PartitionCount(n)
+	if rank.Sign() < 0 || rank.Cmp(total) >= 0 {
+		return nil, fmt.Errorf("combin: rank %v out of range [0,%v)", rank, total)
+	}
+	var parts []int
+	r := new(big.Int).Set(rank)
+	m, k := n, n
+	for m > 0 {
+		// Count partitions of m with max part <= k, split by whether the
+		// largest part is exactly j (j = k down to 1).
+		for j := k; j >= 1; j-- {
+			// Partitions of m with largest part exactly j: partitions of
+			// m-j with parts <= j.
+			cnt := countWithMax(m-j, j)
+			if r.Cmp(cnt) < 0 {
+				parts = append(parts, j)
+				m -= j
+				k = j
+				break
+			}
+			r.Sub(r, cnt)
+		}
+	}
+	return parts, nil
+}
+
+// RankPartition is the inverse of UnrankPartition.
+func RankPartition(n int, parts []int) (*big.Int, error) {
+	sum := 0
+	prev := n
+	for _, p := range parts {
+		if p < 1 || p > prev {
+			return nil, fmt.Errorf("combin: parts must be non-increasing positive, got %v", parts)
+		}
+		sum += p
+		prev = p
+	}
+	if sum != n {
+		return nil, fmt.Errorf("combin: parts sum to %d, want %d", sum, n)
+	}
+	rank := big.NewInt(0)
+	m, k := n, n
+	for _, p := range parts {
+		for j := k; j > p; j-- {
+			rank.Add(rank, countWithMax(m-j, j))
+		}
+		m -= p
+		k = p
+	}
+	return rank, nil
+}
+
+// countWithMax returns the number of partitions of m with all parts <= k
+// (1 when m == 0).
+func countWithMax(m, k int) *big.Int {
+	if m < 0 {
+		return big.NewInt(0)
+	}
+	if m == 0 {
+		return big.NewInt(1)
+	}
+	if k <= 0 {
+		return big.NewInt(0)
+	}
+	// Small inputs: direct DP. Cached globally would be nicer but the
+	// experiment sizes keep this cheap.
+	dp := make([]*big.Int, m+1)
+	dp[0] = big.NewInt(1)
+	for i := 1; i <= m; i++ {
+		dp[i] = big.NewInt(0)
+	}
+	for part := 1; part <= k; part++ {
+		for i := part; i <= m; i++ {
+			dp[i] = new(big.Int).Add(dp[i], dp[i-part])
+		}
+	}
+	return dp[m]
+}
+
+// Binomial returns C(n, k) as a big integer.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// Factorial returns n!.
+func Factorial(n int) *big.Int {
+	res := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		res.Mul(res, big.NewInt(int64(i)))
+	}
+	return res
+}
+
+// UnrankPermutation returns the permutation of [0,n) with the given
+// factorial-number-system rank; used to code strings as matchings in the
+// Theorem 2.5 gadget (log2(n!) ≈ n log n bits of capacity).
+func UnrankPermutation(n int, rank *big.Int) ([]int, error) {
+	total := Factorial(n)
+	if rank.Sign() < 0 || rank.Cmp(total) >= 0 {
+		return nil, fmt.Errorf("combin: permutation rank out of range")
+	}
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	perm := make([]int, 0, n)
+	r := new(big.Int).Set(rank)
+	for i := n; i >= 1; i-- {
+		f := Factorial(i - 1)
+		idx := new(big.Int)
+		idx.DivMod(r, f, r)
+		j := int(idx.Int64())
+		perm = append(perm, avail[j])
+		avail = append(avail[:j], avail[j+1:]...)
+	}
+	return perm, nil
+}
+
+// RankPermutation is the inverse of UnrankPermutation.
+func RankPermutation(perm []int) (*big.Int, error) {
+	n := len(perm)
+	seen := make([]bool, n)
+	rank := big.NewInt(0)
+	for i, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("combin: not a permutation: %v", perm)
+		}
+		smaller := 0
+		for q := 0; q < p; q++ {
+			if !seen[q] {
+				smaller++
+			}
+		}
+		seen[p] = true
+		rank.Add(rank, new(big.Int).Mul(big.NewInt(int64(smaller)), Factorial(n-1-i)))
+	}
+	return rank, nil
+}
+
+// BitsToInt packs a bit string (0/1 bytes) into a big integer.
+func BitsToInt(bits []byte) *big.Int {
+	v := new(big.Int)
+	for _, b := range bits {
+		v.Lsh(v, 1)
+		if b != 0 {
+			v.Or(v, big.NewInt(1))
+		}
+	}
+	return v
+}
+
+// IntToBits unpacks a big integer into a bit string of the given length.
+func IntToBits(v *big.Int, length int) ([]byte, error) {
+	if v.Sign() < 0 || v.BitLen() > length {
+		return nil, fmt.Errorf("combin: value needs %d bits, have %d", v.BitLen(), length)
+	}
+	out := make([]byte, length)
+	for i := 0; i < length; i++ {
+		out[length-1-i] = byte(v.Bit(i))
+	}
+	return out, nil
+}

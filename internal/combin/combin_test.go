@@ -1,0 +1,264 @@
+package combin
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graphgen"
+	"repro/internal/rooted"
+)
+
+func TestPartitionCountKnownValues(t *testing.T) {
+	// OEIS A000041.
+	want := map[int]int64{0: 1, 1: 1, 2: 2, 3: 3, 4: 5, 5: 7, 10: 42, 20: 627, 50: 204226}
+	for n, exp := range want {
+		if got := PartitionCount(n); got.Cmp(big.NewInt(exp)) != 0 {
+			t.Errorf("p(%d) = %v, want %d", n, got, exp)
+		}
+	}
+}
+
+func TestPartitionRankUnrankRoundtrip(t *testing.T) {
+	n := 12
+	total := PartitionCount(n)
+	seen := map[string]bool{}
+	for r := int64(0); r < total.Int64(); r++ {
+		parts, err := UnrankPartition(n, big.NewInt(r))
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		sum := 0
+		prev := n
+		for _, p := range parts {
+			if p > prev {
+				t.Fatalf("rank %d: parts not sorted: %v", r, parts)
+			}
+			prev = p
+			sum += p
+		}
+		if sum != n {
+			t.Fatalf("rank %d: parts sum %d", r, sum)
+		}
+		key := keyOf(parts)
+		if seen[key] {
+			t.Fatalf("rank %d: duplicate partition %v", r, parts)
+		}
+		seen[key] = true
+		back, err := RankPartition(n, parts)
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if back.Int64() != r {
+			t.Fatalf("rank %d: roundtrip gave %v", r, back)
+		}
+	}
+	if int64(len(seen)) != total.Int64() {
+		t.Fatalf("saw %d partitions, want %v", len(seen), total)
+	}
+}
+
+func keyOf(parts []int) string {
+	s := ""
+	for _, p := range parts {
+		s += string(rune('a' + p))
+	}
+	return s
+}
+
+func TestUnrankPartitionRejectsBadRank(t *testing.T) {
+	if _, err := UnrankPartition(5, big.NewInt(-1)); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := UnrankPartition(5, PartitionCount(5)); err == nil {
+		t.Error("overflow rank accepted")
+	}
+}
+
+func TestPermutationRankUnrank(t *testing.T) {
+	n := 6
+	total := Factorial(n)
+	for r := int64(0); r < total.Int64(); r += 37 {
+		perm, err := UnrankPermutation(n, big.NewInt(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := RankPermutation(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Int64() != r {
+			t.Fatalf("perm rank %d roundtrip gave %v", r, back)
+		}
+	}
+}
+
+func TestBitsIntRoundtrip(t *testing.T) {
+	f := func(v uint32, pad uint8) bool {
+		length := 32 + int(pad%8)
+		bits, err := IntToBits(new(big.Int).SetUint64(uint64(v)), length)
+		if err != nil {
+			return false
+		}
+		return BitsToInt(bits).Uint64() == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringToDepth2TreeInjective(t *testing.T) {
+	leaves := 16
+	capacity := Depth2TreeCapacityBits(leaves)
+	if capacity < 5 {
+		t.Fatalf("capacity too small: %d", capacity)
+	}
+	rng := rand.New(rand.NewSource(2))
+	codes := map[string][]byte{}
+	for trial := 0; trial < 40; trial++ {
+		bits := make([]byte, capacity)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		parents, err := StringToDepth2Tree(bits, leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := rooted.FromParents(parents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Height() > 2 {
+			t.Fatalf("tree height %d > 2", tr.Height())
+		}
+		code := tr.CanonicalCode()
+		if prev, ok := codes[code]; ok && !equalBits(prev, bits) {
+			t.Fatalf("collision: %v and %v share code", prev, bits)
+		}
+		codes[code] = bits
+		// Decode roundtrip.
+		back, err := Depth2TreeToString(parents, leaves, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalBits(back, bits) {
+			t.Fatalf("decode mismatch: %v vs %v", back, bits)
+		}
+	}
+}
+
+func equalBits(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStringToMatchingRoundtrip(t *testing.T) {
+	m := 10
+	capacity := MatchingCapacityBits(m)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		bits := make([]byte, capacity)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		perm, err := StringToMatching(bits, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := MatchingToString(perm, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalBits(back, bits) {
+			t.Fatalf("matching roundtrip failed")
+		}
+	}
+	if _, err := StringToMatching(make([]byte, capacity+1), m); err == nil {
+		t.Error("over-capacity string accepted")
+	}
+}
+
+func TestCountTreesOfDepth(t *testing.T) {
+	// Depth <= 1: stars only — exactly one shape per n.
+	for n := 1; n <= 6; n++ {
+		if got := CountTreesOfDepth(n, 1); got.Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("depth-1 trees on %d vertices: %v, want 1", n, got)
+		}
+	}
+	// Depth <= 2 with n vertices: rooted trees = partitions of n-1
+	// (children subtree sizes); must equal p(n-1).
+	for n := 2; n <= 12; n++ {
+		got := CountTreesOfDepth(n, 2)
+		want := PartitionCount(n - 1)
+		if got.Cmp(want) != 0 {
+			t.Errorf("depth-2 trees on %d vertices: %v, want p(%d)=%v", n, got, n-1, want)
+		}
+	}
+	// Total rooted trees (depth unbounded = depth <= n): OEIS A000081:
+	// 1, 1, 2, 4, 9, 20, 48, 115.
+	want := []int64{0, 1, 1, 2, 4, 9, 20, 48, 115}
+	for n := 1; n < len(want); n++ {
+		if got := CountTreesOfDepth(n, n); got.Cmp(big.NewInt(want[n])) != 0 {
+			t.Errorf("rooted trees on %d vertices: %v, want %d", n, got, want[n])
+		}
+	}
+}
+
+func TestLog2TreesGrowth(t *testing.T) {
+	// The [42] phenomenon behind Theorem 2.3: for depth >= 3 the count
+	// grows like 2^{Theta(n/polylog)}; at least verify monotone growth and
+	// that depth-3 counts dwarf depth-2 counts.
+	if Log2TreesOfDepth(40, 3) <= Log2TreesOfDepth(40, 2) {
+		t.Error("depth-3 count not larger than depth-2")
+	}
+	if Log2TreesOfDepth(60, 3) <= Log2TreesOfDepth(30, 3) {
+		t.Error("count not growing with n")
+	}
+}
+
+func TestDepth2CapacityMatchesSqrtGrowth(t *testing.T) {
+	// log2 p(n) ~ c*sqrt(n): doubling n should scale capacity by about
+	// sqrt(2), certainly less than 2.
+	c1 := Depth2TreeCapacityBits(100)
+	c2 := Depth2TreeCapacityBits(400)
+	if c2 <= c1 || c2 >= 3*c1 {
+		t.Errorf("capacity growth off: %d -> %d", c1, c2)
+	}
+}
+
+func TestGadgetIntegration(t *testing.T) {
+	// End-to-end: two equal strings -> equal matchings -> the gadget's
+	// cycles all have length 8.
+	m := 6
+	capacity := MatchingCapacityBits(m)
+	bits := make([]byte, capacity)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	pa, err := StringToMatching(bits, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := StringToMatching(bits, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := graphgen.TreedepthGadget(m, pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := gd.G.RemoveVertex(gd.G.N() - 1)
+	for _, comp := range h.Components() {
+		if len(comp) != 8 {
+			t.Fatalf("component of size %d on equal strings", len(comp))
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package combin
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// This file implements the string-to-structure injections of Section 7:
+// Theorem 2.3 codes strings as non-isomorphic rooted trees of bounded
+// depth (capacity Θ̃(n) bits via [42]; the constructive depth-2 version
+// reaches Θ(sqrt(n)) via integer partitions, matching the paper's remark
+// after Theorem 2.3), and Theorem 2.5 codes strings as perfect matchings
+// (capacity ~ n log n bits).
+
+// Depth2TreeCapacityBits returns the number of message bits the depth-2
+// injection carries with a budget of n leaves: floor(log2 p(n)).
+func Depth2TreeCapacityBits(leaves int) int {
+	return PartitionCount(leaves).BitLen() - 1
+}
+
+// StringToDepth2Tree codes a bit string as a rooted tree of depth <= 2
+// with exactly `leaves` leaves: the string's rank selects an integer
+// partition of the leaf count, and each part becomes a star child of the
+// root. Distinct strings give non-isomorphic rooted trees.
+//
+// The returned tree is a parent array rooted at index 0.
+func StringToDepth2Tree(bits []byte, leaves int) ([]int, error) {
+	capacity := Depth2TreeCapacityBits(leaves)
+	if len(bits) > capacity {
+		return nil, fmt.Errorf("combin: %d bits exceed depth-2 capacity %d for %d leaves", len(bits), capacity, leaves)
+	}
+	parts, err := UnrankPartition(leaves, BitsToInt(bits))
+	if err != nil {
+		return nil, err
+	}
+	parents := []int{-1}
+	for _, part := range parts {
+		// A part of size s: one child of the root carrying s-1 leaves
+		// (so parts of size 1 become bare leaves of the root).
+		child := len(parents)
+		parents = append(parents, 0)
+		for i := 0; i < part-1; i++ {
+			parents = append(parents, child)
+		}
+	}
+	return parents, nil
+}
+
+// Depth2TreeToString decodes a depth-2 tree built by StringToDepth2Tree.
+func Depth2TreeToString(parents []int, leaves, length int) ([]byte, error) {
+	// Recover the partition: each child of the root contributes
+	// 1 + (number of its children).
+	childCount := map[int]int{}
+	roots := 0
+	for v, p := range parents {
+		switch {
+		case p == -1:
+			roots++
+		case p == 0:
+			if _, ok := childCount[v]; !ok {
+				childCount[v] = 0
+			}
+		default:
+			childCount[p]++
+		}
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("combin: malformed tree")
+	}
+	var parts []int
+	for _, cnt := range childCount {
+		parts = append(parts, cnt+1)
+	}
+	// Sort non-increasing.
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[j] > parts[i] {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+		}
+	}
+	rank, err := RankPartition(leaves, parts)
+	if err != nil {
+		return nil, err
+	}
+	return IntToBits(rank, length)
+}
+
+// MatchingCapacityBits returns the number of message bits a perfect
+// matching between two m-element sets can carry: floor(log2 m!).
+func MatchingCapacityBits(m int) int {
+	return Factorial(m).BitLen() - 1
+}
+
+// StringToMatching codes a bit string as a permutation of [0,m) — the
+// matching between V^1 and V^2 in the Figure 3 gadget.
+func StringToMatching(bits []byte, m int) ([]int, error) {
+	capacity := MatchingCapacityBits(m)
+	if len(bits) > capacity {
+		return nil, fmt.Errorf("combin: %d bits exceed matching capacity %d for m=%d", len(bits), capacity, m)
+	}
+	return UnrankPermutation(m, BitsToInt(bits))
+}
+
+// MatchingToString decodes a permutation back into a bit string of the
+// given length.
+func MatchingToString(perm []int, length int) ([]byte, error) {
+	rank, err := RankPermutation(perm)
+	if err != nil {
+		return nil, err
+	}
+	return IntToBits(rank, length)
+}
+
+// Log2TreesOfDepth estimates (in log2) the number of non-isomorphic
+// rooted trees with n vertices and depth <= k, by the dynamic counting
+// recurrence: trees of depth <= k with n vertices are multisets of trees
+// of depth <= k-1 hanging under a root. Exact values; used to reproduce
+// the [42] growth rates that power Theorem 2.3.
+func Log2TreesOfDepth(n, k int) float64 {
+	cnt := CountTreesOfDepth(n, k)
+	f := new(big.Float).SetInt(cnt)
+	// log2 via Mantissa/exponent.
+	mant := new(big.Float)
+	exp := f.MantExp(mant)
+	m, _ := mant.Float64()
+	if m <= 0 {
+		return 0
+	}
+	return float64(exp) + math.Log2(m)
+}
+
+// CountTreesOfDepth returns the exact number of non-isomorphic rooted
+// trees with exactly n vertices and depth at most k.
+func CountTreesOfDepth(n, k int) *big.Int {
+	if n <= 0 {
+		return big.NewInt(0)
+	}
+	// t[k][n]: count for depth <= k, n vertices. Depth 0: single vertex.
+	prev := make([]*big.Int, n+1)
+	for i := range prev {
+		prev[i] = big.NewInt(0)
+	}
+	if n >= 1 {
+		prev[1] = big.NewInt(1)
+	}
+	for depth := 1; depth <= k; depth++ {
+		cur := multisetForestCounts(prev, n-1)
+		next := make([]*big.Int, n+1)
+		next[0] = big.NewInt(0)
+		for sz := 1; sz <= n; sz++ {
+			next[sz] = new(big.Int).Set(cur[sz-1]) // root + forest of sz-1 vertices
+		}
+		prev = next
+	}
+	return prev[n]
+}
+
+// multisetForestCounts returns, for each total size s <= maxSize, the
+// number of multisets of trees (counted by the per-size counts in
+// treeCounts) with sizes summing to s. Standard unbounded-multiplicity
+// counting with the "stars and bars" per shape class: processing shape
+// classes grouped by size uses the formula for multisets of distinguish-
+// able items: we expand per size class with C(t + j - 1, j) ways to pick
+// j trees (with repetition) from t shapes of that size.
+func multisetForestCounts(treeCounts []*big.Int, maxSize int) []*big.Int {
+	res := make([]*big.Int, maxSize+1)
+	res[0] = big.NewInt(1)
+	for i := 1; i <= maxSize; i++ {
+		res[i] = big.NewInt(0)
+	}
+	for size := 1; size <= maxSize; size++ {
+		shapes := treeCounts[size]
+		if shapes.Sign() == 0 {
+			continue
+		}
+		next := make([]*big.Int, maxSize+1)
+		for i := range next {
+			next[i] = big.NewInt(0)
+		}
+		maxCopies := maxSize / size
+		// ways[j] = C(shapes + j - 1, j): multisets of j trees of this size.
+		ways := make([]*big.Int, maxCopies+1)
+		ways[0] = big.NewInt(1)
+		for j := 1; j <= maxCopies; j++ {
+			// C(shapes+j-1, j) = C(shapes+j-2, j-1) * (shapes+j-1) / j
+			num := new(big.Int).Add(shapes, big.NewInt(int64(j-1)))
+			ways[j] = new(big.Int).Mul(ways[j-1], num)
+			ways[j].Div(ways[j], big.NewInt(int64(j)))
+		}
+		for base := 0; base <= maxSize; base++ {
+			if res[base].Sign() == 0 {
+				continue
+			}
+			for j := 0; base+j*size <= maxSize; j++ {
+				contrib := new(big.Int).Mul(res[base], ways[j])
+				next[base+j*size].Add(next[base+j*size], contrib)
+			}
+		}
+		res = next
+	}
+	return res
+}

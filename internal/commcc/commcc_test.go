@@ -1,0 +1,180 @@
+package commcc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/combin"
+	"repro/internal/graphgen"
+	"repro/internal/treedepth"
+)
+
+func TestHonestEqualityDecides(t *testing.T) {
+	for l := 1; l <= 3; l++ {
+		if err := DecidesEquality(HonestEquality{L: l}, l); err != nil {
+			t.Errorf("l=%d: %v", l, err)
+		}
+	}
+}
+
+func TestAcceptsBasics(t *testing.T) {
+	p := HonestEquality{L: 2}
+	if !Accepts(p, []byte{1, 0}, []byte{1, 0}) {
+		t.Error("equal pair rejected")
+	}
+	if Accepts(p, []byte{1, 0}, []byte{0, 1}) {
+		t.Error("unequal pair accepted")
+	}
+}
+
+func TestTruncatedEqualityIsBroken(t *testing.T) {
+	p := TruncatedEquality{L: 3, M: 2}
+	if err := DecidesEquality(p, 3); err == nil {
+		t.Fatal("truncated protocol decides equality?!")
+	}
+}
+
+// TestFoolingBreakFindsTheorem71Violation is Theorem 7.1 made
+// executable: any complete protocol with fewer than l certificate bits
+// must confuse some unequal pair, and the fooling-set construction finds
+// the witness.
+func TestFoolingBreakFindsTheorem71Violation(t *testing.T) {
+	for _, m := range []int{1, 2} {
+		p := TruncatedEquality{L: 3, M: m}
+		br, err := FindFoolingBreak(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br == nil {
+			t.Fatalf("m=%d < l=3: no fooling break found", m)
+		}
+		if equalStrings(br.X, br.Y) {
+			t.Fatalf("break on an equal pair: %v", br)
+		}
+		if !p.Alice(br.X, br.Certificate) || !p.Bob(br.Y, br.Certificate) {
+			t.Fatalf("claimed break does not replay")
+		}
+	}
+	// The honest protocol (m = l) has no break.
+	br, err := FindFoolingBreak(HonestEquality{L: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != nil {
+		t.Fatalf("honest protocol broken: %+v", br)
+	}
+}
+
+func TestFoolingBreakReportsIncompleteness(t *testing.T) {
+	// A protocol that rejects everything is incomplete.
+	p := rejectAll{}
+	if _, err := FindFoolingBreak(p, 2); err == nil {
+		t.Fatal("incomplete protocol not reported")
+	}
+}
+
+type rejectAll struct{}
+
+func (rejectAll) Name() string           { return "reject-all" }
+func (rejectAll) CertBits() int          { return 1 }
+func (rejectAll) Alice(_, _ []byte) bool { return false }
+func (rejectAll) Bob(_, _ []byte) bool   { return false }
+
+// treedepthReduction wires the Theorem 2.5 pieces: strings -> matchings
+// -> Figure 3 gadget, certified by the Theorem 2.4 scheme with bound 5.
+func treedepthReduction(m int) *Reduction {
+	l := combin.MatchingCapacityBits(m)
+	return &Reduction{
+		Scheme: &treedepth.Scheme{T: 5},
+		L:      l,
+		Build: func(sA, sB []byte) (*graphgen.Gadget, error) {
+			pa, err := combin.StringToMatching(sA, m)
+			if err != nil {
+				return nil, err
+			}
+			pb, err := combin.StringToMatching(sB, m)
+			if err != nil {
+				return nil, err
+			}
+			return graphgen.TreedepthGadget(m, pa, pb)
+		},
+	}
+}
+
+// TestTreedepthReductionLemma73 checks the gadget arithmetic of Lemma
+// 7.3 through the scheme's ground truth: equal matchings give treedepth
+// exactly 5, unequal at least 6.
+func TestTreedepthReductionLemma73(t *testing.T) {
+	m := 3
+	red := treedepthReduction(m)
+	rng := rand.New(rand.NewSource(3))
+	s := make([]byte, red.L)
+	for i := range s {
+		s[i] = byte(rng.Intn(2))
+	}
+	gdYes, err := red.Build(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdYes, _, err := treedepth.Exact(gdYes.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdYes != 5 {
+		t.Errorf("equal matchings: td = %d, want 5", tdYes)
+	}
+	u := append([]byte(nil), s...)
+	u[0] ^= 1
+	gdNo, err := red.Build(s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdNo, _, err := treedepth.Exact(gdNo.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdNo < 6 {
+		t.Errorf("unequal matchings: td = %d, want >= 6", tdNo)
+	}
+}
+
+func TestTreedepthReductionDecidesEquality(t *testing.T) {
+	red := treedepthReduction(3)
+	rng := rand.New(rand.NewSource(11))
+	if err := red.CheckEquality(2, 30, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImpliedLowerBoundShape(t *testing.T) {
+	// Theorem 2.5's shape: l ~ m log m, r = 4m+1, so the implied bound
+	// grows like log m — it must grow, but much slower than m.
+	var prev float64
+	for _, m := range []int{4, 16, 64, 256} {
+		l := combin.MatchingCapacityBits(m)
+		r := 4*m + 1
+		bound := ImpliedLowerBound(l, r)
+		if bound <= prev {
+			t.Errorf("m=%d: implied bound %.3f not growing", m, bound)
+		}
+		if bound > 4*math.Log2(float64(m)) {
+			t.Errorf("m=%d: implied bound %.3f grows too fast for a log", m, bound)
+		}
+		prev = bound
+	}
+}
+
+func TestImpliedLowerBoundFPFShape(t *testing.T) {
+	// Theorem 2.3's shape: with depth-2 coded trees l ~ sqrt(n) here
+	// (Θ̃(n) with the [42] depth-3 counting), and r = 2, so the implied
+	// bound is Ω(sqrt(n)) — super-logarithmic.
+	small := ImpliedLowerBound(combin.Depth2TreeCapacityBits(64), 2)
+	large := ImpliedLowerBound(combin.Depth2TreeCapacityBits(1024), 2)
+	if large < 3*small {
+		t.Errorf("FPF bound not scaling like sqrt: %.1f -> %.1f", small, large)
+	}
+	if large <= 4*math.Log2(1024) {
+		t.Errorf("FPF bound %.1f should dwarf log n", large)
+	}
+}

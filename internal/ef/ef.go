@@ -1,0 +1,159 @@
+// Package ef implements the Ehrenfeucht–Fraïssé game of Section 3.2: the
+// canonical tool for proving equivalence of structures under FO sentences
+// of bounded quantifier depth.
+//
+// Theorem 3.3: Duplicator has a winning strategy in the k-round EF game on
+// (G, H) if and only if G ≃_k H, i.e. G and H satisfy the same FO
+// sentences of quantifier depth at most k.
+//
+// The solver performs exhaustive game-tree search with memoization; it is
+// meant for the small structures the paper manipulates (kernels, automaton
+// state representatives), where k is the quantifier depth of a fixed
+// formula.
+package ef
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Structure is a graph with optional vertex labels, the class of models on
+// which the games are played. A nil Labels slice means all-zero labels.
+type Structure struct {
+	G      *graph.Graph
+	Labels []int
+}
+
+// NewStructure wraps an unlabeled graph.
+func NewStructure(g *graph.Graph) Structure { return Structure{G: g} }
+
+func (s Structure) label(v int) int {
+	if s.Labels == nil {
+		return 0
+	}
+	return s.Labels[v]
+}
+
+// Equivalent reports whether Duplicator wins the k-round EF game on
+// (a, b), equivalently whether a ≃_k b.
+func Equivalent(a, b Structure, k int) bool {
+	s := &solver{a: a, b: b, memo: map[string]bool{}}
+	return s.duplicatorWins(nil, nil, k)
+}
+
+// EquivalentGraphs is Equivalent for unlabeled graphs.
+func EquivalentGraphs(g, h *graph.Graph, k int) bool {
+	return Equivalent(NewStructure(g), NewStructure(h), k)
+}
+
+// DistinguishingDepth returns the least k <= maxK such that Spoiler wins
+// the k-round game (the structures disagree on some depth-k sentence), or
+// -1 if they are equivalent up to maxK rounds.
+func DistinguishingDepth(a, b Structure, maxK int) int {
+	for k := 0; k <= maxK; k++ {
+		if !Equivalent(a, b, k) {
+			return k
+		}
+	}
+	return -1
+}
+
+type solver struct {
+	a, b Structure
+	memo map[string]bool
+}
+
+// duplicatorWins decides the game position where pa, pb are the vertices
+// pebbled so far in a and b (pa[i] paired with pb[i], the pairing is
+// always a partial isomorphism by construction) and r rounds remain.
+func (s *solver) duplicatorWins(pa, pb []int, r int) bool {
+	if r == 0 {
+		return true
+	}
+	key := positionKey(pa, pb, r)
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	win := true
+	// Spoiler may play any vertex in either structure; Duplicator must
+	// answer in the other. Duplicator wins the position iff for every
+	// Spoiler move some answer keeps a partial isomorphism and wins on.
+	for u := 0; u < s.a.G.N() && win; u++ {
+		if !s.duplicatorAnswers(pa, pb, u, true, r) {
+			win = false
+		}
+	}
+	for v := 0; v < s.b.G.N() && win; v++ {
+		if !s.duplicatorAnswers(pa, pb, v, false, r) {
+			win = false
+		}
+	}
+	s.memo[key] = win
+	return win
+}
+
+// duplicatorAnswers reports whether Duplicator has a winning answer to
+// Spoiler playing vertex `move` in structure a (inA=true) or b.
+func (s *solver) duplicatorAnswers(pa, pb []int, move int, inA bool, r int) bool {
+	if inA {
+		for v := 0; v < s.b.G.N(); v++ {
+			if s.extends(pa, pb, move, v) && s.duplicatorWins(append(pa, move), append(pb, v), r-1) {
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < s.a.G.N(); u++ {
+		if s.extends(pa, pb, u, move) && s.duplicatorWins(append(pa, u), append(pb, move), r-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// extends reports whether adding the pair (u, v) keeps the pairing a
+// partial isomorphism: equality pattern, adjacency pattern and labels must
+// all agree.
+func (s *solver) extends(pa, pb []int, u, v int) bool {
+	if s.a.label(u) != s.b.label(v) {
+		return false
+	}
+	for i := range pa {
+		if (pa[i] == u) != (pb[i] == v) {
+			return false
+		}
+		if s.a.G.HasEdge(pa[i], u) != s.b.G.HasEdge(pb[i], v) {
+			return false
+		}
+	}
+	return true
+}
+
+// positionKey canonicalizes a position: the pair multiset is order-
+// insensitive for game purposes (the pairing, not the order pairs were
+// created in, determines the position), so pairs are sorted.
+func positionKey(pa, pb []int, r int) string {
+	type pair struct{ a, b int }
+	pairs := make([]pair, len(pa))
+	for i := range pa {
+		pairs[i] = pair{pa[i], pb[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(r))
+	for _, p := range pairs {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(p.a))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(p.b))
+	}
+	return sb.String()
+}

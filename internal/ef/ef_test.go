@@ -1,0 +1,168 @@
+package ef
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/logic"
+)
+
+func TestReflexivity(t *testing.T) {
+	graphs := []*graph.Graph{
+		graphgen.Path(4), graphgen.Cycle(5), graphgen.Clique(4), graphgen.Star(5),
+	}
+	for _, g := range graphs {
+		for k := 0; k <= 3; k++ {
+			if !EquivalentGraphs(g, g, k) {
+				t.Errorf("G !~_%d G for %v", k, g)
+			}
+		}
+	}
+}
+
+func TestIsomorphicGraphsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		g := graphgen.RandomTree(7, rng)
+		perm := rng.Perm(7)
+		h := graph.New(7)
+		for _, e := range g.Edges() {
+			h.MustAddEdge(perm[e[0]], perm[e[1]])
+		}
+		for k := 0; k <= 3; k++ {
+			if !EquivalentGraphs(g, h, k) {
+				t.Errorf("trial %d: relabelled tree not ~_%d", trial, k)
+			}
+		}
+	}
+}
+
+func TestKnownDistinguishablePairs(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *graph.Graph
+		k    int
+		want bool // Equivalent at depth k?
+	}{
+		// P3 has a dominating vertex (depth-2 property), P4 does not.
+		{"P3 vs P4 at 2", graphgen.Path(3), graphgen.Path(4), 2, false},
+		// Lemma A.3: depth-2 sentences only see <=1 vertex / clique /
+		// dominating vertex. P4 and P5 agree on all three.
+		{"P4 vs P5 at 2", graphgen.Path(4), graphgen.Path(5), 2, true},
+		// K3 is a clique, C4 is not (nonadjacent distinct pair, depth 2).
+		{"K3 vs C4 at 2", graphgen.Clique(3), graphgen.Cycle(4), 2, false},
+		// P2 vs P3: P3 has a nonadjacent pair.
+		{"P2 vs P3 at 2", graphgen.Path(2), graphgen.Path(3), 2, false},
+		// C5 vs C6: diameter 2 vs 3 is a depth-3 difference...
+		{"C5 vs C6 at 3", graphgen.Cycle(5), graphgen.Cycle(6), 3, false},
+		// ...but no depth-2 sentence separates two non-clique, dominant-
+		// free graphs (Lemma A.3 again).
+		{"C5 vs C6 at 2", graphgen.Cycle(5), graphgen.Cycle(6), 2, true},
+		// Depth 1 separates nothing among non-empty graphs.
+		{"P1 vs K4 at 1", graphgen.Path(1), graphgen.Clique(4), 1, true},
+		// ... but P1 vs K4 at 2: K4 has two distinct vertices.
+		{"P1 vs K4 at 2", graphgen.Path(1), graphgen.Clique(4), 2, false},
+	}
+	for _, c := range cases {
+		if got := EquivalentGraphs(c.a, c.b, c.k); got != c.want {
+			t.Errorf("%s: Equivalent = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEquivalenceIsMonotoneInK(t *testing.T) {
+	// If Spoiler wins with k rounds he wins with more.
+	a, b := graphgen.Path(3), graphgen.Path(4)
+	wonAt := -1
+	for k := 0; k <= 4; k++ {
+		eq := EquivalentGraphs(a, b, k)
+		if !eq && wonAt == -1 {
+			wonAt = k
+		}
+		if wonAt != -1 && eq {
+			t.Fatalf("equivalence regained at k=%d after losing at %d", k, wonAt)
+		}
+	}
+	if wonAt == -1 {
+		t.Fatal("P3 and P4 never distinguished")
+	}
+}
+
+func TestDistinguishingDepth(t *testing.T) {
+	if d := DistinguishingDepth(NewStructure(graphgen.Path(3)), NewStructure(graphgen.Path(4)), 4); d != 2 {
+		t.Errorf("P3/P4 distinguishing depth = %d, want 2", d)
+	}
+	if d := DistinguishingDepth(NewStructure(graphgen.Path(4)), NewStructure(graphgen.Path(4)), 3); d != -1 {
+		t.Errorf("identical graphs distinguished at %d", d)
+	}
+}
+
+// TestAgreementWithFOBattery is the soundness link to Theorem 3.3: if
+// Duplicator wins the k-round game, the two graphs must agree on every FO
+// sentence of depth <= k.
+func TestAgreementWithFOBattery(t *testing.T) {
+	battery := []struct {
+		f logic.Formula
+		k int
+	}{
+		{logic.HasEdge(), 2},
+		{logic.IsClique(), 2},
+		{logic.HasDominatingVertex(), 2},
+		{logic.HasAtMostOneVertex(), 2},
+		{logic.DiameterAtMost2(), 3},
+		{logic.TriangleFree(), 3},
+		{logic.MustParse("forall x. exists y. x ~ y"), 2},
+		{logic.MustParse("exists x. exists y. exists z. x ~ y & y ~ z & !(x = z) & !(x ~ z)"), 3},
+	}
+	pairs := [][2]*graph.Graph{
+		{graphgen.Path(4), graphgen.Path(5)},
+		{graphgen.Cycle(5), graphgen.Cycle(6)},
+		{graphgen.Cycle(6), graphgen.Cycle(7)},
+		{graphgen.Star(5), graphgen.Star(6)},
+		{graphgen.Path(6), graphgen.Cycle(6)},
+		{graphgen.Clique(4), graphgen.Clique(5)},
+	}
+	for _, pr := range pairs {
+		for _, item := range battery {
+			if !EquivalentGraphs(pr[0], pr[1], item.k) {
+				continue // Spoiler wins: no agreement promised
+			}
+			va, err1 := logic.Eval(item.f, logic.NewModel(pr[0]))
+			vb, err2 := logic.Eval(item.f, logic.NewModel(pr[1]))
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%v %v", err1, err2)
+			}
+			if va != vb {
+				t.Errorf("G ~_%d H but %q differs on %v vs %v", item.k, item.f, pr[0], pr[1])
+			}
+		}
+	}
+}
+
+func TestLabelsMatter(t *testing.T) {
+	g := graphgen.Path(2)
+	a := Structure{G: g, Labels: []int{0, 0}}
+	b := Structure{G: g, Labels: []int{0, 1}}
+	if Equivalent(a, b, 1) {
+		t.Fatal("structures with different label multisets equivalent at depth 1")
+	}
+	if !Equivalent(a, a, 3) {
+		t.Fatal("labeled structure not self-equivalent")
+	}
+}
+
+func TestDepthZeroAlwaysEquivalent(t *testing.T) {
+	if !EquivalentGraphs(graphgen.Path(1), graphgen.Clique(9), 0) {
+		t.Fatal("0-round game lost")
+	}
+}
+
+func BenchmarkEquivalentPaths(b *testing.B) {
+	g, h := graphgen.Path(12), graphgen.Path(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EquivalentGraphs(g, h, 3)
+	}
+}

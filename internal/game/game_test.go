@@ -1,0 +1,119 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/treedepth"
+)
+
+func TestValueEqualsTreedepth(t *testing.T) {
+	graphs := []*graph.Graph{
+		graphgen.Path(7), graphgen.Cycle(8), graphgen.Clique(4), graphgen.Star(6),
+	}
+	for _, g := range graphs {
+		v, err := Value(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, _, err := treedepth.Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != td {
+			t.Errorf("%v: game value %d != treedepth %d", g, v, td)
+		}
+	}
+}
+
+func TestOptimalCopsNeverExceedTreedepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	robbers := []Robber{StaticRobber{}, GreedyRobber{}, OptimalRobber{}, RandomRobber{Rng: rng}}
+	graphs := []*graph.Graph{
+		graphgen.Path(9), graphgen.Cycle(8), graphgen.Star(7),
+		graphgen.CompleteBinaryTree(3), graphgen.RandomTree(12, rng),
+	}
+	for _, g := range graphs {
+		td, _, err := treedepth.Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range robbers {
+			cops, history, err := Play(g, r)
+			if err != nil {
+				t.Fatalf("%v vs %T: %v", g, r, err)
+			}
+			if cops > td {
+				t.Errorf("%v vs %T: %d cops > treedepth %d (history %v)", g, r, cops, td, history)
+			}
+		}
+	}
+}
+
+func TestOptimalRobberForcesTreedepth(t *testing.T) {
+	graphs := []*graph.Graph{
+		graphgen.Path(7), graphgen.Cycle(8), graphgen.Clique(4),
+		graphgen.CompleteBinaryTree(3),
+	}
+	for _, g := range graphs {
+		td, _, err := treedepth.Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cops, _, err := Play(g, OptimalRobber{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cops != td {
+			t.Errorf("%v: optimal robber caught with %d cops, treedepth %d", g, cops, td)
+		}
+	}
+}
+
+// TestFigure4Gadget replays the paper's Figure 4: on the m=1 lower-bound
+// gadget (an 8-cycle plus the vertex u adjacent to its V_alpha vertices),
+// 5 cops are necessary and sufficient — the first on u, then the binary
+// search on the remaining cycle.
+func TestFigure4Gadget(t *testing.T) {
+	gd, err := graphgen.TreedepthGadget(1, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Value(gd.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("Figure 4 gadget: game value %d, want 5", v)
+	}
+	cops, history, err := Play(gd.G, OptimalRobber{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cops != 5 {
+		t.Errorf("optimal robber on Figure 4 gadget: %d cops, want 5 (history %v)", cops, history)
+	}
+}
+
+func TestPlayRejectsCheatingRobber(t *testing.T) {
+	cheater := robberFunc(func(_ *graph.Graph, _ []int, _, _ int) int { return 99 })
+	if _, _, err := Play(graphgen.Path(4), cheater); err == nil {
+		t.Fatal("out-of-region move accepted")
+	}
+}
+
+type robberFunc func(*graph.Graph, []int, int, int) int
+
+func (f robberFunc) React(g *graph.Graph, options []int, announced, current int) int {
+	return f(g, options, announced, current)
+}
+
+func TestPlayValidatesInput(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	if _, _, err := Play(g, StaticRobber{}); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}

@@ -1,0 +1,359 @@
+// Package graph implements the undirected-graph substrate that every
+// certification scheme in this module runs on.
+//
+// Following the paper (§3), all graphs handled by schemes are connected,
+// loopless and non-empty; vertices carry unique identifiers from a
+// polynomial range. The package also provides the structural algorithms the
+// schemes depend on: traversals, connectivity, articulation points,
+// biconnected components, and simple path/cycle length computations.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is a vertex identifier. The paper assumes unique IDs in [1, n^k]; we
+// keep them as int64 and account for their width explicitly when encoding.
+type ID = int64
+
+// Graph is an undirected, loopless graph over vertices indexed 0..N-1.
+// Each vertex has an application-visible identifier; indices are an
+// internal, contiguous handle.
+//
+// The zero value is an empty graph; use New or NewWithIDs to create one.
+type Graph struct {
+	ids  []ID
+	adj  [][]int
+	byID map[ID]int
+	m    int // number of edges
+}
+
+// New creates a graph with n vertices and default identifiers 1..n.
+func New(n int) *Graph {
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = ID(i + 1)
+	}
+	g, err := NewWithIDs(ids)
+	if err != nil {
+		// Unreachable: default IDs are unique.
+		panic(err)
+	}
+	return g
+}
+
+// NewWithIDs creates a graph whose i-th vertex has identifier ids[i].
+// It returns an error if identifiers are not unique or not positive.
+func NewWithIDs(ids []ID) (*Graph, error) {
+	byID := make(map[ID]int, len(ids))
+	for i, id := range ids {
+		if id <= 0 {
+			return nil, fmt.Errorf("graph: identifier %d at index %d is not positive", id, i)
+		}
+		if j, dup := byID[id]; dup {
+			return nil, fmt.Errorf("graph: duplicate identifier %d at indices %d and %d", id, j, i)
+		}
+		byID[id] = i
+	}
+	own := make([]ID, len(ids))
+	copy(own, ids)
+	return &Graph{
+		ids:  own,
+		adj:  make([][]int, len(ids)),
+		byID: byID,
+	}, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.ids) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// IDOf returns the identifier of vertex index v.
+func (g *Graph) IDOf(v int) ID { return g.ids[v] }
+
+// IndexOf returns the index of the vertex with the given identifier and
+// whether it exists.
+func (g *Graph) IndexOf(id ID) (int, bool) {
+	v, ok := g.byID[id]
+	return v, ok
+}
+
+// MaxID returns the largest identifier in the graph (0 for an empty graph).
+func (g *Graph) MaxID() ID {
+	var max ID
+	for _, id := range g.ids {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// AddEdge inserts the undirected edge {u, v} given by vertex indices.
+// Self-loops and duplicate edges are rejected with an error, keeping the
+// graph simple as the paper requires.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.ids) || v < 0 || v >= len(g.ids) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.ids))
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d rejected", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code where the edge is known to
+// be valid (generators, tests); it panics on error.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.ids) || v < 0 || v >= len(g.ids) {
+		return false
+	}
+	// Scan the shorter adjacency list.
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum vertex degree (0 for edgeless graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns all edges as index pairs with u < v, sorted.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c, err := NewWithIDs(g.ids)
+	if err != nil {
+		panic(err) // unreachable: ids were already validated
+	}
+	for u := range g.adj {
+		c.adj[u] = append([]int(nil), g.adj[u]...)
+	}
+	c.m = g.m
+	return c
+}
+
+// String returns a compact human-readable description, useful in test
+// failure messages.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{n=%d, m=%d, edges=%v}", g.N(), g.M(), g.Edges())
+}
+
+// BFSFrom runs a breadth-first search from src and returns the distance
+// (in edges) to every vertex, with -1 for unreachable vertices.
+func (g *Graph) BFSFrom(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected. The empty graph is not
+// connected (the paper considers non-empty graphs only).
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return false
+	}
+	dist := g.BFSFrom(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as lists of vertex indices,
+// each sorted, ordered by smallest contained index.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex indices
+// (which keep their identifiers), together with the mapping from new index
+// to old index.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
+	keep := append([]int(nil), vertices...)
+	sort.Ints(keep)
+	oldToNew := make(map[int]int, len(keep))
+	ids := make([]ID, len(keep))
+	for newIdx, oldIdx := range keep {
+		oldToNew[oldIdx] = newIdx
+		ids[newIdx] = g.ids[oldIdx]
+	}
+	sub, err := NewWithIDs(ids)
+	if err != nil {
+		panic(err) // unreachable: subset of already-unique IDs
+	}
+	for _, u := range keep {
+		for _, v := range g.adj[u] {
+			if u < v {
+				if nv, ok := oldToNew[v]; ok {
+					sub.MustAddEdge(oldToNew[u], nv)
+				}
+			}
+		}
+	}
+	return sub, keep
+}
+
+// RemoveVertex returns a copy of the graph with vertex v removed, together
+// with the mapping from new index to old index.
+func (g *Graph) RemoveVertex(v int) (*Graph, []int) {
+	keep := make([]int, 0, g.N()-1)
+	for u := 0; u < g.N(); u++ {
+		if u != v {
+			keep = append(keep, u)
+		}
+	}
+	return g.InducedSubgraph(keep)
+}
+
+// Eccentricity returns the maximum distance from v to any vertex, or -1 if
+// some vertex is unreachable.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.BFSFrom(v)
+	ecc := 0
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the maximum eccentricity, or -1 if the graph is
+// disconnected or empty.
+func (g *Graph) Diameter() int {
+	if g.N() == 0 {
+		return -1
+	}
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		e := g.Eccentricity(v)
+		if e == -1 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// IsTree reports whether the graph is a tree (connected and m = n-1).
+func (g *Graph) IsTree() bool {
+	return g.Connected() && g.m == g.N()-1
+}
+
+// AdjacencyMatrix returns the n x n boolean adjacency matrix.
+func (g *Graph) AdjacencyMatrix() [][]bool {
+	n := g.N()
+	mat := make([][]bool, n)
+	for i := range mat {
+		mat[i] = make([]bool, n)
+	}
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			mat[u][v] = true
+		}
+	}
+	return mat
+}

@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	if n >= 3 {
+		g.MustAddEdge(n-1, 0)
+	}
+	return g
+}
+
+func clique(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func TestNewAssignsDefaultIDs(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		if g.IDOf(i) != ID(i+1) {
+			t.Errorf("IDOf(%d) = %d, want %d", i, g.IDOf(i), i+1)
+		}
+		if idx, ok := g.IndexOf(ID(i + 1)); !ok || idx != i {
+			t.Errorf("IndexOf(%d) = (%d,%v)", i+1, idx, ok)
+		}
+	}
+	if g.MaxID() != 3 {
+		t.Errorf("MaxID = %d", g.MaxID())
+	}
+}
+
+func TestNewWithIDsRejectsDuplicates(t *testing.T) {
+	if _, err := NewWithIDs([]ID{1, 2, 1}); err == nil {
+		t.Fatal("expected error for duplicate IDs")
+	}
+	if _, err := NewWithIDs([]ID{0, 1}); err == nil {
+		t.Fatal("expected error for non-positive ID")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+}
+
+func TestHasEdgeSymmetric(t *testing.T) {
+	g := path(4)
+	for _, e := range g.Edges() {
+		if !g.HasEdge(e[0], e[1]) || !g.HasEdge(e[1], e[0]) {
+			t.Errorf("edge %v not symmetric", e)
+		}
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge (0,2)")
+	}
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := path(5)
+	dist := g.BFSFrom(0)
+	for i, d := range dist {
+		if d != i {
+			t.Errorf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+	if New(0).Connected() {
+		t.Error("empty graph reported connected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{path(1), 0},
+		{path(2), 1},
+		{path(7), 6},
+		{cycle(6), 3},
+		{clique(5), 1},
+	}
+	for i, c := range cases {
+		if got := c.g.Diameter(); got != c.want {
+			t.Errorf("case %d: Diameter = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	if !path(6).IsTree() {
+		t.Error("path not recognized as tree")
+	}
+	if cycle(6).IsTree() {
+		t.Error("cycle recognized as tree")
+	}
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	if g.IsTree() {
+		t.Error("forest recognized as tree")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := cycle(5)
+	sub, mapping := g.InducedSubgraph([]int{0, 1, 2})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("subgraph n=%d m=%d, want 3,2", sub.N(), sub.M())
+	}
+	for newIdx, oldIdx := range mapping {
+		if sub.IDOf(newIdx) != g.IDOf(oldIdx) {
+			t.Errorf("ID mismatch at %d", newIdx)
+		}
+	}
+}
+
+func TestRemoveVertex(t *testing.T) {
+	g := cycle(4)
+	h, _ := g.RemoveVertex(0)
+	if h.N() != 3 || h.M() != 2 {
+		t.Fatalf("after removal n=%d m=%d, want 3,2", h.N(), h.M())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := path(3)
+	c := g.Clone()
+	c.MustAddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Error("clone shares edge storage with original")
+	}
+}
+
+func TestArticulationPoints(t *testing.T) {
+	// Path: all internal vertices are cut vertices.
+	g := path(5)
+	cuts := g.ArticulationPoints()
+	if len(cuts) != 3 {
+		t.Fatalf("path cuts = %v, want 3 internal vertices", cuts)
+	}
+	// Cycle: no cut vertices.
+	if cuts := cycle(5).ArticulationPoints(); len(cuts) != 0 {
+		t.Errorf("cycle cuts = %v, want none", cuts)
+	}
+	// Two triangles sharing a vertex: the shared vertex is a cut.
+	g = New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 2)
+	cuts = g.ArticulationPoints()
+	if len(cuts) != 1 || cuts[0] != 2 {
+		t.Errorf("bowtie cuts = %v, want [2]", cuts)
+	}
+}
+
+func TestBiconnectedComponents(t *testing.T) {
+	// Bowtie: two triangle blocks.
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 2)
+	blocks := g.BiconnectedComponents()
+	if len(blocks) != 2 {
+		t.Fatalf("bowtie blocks = %v, want 2", blocks)
+	}
+	for _, b := range blocks {
+		if len(b) != 3 {
+			t.Errorf("block %v has size %d, want 3", b, len(b))
+		}
+	}
+	// A path on 4 vertices: 3 bridge blocks.
+	blocks = path(4).BiconnectedComponents()
+	if len(blocks) != 3 {
+		t.Errorf("path blocks = %v, want 3 bridges", blocks)
+	}
+}
+
+func TestLongestPathVertices(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{path(6), 6},
+		{cycle(6), 6},
+		{clique(4), 4},
+		{New(1), 1},
+	}
+	for i, c := range cases {
+		if got := c.g.LongestPathVertices(); got != c.want {
+			t.Errorf("case %d: longest path = %d, want %d", i, got, c.want)
+		}
+	}
+	// Star K_{1,4}: longest path has 3 vertices.
+	g := New(5)
+	for i := 1; i < 5; i++ {
+		g.MustAddEdge(0, i)
+	}
+	if got := g.LongestPathVertices(); got != 3 {
+		t.Errorf("star longest path = %d, want 3", got)
+	}
+}
+
+func TestLongestCycleVertices(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{path(6), 0},
+		{cycle(5), 5},
+		{clique(5), 5},
+	}
+	for i, c := range cases {
+		if got := c.g.LongestCycleVertices(); got != c.want {
+			t.Errorf("case %d: longest cycle = %d, want %d", i, got, c.want)
+		}
+	}
+	// Two triangles sharing a vertex: longest cycle is 3.
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 2)
+	if got := g.LongestCycleVertices(); got != 3 {
+		t.Errorf("bowtie longest cycle = %d, want 3", got)
+	}
+}
+
+func TestGirth(t *testing.T) {
+	if g := path(5).Girth(); g != 0 {
+		t.Errorf("path girth = %d, want 0", g)
+	}
+	if g := cycle(7).Girth(); g != 7 {
+		t.Errorf("C7 girth = %d, want 7", g)
+	}
+	if g := clique(4).Girth(); g != 3 {
+		t.Errorf("K4 girth = %d, want 3", g)
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g := clique(4)
+	edges := g.Edges()
+	if len(edges) != 6 {
+		t.Fatalf("K4 edges = %d, want 6", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Errorf("edges not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+func TestAdjacencyMatrixQuick(t *testing.T) {
+	// Property: matrix is symmetric with zero diagonal, and agrees with HasEdge.
+	f := func(seed uint32) bool {
+		n := int(seed%10) + 2
+		g := New(n)
+		s := seed
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s = s*1664525 + 1013904223
+				if s%3 == 0 {
+					g.MustAddEdge(i, j)
+				}
+			}
+		}
+		mat := g.AdjacencyMatrix()
+		for i := 0; i < n; i++ {
+			if mat[i][i] {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if mat[i][j] != mat[j][i] || mat[i][j] != g.HasEdge(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if d := clique(5).MaxDegree(); d != 4 {
+		t.Errorf("K5 max degree = %d, want 4", d)
+	}
+	if d := New(3).MaxDegree(); d != 0 {
+		t.Errorf("edgeless max degree = %d, want 0", d)
+	}
+}

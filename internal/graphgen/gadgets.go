@@ -1,0 +1,185 @@
+package graphgen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Gadget bundles a lower-bound instance G(s_A, s_B) (Section 7.1) with the
+// vertex partition V = V_A ∪ V_α ∪ V_β ∪ V_B that the communication
+// complexity reduction needs: Alice simulates the verifier on V_A ∪ V_α,
+// Bob on V_B ∪ V_β, and the prover's certificate covers V_α ∪ V_β.
+type Gadget struct {
+	G *graph.Graph
+	// VA, VAlpha, VBeta, VB are the index sets of the four parts.
+	VA, VAlpha, VBeta, VB []int
+}
+
+// MiddleSize returns r = |V_α ∪ V_β|, the divisor in the Ω(ℓ/r) bound of
+// Proposition 7.2.
+func (gd *Gadget) MiddleSize() int { return len(gd.VAlpha) + len(gd.VBeta) }
+
+// TreedepthGadget builds the Figure 3 construction. m is the size of each
+// indexed block (the paper's n); matchA and matchB are permutations of
+// [0,m): matchA[i] = j encodes Alice's matching edge (V_A^1[i], V_A^2[j]),
+// and likewise for Bob.
+//
+// Lemma 7.3: if the matchings are equal the graph has treedepth 5,
+// otherwise treedepth at least 6.
+//
+// Layout (vertex indices): for j in {1,2} and i in [0,m):
+//
+//	V_A^j[i], V_α^j[i], V_β^j[i], V_B^j[i]  — 8m path vertices
+//	u — one extra vertex adjacent to all of V_α = V_α^1 ∪ V_α^2
+func TreedepthGadget(m int, matchA, matchB []int) (*Gadget, error) {
+	if len(matchA) != m || len(matchB) != m {
+		return nil, fmt.Errorf("graphgen: matchings must have length m=%d", m)
+	}
+	if !isPermutation(matchA) || !isPermutation(matchB) {
+		return nil, fmt.Errorf("graphgen: matchings must be permutations of [0,%d)", m)
+	}
+	// Index layout: block(b)[j][i] = b*2*m + j*m + i for blocks A,α,β,B.
+	const nBlocks = 4
+	n := nBlocks*2*m + 1
+	g := graph.New(n)
+	at := func(block, j, i int) int { return block*2*m + j*m + i }
+	const bA, bAlpha, bBeta, bB = 0, 1, 2, 3
+	u := n - 1
+
+	// E_P: the 2m disjoint paths (V_A^j[i], V_α^j[i], V_β^j[i], V_B^j[i]).
+	for j := 0; j < 2; j++ {
+		for i := 0; i < m; i++ {
+			g.MustAddEdge(at(bA, j, i), at(bAlpha, j, i))
+			g.MustAddEdge(at(bAlpha, j, i), at(bBeta, j, i))
+			g.MustAddEdge(at(bBeta, j, i), at(bB, j, i))
+		}
+	}
+	// u is complete to V_α.
+	for j := 0; j < 2; j++ {
+		for i := 0; i < m; i++ {
+			g.MustAddEdge(u, at(bAlpha, j, i))
+		}
+	}
+	// Alice's matching between V_A^1 and V_A^2; Bob's between V_B^1 and V_B^2.
+	for i := 0; i < m; i++ {
+		g.MustAddEdge(at(bA, 0, i), at(bA, 1, matchA[i]))
+		g.MustAddEdge(at(bB, 0, i), at(bB, 1, matchB[i]))
+	}
+
+	gd := &Gadget{G: g}
+	for j := 0; j < 2; j++ {
+		for i := 0; i < m; i++ {
+			gd.VA = append(gd.VA, at(bA, j, i))
+			gd.VAlpha = append(gd.VAlpha, at(bAlpha, j, i))
+			gd.VBeta = append(gd.VBeta, at(bBeta, j, i))
+			gd.VB = append(gd.VB, at(bB, j, i))
+		}
+	}
+	// u behaves like a vertex of V_α (simulated by Alice), per the paper.
+	gd.VAlpha = append(gd.VAlpha, u)
+	return gd, nil
+}
+
+// FPFGadget builds the Theorem 2.3 construction: V_α and V_β are single
+// vertices α and β; E_P is the path (a, α, β, b); Alice attaches a rooted
+// tree at a and Bob a rooted tree at b. The resulting tree has a
+// fixed-point-free automorphism iff the two rooted trees are isomorphic.
+//
+// Trees are given as parent arrays: parentX[0] == -1 designates the root
+// (which becomes a / b), and parentX[v] is the parent of v.
+func FPFGadget(parentA, parentB []int) (*Gadget, error) {
+	nA, nB := len(parentA), len(parentB)
+	if nA == 0 || nB == 0 {
+		return nil, fmt.Errorf("graphgen: FPF gadget needs non-empty trees")
+	}
+	if parentA[0] != -1 || parentB[0] != -1 {
+		return nil, fmt.Errorf("graphgen: parent arrays must be rooted at index 0")
+	}
+	// Layout: [0,nA) Alice's tree, [nA, nA+nB) Bob's tree, then α, β.
+	n := nA + nB + 2
+	g := graph.New(n)
+	alpha, beta := n-2, n-1
+	for v := 1; v < nA; v++ {
+		if parentA[v] < 0 || parentA[v] >= nA {
+			return nil, fmt.Errorf("graphgen: bad parentA[%d]=%d", v, parentA[v])
+		}
+		g.MustAddEdge(v, parentA[v])
+	}
+	for v := 1; v < nB; v++ {
+		if parentB[v] < 0 || parentB[v] >= nB {
+			return nil, fmt.Errorf("graphgen: bad parentB[%d]=%d", v, parentB[v])
+		}
+		g.MustAddEdge(nA+v, nA+parentB[v])
+	}
+	g.MustAddEdge(0, alpha)    // a – α
+	g.MustAddEdge(alpha, beta) // α – β
+	g.MustAddEdge(beta, nA)    // β – b
+
+	gd := &Gadget{G: g, VAlpha: []int{alpha}, VBeta: []int{beta}}
+	for v := 0; v < nA; v++ {
+		gd.VA = append(gd.VA, v)
+	}
+	for v := 0; v < nB; v++ {
+		gd.VB = append(gd.VB, nA+v)
+	}
+	return gd, nil
+}
+
+// Figure2Gadget builds a small instance of the generic Figure 2 layout for
+// tests of the reduction framework: V_A and V_B are independent sets of
+// size k whose subsets of "marked" vertices encode the players' strings by
+// pendant edges toward V_α / V_β; V_α and V_β are paths of length r/2.
+// The property "same marks on both sides" is checkable and serves as a toy
+// EQUALITY-like property.
+func Figure2Gadget(k int, marksA, marksB []bool) (*Gadget, error) {
+	if len(marksA) != k || len(marksB) != k {
+		return nil, fmt.Errorf("graphgen: marks must have length k=%d", k)
+	}
+	// Layout: V_A = [0,k), α = k, β = k+1, V_B = [k+2, 2k+2).
+	n := 2*k + 2
+	g := graph.New(n)
+	alpha, beta := k, k+1
+	g.MustAddEdge(alpha, beta)
+	for i := 0; i < k; i++ {
+		g.MustAddEdge(i, alpha)
+		g.MustAddEdge(k+2+i, beta)
+	}
+	// Marks are encoded as extra edges between consecutive marked vertices
+	// inside each side (V_A x V_A edges are Alice's private edges).
+	prev := -1
+	for i := 0; i < k; i++ {
+		if marksA[i] {
+			if prev >= 0 {
+				g.MustAddEdge(prev, i)
+			}
+			prev = i
+		}
+	}
+	prev = -1
+	for i := 0; i < k; i++ {
+		if marksB[i] {
+			if prev >= 0 {
+				g.MustAddEdge(k+2+prev, k+2+i)
+			}
+			prev = i
+		}
+	}
+	gd := &Gadget{G: g, VAlpha: []int{alpha}, VBeta: []int{beta}}
+	for i := 0; i < k; i++ {
+		gd.VA = append(gd.VA, i)
+		gd.VB = append(gd.VB, k+2+i)
+	}
+	return gd, nil
+}
+
+func isPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package graphgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathCycleCliqueStar(t *testing.T) {
+	if g := Path(5); g.N() != 5 || g.M() != 4 || !g.IsTree() {
+		t.Errorf("Path(5): %v", g)
+	}
+	if g := Cycle(5); g.N() != 5 || g.M() != 5 || g.Girth() != 5 {
+		t.Errorf("Cycle(5): %v", g)
+	}
+	if g := Clique(5); g.M() != 10 || g.Diameter() != 1 {
+		t.Errorf("Clique(5): %v", g)
+	}
+	if g := Star(6); !g.IsTree() || g.MaxDegree() != 5 {
+		t.Errorf("Star(6): %v", g)
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if g.N() != 12 || !g.IsTree() {
+		t.Fatalf("Caterpillar(4,2): n=%d tree=%v", g.N(), g.IsTree())
+	}
+	// Spine endpoints have degree 1 (spine) + 2 legs = 3.
+	if g.Degree(0) != 3 {
+		t.Errorf("spine endpoint degree = %d, want 3", g.Degree(0))
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(4)
+	if g.N() != 15 || !g.IsTree() {
+		t.Fatalf("CBT(4): n=%d", g.N())
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("root degree = %d, want 2", g.Degree(0))
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 10, 50, 200} {
+		g := RandomTree(n, rng)
+		if n >= 1 && !g.Connected() {
+			t.Errorf("RandomTree(%d) not connected", n)
+		}
+		if g.M() != n-1 && n >= 1 {
+			t.Errorf("RandomTree(%d): m = %d", n, g.M())
+		}
+	}
+}
+
+func TestRandomTreeQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 1
+		g := RandomTree(n, rand.New(rand.NewSource(seed)))
+		return g.N() == n && (n == 1 || g.IsTree())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTreeOfDepthRespectsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ n, d int }{{20, 2}, {50, 3}, {100, 5}} {
+		g := RandomTreeOfDepth(tc.n, tc.d, rng)
+		if !g.IsTree() {
+			t.Fatalf("not a tree: n=%d d=%d", tc.n, tc.d)
+		}
+		if ecc := g.Eccentricity(0); ecc > tc.d {
+			t.Errorf("depth from root = %d, want <= %d", ecc, tc.d)
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomConnected(30, 20, rng)
+	if !g.Connected() {
+		t.Fatal("RandomConnected produced a disconnected graph")
+	}
+	if g.M() < 29 {
+		t.Errorf("m = %d < n-1", g.M())
+	}
+}
+
+func TestBoundedTreedepthWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		n, td int
+	}{{10, 2}, {30, 3}, {60, 4}} {
+		g, parent := BoundedTreedepth(tc.n, tc.td, 0.4, rng)
+		if !g.Connected() {
+			t.Fatalf("n=%d t=%d: disconnected", tc.n, tc.td)
+		}
+		// Witness depth respects the bound.
+		depth := func(v int) int {
+			d := 1
+			for parent[v] != -1 {
+				v = parent[v]
+				d++
+			}
+			return d
+		}
+		for v := 0; v < tc.n; v++ {
+			if depth(v) > tc.td {
+				t.Errorf("witness depth of %d is %d > %d", v, depth(v), tc.td)
+			}
+		}
+		// Every edge joins an ancestor/descendant pair of the witness.
+		anc := func(u, v int) bool {
+			for x := v; x != -1; x = parent[x] {
+				if x == u {
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !anc(e[0], e[1]) && !anc(e[1], e[0]) {
+				t.Errorf("edge %v not along witness tree", e)
+			}
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("Grid(3,4): n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Error("grid disconnected")
+	}
+}
+
+func TestSpider(t *testing.T) {
+	g := Spider(3, 4)
+	if g.N() != 13 || !g.IsTree() || g.Degree(0) != 3 {
+		t.Fatalf("Spider(3,4): n=%d deg0=%d", g.N(), g.Degree(0))
+	}
+}
+
+func TestTreedepthGadgetEqualMatchingsGives8Cycles(t *testing.T) {
+	m := 4
+	perm := []int{2, 0, 3, 1}
+	gd, err := TreedepthGadget(m, perm, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.G.N() != 8*m+1 {
+		t.Fatalf("n = %d, want %d", gd.G.N(), 8*m+1)
+	}
+	if !gd.G.Connected() {
+		t.Fatal("gadget disconnected")
+	}
+	// Remove u: the rest must be a disjoint union of m cycles of length 8.
+	h, _ := gd.G.RemoveVertex(gd.G.N() - 1)
+	comps := h.Components()
+	if len(comps) != m {
+		t.Fatalf("got %d components without u, want %d", len(comps), m)
+	}
+	for _, c := range comps {
+		if len(c) != 8 {
+			t.Errorf("component size %d, want 8", len(c))
+		}
+	}
+	for v := 0; v < h.N(); v++ {
+		if h.Degree(v) != 2 {
+			t.Errorf("vertex %d degree %d, want 2 (union of cycles)", v, h.Degree(v))
+		}
+	}
+}
+
+func TestTreedepthGadgetUnequalMatchingsGivesLongCycle(t *testing.T) {
+	m := 4
+	a := []int{0, 1, 2, 3}
+	b := []int{1, 0, 2, 3} // differs in a transposition -> one 16-cycle
+	gd, err := TreedepthGadget(m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := gd.G.RemoveVertex(gd.G.N() - 1)
+	comps := h.Components()
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[16] != 1 || sizes[8] != 2 {
+		t.Errorf("component size histogram = %v, want one 16 and two 8s", sizes)
+	}
+}
+
+func TestTreedepthGadgetValidation(t *testing.T) {
+	if _, err := TreedepthGadget(3, []int{0, 1}, []int{0, 1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TreedepthGadget(3, []int{0, 0, 1}, []int{0, 1, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+}
+
+func TestFPFGadget(t *testing.T) {
+	// Two identical 3-vertex paths rooted at one end.
+	parent := []int{-1, 0, 1}
+	gd, err := FPFGadget(parent, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.G.N() != 8 || !gd.G.IsTree() {
+		t.Fatalf("gadget n=%d tree=%v", gd.G.N(), gd.G.IsTree())
+	}
+	if gd.MiddleSize() != 2 {
+		t.Errorf("middle size = %d, want 2", gd.MiddleSize())
+	}
+}
+
+func TestFPFGadgetValidation(t *testing.T) {
+	if _, err := FPFGadget([]int{0}, []int{-1}); err == nil {
+		t.Error("non-root-first parent array accepted")
+	}
+	if _, err := FPFGadget(nil, []int{-1}); err == nil {
+		t.Error("empty tree accepted")
+	}
+	if _, err := FPFGadget([]int{-1, 5}, []int{-1}); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+}
+
+func TestFigure2Gadget(t *testing.T) {
+	marks := []bool{true, false, true, true}
+	gd, err := Figure2Gadget(4, marks, marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gd.G.Connected() {
+		t.Fatal("figure-2 gadget disconnected")
+	}
+	if len(gd.VA) != 4 || len(gd.VB) != 4 || gd.MiddleSize() != 2 {
+		t.Errorf("partition sizes wrong: %d %d %d", len(gd.VA), len(gd.VB), gd.MiddleSize())
+	}
+}
+
+func TestCycleTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Cycle(2)")
+		}
+	}()
+	Cycle(2)
+}

@@ -1,0 +1,256 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ef"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/logic"
+	"repro/internal/rooted"
+	"repro/internal/treedepth"
+)
+
+// coherentModel produces a coherent elimination tree for tests.
+func coherentModel(t *testing.T, g *graph.Graph) *rooted.Tree {
+	t.Helper()
+	_, m, err := treedepth.Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = treedepth.MakeCoherent(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTypeNodeCodeCanonical(t *testing.T) {
+	a := &TypeNode{AncVec: []bool{true}, Children: []*TypeNode{
+		{AncVec: []bool{true, false}},
+		{AncVec: []bool{false, true}},
+	}}
+	b := &TypeNode{AncVec: []bool{true}, Children: []*TypeNode{
+		{AncVec: []bool{false, true}},
+		{AncVec: []bool{true, false}},
+	}}
+	if a.Code() != b.Code() {
+		t.Error("child order changed the code")
+	}
+	c := &TypeNode{AncVec: []bool{false}, Children: a.Children}
+	if a.Code() == c.Code() {
+		t.Error("different ancestor vectors share a code")
+	}
+	if a.Size() != 3 {
+		t.Errorf("Size = %d, want 3", a.Size())
+	}
+}
+
+func TestReduceStarCollapsesLeaves(t *testing.T) {
+	// A star K_{1,9} with rank k: all leaves share a type, so the kernel
+	// keeps exactly k of them.
+	g := graphgen.Star(10)
+	m := coherentModel(t, g)
+	for _, k := range []int{1, 2, 3} {
+		red, err := Reduce(g, m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.Kernel.N() != k+1 {
+			t.Errorf("k=%d: kernel has %d vertices, want %d", k, red.Kernel.N(), k+1)
+		}
+		if !red.Kernel.Connected() {
+			t.Errorf("k=%d: kernel disconnected", k)
+		}
+	}
+}
+
+func TestReduceKeepsSmallGraphsIntact(t *testing.T) {
+	// With k larger than any child multiplicity nothing is pruned.
+	g := graphgen.Path(6)
+	m := coherentModel(t, g)
+	red, err := Reduce(g, m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Kernel.N() != 6 {
+		t.Errorf("kernel shrank a path: %d vertices", red.Kernel.N())
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	g := graphgen.Path(4)
+	m := coherentModel(t, g)
+	if _, err := Reduce(g, m, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	other := coherentModel(t, graphgen.Path(5))
+	if _, err := Reduce(g, other, 1); err == nil {
+		t.Error("mismatched model accepted")
+	}
+}
+
+// TestKernelRankEquivalence is Proposition 6.3: G and its k-reduction are
+// ~_k — validated directly with the EF game solver.
+func TestKernelRankEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(8)
+		tBound := 2 + rng.Intn(2)
+		g, _ := graphgen.BoundedTreedepth(n, tBound, 0.5, rng)
+		m := coherentModel(t, g)
+		for _, k := range []int{1, 2} {
+			red, err := Reduce(g, m, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ef.EquivalentGraphs(g, red.Kernel, k) {
+				t.Errorf("trial %d k=%d: G !~_k kernel (n=%d -> %d)",
+					trial, k, g.N(), red.Kernel.N())
+			}
+		}
+	}
+}
+
+// TestKernelFormulaAgreement: the kernel satisfies exactly the same
+// bounded-rank sentences as the input.
+func TestKernelFormulaAgreement(t *testing.T) {
+	sentences := []logic.Formula{
+		logic.HasEdge(),
+		logic.HasDominatingVertex(),
+		logic.MustParse("forall x. exists y. x ~ y"),
+	}
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 8; trial++ {
+		g, _ := graphgen.BoundedTreedepth(10+rng.Intn(8), 3, 0.4, rng)
+		m := coherentModel(t, g)
+		for _, f := range sentences {
+			k := logic.QuantifierDepth(f)
+			red, err := Reduce(g, m, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			onG, err1 := logic.Eval(f, logic.NewModel(g))
+			onK, err2 := logic.Eval(f, logic.NewModel(red.Kernel))
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if onG != onK {
+				t.Errorf("trial %d: %s differs on G (%v) and kernel (%v)", trial, f, onG, onK)
+			}
+		}
+	}
+}
+
+func TestReconstructGraphMatchesKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		g, _ := graphgen.BoundedTreedepth(9+rng.Intn(6), 3, 0.5, rng)
+		m := coherentModel(t, g)
+		red, err := Reduce(g, m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rootOld := -1
+		for v := 0; v < g.N(); v++ {
+			if red.Kept[v] && m.Parent(v) == -1 {
+				rootOld = v
+			}
+		}
+		if rootOld == -1 {
+			t.Fatal("root was deleted?")
+		}
+		rec, err := ReconstructGraph(red.EndType[rootOld])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.N() != red.Kernel.N() || rec.M() != red.Kernel.M() {
+			t.Errorf("trial %d: reconstruction n=%d m=%d, kernel n=%d m=%d",
+				trial, rec.N(), rec.M(), red.Kernel.N(), red.Kernel.M())
+		}
+		// Reconstruction and kernel must be rank-equivalent (they are in
+		// fact isomorphic).
+		if !ef.EquivalentGraphs(rec, red.Kernel, 2) {
+			t.Errorf("trial %d: reconstruction !~_2 kernel", trial)
+		}
+	}
+}
+
+func TestLemma61OnReductions(t *testing.T) {
+	// Every pruned child's end type must be carried by exactly k
+	// surviving siblings.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		g, _ := graphgen.BoundedTreedepth(14, 3, 0.5, rng)
+		m := coherentModel(t, g)
+		k := 1 + rng.Intn(2)
+		red, err := Reduce(g, m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			surviving := map[string]int{}
+			for _, c := range m.Children(v) {
+				if red.Kept[c] {
+					surviving[red.EndType[c].Code()]++
+				}
+			}
+			for _, c := range m.Children(v) {
+				if red.PrunedRoot[c] && red.Kept[v] {
+					if surviving[red.EndType[c].Code()] != k {
+						t.Errorf("trial %d: pruned child %d of %d has %d surviving same-type siblings, want %d",
+							trial, c, v, surviving[red.EndType[c].Code()], k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLog2TypeBound(t *testing.T) {
+	// f_t(k,t) = 2^t.
+	if got := Log2TypeBound(3, 2, 3); got != 3 {
+		t.Errorf("f_3(2,3): log2 = %v, want 3", got)
+	}
+	// f_2(2,3) = 2^2 * 3^8: log2 = 2 + 8*log2(3).
+	want := 2 + 8*math.Log2(3)
+	if got := Log2TypeBound(2, 2, 3); math.Abs(got-want) > 1e-9 {
+		t.Errorf("f_2(2,3): log2 = %v, want %v", got, want)
+	}
+	// f_1 for larger parameters is astronomically large but finite or +Inf;
+	// it must at least exceed f_2.
+	if got := Log2TypeBound(1, 2, 3); got <= want {
+		t.Errorf("f_1 <= f_2: %v <= %v", got, want)
+	}
+	// Deep towers overflow to +Inf.
+	if got := Log2TypeBound(1, 3, 6); !math.IsInf(got, 1) {
+		t.Errorf("tower did not overflow: %v", got)
+	}
+}
+
+func TestRegistryGrowthIndependentOfN(t *testing.T) {
+	// E6 in miniature: with fixed (k,t), the number of distinct end types
+	// plateaus as n grows.
+	f := logic.HasEdge()
+	s, err := NewMSOScheme(3, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	var sizes []int
+	for _, n := range []int{10, 20, 40, 60, 80} {
+		g, parents := graphgen.BoundedTreedepth(n, 3, 0.5, rng)
+		s.ModelProvider = func(gg *graph.Graph) (*rooted.Tree, error) {
+			return treedepth.FromParentSlice(gg, parents)
+		}
+		if _, err := s.Prove(g); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, s.RegistrySize())
+	}
+	if sizes[len(sizes)-1] > 4*sizes[0]+64 {
+		t.Errorf("registry growing with n: %v", sizes)
+	}
+}

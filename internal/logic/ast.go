@@ -1,0 +1,284 @@
+// Package logic implements the FO and MSO logics on graphs used by the
+// paper (§3.2): first-order formulas over the adjacency and equality
+// predicates, enriched with quantification over vertex sets and the
+// membership predicate for MSO.
+//
+// The package provides the syntax tree, a parser for a small textual
+// syntax, structural measures (quantifier depth, free variables), standard
+// transformations (negation normal form, prenex form for FO), and a
+// brute-force model checker used on kernels — which the paper guarantees
+// have size independent of n, making exhaustive evaluation appropriate.
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Var is a first-order (vertex) variable.
+type Var string
+
+// SetVar is a monadic second-order (vertex set) variable.
+type SetVar string
+
+// Formula is a node of the FO/MSO syntax tree.
+//
+// The concrete types are Equal, Adj, In, HasLabel, Not, And, Or, Implies,
+// ForAll, Exists, ForAllSet and ExistsSet.
+type Formula interface {
+	fmt.Stringer
+	// precedence is used by String to parenthesize minimally.
+	precedence() int
+}
+
+// Equal is the atomic predicate x = y.
+type Equal struct{ X, Y Var }
+
+// Adj is the atomic adjacency predicate x ~ y.
+type Adj struct{ X, Y Var }
+
+// In is the MSO membership predicate x ∈ S.
+type In struct {
+	X Var
+	S SetVar
+}
+
+// HasLabel tests the input label of a vertex; it supports the paper's
+// remark that the results extend to graphs with constant-size inputs (in
+// the spirit of locally checkable labelings).
+type HasLabel struct {
+	X     Var
+	Label int
+}
+
+// Not is logical negation.
+type Not struct{ F Formula }
+
+// And is logical conjunction.
+type And struct{ L, R Formula }
+
+// Or is logical disjunction.
+type Or struct{ L, R Formula }
+
+// Implies is logical implication (sugar for !L | R, kept in the tree for
+// readable printing).
+type Implies struct{ L, R Formula }
+
+// ForAll is first-order universal quantification over vertices.
+type ForAll struct {
+	V Var
+	F Formula
+}
+
+// Exists is first-order existential quantification over vertices.
+type Exists struct {
+	V Var
+	F Formula
+}
+
+// ForAllSet is monadic second-order universal quantification.
+type ForAllSet struct {
+	S SetVar
+	F Formula
+}
+
+// ExistsSet is monadic second-order existential quantification.
+type ExistsSet struct {
+	S SetVar
+	F Formula
+}
+
+const (
+	precAtom = 5
+	precNot  = 4
+	precAnd  = 3
+	precOr   = 2
+	precImpl = 1
+	precQ    = 0
+)
+
+func (Equal) precedence() int     { return precAtom }
+func (Adj) precedence() int       { return precAtom }
+func (In) precedence() int        { return precAtom }
+func (HasLabel) precedence() int  { return precAtom }
+func (Not) precedence() int       { return precNot }
+func (And) precedence() int       { return precAnd }
+func (Or) precedence() int        { return precOr }
+func (Implies) precedence() int   { return precImpl }
+func (ForAll) precedence() int    { return precQ }
+func (Exists) precedence() int    { return precQ }
+func (ForAllSet) precedence() int { return precQ }
+func (ExistsSet) precedence() int { return precQ }
+
+func wrap(f Formula, parentPrec int) string {
+	s := f.String()
+	if f.precedence() < parentPrec {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (f Equal) String() string    { return fmt.Sprintf("%s = %s", f.X, f.Y) }
+func (f Adj) String() string      { return fmt.Sprintf("%s ~ %s", f.X, f.Y) }
+func (f In) String() string       { return fmt.Sprintf("%s in %s", f.X, f.S) }
+func (f HasLabel) String() string { return fmt.Sprintf("label(%s, %d)", f.X, f.Label) }
+func (f Not) String() string      { return "!" + wrap(f.F, precNot+1) }
+func (f And) String() string {
+	return wrap(f.L, precAnd) + " & " + wrap(f.R, precAnd)
+}
+func (f Or) String() string {
+	return wrap(f.L, precOr) + " | " + wrap(f.R, precOr)
+}
+func (f Implies) String() string {
+	return wrap(f.L, precImpl+1) + " -> " + wrap(f.R, precImpl)
+}
+func (f ForAll) String() string    { return fmt.Sprintf("forall %s. %s", f.V, f.F) }
+func (f Exists) String() string    { return fmt.Sprintf("exists %s. %s", f.V, f.F) }
+func (f ForAllSet) String() string { return fmt.Sprintf("forallset %s. %s", f.S, f.F) }
+func (f ExistsSet) String() string { return fmt.Sprintf("existsset %s. %s", f.S, f.F) }
+
+// QuantifierDepth returns the quantifier rank: the maximum number of
+// nested quantifiers (first- and second-order alike), the measure used by
+// the kernel construction (Section 6) and EF games.
+func QuantifierDepth(f Formula) int {
+	switch t := f.(type) {
+	case Equal, Adj, In, HasLabel:
+		return 0
+	case Not:
+		return QuantifierDepth(t.F)
+	case And:
+		return max(QuantifierDepth(t.L), QuantifierDepth(t.R))
+	case Or:
+		return max(QuantifierDepth(t.L), QuantifierDepth(t.R))
+	case Implies:
+		return max(QuantifierDepth(t.L), QuantifierDepth(t.R))
+	case ForAll:
+		return 1 + QuantifierDepth(t.F)
+	case Exists:
+		return 1 + QuantifierDepth(t.F)
+	case ForAllSet:
+		return 1 + QuantifierDepth(t.F)
+	case ExistsSet:
+		return 1 + QuantifierDepth(t.F)
+	default:
+		panic(fmt.Sprintf("logic: unknown formula type %T", f))
+	}
+}
+
+// IsFO reports whether the formula is purely first-order (no set
+// quantifiers and no membership predicates).
+func IsFO(f Formula) bool {
+	switch t := f.(type) {
+	case Equal, Adj, HasLabel:
+		return true
+	case In, ForAllSet, ExistsSet:
+		return false
+	case Not:
+		return IsFO(t.F)
+	case And:
+		return IsFO(t.L) && IsFO(t.R)
+	case Or:
+		return IsFO(t.L) && IsFO(t.R)
+	case Implies:
+		return IsFO(t.L) && IsFO(t.R)
+	case ForAll:
+		return IsFO(t.F)
+	case Exists:
+		return IsFO(t.F)
+	default:
+		panic(fmt.Sprintf("logic: unknown formula type %T", f))
+	}
+}
+
+// FreeVars returns the free first-order and second-order variables of f,
+// each sorted.
+func FreeVars(f Formula) (vars []Var, sets []SetVar) {
+	vs := map[Var]bool{}
+	ss := map[SetVar]bool{}
+	var walk func(f Formula, boundV map[Var]bool, boundS map[SetVar]bool)
+	walk = func(f Formula, boundV map[Var]bool, boundS map[SetVar]bool) {
+		switch t := f.(type) {
+		case Equal:
+			noteVar(vs, boundV, t.X, t.Y)
+		case Adj:
+			noteVar(vs, boundV, t.X, t.Y)
+		case HasLabel:
+			noteVar(vs, boundV, t.X)
+		case In:
+			noteVar(vs, boundV, t.X)
+			if !boundS[t.S] {
+				ss[t.S] = true
+			}
+		case Not:
+			walk(t.F, boundV, boundS)
+		case And:
+			walk(t.L, boundV, boundS)
+			walk(t.R, boundV, boundS)
+		case Or:
+			walk(t.L, boundV, boundS)
+			walk(t.R, boundV, boundS)
+		case Implies:
+			walk(t.L, boundV, boundS)
+			walk(t.R, boundV, boundS)
+		case ForAll:
+			walk(t.F, withVar(boundV, t.V), boundS)
+		case Exists:
+			walk(t.F, withVar(boundV, t.V), boundS)
+		case ForAllSet:
+			walk(t.F, boundV, withSet(boundS, t.S))
+		case ExistsSet:
+			walk(t.F, boundV, withSet(boundS, t.S))
+		default:
+			panic(fmt.Sprintf("logic: unknown formula type %T", f))
+		}
+	}
+	walk(f, map[Var]bool{}, map[SetVar]bool{})
+	for v := range vs {
+		vars = append(vars, v)
+	}
+	for s := range ss {
+		sets = append(sets, s)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+	return vars, sets
+}
+
+// IsSentence reports whether f has no free variables.
+func IsSentence(f Formula) bool {
+	vars, sets := FreeVars(f)
+	return len(vars) == 0 && len(sets) == 0
+}
+
+func noteVar(acc map[Var]bool, bound map[Var]bool, vs ...Var) {
+	for _, v := range vs {
+		if !bound[v] {
+			acc[v] = true
+		}
+	}
+}
+
+func withVar(m map[Var]bool, v Var) map[Var]bool {
+	out := make(map[Var]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	out[v] = true
+	return out
+}
+
+func withSet(m map[SetVar]bool, s SetVar) map[SetVar]bool {
+	out := make(map[SetVar]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	out[s] = true
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

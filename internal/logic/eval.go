@@ -1,0 +1,150 @@
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// MaxSetQuantVertices bounds the graph size for which second-order
+// quantifiers are evaluated exhaustively (2^n subsets). Kernels produced
+// by Section 6 have size independent of n, so this bound constrains the
+// formula/treedepth combination, never the input graph.
+const MaxSetQuantVertices = 22
+
+// Model is a graph together with optional vertex labels (for the paper's
+// extension to constant-size inputs). A nil Labels slice means "all labels
+// zero".
+type Model struct {
+	G      *graph.Graph
+	Labels []int
+}
+
+// NewModel wraps a graph as an unlabeled model.
+func NewModel(g *graph.Graph) Model { return Model{G: g} }
+
+// Label returns the label of vertex v.
+func (m Model) Label(v int) int {
+	if m.Labels == nil {
+		return 0
+	}
+	return m.Labels[v]
+}
+
+// env carries the variable bindings during evaluation. Vertex variables
+// bind to vertex indices; set variables bind to bitsets over vertices.
+type env struct {
+	vars map[Var]int
+	sets map[SetVar]uint64
+}
+
+func (e env) withVar(v Var, val int) env {
+	nv := make(map[Var]int, len(e.vars)+1)
+	for k, x := range e.vars {
+		nv[k] = x
+	}
+	nv[v] = val
+	return env{vars: nv, sets: e.sets}
+}
+
+func (e env) withSet(s SetVar, val uint64) env {
+	ns := make(map[SetVar]uint64, len(e.sets)+1)
+	for k, x := range e.sets {
+		ns[k] = x
+	}
+	ns[s] = val
+	return env{vars: e.vars, sets: ns}
+}
+
+// Eval decides whether the sentence f holds on the model, by exhaustive
+// quantifier expansion. First-order quantifiers cost O(n) each; set
+// quantifiers cost O(2^n) and are therefore restricted to models with at
+// most MaxSetQuantVertices vertices.
+func Eval(f Formula, m Model) (bool, error) {
+	if !IsSentence(f) {
+		vars, sets := FreeVars(f)
+		return false, fmt.Errorf("logic: Eval needs a sentence; free: %v %v", vars, sets)
+	}
+	if !IsFO(f) && m.G.N() > MaxSetQuantVertices {
+		return false, fmt.Errorf("logic: MSO evaluation limited to %d vertices, got %d (evaluate on a kernel instead)",
+			MaxSetQuantVertices, m.G.N())
+	}
+	return eval(f, m, env{vars: map[Var]int{}, sets: map[SetVar]uint64{}}), nil
+}
+
+// EvalWithAssignment evaluates a formula with the given bindings for its
+// free variables; used by schemes that check quantifier-free matrices on
+// explicitly listed witnesses (Lemma A.2).
+func EvalWithAssignment(f Formula, m Model, vars map[Var]int, sets map[SetVar]uint64) (bool, error) {
+	fv, fs := FreeVars(f)
+	for _, v := range fv {
+		if _, ok := vars[v]; !ok {
+			return false, fmt.Errorf("logic: missing binding for %s", v)
+		}
+	}
+	for _, s := range fs {
+		if _, ok := sets[s]; !ok {
+			return false, fmt.Errorf("logic: missing binding for %s", s)
+		}
+	}
+	if vars == nil {
+		vars = map[Var]int{}
+	}
+	if sets == nil {
+		sets = map[SetVar]uint64{}
+	}
+	return eval(f, m, env{vars: vars, sets: sets}), nil
+}
+
+func eval(f Formula, m Model, e env) bool {
+	switch t := f.(type) {
+	case Equal:
+		return e.vars[t.X] == e.vars[t.Y]
+	case Adj:
+		return m.G.HasEdge(e.vars[t.X], e.vars[t.Y])
+	case In:
+		return e.sets[t.S]&(1<<uint(e.vars[t.X])) != 0
+	case HasLabel:
+		return m.Label(e.vars[t.X]) == t.Label
+	case Not:
+		return !eval(t.F, m, e)
+	case And:
+		return eval(t.L, m, e) && eval(t.R, m, e)
+	case Or:
+		return eval(t.L, m, e) || eval(t.R, m, e)
+	case Implies:
+		return !eval(t.L, m, e) || eval(t.R, m, e)
+	case ForAll:
+		for v := 0; v < m.G.N(); v++ {
+			if !eval(t.F, m, e.withVar(t.V, v)) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		for v := 0; v < m.G.N(); v++ {
+			if eval(t.F, m, e.withVar(t.V, v)) {
+				return true
+			}
+		}
+		return false
+	case ForAllSet:
+		n := uint(m.G.N())
+		for s := uint64(0); s < 1<<n; s++ {
+			if !eval(t.F, m, e.withSet(t.S, s)) {
+				return false
+			}
+		}
+		return true
+	case ExistsSet:
+		n := uint(m.G.N())
+		for s := uint64(0); s < 1<<n; s++ {
+			if eval(t.F, m, e.withSet(t.S, s)) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("logic: unknown formula type %T", f))
+	}
+}

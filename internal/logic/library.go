@@ -1,0 +1,164 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file collects the sentences the paper discusses, ready to use in
+// schemes, experiments and tests.
+
+// DiameterAtMost2 is the paper's running FO example (§2.2): every pair of
+// vertices is equal, adjacent, or has a common neighbour. Quantifier depth
+// 3, one alternation; not compactly certifiable in general graphs.
+func DiameterAtMost2() Formula {
+	return MustParse("forall x. forall y. x = y | x ~ y | exists z. x ~ z & z ~ y")
+}
+
+// TriangleFree is the second §2.2 example: no three mutually adjacent
+// vertices. Depth 3, no alternation; requires near-linear certificates.
+func TriangleFree() Formula {
+	return MustParse("forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)")
+}
+
+// HasDominatingVertex: some vertex is adjacent to every other vertex
+// (one of the depth-2 properties of Lemma A.3).
+func HasDominatingVertex() Formula {
+	return MustParse("exists x. forall y. x = y | x ~ y")
+}
+
+// IsClique: all pairs of distinct vertices are adjacent (Lemma A.3).
+func IsClique() Formula {
+	return MustParse("forall x. forall y. x = y | x ~ y")
+}
+
+// HasAtMostOneVertex (Lemma A.3, property 1).
+func HasAtMostOneVertex() Formula {
+	return MustParse("forall x. forall y. x = y")
+}
+
+// HasEdge is the simplest existential sentence: the graph has an edge.
+func HasEdge() Formula {
+	return MustParse("exists x. exists y. x ~ y")
+}
+
+// ContainsPath returns the existential FO sentence "the graph contains a
+// simple path on k vertices (as a subgraph)", used for P_k-subgraph
+// detection. k >= 1.
+func ContainsPath(k int) Formula {
+	if k < 1 {
+		panic("logic: ContainsPath needs k >= 1")
+	}
+	vars := make([]string, k)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i)
+	}
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "exists %s. ", v)
+	}
+	var parts []string
+	for i := 0; i+1 < k; i++ {
+		parts = append(parts, fmt.Sprintf("%s ~ %s", vars[i], vars[i+1]))
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			parts = append(parts, fmt.Sprintf("!(%s = %s)", vars[i], vars[j]))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%s = %s", vars[0], vars[0]))
+	}
+	b.WriteString(strings.Join(parts, " & "))
+	return MustParse(b.String())
+}
+
+// TwoColorable is the MSO sentence "there is a set S such that every edge
+// crosses between S and its complement" — properness of a 2-colouring.
+func TwoColorable() Formula {
+	return MustParse("existsset S. forall x. forall y. " +
+		"x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))")
+}
+
+// HasIsolatedVertex: some vertex with no neighbour. On connected graphs
+// this means n = 1; useful as a sanity formula in tests.
+func HasIsolatedVertex() Formula {
+	return MustParse("exists x. forall y. x = y | !(x ~ y)")
+}
+
+// MaxDegreeAtMost returns the FO sentence "every vertex has degree <= d":
+// no vertex has d+1 pairwise-distinct neighbours.
+func MaxDegreeAtMost(d int) Formula {
+	if d < 0 {
+		panic("logic: MaxDegreeAtMost needs d >= 0")
+	}
+	// "No vertex has d+1 pairwise-distinct neighbours": forall x, it is
+	// not the case that exists y0..yd all adjacent to x and all distinct.
+	k := d + 1
+	vars := make([]string, k)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("y%d", i)
+	}
+	body := make([]string, 0, k*(k+1)/2+k)
+	for _, v := range vars {
+		body = append(body, fmt.Sprintf("x ~ %s", v))
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			body = append(body, fmt.Sprintf("!(%s = %s)", vars[i], vars[j]))
+		}
+	}
+	inner := strings.Join(body, " & ")
+	for i := k - 1; i >= 0; i-- {
+		inner = fmt.Sprintf("exists %s. %s", vars[i], inner)
+	}
+	return MustParse("forall x. !(" + inner + ")")
+}
+
+// IndependentSetOfSize returns the existential FO sentence "there are k
+// pairwise distinct, pairwise non-adjacent vertices".
+func IndependentSetOfSize(k int) Formula {
+	if k < 1 {
+		panic("logic: IndependentSetOfSize needs k >= 1")
+	}
+	vars := make([]string, k)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i)
+	}
+	var parts []string
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			parts = append(parts, fmt.Sprintf("!(%s = %s)", vars[i], vars[j]))
+			parts = append(parts, fmt.Sprintf("!(%s ~ %s)", vars[i], vars[j]))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%s = %s", vars[0], vars[0]))
+	}
+	inner := strings.Join(parts, " & ")
+	for i := k - 1; i >= 0; i-- {
+		inner = fmt.Sprintf("exists %s. %s", vars[i], inner)
+	}
+	return MustParse(inner)
+}
+
+// DominatingSetOfSize returns the FO sentence "there are k vertices whose
+// closed neighbourhoods cover the graph".
+func DominatingSetOfSize(k int) Formula {
+	if k < 1 {
+		panic("logic: DominatingSetOfSize needs k >= 1")
+	}
+	vars := make([]string, k)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i)
+	}
+	var covers []string
+	for _, v := range vars {
+		covers = append(covers, fmt.Sprintf("y = %s | y ~ %s", v, v))
+	}
+	inner := "forall y. " + strings.Join(covers, " | ")
+	for i := k - 1; i >= 0; i-- {
+		inner = fmt.Sprintf("exists %s. %s", vars[i], inner)
+	}
+	return MustParse(inner)
+}

@@ -1,0 +1,393 @@
+package logic
+
+import (
+	"testing"
+
+	"repro/internal/graphgen"
+)
+
+func TestParsePrintRoundtrip(t *testing.T) {
+	inputs := []string{
+		"forall x. forall y. x = y | x ~ y | exists z. x ~ z & z ~ y",
+		"forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)",
+		"existsset S. forall x. x in S",
+		"exists x. forall y. x = y | x ~ y",
+		"label(x, 3) & x ~ y",
+		"x = y -> x ~ y",
+	}
+	for _, in := range inputs {
+		f, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		// Reparse the printed form; trees must match structurally.
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", in, f.String(), err)
+		}
+		if f.String() != g.String() {
+			t.Errorf("print/parse unstable:\n  %q\n  %q", f.String(), g.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"forall x",
+		"forall X. x = x",          // set name with forall
+		"existsset s. x in s",      // lowercase set var
+		"x in y",                   // lowercase after in
+		"X ~ y",                    // set var in adjacency
+		"x =",                      // missing rhs
+		"x ~ y extra",              // trailing garbage
+		"forall x. label(X, 1)",    // set var in label
+		"forall x. label(x, oops)", // non-integer label
+		"(x ~ y",                   // unbalanced paren
+		"x @ y",                    // unknown operator
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestQuantifierDepth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"x = y", 0},
+		{"forall x. x = x", 1},
+		{"forall x. forall y. x = y | x ~ y | exists z. x ~ z & z ~ y", 3},
+		{"existsset S. forall x. x in S", 2},
+		{"(forall x. x = x) & (exists y. exists z. y ~ z)", 2},
+	}
+	for _, c := range cases {
+		f := MustParse(c.in)
+		if got := QuantifierDepth(f); got != c.want {
+			t.Errorf("depth(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsFOAndIsSentence(t *testing.T) {
+	fo := MustParse("forall x. exists y. x ~ y")
+	mso := MustParse("existsset S. forall x. x in S")
+	if !IsFO(fo) || IsFO(mso) {
+		t.Error("IsFO misclassifies")
+	}
+	if !IsSentence(fo) {
+		t.Error("closed formula not a sentence")
+	}
+	if IsSentence(MustParse("x ~ y")) {
+		t.Error("open formula counted as sentence")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := MustParse("x ~ y & exists z. z ~ x & z in S")
+	vars, sets := FreeVars(f)
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("free vars = %v", vars)
+	}
+	if len(sets) != 1 || sets[0] != "S" {
+		t.Errorf("free sets = %v", sets)
+	}
+}
+
+func TestEvalDiameter2(t *testing.T) {
+	f := DiameterAtMost2()
+	for _, tc := range []struct {
+		name string
+		n    int
+		want bool
+	}{
+		{"star", 6, true},
+		{"clique", 5, true},
+	} {
+		var m Model
+		if tc.name == "star" {
+			m = NewModel(graphgen.Star(tc.n))
+		} else {
+			m = NewModel(graphgen.Clique(tc.n))
+		}
+		got, err := Eval(f, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: diameter<=2 = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	got, err := Eval(f, NewModel(graphgen.Path(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("P5 has diameter 4, formula says <= 2")
+	}
+}
+
+func TestEvalTriangleFree(t *testing.T) {
+	f := TriangleFree()
+	if ok, _ := Eval(f, NewModel(graphgen.Cycle(5))); !ok {
+		t.Error("C5 is triangle-free")
+	}
+	if ok, _ := Eval(f, NewModel(graphgen.Clique(3))); ok {
+		t.Error("K3 has a triangle")
+	}
+}
+
+func TestEvalTwoColorable(t *testing.T) {
+	f := TwoColorable()
+	if ok, err := Eval(f, NewModel(graphgen.Cycle(6))); err != nil || !ok {
+		t.Errorf("C6 bipartite: %v %v", ok, err)
+	}
+	if ok, err := Eval(f, NewModel(graphgen.Cycle(5))); err != nil || ok {
+		t.Errorf("C5 not bipartite: %v %v", ok, err)
+	}
+	if ok, err := Eval(f, NewModel(graphgen.Path(7))); err != nil || !ok {
+		t.Errorf("trees bipartite: %v %v", ok, err)
+	}
+}
+
+func TestEvalMSOSizeLimit(t *testing.T) {
+	f := TwoColorable()
+	if _, err := Eval(f, NewModel(graphgen.Path(40))); err == nil {
+		t.Fatal("MSO evaluation on 40 vertices should be refused")
+	}
+}
+
+func TestEvalRejectsOpenFormula(t *testing.T) {
+	if _, err := Eval(MustParse("x ~ y"), NewModel(graphgen.Path(3))); err == nil {
+		t.Fatal("open formula evaluated")
+	}
+}
+
+func TestEvalWithAssignment(t *testing.T) {
+	g := graphgen.Path(3)
+	m := NewModel(g)
+	ok, err := EvalWithAssignment(MustParse("x ~ y"), m, map[Var]int{"x": 0, "y": 1}, nil)
+	if err != nil || !ok {
+		t.Fatalf("adjacent pair: %v %v", ok, err)
+	}
+	ok, err = EvalWithAssignment(MustParse("x ~ y"), m, map[Var]int{"x": 0, "y": 2}, nil)
+	if err != nil || ok {
+		t.Fatalf("non-adjacent pair: %v %v", ok, err)
+	}
+	if _, err := EvalWithAssignment(MustParse("x ~ y"), m, map[Var]int{"x": 0}, nil); err == nil {
+		t.Fatal("missing binding accepted")
+	}
+}
+
+func TestEvalLabels(t *testing.T) {
+	g := graphgen.Path(3)
+	m := Model{G: g, Labels: []int{1, 2, 1}}
+	ok, err := Eval(MustParse("exists x. label(x, 2)"), m)
+	if err != nil || !ok {
+		t.Fatalf("label 2 present: %v %v", ok, err)
+	}
+	ok, err = Eval(MustParse("exists x. label(x, 9)"), m)
+	if err != nil || ok {
+		t.Fatalf("label 9 absent: %v %v", ok, err)
+	}
+}
+
+func TestNNF(t *testing.T) {
+	f := MustParse("!(forall x. x = x -> exists y. x ~ y)")
+	nf := NNF(f)
+	// NNF must contain no Implies and no Not above non-atoms.
+	var check func(Formula) bool
+	check = func(f Formula) bool {
+		switch t := f.(type) {
+		case Equal, Adj, In, HasLabel:
+			return true
+		case Not:
+			switch t.F.(type) {
+			case Equal, Adj, In, HasLabel:
+				return true
+			default:
+				return false
+			}
+		case And:
+			return check(t.L) && check(t.R)
+		case Or:
+			return check(t.L) && check(t.R)
+		case Implies:
+			return false
+		case ForAll:
+			return check(t.F)
+		case Exists:
+			return check(t.F)
+		case ForAllSet:
+			return check(t.F)
+		case ExistsSet:
+			return check(t.F)
+		}
+		return false
+	}
+	if !check(nf) {
+		t.Fatalf("not in NNF: %s", nf)
+	}
+}
+
+func TestNNFPreservesSemantics(t *testing.T) {
+	formulas := []string{
+		"!(forall x. exists y. x ~ y)",
+		"!(x = x) | (forall y. y = y)",
+		"!(existsset S. forall x. x in S)",
+		"forall x. !(x ~ x) -> x = x",
+	}
+	graphs := []Model{
+		NewModel(graphgen.Path(4)),
+		NewModel(graphgen.Cycle(5)),
+		NewModel(graphgen.Star(4)),
+	}
+	for _, in := range formulas {
+		f := MustParse(in)
+		if !IsSentence(f) {
+			continue
+		}
+		for _, m := range graphs {
+			a, err1 := Eval(f, m)
+			b, err2 := Eval(NNF(f), m)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%q: %v %v", in, err1, err2)
+			}
+			if a != b {
+				t.Errorf("%q: NNF changed value on %v", in, m.G)
+			}
+		}
+	}
+}
+
+func TestPrenex(t *testing.T) {
+	f := MustParse("(forall x. x = x) & (exists y. y = y)")
+	prefix, matrix, err := Prenex(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefix) != 2 {
+		t.Fatalf("prefix = %v", prefix)
+	}
+	if !prefix[0].Universal || prefix[1].Universal {
+		t.Errorf("prefix quantifiers wrong: %v", prefix)
+	}
+	if QuantifierDepth(matrix) != 0 {
+		t.Error("matrix not quantifier-free")
+	}
+	if _, _, err := Prenex(TwoColorable()); err == nil {
+		t.Error("MSO prenex accepted")
+	}
+}
+
+func TestPrenexPreservesSemantics(t *testing.T) {
+	formulas := []Formula{
+		DiameterAtMost2(),
+		TriangleFree(),
+		HasDominatingVertex(),
+		MustParse("!(forall x. exists y. x ~ y & !(x = y))"),
+	}
+	graphs := []Model{
+		NewModel(graphgen.Path(5)),
+		NewModel(graphgen.Cycle(4)),
+		NewModel(graphgen.Clique(4)),
+		NewModel(graphgen.Star(5)),
+	}
+	for _, f := range formulas {
+		prefix, matrix, err := Prenex(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild the prenex sentence and compare valuations.
+		var pf Formula = matrix
+		for i := len(prefix) - 1; i >= 0; i-- {
+			if prefix[i].Universal {
+				pf = ForAll{V: prefix[i].V, F: pf}
+			} else {
+				pf = Exists{V: prefix[i].V, F: pf}
+			}
+		}
+		for _, m := range graphs {
+			a, err1 := Eval(f, m)
+			b, err2 := Eval(pf, m)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: %v %v", f, err1, err2)
+			}
+			if a != b {
+				t.Errorf("prenex changed value of %s on %v", f, m.G)
+			}
+		}
+	}
+}
+
+func TestIsExistentialFO(t *testing.T) {
+	ok, k := IsExistentialFO(HasEdge())
+	if !ok || k != 2 {
+		t.Errorf("HasEdge: (%v,%d)", ok, k)
+	}
+	ok, k = IsExistentialFO(IndependentSetOfSize(3))
+	if !ok || k != 3 {
+		t.Errorf("IndependentSet(3): (%v,%d)", ok, k)
+	}
+	if ok, _ := IsExistentialFO(DiameterAtMost2()); ok {
+		t.Error("diameter<=2 classified existential")
+	}
+	// Negated universal is existential after NNF.
+	ok, k = IsExistentialFO(MustParse("!(forall x. !(x ~ x))"))
+	if !ok || k != 1 {
+		t.Errorf("negated forall: (%v,%d)", ok, k)
+	}
+}
+
+func TestLibraryFormulasOnKnownGraphs(t *testing.T) {
+	type tc struct {
+		f    Formula
+		m    Model
+		want bool
+	}
+	cases := []tc{
+		{IsClique(), NewModel(graphgen.Clique(4)), true},
+		{IsClique(), NewModel(graphgen.Path(3)), false},
+		{HasDominatingVertex(), NewModel(graphgen.Star(5)), true},
+		{HasDominatingVertex(), NewModel(graphgen.Cycle(6)), false},
+		{HasAtMostOneVertex(), NewModel(graphgen.Path(1)), true},
+		{HasAtMostOneVertex(), NewModel(graphgen.Path(2)), false},
+		{ContainsPath(4), NewModel(graphgen.Path(5)), true},
+		{ContainsPath(6), NewModel(graphgen.Path(5)), false},
+		{ContainsPath(3), NewModel(graphgen.Star(5)), true},
+		{ContainsPath(4), NewModel(graphgen.Star(5)), false},
+		{MaxDegreeAtMost(2), NewModel(graphgen.Cycle(5)), true},
+		{MaxDegreeAtMost(2), NewModel(graphgen.Star(4)), false},
+		{IndependentSetOfSize(3), NewModel(graphgen.Star(5)), true},
+		{IndependentSetOfSize(2), NewModel(graphgen.Clique(3)), false},
+		{DominatingSetOfSize(1), NewModel(graphgen.Star(5)), true},
+		{DominatingSetOfSize(1), NewModel(graphgen.Path(4)), false},
+		{DominatingSetOfSize(2), NewModel(graphgen.Path(4)), true},
+		{HasIsolatedVertex(), NewModel(graphgen.Path(1)), true},
+		{HasIsolatedVertex(), NewModel(graphgen.Path(3)), false},
+	}
+	for i, c := range cases {
+		got, err := Eval(c.f, c.m)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Errorf("case %d (%s on %v): got %v, want %v", i, c.f, c.m.G, got, c.want)
+		}
+	}
+}
+
+func TestEliminateImpliesPreservesEval(t *testing.T) {
+	f := MustParse("forall x. forall y. x ~ y -> !(x = y)")
+	g := EliminateImplies(f)
+	for _, m := range []Model{NewModel(graphgen.Path(4)), NewModel(graphgen.Clique(3))} {
+		a, _ := Eval(f, m)
+		b, _ := Eval(g, m)
+		if a != b {
+			t.Errorf("EliminateImplies changed semantics on %v", m.G)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual formula syntax used across the module:
+//
+//	formula  := quant | impl
+//	quant    := ("forall" | "exists") var "." formula
+//	          | ("forallset" | "existsset") setvar "." formula
+//	impl     := or ("->" impl)?
+//	or       := and ("|" and)*
+//	and      := not ("&" not)*
+//	not      := "!" not | atom
+//	atom     := "(" formula ")" | var "=" var | var "~" var
+//	          | var "in" setvar | "label" "(" var "," int ")"
+//
+// Variable names are identifiers; by convention set variables start with
+// an upper-case letter and vertex variables with a lower-case letter, and
+// the parser enforces the convention so that mistakes surface early.
+//
+// Examples:
+//
+//	diameter <= 2:  forall x. forall y. x = y | x ~ y | exists z. x ~ z & z ~ y
+//	triangle-free:  forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)
+//	2-colorable:    existsset S. forall x. forall y. x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))
+func Parse(input string) (Formula, error) {
+	p := &parser{tokens: tokenize(input)}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("logic: unexpected trailing input %q", p.peek())
+	}
+	return f, nil
+}
+
+// MustParse is Parse for statically known formulas (library definitions,
+// tests); it panics on error.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	tokens []string
+	pos    int
+}
+
+func (p *parser) atEnd() bool { return p.pos >= len(p.tokens) }
+
+func (p *parser) peek() string {
+	if p.atEnd() {
+		return ""
+	}
+	return p.tokens[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if p.peek() != tok {
+		return fmt.Errorf("logic: expected %q, found %q", tok, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parseFormula() (Formula, error) {
+	switch p.peek() {
+	case "forall", "exists", "forallset", "existsset":
+		kw := p.next()
+		name := p.next()
+		if name == "" {
+			return nil, fmt.Errorf("logic: %s needs a variable", kw)
+		}
+		if !isIdent(name) {
+			return nil, fmt.Errorf("logic: invalid variable name %q", name)
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		body, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "forall":
+			if isUpper(name) {
+				return nil, fmt.Errorf("logic: vertex variable %q must start lower-case (use forallset for sets)", name)
+			}
+			return ForAll{V: Var(name), F: body}, nil
+		case "exists":
+			if isUpper(name) {
+				return nil, fmt.Errorf("logic: vertex variable %q must start lower-case (use existsset for sets)", name)
+			}
+			return Exists{V: Var(name), F: body}, nil
+		case "forallset":
+			if !isUpper(name) {
+				return nil, fmt.Errorf("logic: set variable %q must start upper-case", name)
+			}
+			return ForAllSet{S: SetVar(name), F: body}, nil
+		default:
+			if !isUpper(name) {
+				return nil, fmt.Errorf("logic: set variable %q must start upper-case", name)
+			}
+			return ExistsSet{S: SetVar(name), F: body}, nil
+		}
+	}
+	return p.parseImpl()
+}
+
+func (p *parser) parseImpl() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "->" {
+		p.next()
+		r, err := p.parseImplOrQuant()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+// parseImplOrQuant lets a quantifier appear directly after a connective,
+// e.g. "x ~ y -> exists z. ...".
+func (p *parser) parseImplOrQuant() (Formula, error) {
+	switch p.peek() {
+	case "forall", "exists", "forallset", "existsset":
+		return p.parseFormula()
+	}
+	return p.parseImpl()
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.next()
+		var r Formula
+		switch p.peek() {
+		case "forall", "exists", "forallset", "existsset":
+			r, err = p.parseFormula()
+			if err != nil {
+				return nil, err
+			}
+			return Or{L: l, R: r}, nil
+		default:
+			r, err = p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&" {
+		p.next()
+		var r Formula
+		switch p.peek() {
+		case "forall", "exists", "forallset", "existsset":
+			r, err = p.parseFormula()
+			if err != nil {
+				return nil, err
+			}
+			return And{L: l, R: r}, nil
+		default:
+			r, err = p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Formula, error) {
+	if p.peek() == "!" {
+		p.next()
+		f, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Formula, error) {
+	switch tok := p.peek(); {
+	case tok == "(":
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tok == "label":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		v := p.next()
+		if !isIdent(v) || isUpper(v) {
+			return nil, fmt.Errorf("logic: label needs a vertex variable, found %q", v)
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		lab, err := strconv.Atoi(p.next())
+		if err != nil {
+			return nil, fmt.Errorf("logic: label value: %w", err)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return HasLabel{X: Var(v), Label: lab}, nil
+	case isIdent(tok):
+		x := p.next()
+		switch op := p.next(); op {
+		case "=":
+			y := p.next()
+			if !isIdent(y) {
+				return nil, fmt.Errorf("logic: expected variable after '=', found %q", y)
+			}
+			if isUpper(x) || isUpper(y) {
+				return nil, fmt.Errorf("logic: '=' compares vertex variables, found %q = %q", x, y)
+			}
+			return Equal{X: Var(x), Y: Var(y)}, nil
+		case "~":
+			y := p.next()
+			if !isIdent(y) {
+				return nil, fmt.Errorf("logic: expected variable after '~', found %q", y)
+			}
+			if isUpper(x) || isUpper(y) {
+				return nil, fmt.Errorf("logic: '~' relates vertex variables, found %q ~ %q", x, y)
+			}
+			return Adj{X: Var(x), Y: Var(y)}, nil
+		case "in":
+			s := p.next()
+			if !isIdent(s) || !isUpper(s) {
+				return nil, fmt.Errorf("logic: expected set variable after 'in', found %q", s)
+			}
+			if isUpper(x) {
+				return nil, fmt.Errorf("logic: 'in' needs a vertex variable on the left, found %q", x)
+			}
+			return In{X: Var(x), S: SetVar(s)}, nil
+		default:
+			return nil, fmt.Errorf("logic: expected '=', '~' or 'in' after %q, found %q", x, op)
+		}
+	default:
+		return nil, fmt.Errorf("logic: unexpected token %q", tok)
+	}
+}
+
+func tokenize(input string) []string {
+	var toks []string
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case strings.HasPrefix(input[i:], "->"):
+			toks = append(toks, "->")
+			i += 2
+		case strings.ContainsRune("()=~!&|.,", c):
+			toks = append(toks, string(c))
+			i++
+		case unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_':
+			j := i
+			for j < len(input) && (isWordByte(input[j])) {
+				j++
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		default:
+			// Emit the offending byte as its own token; the parser reports it.
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	return toks
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	switch s {
+	case "forall", "exists", "forallset", "existsset", "in", "label":
+		return false
+	}
+	for i, c := range s {
+		if i == 0 && !unicode.IsLetter(c) {
+			return false
+		}
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func isUpper(s string) bool {
+	for _, c := range s {
+		return unicode.IsUpper(c)
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package logic
+
+import (
+	"fmt"
+)
+
+// EliminateImplies rewrites a -> b into !a | b everywhere.
+func EliminateImplies(f Formula) Formula {
+	switch t := f.(type) {
+	case Equal, Adj, In, HasLabel:
+		return f
+	case Not:
+		return Not{F: EliminateImplies(t.F)}
+	case And:
+		return And{L: EliminateImplies(t.L), R: EliminateImplies(t.R)}
+	case Or:
+		return Or{L: EliminateImplies(t.L), R: EliminateImplies(t.R)}
+	case Implies:
+		return Or{L: Not{F: EliminateImplies(t.L)}, R: EliminateImplies(t.R)}
+	case ForAll:
+		return ForAll{V: t.V, F: EliminateImplies(t.F)}
+	case Exists:
+		return Exists{V: t.V, F: EliminateImplies(t.F)}
+	case ForAllSet:
+		return ForAllSet{S: t.S, F: EliminateImplies(t.F)}
+	case ExistsSet:
+		return ExistsSet{S: t.S, F: EliminateImplies(t.F)}
+	default:
+		panic(fmt.Sprintf("logic: unknown formula type %T", f))
+	}
+}
+
+// NNF converts a formula to negation normal form: negations apply only to
+// atoms. Implications are eliminated on the way.
+func NNF(f Formula) Formula {
+	return nnf(EliminateImplies(f), false)
+}
+
+func nnf(f Formula, negate bool) Formula {
+	switch t := f.(type) {
+	case Equal, Adj, In, HasLabel:
+		if negate {
+			return Not{F: f}
+		}
+		return f
+	case Not:
+		return nnf(t.F, !negate)
+	case And:
+		if negate {
+			return Or{L: nnf(t.L, true), R: nnf(t.R, true)}
+		}
+		return And{L: nnf(t.L, false), R: nnf(t.R, false)}
+	case Or:
+		if negate {
+			return And{L: nnf(t.L, true), R: nnf(t.R, true)}
+		}
+		return Or{L: nnf(t.L, false), R: nnf(t.R, false)}
+	case ForAll:
+		if negate {
+			return Exists{V: t.V, F: nnf(t.F, true)}
+		}
+		return ForAll{V: t.V, F: nnf(t.F, false)}
+	case Exists:
+		if negate {
+			return ForAll{V: t.V, F: nnf(t.F, true)}
+		}
+		return Exists{V: t.V, F: nnf(t.F, false)}
+	case ForAllSet:
+		if negate {
+			return ExistsSet{S: t.S, F: nnf(t.F, true)}
+		}
+		return ForAllSet{S: t.S, F: nnf(t.F, false)}
+	case ExistsSet:
+		if negate {
+			return ForAllSet{S: t.S, F: nnf(t.F, true)}
+		}
+		return ExistsSet{S: t.S, F: nnf(t.F, false)}
+	default:
+		panic(fmt.Sprintf("logic: unknown formula type %T", f))
+	}
+}
+
+// Quantifier is one entry of a prenex prefix.
+type Quantifier struct {
+	Universal bool
+	V         Var
+}
+
+// Prenex converts an FO sentence into prenex normal form: a quantifier
+// prefix and a quantifier-free matrix. Bound variables are renamed apart
+// first, so extraction is sound. It returns an error on MSO input.
+func Prenex(f Formula) ([]Quantifier, Formula, error) {
+	if !IsFO(f) {
+		return nil, nil, fmt.Errorf("logic: prenex form implemented for FO only")
+	}
+	counter := 0
+	renamed := renameApart(NNF(f), map[Var]Var{}, &counter)
+	prefix, matrix := pullQuantifiers(renamed)
+	return prefix, matrix, nil
+}
+
+// IsExistentialFO reports whether the sentence's prenex normal form uses
+// only existential quantifiers (the fragment of Lemma 2.1 / A.2), and
+// returns the prefix length.
+func IsExistentialFO(f Formula) (bool, int) {
+	prefix, _, err := Prenex(f)
+	if err != nil {
+		return false, 0
+	}
+	for _, q := range prefix {
+		if q.Universal {
+			return false, 0
+		}
+	}
+	return true, len(prefix)
+}
+
+func renameApart(f Formula, sub map[Var]Var, counter *int) Formula {
+	switch t := f.(type) {
+	case Equal:
+		return Equal{X: subst(sub, t.X), Y: subst(sub, t.Y)}
+	case Adj:
+		return Adj{X: subst(sub, t.X), Y: subst(sub, t.Y)}
+	case HasLabel:
+		return HasLabel{X: subst(sub, t.X), Label: t.Label}
+	case In:
+		return In{X: subst(sub, t.X), S: t.S}
+	case Not:
+		return Not{F: renameApart(t.F, sub, counter)}
+	case And:
+		return And{L: renameApart(t.L, sub, counter), R: renameApart(t.R, sub, counter)}
+	case Or:
+		return Or{L: renameApart(t.L, sub, counter), R: renameApart(t.R, sub, counter)}
+	case ForAll:
+		*counter++
+		fresh := Var(fmt.Sprintf("v%d", *counter))
+		sub2 := copyVarMap(sub)
+		sub2[t.V] = fresh
+		return ForAll{V: fresh, F: renameApart(t.F, sub2, counter)}
+	case Exists:
+		*counter++
+		fresh := Var(fmt.Sprintf("v%d", *counter))
+		sub2 := copyVarMap(sub)
+		sub2[t.V] = fresh
+		return Exists{V: fresh, F: renameApart(t.F, sub2, counter)}
+	default:
+		panic(fmt.Sprintf("logic: renameApart on unexpected node %T (NNF FO expected)", f))
+	}
+}
+
+func subst(sub map[Var]Var, v Var) Var {
+	if w, ok := sub[v]; ok {
+		return w
+	}
+	return v
+}
+
+func copyVarMap(m map[Var]Var) map[Var]Var {
+	out := make(map[Var]Var, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// pullQuantifiers extracts quantifiers left-to-right from an NNF formula
+// with distinct bound variables.
+func pullQuantifiers(f Formula) ([]Quantifier, Formula) {
+	switch t := f.(type) {
+	case ForAll:
+		prefix, matrix := pullQuantifiers(t.F)
+		return append([]Quantifier{{Universal: true, V: t.V}}, prefix...), matrix
+	case Exists:
+		prefix, matrix := pullQuantifiers(t.F)
+		return append([]Quantifier{{Universal: false, V: t.V}}, prefix...), matrix
+	case And:
+		pl, ml := pullQuantifiers(t.L)
+		pr, mr := pullQuantifiers(t.R)
+		return append(pl, pr...), And{L: ml, R: mr}
+	case Or:
+		pl, ml := pullQuantifiers(t.L)
+		pr, mr := pullQuantifiers(t.R)
+		return append(pl, pr...), Or{L: ml, R: mr}
+	default:
+		return nil, f
+	}
+}

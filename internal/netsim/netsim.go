@@ -1,0 +1,147 @@
+// Package netsim runs a local certification the way a real network would:
+// one goroutine per vertex, one message exchange round over per-edge
+// channels (each node sends its identifier and certificate to every
+// neighbour), then each node runs the local verification algorithm on the
+// view it assembled. The simulator must produce exactly the verdict of the
+// sequential referee in package cert — an invariant covered by tests.
+//
+// This is the "self-stabilization" deployment story of the paper: the
+// verification round is what a network would run periodically to detect
+// corrupted global state with one round of communication.
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+)
+
+// message is what travels over an edge during the exchange round: the
+// sender's identifier and certificate. Nothing else may cross the wire —
+// in particular no adjacency information, matching the paper's model.
+type message struct {
+	id   graph.ID
+	cert cert.Certificate
+}
+
+// Report is the outcome of a distributed verification round.
+type Report struct {
+	Accepted  bool
+	Rejecters []int // vertex indices that rejected, sorted
+	Rounds    int   // communication rounds used (always 1 in this model)
+}
+
+// Run executes one distributed verification round of scheme s on graph g
+// under the certificate assignment a. It spawns one goroutine per vertex,
+// wires a buffered channel per directed edge, performs the single
+// certificate-exchange round, and aggregates the per-vertex verdicts.
+//
+// The context allows cancelling a run; since every channel is buffered
+// with capacity 1 the simulation cannot deadlock, but a cancelled context
+// still aborts promptly with an error.
+func Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.Assignment) (Report, error) {
+	n := g.N()
+	if len(a) != n {
+		return Report{}, fmt.Errorf("netsim: assignment has %d certificates for %d vertices", len(a), n)
+	}
+
+	// inbox[v][i] receives the message from the i-th neighbour of v.
+	inbox := make([][]chan message, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]chan message, g.Degree(v))
+		for i := range inbox[v] {
+			inbox[v][i] = make(chan message, 1)
+		}
+	}
+	// channelTo[v][w] is the index of w in v's inbox, i.e. the channel on
+	// which w must send to v.
+	channelTo := make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		channelTo[v] = make(map[int]int, g.Degree(v))
+		for i, w := range g.Neighbors(v) {
+			channelTo[v][w] = i
+		}
+	}
+
+	type verdict struct {
+		vertex int
+		accept bool
+	}
+	verdicts := make(chan verdict, n)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			// Round 1: send own (id, certificate) to every neighbour.
+			for _, w := range g.Neighbors(v) {
+				select {
+				case inbox[w][channelTo[w][v]] <- message{id: g.IDOf(v), cert: a[v]}:
+				case <-ctx.Done():
+					return
+				}
+			}
+			// Receive from every neighbour and assemble the radius-1 view.
+			view := cert.View{ID: g.IDOf(v), Cert: a[v]}
+			view.Neighbors = make([]cert.NeighborView, 0, g.Degree(v))
+			for i := range inbox[v] {
+				select {
+				case m := <-inbox[v][i]:
+					view.Neighbors = append(view.Neighbors, cert.NeighborView{ID: m.id, Cert: m.cert})
+				case <-ctx.Done():
+					return
+				}
+			}
+			sort.Slice(view.Neighbors, func(i, j int) bool {
+				return view.Neighbors[i].ID < view.Neighbors[j].ID
+			})
+			select {
+			case verdicts <- verdict{vertex: v, accept: s.Verify(view)}:
+			case <-ctx.Done():
+			}
+		}(v)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Channels are buffered, so the workers blocked on ctx will unwind;
+		// wait for them so no goroutine leaks past this call.
+		wg.Wait()
+		return Report{}, fmt.Errorf("netsim: %w", ctx.Err())
+	}
+	close(verdicts)
+
+	rep := Report{Accepted: true, Rounds: 1}
+	for vd := range verdicts {
+		if !vd.accept {
+			rep.Accepted = false
+			rep.Rejecters = append(rep.Rejecters, vd.vertex)
+		}
+	}
+	sort.Ints(rep.Rejecters)
+	return rep, nil
+}
+
+// ProveAndRun is the distributed counterpart of cert.ProveAndVerify.
+func ProveAndRun(ctx context.Context, g *graph.Graph, s cert.Scheme) (cert.Assignment, Report, error) {
+	a, err := s.Prove(g)
+	if err != nil {
+		return nil, Report{}, fmt.Errorf("netsim: %s: prove: %w", s.Name(), err)
+	}
+	rep, err := Run(ctx, g, s, a)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return a, rep, nil
+}

@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+)
+
+// degreeAtMost mirrors the toy scheme from package cert's tests.
+type degreeAtMost struct{ D int }
+
+func (s degreeAtMost) Name() string                       { return "degree-at-most" }
+func (s degreeAtMost) Holds(g *graph.Graph) (bool, error) { return g.MaxDegree() <= s.D, nil }
+func (s degreeAtMost) Prove(g *graph.Graph) (cert.Assignment, error) {
+	return make(cert.Assignment, g.N()), nil
+}
+func (s degreeAtMost) Verify(v cert.View) bool { return v.Degree() <= s.D }
+
+var _ cert.Scheme = degreeAtMost{}
+
+func TestRunMatchesSequentialOnAcceptingInstance(t *testing.T) {
+	g := graphgen.Cycle(8)
+	s := degreeAtMost{D: 2}
+	a := make(cert.Assignment, g.N())
+	rep, err := Run(context.Background(), g, s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || rep.Rounds != 1 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestRunMatchesSequentialOnRejectingInstance(t *testing.T) {
+	g := graphgen.Star(7)
+	s := degreeAtMost{D: 2}
+	a := make(cert.Assignment, g.N())
+	rep, err := Run(context.Background(), g, s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := cert.RunSequential(g, s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != seq.Accepted {
+		t.Fatalf("distributed %v vs sequential %v", rep.Accepted, seq.Accepted)
+	}
+	if len(rep.Rejecters) != len(seq.Rejecters) {
+		t.Fatalf("rejecters: %v vs %v", rep.Rejecters, seq.Rejecters)
+	}
+	for i := range rep.Rejecters {
+		if rep.Rejecters[i] != seq.Rejecters[i] {
+			t.Fatalf("rejecters: %v vs %v", rep.Rejecters, seq.Rejecters)
+		}
+	}
+}
+
+func TestRunAgreesWithSequentialQuick(t *testing.T) {
+	// Property: on random graphs with random certificates, the distributed
+	// simulator and the sequential referee give identical verdicts.
+	s := degreeAtMost{D: 3}
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graphgen.RandomConnected(n, n/2, rng)
+		a := cert.RandomAssignment(n, 8, rng)
+		rep, err := Run(context.Background(), g, s, a)
+		if err != nil {
+			return false
+		}
+		seq, err := cert.RunSequential(g, s, a)
+		if err != nil {
+			return false
+		}
+		if rep.Accepted != seq.Accepted || len(rep.Rejecters) != len(seq.Rejecters) {
+			return false
+		}
+		for i := range rep.Rejecters {
+			if rep.Rejecters[i] != seq.Rejecters[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSizeMismatch(t *testing.T) {
+	g := graphgen.Path(3)
+	if _, err := Run(context.Background(), g, degreeAtMost{D: 5}, make(cert.Assignment, 1)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graphgen.Path(50)
+	_, err := Run(ctx, g, degreeAtMost{D: 5}, make(cert.Assignment, 50))
+	// A pre-cancelled context may still allow the tiny run to finish (all
+	// channels are buffered); both outcomes are acceptable, but an error
+	// must wrap context.Canceled if reported.
+	if err != nil && ctx.Err() == nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestProveAndRun(t *testing.T) {
+	g := graphgen.Cycle(10)
+	a, rep, err := ProveAndRun(context.Background(), g, degreeAtMost{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || len(a) != g.N() {
+		t.Fatalf("rep=%+v len(a)=%d", rep, len(a))
+	}
+}
+
+func BenchmarkDistributedVsSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graphgen.RandomConnected(200, 100, rng)
+	s := degreeAtMost{D: 1000}
+	a := make(cert.Assignment, g.N())
+	b.Run("distributed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(context.Background(), g, s, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cert.RunSequential(g, s, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package rooted
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+)
+
+func mustTree(t *testing.T, parent []int) *Tree {
+	t.Helper()
+	tr, err := FromParents(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFromParentsValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		parent []int
+	}{
+		{"empty", nil},
+		{"no root", []int{0, 0}},
+		{"two roots", []int{-1, -1}},
+		{"out of range", []int{-1, 7}},
+		{"cycle", []int{-1, 2, 1}},
+	}
+	for _, c := range cases {
+		if _, err := FromParents(c.parent); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	// Root 0 with children 1,2; 2 has child 3.
+	tr := mustTree(t, []int{-1, 0, 0, 2})
+	if tr.N() != 4 || tr.Root() != 0 {
+		t.Fatalf("n=%d root=%d", tr.N(), tr.Root())
+	}
+	if tr.Parent(3) != 2 || tr.Parent(0) != -1 {
+		t.Error("parent pointers wrong")
+	}
+	if len(tr.Children(0)) != 2 || len(tr.Children(3)) != 0 {
+		t.Error("children lists wrong")
+	}
+	d := tr.Depths()
+	if d[0] != 0 || d[1] != 1 || d[3] != 2 {
+		t.Errorf("depths = %v", d)
+	}
+	if tr.Height() != 2 {
+		t.Errorf("height = %d", tr.Height())
+	}
+}
+
+func TestTraversalOrders(t *testing.T) {
+	tr := mustTree(t, []int{-1, 0, 0, 2})
+	pre := tr.PreOrder()
+	if pre[0] != 0 {
+		t.Errorf("preorder starts with %d", pre[0])
+	}
+	pos := map[int]int{}
+	for i, v := range pre {
+		pos[v] = i
+	}
+	for v := 1; v < tr.N(); v++ {
+		if pos[tr.Parent(v)] > pos[v] {
+			t.Errorf("preorder: parent of %d after it", v)
+		}
+	}
+	post := tr.PostOrder()
+	pos = map[int]int{}
+	for i, v := range post {
+		pos[v] = i
+	}
+	for v := 1; v < tr.N(); v++ {
+		if pos[tr.Parent(v)] < pos[v] {
+			t.Errorf("postorder: parent of %d before it", v)
+		}
+	}
+}
+
+func TestSubtreeSizesAndVertices(t *testing.T) {
+	tr := mustTree(t, []int{-1, 0, 0, 2, 2})
+	sizes := tr.SubtreeSizes()
+	if sizes[0] != 5 || sizes[2] != 3 || sizes[1] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	sub := tr.SubtreeVertices(2)
+	want := []int{2, 3, 4}
+	if len(sub) != len(want) {
+		t.Fatalf("subtree(2) = %v", sub)
+	}
+	for i := range want {
+		if sub[i] != want[i] {
+			t.Fatalf("subtree(2) = %v, want %v", sub, want)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tr := mustTree(t, []int{-1, 0, 1, 2})
+	anc := tr.Ancestors(3)
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("ancestors(3) = %v", anc)
+		}
+	}
+	if !tr.IsAncestor(1, 3) || tr.IsAncestor(3, 1) || !tr.IsAncestor(2, 2) {
+		t.Error("IsAncestor wrong")
+	}
+}
+
+func TestFromGraphRoundtrip(t *testing.T) {
+	g := graphgen.Path(5)
+	tr, err := FromGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != 2 || tr.Height() != 2 {
+		t.Errorf("root=%d height=%d", tr.Root(), tr.Height())
+	}
+	back := tr.ToGraph()
+	if back.M() != g.M() {
+		t.Errorf("roundtrip m = %d", back.M())
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Errorf("lost edge %v", e)
+		}
+	}
+}
+
+func TestFromGraphRejectsNonTree(t *testing.T) {
+	if _, err := FromGraph(graphgen.Cycle(4), 0); err == nil {
+		t.Fatal("cycle accepted as tree")
+	}
+}
+
+func TestAHUCodesDistinguishShapes(t *testing.T) {
+	// A path of 3 rooted at end vs rooted at middle.
+	end := mustTree(t, []int{-1, 0, 1})
+	mid := mustTree(t, []int{-1, 0, 0})
+	if end.CanonicalCode() == mid.CanonicalCode() {
+		t.Error("different rooted shapes share a code")
+	}
+	// Child order must not matter.
+	a := mustTree(t, []int{-1, 0, 0, 1}) // children of 0: {1,2}, 1 has child
+	b := mustTree(t, []int{-1, 0, 0, 2}) // children of 0: {1,2}, 2 has child
+	if a.CanonicalCode() != b.CanonicalCode() {
+		t.Error("isomorphic rooted trees got different codes")
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	a := mustTree(t, []int{-1, 0, 0, 1, 1})
+	b := mustTree(t, []int{-1, 0, 0, 2, 2})
+	if !Isomorphic(a, b) {
+		t.Error("isomorphic trees not recognized")
+	}
+	c := mustTree(t, []int{-1, 0, 1, 2, 3})
+	if Isomorphic(a, c) {
+		t.Error("path confused with double-leaf tree")
+	}
+}
+
+func TestCenters(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		want []int
+	}{
+		{"P1", 1, []int{0}},
+		{"P2", 2, []int{0, 1}},
+		{"P5", 5, []int{2}},
+		{"P6", 6, []int{2, 3}},
+	}
+	for _, c := range cases {
+		got, err := Centers(graphgen.Path(c.n))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: centers = %v, want %v", c.name, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: centers = %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+	if _, err := Centers(graphgen.Cycle(4)); err == nil {
+		t.Error("centers of a cycle accepted")
+	}
+}
+
+func TestUnrootedIsomorphic(t *testing.T) {
+	// The same star built with different labellings.
+	a := graphgen.Star(5)
+	b := graphgen.Star(5)
+	ok, err := UnrootedIsomorphic(a, b)
+	if err != nil || !ok {
+		t.Fatalf("stars not isomorphic: %v %v", ok, err)
+	}
+	ok, err = UnrootedIsomorphic(graphgen.Path(5), graphgen.Star(5))
+	if err != nil || ok {
+		t.Fatalf("path ~ star: %v %v", ok, err)
+	}
+}
+
+func TestUnrootedIsomorphismQuickRelabelled(t *testing.T) {
+	// Property: relabelling a random tree preserves unrooted isomorphism.
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graphgen.RandomTree(n, rng)
+		// Random permutation relabelling.
+		perm := rng.Perm(n)
+		h := graph.New(n)
+		for _, e := range g.Edges() {
+			h.MustAddEdge(perm[e[0]], perm[e[1]])
+		}
+		ok, err := UnrootedIsomorphic(g, h)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+package spanning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+)
+
+func TestLabelEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(root, parent uint32, dist, count uint16) bool {
+		l := Label{
+			Root:   graph.ID(root)%1000 + 1,
+			Parent: graph.ID(parent)%1000 + 1,
+			Dist:   uint64(dist),
+			Count:  uint64(count),
+		}
+		var w bitio.Writer
+		l.Encode(&w)
+		got, err := Decode(bitio.NewReader(w.Bits()))
+		return err == nil && got == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelSizeIsLogarithmic(t *testing.T) {
+	// A label for a graph with n vertices and IDs <= n must use O(log n) bits.
+	for _, n := range []int{10, 100, 1000, 100000} {
+		l := Label{Root: 1, Parent: graph.ID(n), Dist: uint64(n - 1), Count: uint64(n)}
+		var w bitio.Writer
+		l.Encode(&w)
+		bound := 8*int(math.Log2(float64(n))) + 32
+		if w.Len() > bound {
+			t.Errorf("n=%d: label is %d bits, exceeds O(log n) bound %d", n, w.Len(), bound)
+		}
+	}
+}
+
+func TestBuildBFS(t *testing.T) {
+	g := graphgen.Cycle(6)
+	parent, dist, err := BuildBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[0] != -1 || dist[0] != 0 {
+		t.Errorf("root: parent=%d dist=%d", parent[0], dist[0])
+	}
+	for v := 1; v < 6; v++ {
+		if dist[v] != dist[parent[v]]+1 {
+			t.Errorf("vertex %d: dist %d, parent dist %d", v, dist[v], dist[parent[v]])
+		}
+	}
+}
+
+func TestBuildBFSDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	if _, _, err := BuildBFS(g, 0); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+	if _, _, err := BuildBFS(g, 9); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+func TestSubtreeCounts(t *testing.T) {
+	//     0
+	//    / \
+	//   1   2
+	//      / \
+	//     3   4
+	parent := []int{-1, 0, 0, 2, 2}
+	counts := SubtreeCounts(parent)
+	want := []int{5, 1, 3, 1, 1}
+	for v := range want {
+		if counts[v] != want[v] {
+			t.Errorf("counts[%d] = %d, want %d", v, counts[v], want[v])
+		}
+	}
+}
+
+func TestTreeSchemeCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := []*graph.Graph{
+		graphgen.Path(1),
+		graphgen.Path(2),
+		graphgen.Path(10),
+		graphgen.Cycle(9),
+		graphgen.Clique(6),
+		graphgen.Star(8),
+		graphgen.RandomConnected(40, 30, rng),
+		graphgen.Grid(4, 5),
+	}
+	for _, g := range graphs {
+		a, res, err := cert.ProveAndVerify(g, Tree{})
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !res.Accepted {
+			t.Fatalf("%v rejected at %v", g, res.Rejecters)
+		}
+		// O(log n): generous constant bound.
+		if bound := 8*int(math.Log2(float64(g.N()))) + 40; a.MaxBits() > bound {
+			t.Errorf("n=%d: %d bits > bound %d", g.N(), a.MaxBits(), bound)
+		}
+	}
+}
+
+func TestTreeSchemeDetectsForgedRoot(t *testing.T) {
+	// An assignment claiming a root identifier that no vertex has must be
+	// rejected: the minimum-distance vertex cannot find a parent.
+	g := graphgen.Path(5)
+	a, err := Tree{}.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite every label to point at a phantom root with ID 99.
+	for v := 0; v < g.N(); v++ {
+		l, err := Decode(bitio.NewReader(a[v]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Root = 99
+		l.Dist++ // nobody is at distance 0
+		var w bitio.Writer
+		l.Encode(&w)
+		a[v] = w.Clone()
+	}
+	res, err := cert.RunSequential(g, Tree{}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("phantom root accepted")
+	}
+}
+
+func TestTreeSchemeDetectsDistanceCycle(t *testing.T) {
+	// Equal distances around a cycle would fake a tree if distances were
+	// not checked to strictly decrease: every vertex claims dist 1 except
+	// none at 0.
+	g := graphgen.Cycle(4)
+	a := make(cert.Assignment, 4)
+	for v := 0; v < 4; v++ {
+		l := Label{Root: 17, Parent: g.IDOf((v + 1) % 4), Dist: 1, Count: 4}
+		var w bitio.Writer
+		l.Encode(&w)
+		a[v] = w.Clone()
+	}
+	res, err := cert.RunSequential(g, Tree{}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("cyclic parent pointers accepted")
+	}
+}
+
+func TestTreeSchemeGarbageCertificates(t *testing.T) {
+	g := graphgen.Path(4)
+	rng := rand.New(rand.NewSource(3))
+	rejectedSomething := false
+	for i := 0; i < 30; i++ {
+		a := cert.RandomAssignment(4, 20, rng)
+		res, err := cert.RunSequential(g, Tree{}, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			rejectedSomething = true
+		}
+	}
+	if !rejectedSomething {
+		t.Fatal("no random assignment was ever rejected — verifier vacuous?")
+	}
+}
+
+func TestVertexCountScheme(t *testing.T) {
+	g := graphgen.Grid(3, 4) // 12 vertices
+	// Correct count: accepted.
+	_, res, err := cert.ProveAndVerify(g, VertexCount{N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("correct count rejected at %v", res.Rejecters)
+	}
+	// Prove must refuse a wrong count.
+	if _, err := (VertexCount{N: 11}).Prove(g); err == nil {
+		t.Fatal("prover certified a wrong count")
+	}
+	// Soundness: an honest 12-count assignment must not convince the
+	// 11-count verifier.
+	a, err := (VertexCount{N: 12}).Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = cert.RunSequential(g, VertexCount{N: 11}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("12-vertex certificate accepted by 11-count verifier")
+	}
+}
+
+func TestVertexCountSoundnessProbe(t *testing.T) {
+	g := graphgen.Cycle(8)
+	s := VertexCount{N: 9} // no-instance: the cycle has 8 vertices
+	rng := rand.New(rand.NewSource(11))
+	honest, err := (VertexCount{N: 8}).Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cert.ProbeSoundness(g, s, []cert.Assignment{honest}, honest.MaxBits(), 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breaches != 0 {
+		t.Fatalf("%d soundness breaches", rep.Breaches)
+	}
+}
+
+func TestCheckStructureRejectsForeignRoot(t *testing.T) {
+	own := Label{Root: 5, Parent: 5, Dist: 0, Count: 2}
+	nb := []NeighborLabel{{ID: 2, Label: Label{Root: 7, Parent: 5, Dist: 1, Count: 1}}}
+	if CheckStructure(5, own, nb) {
+		t.Fatal("neighbour with different root accepted")
+	}
+}
+
+func TestCheckCountsRejectsWrongSum(t *testing.T) {
+	own := Label{Root: 1, Parent: 1, Dist: 0, Count: 5}
+	nb := []NeighborLabel{
+		{ID: 2, Label: Label{Root: 1, Parent: 1, Dist: 1, Count: 1}},
+		{ID: 3, Label: Label{Root: 1, Parent: 1, Dist: 1, Count: 2}},
+	}
+	// 1 + 1 + 2 = 4 != 5.
+	if CheckCounts(1, own, nb) {
+		t.Fatal("wrong subtree sum accepted")
+	}
+	own.Count = 4
+	if !CheckCounts(1, own, nb) {
+		t.Fatal("correct subtree sum rejected")
+	}
+}
+
+func TestProveRejectsDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := (Tree{}).Prove(g); err == nil {
+		t.Fatal("disconnected graph proved")
+	}
+}

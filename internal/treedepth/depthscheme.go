@@ -1,0 +1,96 @@
+package treedepth
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/rooted"
+)
+
+// RootedDepthScheme certifies, under the promise that the input graph is
+// a tree, that the tree has depth at most K from some root — the contrast
+// result the paper mentions after Theorem 2.5: unlike treedepth, tree
+// depth needs only O(log K) bits (a distance-to-root counter), with no
+// dependence on n.
+type RootedDepthScheme struct{ K int }
+
+var _ cert.Scheme = RootedDepthScheme{}
+
+// Name implements cert.Scheme.
+func (s RootedDepthScheme) Name() string { return fmt.Sprintf("tree-depth<=%d", s.K) }
+
+// Holds implements cert.Scheme: some vertex has eccentricity at most K —
+// equivalently the tree's radius is at most K.
+func (s RootedDepthScheme) Holds(g *graph.Graph) (bool, error) {
+	if !g.IsTree() {
+		return false, fmt.Errorf("treedepth: %s: input is not a tree (promise violated)", s.Name())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Eccentricity(v) <= s.K {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Prove implements cert.Scheme: root at a center and store exact
+// distances, each at most K, on ceil(log2(K+1)) bits via uvarint.
+func (s RootedDepthScheme) Prove(g *graph.Graph) (cert.Assignment, error) {
+	holds, err := s.Holds(g)
+	if err != nil {
+		return nil, err
+	}
+	if !holds {
+		return nil, fmt.Errorf("treedepth: %s: no root within depth bound", s.Name())
+	}
+	centers, err := rooted.Centers(g)
+	if err != nil {
+		return nil, err
+	}
+	dist := g.BFSFrom(centers[0])
+	a := make(cert.Assignment, g.N())
+	for v := 0; v < g.N(); v++ {
+		var w bitio.Writer
+		w.WriteUvarint(uint64(dist[v]))
+		a[v] = w.Clone()
+	}
+	return a, nil
+}
+
+// Verify implements cert.Scheme. On a tree, exact distances self-validate:
+// the unique distance-0 vertex is the root, every other vertex needs a
+// neighbour one closer, and no two adjacent vertices may claim the same
+// distance.
+func (s RootedDepthScheme) Verify(v cert.View) bool {
+	d, ok := decodeDist(v.Cert)
+	if !ok || d > uint64(s.K) {
+		return false
+	}
+	hasParent := false
+	for _, nb := range v.Neighbors {
+		nd, ok := decodeDist(nb.Cert)
+		if !ok {
+			return false
+		}
+		switch {
+		case nd == d-1 && d > 0:
+			hasParent = true
+		case nd == d+1:
+			// child
+		default:
+			return false
+		}
+	}
+	return d == 0 || hasParent
+}
+
+func decodeDist(c cert.Certificate) (uint64, bool) {
+	r := bitio.NewReader(c)
+	d, err := r.ReadUvarint()
+	if err != nil || r.Remaining() != 0 {
+		return 0, false
+	}
+	return d, true
+}

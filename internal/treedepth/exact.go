@@ -1,0 +1,252 @@
+// Package treedepth implements the treedepth machinery of the paper:
+// elimination trees (models, Definition 3.1), coherent models (Lemma B.1),
+// exact treedepth computation with optimal model extraction (which is also
+// the cops-and-robber strategy of Lemma 7.3 / [33]), closed forms for
+// paths and cycles, decomposition rules, and the certification scheme of
+// Theorem 2.4: treedepth <= t with O(t log n)-bit certificates.
+package treedepth
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rooted"
+)
+
+// ExactLimit is the largest graph the exact solver accepts; components
+// are represented as 64-bit masks and the recursion with memoization is
+// exponential in the worst case.
+const ExactLimit = 64
+
+// Exact computes the exact treedepth of a connected graph and an optimal
+// elimination tree witnessing it. The recursion is the textbook one —
+// td(G) = 1 + min over v of max over components C of G-v of td(C) —
+// with memoization on vertex subsets (bitmasks) and branch-and-bound
+// pruning; the recursion tree is exactly an optimal cop strategy in the
+// game characterization used by Lemma 7.3.
+func Exact(g *graph.Graph) (int, *rooted.Tree, error) {
+	if g.N() == 0 {
+		return 0, nil, fmt.Errorf("treedepth: empty graph")
+	}
+	if !g.Connected() {
+		return 0, nil, fmt.Errorf("treedepth: Exact needs a connected graph")
+	}
+	if g.N() > ExactLimit {
+		return 0, nil, fmt.Errorf("treedepth: exact computation limited to %d vertices, got %d", ExactLimit, g.N())
+	}
+	s := newSolver(g)
+	full := fullMask(g.N())
+	depth := s.rec(full, g.N()+1)
+	parents := make([]int, g.N())
+	for i := range parents {
+		parents[i] = -2
+	}
+	s.applyRoot(full, parents)
+	t, err := rooted.FromParents(parents)
+	if err != nil {
+		return 0, nil, fmt.Errorf("treedepth: internal: %w", err)
+	}
+	return depth, t, nil
+}
+
+// solution caches the treedepth of a component and the root chosen for it.
+type solution struct {
+	depth int
+	root  int8
+}
+
+type solver struct {
+	g   *graph.Graph
+	adj []uint64 // adjacency masks
+	// memo maps a component mask to its solved treedepth and chosen root.
+	memo map[uint64]solution
+}
+
+func newSolver(g *graph.Graph) *solver {
+	adj := make([]uint64, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			adj[v] |= 1 << uint(w)
+		}
+	}
+	return &solver{g: g, adj: adj, memo: map[uint64]solution{}}
+}
+
+func fullMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// rec computes the treedepth of the connected component `comp` (a vertex
+// mask). budget is a strict upper bound for pruning: when the true depth
+// is >= budget, rec returns budget and memoizes nothing.
+func (s *solver) rec(comp uint64, budget int) int {
+	n := bits.OnesCount64(comp)
+	if n == 1 {
+		return 1
+	}
+	if budget <= 1 {
+		return budget
+	}
+	if sol, ok := s.memo[comp]; ok {
+		if sol.depth < budget {
+			return sol.depth
+		}
+		return budget
+	}
+	// Candidate order: high degree within the component first.
+	type cand struct{ v, deg int }
+	cands := make([]cand, 0, n)
+	for m := comp; m != 0; m &= m - 1 {
+		v := bits.TrailingZeros64(m)
+		cands = append(cands, cand{v, bits.OnesCount64(s.adj[v] & comp)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].deg > cands[j].deg })
+
+	best := budget
+	bestRoot := -1
+	for _, c := range cands {
+		if best <= 2 {
+			break // cannot beat depth 2 on a multi-vertex component
+		}
+		rest := comp &^ (1 << uint(c.v))
+		worst := 0
+		for sub := range s.componentsOf(rest) {
+			d := s.rec(sub, best-1)
+			if d > worst {
+				worst = d
+			}
+			if 1+worst >= best {
+				worst = -1
+				break
+			}
+		}
+		if worst < 0 {
+			continue
+		}
+		if 1+worst < best {
+			best = 1 + worst
+			bestRoot = c.v
+		}
+	}
+	if bestRoot == -1 {
+		return budget
+	}
+	s.memo[comp] = solution{depth: best, root: int8(bestRoot)}
+	return best
+}
+
+// componentsOf iterates the connected components of the vertex mask.
+// Implemented as a map-free generator via a channel-less callback pattern:
+// it returns a map used as a set for simplicity (component masks are
+// unique keys).
+func (s *solver) componentsOf(mask uint64) map[uint64]struct{} {
+	out := make(map[uint64]struct{})
+	remaining := mask
+	for remaining != 0 {
+		seed := uint64(1) << uint(bits.TrailingZeros64(remaining))
+		comp := seed
+		frontier := seed
+		for frontier != 0 {
+			next := uint64(0)
+			for m := frontier; m != 0; m &= m - 1 {
+				v := bits.TrailingZeros64(m)
+				next |= s.adj[v] & mask &^ comp
+			}
+			comp |= next
+			frontier = next
+		}
+		out[comp] = struct{}{}
+		remaining &^= comp
+	}
+	return out
+}
+
+// applyRoot writes an optimal elimination tree of comp into parents using
+// the memoized root choices; the root of comp gets parent -1 and callers
+// re-point it afterwards.
+func (s *solver) applyRoot(comp uint64, parents []int) {
+	if bits.OnesCount64(comp) == 1 {
+		parents[bits.TrailingZeros64(comp)] = -1
+		return
+	}
+	sol, ok := s.memo[comp]
+	if !ok {
+		// Solve on demand (cheap thanks to the shared memo).
+		s.rec(comp, bits.OnesCount64(comp)+1)
+		sol = s.memo[comp]
+	}
+	root := int(sol.root)
+	parents[root] = -1
+	for sub := range s.componentsOf(comp &^ (1 << uint(root))) {
+		s.applyRoot(sub, parents)
+		// Re-point the sub-root at our root.
+		for v := range parents {
+			if parents[v] == -1 && sub&(1<<uint(v)) != 0 {
+				parents[v] = root
+			}
+		}
+	}
+}
+
+// PathTreedepth returns td(P_n) = floor(log2(n)) + 1 (n >= 1), the closed
+// form behind Figure 1 (P_7 has treedepth 3).
+func PathTreedepth(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return bits.Len(uint(n))
+}
+
+// CycleTreedepth returns td(C_n) = 1 + td(P_{n-1}) for n >= 3: the root
+// of an optimal elimination tree breaks the cycle into a path, and
+// removing any vertex of C_n leaves P_{n-1}.
+func CycleTreedepth(n int) int {
+	if n < 3 {
+		return 0
+	}
+	return 1 + PathTreedepth(n-1)
+}
+
+// OptimalPathModel returns the divide-and-conquer elimination tree of P_n
+// (vertices 0..n-1 in path order) of depth exactly PathTreedepth(n): the
+// middle vertex is the root, halves recurse — the construction drawn in
+// Figure 1.
+func OptimalPathModel(n int) (*rooted.Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("treedepth: OptimalPathModel needs n >= 1")
+	}
+	parents := make([]int, n)
+	var build func(lo, hi, parent int)
+	build = func(lo, hi, parent int) {
+		if lo > hi {
+			return
+		}
+		mid := (lo + hi) / 2
+		parents[mid] = parent
+		build(lo, mid-1, mid)
+		build(mid+1, hi, mid)
+	}
+	build(0, n-1, -1)
+	return rooted.FromParents(parents)
+}
+
+// UnionTreedepth is the disjoint-union rule td(G1 ∪ G2) = max(td G1, td G2).
+func UnionTreedepth(depths ...int) int {
+	best := 0
+	for _, d := range depths {
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ApexTreedepth is the universal-vertex rule td(G + apex) = td(G) + 1: an
+// apex adjacent to every vertex must be compared with everything, so it
+// heads an optimal elimination tree.
+func ApexTreedepth(inner int) int { return inner + 1 }
