@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test ci bench bench-engine fmt-check clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# ci is the tier-1 gate: everything must build, vet clean, and pass.
+ci: build vet test
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE ./...
+
+# bench-engine runs only the certification-engine benchmarks: cached vs
+# uncached compilation and batch pipeline throughput at 1/4/8 workers.
+bench-engine:
+	$(GO) test -bench=. -benchmem -run=NONE ./internal/engine
+
+clean:
+	$(GO) clean ./...

@@ -2,6 +2,10 @@
 // family, pick a scheme, prove, verify (sequentially and on the simulated
 // network), optionally tamper, and report certificate sizes.
 //
+// The graph kinds come from the shared generator spec (internal/wire) and
+// the scheme names and property lists come from the scheme registry, so
+// this command, the facade and cmd/certserver always agree on what exists.
+//
 // Usage examples:
 //
 //	certify -graph path -n 64 -scheme tree-mso -property perfect-matching
@@ -16,71 +20,73 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	compactcert "repro"
+	"repro/internal/wire"
 )
 
 func main() {
 	os.Exit(run())
 }
 
+// schemeNames renders the flag help for -scheme from the registry listing
+// plus the historical alias.
+func schemeNames() string {
+	names := make([]string, 0, 16)
+	for _, info := range compactcert.Schemes() {
+		names = append(names, info.Name)
+	}
+	names = append(names, "universal-diam2")
+	return strings.Join(names, " | ")
+}
+
 func run() int {
 	var (
-		graphKind = flag.String("graph", "path", "path | cycle | star | random-tree | random-td")
+		graphKind = flag.String("graph", "path", strings.Join(wire.GeneratorKinds(), " | "))
 		n         = flag.Int("n", 32, "number of vertices")
 		t         = flag.Int("t", 3, "treedepth bound (for treedepth/kernel schemes and random-td)")
-		schemeSel = flag.String("scheme", "tree-mso", "tree-mso | tree-fo | treedepth | kernel-mso | existential-fo | depth2-fo | universal-diam2 | pt-minor-free")
-		property  = flag.String("property", "perfect-matching", "tree-mso property name")
-		formula   = flag.String("formula", "forall x. exists y. x ~ y", "FO/MSO sentence for formula-driven schemes")
-		seed      = flag.Int64("seed", 1, "random seed")
-		tamper    = flag.Int("tamper", 0, "flip this many random certificate bits before verifying")
+		schemeSel = flag.String("scheme", "tree-mso", schemeNames())
+		property  = flag.String("property", "perfect-matching",
+			"tree-mso property name: "+strings.Join(compactcert.TreeMSOProperties(), " | "))
+		formula = flag.String("formula", "forall x. exists y. x ~ y", "FO/MSO sentence for formula-driven schemes")
+		seed    = flag.Int64("seed", 1, "random seed")
+		tamper  = flag.Int("tamper", 0, "flip this many random certificate bits before verifying")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
 
-	var g *compactcert.Graph
-	switch *graphKind {
-	case "path":
-		g = compactcert.Path(*n)
-	case "cycle":
-		g = compactcert.Cycle(*n)
-	case "star":
-		g = compactcert.Star(*n)
-	case "random-tree":
-		g = compactcert.RandomTree(*n, rng)
-	case "random-td":
-		g, _ = compactcert.RandomBoundedTreedepth(*n, *t, 0.3, rng)
-	default:
-		fmt.Fprintf(os.Stderr, "certify: unknown graph kind %q\n", *graphKind)
+	spec := wire.GeneratorSpec{Kind: *graphKind, N: *n, T: *t, Seed: *seed}
+	g, provider, err := spec.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "certify: %v\n", err)
 		return 2
 	}
 
-	var s compactcert.Scheme
-	var err error
-	switch *schemeSel {
-	case "tree-mso":
-		s, err = compactcert.TreeMSOScheme(*property)
-	case "tree-fo":
-		s, err = compactcert.TreeFOScheme(*formula)
-	case "treedepth":
-		s = compactcert.TreedepthScheme(*t)
-	case "kernel-mso":
-		s, err = compactcert.KernelMSOScheme(*t, *formula)
-	case "existential-fo":
-		s, err = compactcert.ExistentialFOScheme(*formula)
-	case "depth2-fo":
-		s, err = compactcert.Depth2FOScheme(*formula)
-	case "universal-diam2":
-		s = compactcert.UniversalScheme("diameter<=2", func(g *compactcert.Graph) (bool, error) {
-			d := g.Diameter()
-			return d >= 0 && d <= 2, nil
-		})
-	case "pt-minor-free":
-		s, err = compactcert.PathMinorFreeScheme(*t)
-	default:
+	name := *schemeSel
+	params := compactcert.SchemeParams{
+		Property: *property,
+		Formula:  *formula,
+		T:        *t,
+		Provider: provider,
+	}
+	if name == "universal-diam2" {
+		// Historical alias for the generic upper-bound demo.
+		name, params.Property = "universal", "diameter-<=2"
+	}
+	known := false
+	for _, info := range compactcert.Schemes() {
+		if info.Name == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		// Usage error, like an unknown graph kind: exit 2.
 		fmt.Fprintf(os.Stderr, "certify: unknown scheme %q\n", *schemeSel)
 		return 2
 	}
+	s, err := compactcert.BuildScheme(name, params)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "certify: %v\n", err)
 		return 1

@@ -1,0 +1,89 @@
+// Command certserver serves the certification engine over HTTP/JSON:
+//
+//	GET  /schemes  list every registered scheme kind with metadata
+//	GET  /healthz  liveness plus compile-cache statistics
+//	POST /certify  prove + verify one graph under one scheme
+//	POST /verify   referee a claimed certificate assignment
+//	POST /batch    prove + verify many jobs on the parallel pipeline
+//
+// Graphs travel in the wire JSON form ({"n", "edges", "ids"?}) or are
+// generated server-side from a family spec ({"kind", "n", ...}). Schemes
+// are compiled once per (kind, parameters) and shared across requests via
+// the engine cache. See README.md for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "batch pipeline workers (0 = GOMAXPROCS)")
+		warm    = flag.Bool("warm", false, "pre-compile every parameterless scheme variant at startup")
+	)
+	flag.Parse()
+
+	srv := newServer(registry.Default(), *workers)
+	if *warm {
+		warmCache(srv.cache)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("certserver: listening on %s (%d schemes registered)\n",
+		*addr, len(registry.Default().Names()))
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "certserver: %v\n", err)
+			return 1
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "certserver: shutdown: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// warmCache pre-compiles the enum-driven variants so first requests hit a
+// warm cache: every tree-mso property and every universal predicate.
+func warmCache(cache *engine.Cache) {
+	for _, p := range registry.TreeMSOProperties() {
+		if _, err := cache.GetOrCompile("tree-mso", registry.Params{Property: p}); err != nil {
+			fmt.Fprintf(os.Stderr, "certserver: warm tree-mso/%s: %v\n", p, err)
+		}
+	}
+	for _, p := range registry.UniversalProperties() {
+		if _, err := cache.GetOrCompile("universal", registry.Params{Property: p}); err != nil {
+			fmt.Fprintf(os.Stderr, "certserver: warm universal/%s: %v\n", p, err)
+		}
+	}
+}

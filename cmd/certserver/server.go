@@ -1,0 +1,365 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// maxBodyBytes bounds request bodies; graphs above this limit should use
+// the batch generator instead of shipping edges over the wire.
+const maxBodyBytes = 32 << 20
+
+// server wires the registry, the compile cache and the batch pipeline
+// behind the JSON API.
+type server struct {
+	reg   *registry.Registry
+	cache *engine.Cache
+	pipe  *engine.Pipeline
+}
+
+// newServer builds a server around the given registry with the given
+// default worker count (<= 0 means GOMAXPROCS).
+func newServer(reg *registry.Registry, workers int) *server {
+	cache := engine.NewCache(reg)
+	return &server{
+		reg:   reg,
+		cache: cache,
+		pipe:  &engine.Pipeline{Cache: cache, Workers: workers},
+	}
+}
+
+// routes returns the HTTP handler.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /schemes", s.handleSchemes)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /certify", s.handleCertify)
+	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	return mux
+}
+
+// paramsJSON is the wire form of registry.Params.
+type paramsJSON struct {
+	Property string `json:"property,omitempty"`
+	Formula  string `json:"formula,omitempty"`
+	T        int    `json:"t,omitempty"`
+}
+
+func (p paramsJSON) toParams() registry.Params {
+	return registry.Params{Property: p.Property, Formula: p.Formula, T: p.T}
+}
+
+// jobJSON is one certification request: a scheme plus either an explicit
+// graph or a server-side generator spec.
+type jobJSON struct {
+	Scheme    string              `json:"scheme"`
+	Params    paramsJSON          `json:"params"`
+	Graph     *wire.GraphJSON     `json:"graph,omitempty"`
+	Generator *wire.GeneratorSpec `json:"generator,omitempty"`
+}
+
+// resolve materializes the job's graph and scheme params. Generator-built
+// graphs wire the generator's elimination-tree witness into the params so
+// treedepth-style schemes prove in polynomial time; schemes that cannot
+// use a witness don't get one, keeping them cacheable.
+func (j jobJSON) resolve(reg *registry.Registry) (*graph.Graph, registry.Params, error) {
+	params := j.Params.toParams()
+	switch {
+	case j.Graph != nil && j.Generator != nil:
+		return nil, params, fmt.Errorf("job has both a graph and a generator")
+	case j.Graph != nil:
+		g, err := j.Graph.ToGraph()
+		return g, params, err
+	case j.Generator != nil:
+		g, provider, err := j.Generator.Build()
+		if schemeUsesWitness(reg, j.Scheme) {
+			params.Provider = provider
+		}
+		return g, params, err
+	default:
+		return nil, params, fmt.Errorf("job has neither a graph nor a generator")
+	}
+}
+
+// schemeUsesWitness reports whether the named scheme's prover can exploit
+// an elimination-tree witness. Unknown names resolve to false; the compile
+// step reports them properly.
+func schemeUsesWitness(reg *registry.Registry, name string) bool {
+	e, ok := reg.Lookup(name)
+	return ok && e.UsesWitness
+}
+
+// errorJSON is the uniform error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes the request body strictly.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleSchemes serves the registry listing.
+func (s *server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Schemes []registry.Info `json:"schemes"`
+	}{s.reg.List()})
+}
+
+// handleHealthz reports liveness and cache effectiveness.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK    bool         `json:"ok"`
+		Cache engine.Stats `json:"cache"`
+	}{true, s.cache.Stats()})
+}
+
+// certifyRequest is the POST /certify payload.
+type certifyRequest struct {
+	jobJSON
+	// Distributed additionally runs the goroutine-per-node simulator.
+	Distributed bool `json:"distributed,omitempty"`
+	// IncludeCertificates echoes the honest assignment in the response.
+	IncludeCertificates bool `json:"include_certificates,omitempty"`
+}
+
+type certifyResponse struct {
+	Scheme       string          `json:"scheme"`
+	Result       wire.ResultJSON `json:"result"`
+	Certificates []string        `json:"certificates,omitempty"`
+	// DistributedAccepted is present when the simulator ran.
+	DistributedAccepted *bool `json:"distributed_accepted,omitempty"`
+	CompileNS           int64 `json:"compile_ns"`
+	ProveNS             int64 `json:"prove_ns"`
+	VerifyNS            int64 `json:"verify_ns"`
+}
+
+func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	var req certifyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	g, params, err := req.resolve(s.reg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t0 := time.Now()
+	scheme, err := s.cache.GetOrCompile(req.Scheme, params)
+	compileNS := time.Since(t0).Nanoseconds()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t1 := time.Now()
+	a, err := scheme.Prove(g)
+	proveNS := time.Since(t1).Nanoseconds()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
+		return
+	}
+	t2 := time.Now()
+	res, err := cert.RunSequential(g, scheme, a)
+	verifyNS := time.Since(t2).Nanoseconds()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+		return
+	}
+	resp := certifyResponse{
+		Scheme:    scheme.Name(),
+		Result:    wire.ResultToJSON(res, a),
+		CompileNS: compileNS,
+		ProveNS:   proveNS,
+		VerifyNS:  verifyNS,
+	}
+	if req.IncludeCertificates {
+		resp.Certificates = wire.AssignmentToStrings(a)
+	}
+	if req.Distributed {
+		rep, err := netsim.Run(r.Context(), g, scheme, a)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "distributed: %v", err)
+			return
+		}
+		resp.DistributedAccepted = &rep.Accepted
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// verifyRequest is the POST /verify payload: a graph, a scheme and a
+// claimed assignment to referee.
+type verifyRequest struct {
+	jobJSON
+	Certificates []string `json:"certificates"`
+}
+
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	g, params, err := req.resolve(s.reg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, err := wire.AssignmentFromStrings(req.Certificates)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scheme, err := s.cache.GetOrCompile(req.Scheme, params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := cert.RunSequential(g, scheme, a)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "verify: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Scheme string          `json:"scheme"`
+		Result wire.ResultJSON `json:"result"`
+	}{scheme.Name(), wire.ResultToJSON(res, a)})
+}
+
+// batchRequest is the POST /batch payload.
+type batchRequest struct {
+	// Workers overrides the server's worker count for this batch.
+	Workers int       `json:"workers,omitempty"`
+	Jobs    []jobJSON `json:"jobs"`
+}
+
+// batchJobResult is the JSON form of engine.JobResult.
+type batchJobResult struct {
+	Index      int    `json:"index"`
+	Scheme     string `json:"scheme,omitempty"`
+	Accepted   bool   `json:"accepted"`
+	Rejecters  []int  `json:"rejecters,omitempty"`
+	MaxBits    int    `json:"max_bits"`
+	TotalBits  int    `json:"total_bits"`
+	GenerateNS int64  `json:"generate_ns"`
+	ProveNS    int64  `json:"prove_ns"`
+	VerifyNS   int64  `json:"verify_ns"`
+	Error      string `json:"error,omitempty"`
+}
+
+// maxBatchJobs bounds a single batch; larger workloads should be split
+// across requests.
+const maxBatchJobs = 10000
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		writeError(w, http.StatusBadRequest, "batch has %d jobs (limit %d)", len(req.Jobs), maxBatchJobs)
+		return
+	}
+	jobs := make([]engine.Job, len(req.Jobs))
+	for i, jj := range req.Jobs {
+		switch {
+		case jj.Graph != nil && jj.Generator != nil:
+			writeError(w, http.StatusBadRequest, "job %d: has both a graph and a generator", i)
+			return
+		case jj.Graph != nil:
+			g, err := jj.Graph.ToGraph()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+				return
+			}
+			jobs[i] = engine.Job{Graph: g, Scheme: jj.Scheme, Params: jj.Params.toParams()}
+		case jj.Generator != nil:
+			// Validate up front (so bad specs fail the whole request),
+			// but build inside a worker: residency stays bounded by the
+			// worker count and generation itself runs in parallel.
+			if err := jj.Generator.Validate(); err != nil {
+				writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+				return
+			}
+			gen, params, useWitness := *jj.Generator, jj.Params.toParams(), schemeUsesWitness(s.reg, jj.Scheme)
+			jobs[i] = engine.Job{
+				Scheme: jj.Scheme,
+				Lazy: func() (*graph.Graph, registry.Params, error) {
+					g, provider, err := gen.Build()
+					if err != nil {
+						return nil, params, err
+					}
+					p := params
+					if useWitness {
+						p.Provider = provider
+					}
+					return g, p, nil
+				},
+			}
+		default:
+			writeError(w, http.StatusBadRequest, "job %d: has neither a graph nor a generator", i)
+			return
+		}
+	}
+	pipe := s.pipe
+	if req.Workers > 0 {
+		pipe = &engine.Pipeline{Cache: s.cache, Workers: req.Workers}
+	}
+	t0 := time.Now()
+	results, err := pipe.Run(r.Context(), jobs)
+	wallNS := time.Since(t0).Nanoseconds()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]batchJobResult, len(results))
+	for i, res := range results {
+		out[i] = batchJobResult{
+			Index:      res.Index,
+			Scheme:     res.Scheme,
+			Accepted:   res.Accepted,
+			Rejecters:  res.Rejecters,
+			MaxBits:    res.MaxBits,
+			TotalBits:  res.TotalBits,
+			GenerateNS: res.Generate.Nanoseconds(),
+			ProveNS:    res.Prove.Nanoseconds(),
+			VerifyNS:   res.Verify.Nanoseconds(),
+		}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Stats   engine.BatchStats `json:"stats"`
+		WallNS  int64             `json:"wall_ns"`
+		Results []batchJobResult  `json:"results"`
+	}{engine.Summarize(results), wallNS, out})
+}

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graphgen"
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(registry.Default(), 4).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp
+}
+
+// GET /schemes must list every registered scheme with its metadata.
+func TestSchemesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/schemes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Schemes []registry.Info `json:"schemes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	want := registry.Default().Names()
+	if len(body.Schemes) != len(want) {
+		t.Fatalf("listed %d schemes, want %d", len(body.Schemes), len(want))
+	}
+	for i, info := range body.Schemes {
+		if info.Name != want[i] {
+			t.Fatalf("scheme %d = %q, want %q", i, info.Name, want[i])
+		}
+		if info.CertBound == "" || info.Summary == "" {
+			t.Fatalf("scheme %q missing metadata: %+v", info.Name, info)
+		}
+	}
+}
+
+// POST /certify with an explicit graph returns an accepting result and
+// the certificates when asked.
+func TestCertifyEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	g := wire.GraphToJSON(graphgen.Path(8))
+	var out certifyResponse
+	resp := postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme":               "tree-mso",
+		"params":               map[string]any{"property": "perfect-matching"},
+		"graph":                g,
+		"include_certificates": true,
+		"distributed":          true,
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.Result.Accepted {
+		t.Fatalf("honest proof rejected: %+v", out.Result)
+	}
+	if len(out.Certificates) != 8 {
+		t.Fatalf("%d certificates, want 8", len(out.Certificates))
+	}
+	if out.Result.MaxBits == 0 || out.Result.MaxBits != len(out.Certificates[0]) {
+		t.Fatalf("max_bits %d inconsistent with certificates %v", out.Result.MaxBits, out.Certificates[0])
+	}
+	if out.DistributedAccepted == nil || !*out.DistributedAccepted {
+		t.Fatalf("distributed verdict missing or rejecting: %v", out.DistributedAccepted)
+	}
+}
+
+// POST /certify on a no-instance reports 422 (the honest prover refuses).
+func TestCertifyNoInstance(t *testing.T) {
+	ts := newTestServer(t)
+	var out errorJSON
+	resp := postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme": "tree-mso",
+		"params": map[string]any{"property": "perfect-matching"},
+		"graph":  wire.GraphToJSON(graphgen.Path(7)),
+	}, &out)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	if !strings.Contains(out.Error, "prove") {
+		t.Fatalf("error = %q", out.Error)
+	}
+}
+
+// POST /verify accepts the honest assignment and rejects a tampered one.
+func TestVerifyEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	g := wire.GraphToJSON(graphgen.Path(8))
+	var certified certifyResponse
+	postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme":               "tree-mso",
+		"params":               map[string]any{"property": "perfect-matching"},
+		"graph":                g,
+		"include_certificates": true,
+	}, &certified)
+
+	var verified struct {
+		Result wire.ResultJSON `json:"result"`
+	}
+	resp := postJSON(t, ts.URL+"/verify", map[string]any{
+		"scheme":       "tree-mso",
+		"params":       map[string]any{"property": "perfect-matching"},
+		"graph":        g,
+		"certificates": certified.Certificates,
+	}, &verified)
+	if resp.StatusCode != http.StatusOK || !verified.Result.Accepted {
+		t.Fatalf("honest assignment rejected: status %d, %+v", resp.StatusCode, verified.Result)
+	}
+
+	// Flip one bit of one certificate: soundness demands a rejection.
+	tampered := append([]string(nil), certified.Certificates...)
+	flip := []byte(tampered[3])
+	if flip[0] == '0' {
+		flip[0] = '1'
+	} else {
+		flip[0] = '0'
+	}
+	tampered[3] = string(flip)
+	postJSON(t, ts.URL+"/verify", map[string]any{
+		"scheme":       "tree-mso",
+		"params":       map[string]any{"property": "perfect-matching"},
+		"graph":        g,
+		"certificates": tampered,
+	}, &verified)
+	if verified.Result.Accepted {
+		t.Fatal("tampered assignment accepted")
+	}
+}
+
+// POST /batch proves and verifies 120 generated graphs through the
+// worker pool, mixing explicit graphs, generators and scheme kinds.
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	jobs := make([]map[string]any, 0, 120)
+	for i := 0; i < 100; i++ {
+		jobs = append(jobs, map[string]any{
+			"scheme":    "tree-fo",
+			"params":    map[string]any{"formula": "forall x. exists y. x ~ y"},
+			"generator": map[string]any{"kind": "random-tree", "n": 16 + i%32, "seed": i},
+		})
+	}
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, map[string]any{
+			"scheme":    "treedepth",
+			"params":    map[string]any{"t": 4},
+			"generator": map[string]any{"kind": "random-td", "n": 48, "t": 4, "seed": 100 + i},
+		})
+	}
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, map[string]any{
+			"scheme": "tree-mso",
+			"params": map[string]any{"property": "is-star"},
+			"graph":  wire.GraphToJSON(graphgen.Star(10 + i)),
+		})
+	}
+	var out struct {
+		Stats   engine.BatchStats `json:"stats"`
+		WallNS  int64             `json:"wall_ns"`
+		Results []batchJobResult  `json:"results"`
+	}
+	resp := postJSON(t, ts.URL+"/batch", map[string]any{"workers": 8, "jobs": jobs}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Stats.Jobs != len(jobs) || out.Stats.Accepted != len(jobs) {
+		t.Fatalf("stats = %+v, want %d accepted", out.Stats, len(jobs))
+	}
+	for _, r := range out.Results {
+		if r.Error != "" || !r.Accepted {
+			t.Fatalf("job %d failed: %+v", r.Index, r)
+		}
+	}
+	if out.WallNS <= 0 {
+		t.Fatal("missing wall time")
+	}
+
+	// The compile cache must have served the repeated keys: 100 tree-fo
+	// jobs share one compiled type automaton.
+	var health struct {
+		OK    bool         `json:"ok"`
+		Cache engine.Stats `json:"cache"`
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.OK {
+		t.Fatal("healthz not ok")
+	}
+	// tree-fo and tree-mso cache (2 misses); treedepth jobs carry a
+	// generator witness, so they bypass.
+	if health.Cache.Misses != 2 || health.Cache.Hits < 100 || health.Cache.Bypasses != 10 {
+		t.Fatalf("cache stats = %+v", health.Cache)
+	}
+}
+
+// Generator witnesses are only attached to schemes that can use them:
+// a witness-less scheme on generated graphs stays cacheable.
+func TestBatchWitnessGating(t *testing.T) {
+	ts := newTestServer(t)
+	jobs := make([]map[string]any, 20)
+	for i := range jobs {
+		jobs[i] = map[string]any{
+			"scheme":    "existential-fo",
+			"params":    map[string]any{"formula": "exists x. exists y. x ~ y"},
+			"generator": map[string]any{"kind": "random-td", "n": 24, "t": 3, "seed": i},
+		}
+	}
+	var out struct {
+		Stats engine.BatchStats `json:"stats"`
+	}
+	resp := postJSON(t, ts.URL+"/batch", map[string]any{"jobs": jobs}, &out)
+	if resp.StatusCode != http.StatusOK || out.Stats.Accepted != len(jobs) {
+		t.Fatalf("status %d, stats %+v", resp.StatusCode, out.Stats)
+	}
+	var health struct {
+		Cache engine.Stats `json:"cache"`
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Cache.Bypasses != 0 || health.Cache.Misses != 1 || health.Cache.Hits != int64(len(jobs)-1) {
+		t.Fatalf("witness gating failed, cache stats = %+v", health.Cache)
+	}
+}
+
+// Malformed requests are rejected with 400 and a JSON error.
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		path string
+		body map[string]any
+	}{
+		{"/certify", map[string]any{"scheme": "tree-mso"}},                                 // no graph
+		{"/certify", map[string]any{"scheme": "nope", "graph": map[string]any{"n": 1}}},    // unknown scheme
+		{"/certify", map[string]any{"unknown_field": 1}},                                   // strict decoding
+		{"/batch", map[string]any{"jobs": []any{}}},                                        // empty batch
+		{"/verify", map[string]any{"scheme": "tree-mso", "graph": map[string]any{"n": 2}}}, // missing property
+		{"/certify", map[string]any{"scheme": "tree-mso", "params": map[string]any{"property": "perfect-matching"}, "graph": map[string]any{"n": 2}, "generator": map[string]any{"kind": "path", "n": 2}}}, // both graph and generator
+	}
+	for i, tc := range cases {
+		var out errorJSON
+		resp := postJSON(t, ts.URL+tc.path, tc.body, &out)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d (%s): status %d, want 400 (error %q)", i, tc.path, resp.StatusCode, out.Error)
+		}
+		if out.Error == "" {
+			t.Fatalf("case %d: empty error message", i)
+		}
+	}
+}
+
+// Oversized batches are refused before any work happens.
+func TestBatchLimit(t *testing.T) {
+	ts := newTestServer(t)
+	jobs := make([]map[string]any, maxBatchJobs+1)
+	for i := range jobs {
+		jobs[i] = map[string]any{
+			"scheme":    "tree-mso",
+			"params":    map[string]any{"property": "is-star"},
+			"generator": map[string]any{"kind": "star", "n": 4},
+		}
+	}
+	var out errorJSON
+	resp := postJSON(t, ts.URL+"/batch", map[string]any{"jobs": jobs}, &out)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(out.Error, fmt.Sprint(maxBatchJobs)) {
+		t.Fatalf("error = %q", out.Error)
+	}
+}
+
+// Method mismatches 404/405 through the method-aware mux patterns.
+func TestMethodRouting(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/certify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /certify should not succeed")
+	}
+}

@@ -25,18 +25,14 @@ package compactcert
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 
-	"repro/internal/automata"
 	"repro/internal/cert"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/graphgen"
-	"repro/internal/kernel"
 	"repro/internal/logic"
-	"repro/internal/minor"
 	"repro/internal/netsim"
+	"repro/internal/registry"
 	"repro/internal/rooted"
 	"repro/internal/treedepth"
 )
@@ -76,37 +72,40 @@ func RunDistributed(ctx context.Context, g *Graph, s Scheme, a Assignment) (nets
 	return netsim.Run(ctx, g, s, a)
 }
 
+// SchemeParams parameterises a registry scheme factory; see BuildScheme.
+type SchemeParams = registry.Params
+
+// SchemeInfo describes a registered scheme kind: name, certificate-size
+// bound, required graph class, and the parameters its factory consumes.
+type SchemeInfo = registry.Info
+
+// Schemes lists every scheme kind the module implements — the same
+// listing cmd/certify derives its flag help from and cmd/certserver
+// serves at GET /schemes.
+func Schemes() []SchemeInfo { return registry.Default().List() }
+
+// BuildScheme constructs any registered scheme by kind name. The named
+// helpers below (TreeMSOScheme, TreedepthScheme, ...) are convenience
+// wrappers over this single entry point.
+func BuildScheme(name string, p SchemeParams) (Scheme, error) {
+	return registry.Default().Build(name, p)
+}
+
+// TreeMSOProperties lists the property names TreeMSOScheme accepts,
+// straight from the registry entry.
+func TreeMSOProperties() []string { return registry.TreeMSOProperties() }
+
 // TreeMSOScheme returns a Theorem 2.2 scheme (O(1)-bit certificates on
-// trees) for a named property from the built-in automata library:
-// "perfect-matching", "is-star", "max-degree-<=2", "max-degree-<=3",
-// "diameter-<=4", "leaves->=3".
+// trees) for a named property from the built-in automata library; see
+// TreeMSOProperties for the admissible names.
 func TreeMSOScheme(property string) (Scheme, error) {
-	switch property {
-	case "perfect-matching":
-		return automata.NewPerfectMatchingScheme()
-	case "is-star":
-		return automata.NewStarScheme()
-	case "max-degree-<=2":
-		return automata.NewMaxDegreeScheme(2)
-	case "max-degree-<=3":
-		return automata.NewMaxDegreeScheme(3)
-	case "diameter-<=4":
-		return automata.NewDiameterScheme(4)
-	case "leaves->=3":
-		return automata.NewLeavesAtLeastScheme(3)
-	default:
-		return nil, fmt.Errorf("compactcert: unknown tree property %q", property)
-	}
+	return BuildScheme("tree-mso", SchemeParams{Property: property})
 }
 
 // TreeFOScheme compiles an FO sentence into a Theorem 2.2 scheme via
 // rank-k type discovery (constant-size certificates on trees).
 func TreeFOScheme(sentence string) (Scheme, error) {
-	f, err := logic.Parse(sentence)
-	if err != nil {
-		return nil, err
-	}
-	return automata.NewTypeScheme(f)
+	return BuildScheme("tree-fo", SchemeParams{Formula: sentence})
 }
 
 // TreedepthScheme returns the Theorem 2.4 scheme certifying
@@ -125,61 +124,50 @@ func TreedepthSchemeWithModel(t int, provider ModelProvider) Scheme {
 
 // KernelMSOSchemeWithModel is KernelMSOScheme with a witness provider.
 func KernelMSOSchemeWithModel(t int, sentence string, provider ModelProvider) (Scheme, error) {
-	f, err := logic.Parse(sentence)
-	if err != nil {
-		return nil, err
-	}
-	s, err := kernel.NewMSOScheme(t, f)
-	if err != nil {
-		return nil, err
-	}
-	s.ModelProvider = provider
-	return s, nil
+	return BuildScheme("kernel-mso", SchemeParams{T: t, Formula: sentence, Provider: provider})
 }
 
 // KernelMSOScheme returns the Theorem 2.6 scheme certifying an FO/MSO
 // sentence on graphs of treedepth at most t, with O(t log n + f(t, phi))
 // bit certificates.
 func KernelMSOScheme(t int, sentence string) (Scheme, error) {
-	f, err := logic.Parse(sentence)
-	if err != nil {
-		return nil, err
-	}
-	return kernel.NewMSOScheme(t, f)
+	return BuildScheme("kernel-mso", SchemeParams{T: t, Formula: sentence})
 }
 
 // PathMinorFreeScheme returns the Corollary 2.7 scheme for
 // P_t-minor-freeness (O(log n) bits).
-func PathMinorFreeScheme(t int) (Scheme, error) { return minor.NewPathMinorFreeScheme(t) }
+func PathMinorFreeScheme(t int) (Scheme, error) {
+	return BuildScheme("pt-minor-free", SchemeParams{T: t})
+}
 
 // CycleMinorFreeScheme returns the Corollary 2.7 scheme for
 // C_t-minor-freeness (O(log n) bits per block membership).
-func CycleMinorFreeScheme(t int) (Scheme, error) { return minor.NewCycleMinorFreeScheme(t) }
+func CycleMinorFreeScheme(t int) (Scheme, error) {
+	return BuildScheme("ct-minor-free", SchemeParams{T: t})
+}
 
 // UniversalScheme certifies an arbitrary decidable property with
 // O(n^2)-bit whole-graph certificates — the paper's generic upper bound.
 func UniversalScheme(name string, property func(*Graph) (bool, error)) Scheme {
-	return &core.Universal{PropertyName: name, Property: property}
+	s, err := BuildScheme("universal", SchemeParams{Property: name, PropertyFunc: property})
+	if err != nil {
+		// Unreachable: the factory accepts any name once a predicate is
+		// supplied.
+		panic(err)
+	}
+	return s
 }
 
 // ExistentialFOScheme returns the Lemma 2.1 scheme for purely existential
 // FO sentences (O(q log n) bits).
 func ExistentialFOScheme(sentence string) (Scheme, error) {
-	f, err := logic.Parse(sentence)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewExistentialFO(f)
+	return BuildScheme("existential-fo", SchemeParams{Formula: sentence})
 }
 
 // Depth2FOScheme returns the Lemma 2.1 scheme for FO sentences of
 // quantifier depth at most 2 (O(log n) bits).
 func Depth2FOScheme(sentence string) (Scheme, error) {
-	f, err := logic.Parse(sentence)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewDepth2FO(f)
+	return BuildScheme("depth2-fo", SchemeParams{Formula: sentence})
 }
 
 // Generators re-exported for examples and downstream users.

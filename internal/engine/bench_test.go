@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graphgen"
+	"repro/internal/registry"
+)
+
+// The tree-fo formula used throughout the engine benchmarks; rank 2, so
+// type discovery runs EF games the first time a family is proven.
+const benchFormula = "forall x. exists y. x ~ y"
+
+// Uncached: every iteration compiles a fresh type scheme and pays the
+// full rank-k type discovery while proving.
+func BenchmarkCompileTreeFOUncached(b *testing.B) {
+	g := graphgen.Path(64)
+	for i := 0; i < b.N; i++ {
+		cache := NewCache(registry.Default())
+		s, err := cache.GetOrCompile("tree-fo", registry.Params{Formula: benchFormula})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Prove(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Cached: one shared cache; after the first iteration the compiled
+// automaton (with its discovered type registry) is reused, so proving
+// skips the EF-game discovery.
+func BenchmarkCompileTreeFOCached(b *testing.B) {
+	g := graphgen.Path(64)
+	cache := NewCache(registry.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := cache.GetOrCompile("tree-fo", registry.Params{Formula: benchFormula})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Prove(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Same comparison for the kernel scheme: the end-type registry and root
+// verdict cache are the reused artifacts.
+func BenchmarkCompileKernelMSOUncached(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, _ := graphgen.BoundedTreedepth(48, 3, 0.3, rng)
+	for i := 0; i < b.N; i++ {
+		cache := NewCache(registry.Default())
+		s, err := cache.GetOrCompile("kernel-mso", registry.Params{T: 3, Formula: benchFormula})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Prove(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileKernelMSOCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, _ := graphgen.BoundedTreedepth(48, 3, 0.3, rng)
+	cache := NewCache(registry.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := cache.GetOrCompile("kernel-mso", registry.Params{T: 3, Formula: benchFormula})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Prove(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchJobs builds the standard throughput batch: 64 random trees under
+// the tree-fo scheme.
+func benchJobs() []Job {
+	rng := rand.New(rand.NewSource(3))
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		jobs[i] = Job{
+			Graph:  graphgen.RandomTree(64, rng),
+			Scheme: "tree-fo",
+			Params: registry.Params{Formula: benchFormula},
+		}
+	}
+	return jobs
+}
+
+func benchPipeline(b *testing.B, workers int) {
+	b.Helper()
+	jobs := benchJobs()
+	cache := NewCache(registry.Default())
+	// Warm the compile cache so the benchmark isolates pipeline
+	// throughput from first-compile cost.
+	if _, err := cache.GetOrCompile("tree-fo", registry.Params{Formula: benchFormula}); err != nil {
+		b.Fatal(err)
+	}
+	pipe := &Pipeline{Cache: cache, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := pipe.Run(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkPipeline1Worker(b *testing.B)  { benchPipeline(b, 1) }
+func BenchmarkPipeline4Workers(b *testing.B) { benchPipeline(b, 4) }
+func BenchmarkPipeline8Workers(b *testing.B) { benchPipeline(b, 8) }

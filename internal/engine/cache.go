@@ -1,0 +1,146 @@
+// Package engine turns the per-call schemes of the registry into a
+// serving-oriented certification engine: a memoizing compile cache that
+// builds each expensive artifact (rank-k type automaton, kernel type
+// registry) exactly once per key, and a bounded worker pipeline that
+// proves and verifies many (graph, scheme) jobs in parallel.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cert"
+	"repro/internal/registry"
+)
+
+// Cache memoizes compiled schemes by (kind, parameters). Concurrent
+// requests for the same key block on a single in-flight compilation
+// (singleflight), so a burst of identical requests compiles the type
+// automaton once and shares it — the compiled schemes in this module
+// guard their internal memo tables with mutexes, which is what makes the
+// sharing sound.
+//
+// Schemes built from params carrying closures (witness providers, ad-hoc
+// predicates) are graph-specific; the cache compiles those fresh on every
+// call and counts them as bypasses.
+type Cache struct {
+	reg *registry.Registry
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	bypasses atomic.Int64
+}
+
+// flight is one compilation: started by the first requester, awaited by
+// everyone else via the done channel.
+type flight struct {
+	done   chan struct{}
+	scheme cert.Scheme
+	err    error
+}
+
+// NewCache returns a cache compiling through the given registry.
+func NewCache(reg *registry.Registry) *Cache {
+	return &Cache{reg: reg, flights: map[string]*flight{}}
+}
+
+// Key returns the canonical cache key for a scheme request. Only the
+// params the entry declares enter the key, so e.g. a stray T on a tree-fo
+// request does not fragment the cache.
+func (c *Cache) Key(name string, p registry.Params) (string, error) {
+	e, ok := c.reg.Lookup(name)
+	if !ok {
+		return "", fmt.Errorf("engine: unknown scheme %q", name)
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, need := range e.Needs {
+		sb.WriteByte(0)
+		switch need {
+		case registry.ParamProperty:
+			sb.WriteString(p.Property)
+		case registry.ParamFormula:
+			if p.FormulaAST != nil {
+				sb.WriteString(p.FormulaAST.String())
+			} else {
+				sb.WriteString(p.Formula)
+			}
+		case registry.ParamT:
+			sb.WriteString(strconv.Itoa(p.T))
+		}
+	}
+	return sb.String(), nil
+}
+
+// GetOrCompile returns the cached scheme for (name, p), compiling it if
+// absent. Uncacheable params bypass the cache entirely.
+func (c *Cache) GetOrCompile(name string, p registry.Params) (cert.Scheme, error) {
+	if !p.Cacheable() {
+		c.bypasses.Add(1)
+		return c.reg.Build(name, p)
+	}
+	key, err := c.Key(name, p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-f.done
+		return f.scheme, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	f.scheme, f.err = c.reg.Build(name, p)
+	close(f.done)
+	if f.err != nil {
+		// Failed compiles are not pinned: a later request with the same
+		// key retries instead of replaying a stale error forever.
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+	}
+	return f.scheme, f.err
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits counts requests served by an existing (or in-flight) compile.
+	Hits int64 `json:"hits"`
+	// Misses counts requests that triggered a compilation.
+	Misses int64 `json:"misses"`
+	// Bypasses counts uncacheable requests compiled fresh.
+	Bypasses int64 `json:"bypasses"`
+	// Size is the number of cached compiled schemes.
+	Size int `json:"size"`
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	size := len(c.flights)
+	c.mu.Unlock()
+	return Stats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Bypasses: c.bypasses.Load(),
+		Size:     size,
+	}
+}
+
+// Purge drops every cached scheme (counters are kept).
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	c.flights = map[string]*flight{}
+	c.mu.Unlock()
+}

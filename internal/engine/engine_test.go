@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/registry"
+)
+
+// countingRegistry returns a registry with one entry whose factory counts
+// invocations and optionally blocks until release is closed.
+func countingRegistry(t *testing.T, compiles *atomic.Int64, block chan struct{}) *registry.Registry {
+	t.Helper()
+	r := registry.New()
+	r.MustRegister(registry.Entry{
+		Info: registry.Info{Name: "counted", Needs: []registry.Param{registry.ParamProperty}},
+		Build: func(p registry.Params) (cert.Scheme, error) {
+			compiles.Add(1)
+			if block != nil {
+				<-block
+			}
+			if p.Property == "fail" {
+				return nil, errors.New("synthetic compile failure")
+			}
+			return registry.Default().Build("tree-mso", registry.Params{Property: "perfect-matching"})
+		},
+	})
+	return r
+}
+
+// Concurrent requests for one key must trigger exactly one compilation,
+// and all callers must receive the same scheme instance.
+func TestCacheSingleflight(t *testing.T) {
+	var compiles atomic.Int64
+	release := make(chan struct{})
+	c := NewCache(countingRegistry(t, &compiles, release))
+
+	const callers = 32
+	schemes := make([]cert.Scheme, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.GetOrCompile("counted", registry.Params{Property: "ok"})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			schemes[i] = s
+		}(i)
+	}
+	// Let every caller queue up on the single flight, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("compiled %d times, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if schemes[i] != schemes[0] {
+			t.Fatalf("caller %d got a different scheme instance", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 || st.Size != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, %d hits, size 1", st, callers-1)
+	}
+}
+
+// Distinct keys compile independently; repeated keys hit.
+func TestCacheKeying(t *testing.T) {
+	var compiles atomic.Int64
+	c := NewCache(countingRegistry(t, &compiles, nil))
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetOrCompile("counted", registry.Params{Property: "a"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.GetOrCompile("counted", registry.Params{Property: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := compiles.Load(); got != 2 {
+		t.Fatalf("compiled %d times, want 2 (one per property)", got)
+	}
+	// A param the entry does not declare must not fragment the cache.
+	if _, err := c.GetOrCompile("counted", registry.Params{Property: "a", T: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if got := compiles.Load(); got != 2 {
+		t.Fatalf("undeclared param fragmented the cache: %d compiles", got)
+	}
+}
+
+// Failed compiles must not be pinned: a retry recompiles.
+func TestCacheFailureNotPinned(t *testing.T) {
+	var compiles atomic.Int64
+	c := NewCache(countingRegistry(t, &compiles, nil))
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrCompile("counted", registry.Params{Property: "fail"}); err == nil {
+			t.Fatal("expected compile failure")
+		}
+	}
+	if got := compiles.Load(); got != 2 {
+		t.Fatalf("failed compile was pinned: %d compiles, want 2", got)
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("failed compile left a cache entry: %+v", st)
+	}
+}
+
+// Uncacheable params (closures) bypass the cache.
+func TestCacheBypass(t *testing.T) {
+	c := NewCache(registry.Default())
+	p := registry.Params{
+		Property:     "anything",
+		PropertyFunc: func(*graph.Graph) (bool, error) { return true, nil },
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrCompile("universal", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Bypasses != 2 || st.Size != 0 {
+		t.Fatalf("stats = %+v, want 2 bypasses and size 0", st)
+	}
+}
+
+// The pipeline must prove and verify a large mixed batch correctly at
+// several worker counts, sharing one compiled scheme per kind.
+func TestPipelineBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	jobs := make([]Job, 0, 120)
+	for i := 0; i < 60; i++ {
+		jobs = append(jobs, Job{
+			Graph:  graphgen.RandomTree(10+rng.Intn(40), rng),
+			Scheme: "tree-fo",
+			Params: registry.Params{Formula: "forall x. exists y. x ~ y"},
+		})
+	}
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, Job{
+			Graph:  graphgen.Path(2 * (4 + rng.Intn(20))),
+			Scheme: "tree-mso",
+			Params: registry.Params{Property: "perfect-matching"},
+		})
+	}
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, Job{
+			Graph:  graphgen.Star(5 + rng.Intn(30)),
+			Scheme: "universal",
+			Params: registry.Params{Property: "connected"},
+		})
+	}
+	for _, workers := range []int{1, 4, 8} {
+		cache := NewCache(registry.Default())
+		pipe := &Pipeline{Cache: cache, Workers: workers}
+		results, err := pipe.Run(context.Background(), jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(results), len(jobs))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+			if !r.Accepted {
+				t.Fatalf("workers=%d job %d rejected at %v", workers, i, r.Rejecters)
+			}
+			if r.Index != i {
+				t.Fatalf("workers=%d: result %d has index %d", workers, i, r.Index)
+			}
+		}
+		st := Summarize(results)
+		if st.Accepted != len(jobs) || st.Failed != 0 || st.Rejected != 0 {
+			t.Fatalf("workers=%d: stats %+v", workers, st)
+		}
+		// One compile per distinct scheme key, however many workers.
+		if cs := cache.Stats(); cs.Misses != 3 {
+			t.Fatalf("workers=%d: %d compiles, want 3", workers, cs.Misses)
+		}
+	}
+}
+
+// Per-job failures must be reported in the result, not abort the batch.
+func TestPipelineJobFailureIsolated(t *testing.T) {
+	jobs := []Job{
+		{Graph: graphgen.Path(8), Scheme: "tree-mso", Params: registry.Params{Property: "perfect-matching"}},
+		// Odd path has no perfect matching: the honest prover must refuse.
+		{Graph: graphgen.Path(7), Scheme: "tree-mso", Params: registry.Params{Property: "perfect-matching"}},
+		{Graph: nil, Scheme: "tree-mso", Params: registry.Params{Property: "perfect-matching"}},
+		{Graph: graphgen.Path(4), Scheme: "no-such-scheme"},
+	}
+	pipe := &Pipeline{Cache: NewCache(registry.Default()), Workers: 2}
+	results, err := pipe.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || !results[0].Accepted {
+		t.Fatalf("healthy job failed: %+v", results[0])
+	}
+	for i := 1; i < len(jobs); i++ {
+		if results[i].Err == nil {
+			t.Fatalf("job %d should have failed", i)
+		}
+	}
+	st := Summarize(results)
+	if st.Accepted != 1 || st.Failed != 3 {
+		t.Fatalf("stats = %+v, want 1 accepted / 3 failed", st)
+	}
+}
+
+// Cancelling the context stops dispatch; undispatched jobs carry the
+// context error.
+func TestPipelineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = Job{Graph: graphgen.Path(8), Scheme: "tree-mso", Params: registry.Params{Property: "perfect-matching"}}
+	}
+	pipe := &Pipeline{Cache: NewCache(registry.Default()), Workers: 4}
+	results, err := pipe.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled != len(jobs) {
+		t.Fatalf("%d of %d jobs cancelled, want all (ctx cancelled before Run)", cancelled, len(jobs))
+	}
+}
+
+// Lazy jobs materialize their graph inside a worker and can refine
+// params; a failing Lazy is an isolated per-job error.
+func TestPipelineLazyJobs(t *testing.T) {
+	built := atomic.Int64{}
+	jobs := []Job{
+		{
+			Scheme: "tree-mso",
+			Lazy: func() (*graph.Graph, registry.Params, error) {
+				built.Add(1)
+				return graphgen.Path(8), registry.Params{Property: "perfect-matching"}, nil
+			},
+		},
+		{
+			Scheme: "tree-mso",
+			Lazy: func() (*graph.Graph, registry.Params, error) {
+				return nil, registry.Params{}, errors.New("generator exploded")
+			},
+		},
+	}
+	pipe := &Pipeline{Cache: NewCache(registry.Default()), Workers: 2}
+	results, err := pipe.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || !results[0].Accepted {
+		t.Fatalf("lazy job failed: %+v", results[0])
+	}
+	if results[0].Generate <= 0 {
+		t.Fatalf("lazy job has no generation timing: %+v", results[0])
+	}
+	if built.Load() != 1 {
+		t.Fatalf("lazy builder ran %d times, want 1", built.Load())
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "generator exploded") {
+		t.Fatalf("lazy failure not surfaced: %+v", results[1])
+	}
+}
+
+// A nil cache is a caller bug and must be reported, not panic.
+func TestPipelineNoCache(t *testing.T) {
+	pipe := &Pipeline{}
+	if _, err := pipe.Run(context.Background(), []Job{{}}); err == nil {
+		t.Fatal("Run without a cache succeeded")
+	}
+}
+
+// Sanity for the example in the package docs: a cached tree-fo scheme
+// accumulates type knowledge across graphs, so later proofs reuse it.
+func TestCacheSharesCompiledArtifact(t *testing.T) {
+	c := NewCache(registry.Default())
+	p := registry.Params{Formula: "forall x. exists y. x ~ y"}
+	s1, err := c.GetOrCompile("tree-fo", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Prove(graphgen.Path(40)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.GetOrCompile("tree-fo", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("second lookup returned a fresh scheme")
+	}
+	if _, err := s2.Prove(graphgen.Path(80)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func ExampleSummarize() {
+	st := Summarize([]JobResult{
+		{Accepted: true, MaxBits: 18},
+		{Accepted: false},
+		{Err: errors.New("boom")},
+	})
+	fmt.Println(st.Jobs, st.Accepted, st.Rejected, st.Failed, st.MaxBits)
+	// Output: 3 1 1 1 18
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/registry"
+)
+
+// Job is one unit of pipeline work: prove and verify one graph under one
+// scheme.
+type Job struct {
+	// Graph is the instance to certify. Leave nil and set Lazy to
+	// materialize the instance inside a worker instead.
+	Graph *graph.Graph
+	// Lazy builds the graph (and may refine the params, e.g. attach a
+	// generator's witness provider) when the job is picked up. Keeping
+	// construction in the workers bounds batch memory to the worker
+	// count and parallelizes generation.
+	Lazy func() (*graph.Graph, registry.Params, error)
+	// Scheme names a registry entry.
+	Scheme string
+	// Params parameterise the scheme factory; ignored when Lazy is set
+	// (Lazy returns the effective params).
+	Params registry.Params
+}
+
+// JobResult reports one job's outcome with per-phase timings and the
+// certificate-size statistics the paper measures.
+type JobResult struct {
+	// Index is the job's position in the submitted batch.
+	Index int `json:"index"`
+	// Scheme is the resolved scheme name (empty when compilation failed).
+	Scheme string `json:"scheme,omitempty"`
+	// Accepted reports whether every vertex accepted the honest proof.
+	Accepted bool `json:"accepted"`
+	// Rejecters lists rejecting vertex indices, when any.
+	Rejecters []int `json:"rejecters,omitempty"`
+	// MaxBits and TotalBits are the certificate-size measures.
+	MaxBits   int `json:"max_bits"`
+	TotalBits int `json:"total_bits"`
+	// Generate, Compile, Prove and Verify are the phase durations
+	// (Generate is zero for jobs submitted with an explicit graph).
+	Generate time.Duration `json:"generate_ns"`
+	Compile  time.Duration `json:"compile_ns"`
+	Prove    time.Duration `json:"prove_ns"`
+	Verify   time.Duration `json:"verify_ns"`
+	// Err is the failure, if the job did not complete.
+	Err error `json:"-"`
+}
+
+// Pipeline proves and verifies batches of jobs on a bounded worker pool,
+// compiling schemes through a shared cache.
+type Pipeline struct {
+	// Cache supplies compiled schemes; required.
+	Cache *Cache
+	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// effectiveWorkers resolves the worker count.
+func (p *Pipeline) effectiveWorkers(jobs int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every job and returns one result per job, in submission
+// order. Cancellation via ctx stops dispatching promptly: jobs not yet
+// started complete with ctx's error. Run itself only returns an error for
+// malformed input; per-job failures live in the results.
+func (p *Pipeline) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	if p.Cache == nil {
+		return nil, fmt.Errorf("engine: pipeline has no cache")
+	}
+	results := make([]JobResult, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.effectiveWorkers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = p.runOne(ctx, i, jobs[i])
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark every undispatched job cancelled.
+			for j := i; j < len(jobs); j++ {
+				results[j] = JobResult{Index: j, Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return results, nil
+}
+
+// runOne executes a single job: compile (through the cache), prove, then
+// verify sequentially at every vertex.
+func (p *Pipeline) runOne(ctx context.Context, i int, job Job) JobResult {
+	res := JobResult{Index: i}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	g, params := job.Graph, job.Params
+	if g == nil && job.Lazy != nil {
+		tg := time.Now()
+		var err error
+		g, params, err = job.Lazy()
+		res.Generate = time.Since(tg)
+		if err != nil {
+			res.Err = fmt.Errorf("generate: %w", err)
+			return res
+		}
+	}
+	if g == nil {
+		res.Err = fmt.Errorf("engine: job %d has no graph", i)
+		return res
+	}
+	t0 := time.Now()
+	s, err := p.Cache.GetOrCompile(job.Scheme, params)
+	res.Compile = time.Since(t0)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Scheme = s.Name()
+	t1 := time.Now()
+	a, err := s.Prove(g)
+	res.Prove = time.Since(t1)
+	if err != nil {
+		res.Err = fmt.Errorf("prove: %w", err)
+		return res
+	}
+	res.MaxBits = a.MaxBits()
+	res.TotalBits = a.TotalBits()
+	t2 := time.Now()
+	verdict, err := cert.RunSequential(g, s, a)
+	res.Verify = time.Since(t2)
+	if err != nil {
+		res.Err = fmt.Errorf("verify: %w", err)
+		return res
+	}
+	res.Accepted = verdict.Accepted
+	res.Rejecters = verdict.Rejecters
+	return res
+}
+
+// BatchStats aggregates a batch's results.
+type BatchStats struct {
+	Jobs     int `json:"jobs"`
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	Failed   int `json:"failed"`
+	// MaxBits is the largest certificate over the whole batch.
+	MaxBits int `json:"max_bits"`
+	// TotalProve and TotalVerify sum the per-job phase times (CPU work,
+	// not wall time: jobs overlap across workers).
+	TotalProve  time.Duration `json:"total_prove_ns"`
+	TotalVerify time.Duration `json:"total_verify_ns"`
+}
+
+// Summarize folds results into batch statistics.
+func Summarize(results []JobResult) BatchStats {
+	st := BatchStats{Jobs: len(results)}
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			st.Failed++
+		case r.Accepted:
+			st.Accepted++
+		default:
+			st.Rejected++
+		}
+		if r.MaxBits > st.MaxBits {
+			st.MaxBits = r.MaxBits
+		}
+		st.TotalProve += r.Prove
+		st.TotalVerify += r.Verify
+	}
+	return st
+}

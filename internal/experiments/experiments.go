@@ -14,7 +14,6 @@ import (
 	"repro/internal/cert"
 	"repro/internal/combin"
 	"repro/internal/commcc"
-	"repro/internal/core"
 	"repro/internal/ef"
 	"repro/internal/game"
 	"repro/internal/graph"
@@ -23,6 +22,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/minor"
 	"repro/internal/netsim"
+	"repro/internal/registry"
 	"repro/internal/rooted"
 	"repro/internal/spanning"
 	"repro/internal/treedepth"
@@ -70,14 +70,16 @@ func (t *Table) Render() string {
 
 // E1TreeMSO measures certificate sizes of Theorem 2.2 schemes on growing
 // random trees: constant, versus the O(log n) spanning tree and O(n^2)
-// universal baselines.
+// universal baselines. Schemes are built through the shared registry —
+// the same factories cmd/certify and cmd/certserver use.
 func E1TreeMSO(seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
-	pm, err := automata.NewPerfectMatchingScheme()
+	reg := registry.Default()
+	pm, err := reg.Build("tree-mso", registry.Params{Property: "perfect-matching"})
 	if err != nil {
 		return nil, err
 	}
-	deg3, err := automata.NewMaxDegreeScheme(3)
+	deg3, err := reg.Build("tree-mso", registry.Params{Property: "max-degree-<=3"})
 	if err != nil {
 		return nil, err
 	}
@@ -373,22 +375,29 @@ func E8SmallFragments() (*Table, error) {
 		Title: "Lemma 2.1 — existential FO and depth-2 FO vs universal baseline",
 		Head:  []string{"n", "existential(bits)", "depth2(bits)", "universal(bits)"},
 	}
-	ex, err := core.NewExistentialFO(logic.IndependentSetOfSize(3))
+	reg := registry.Default()
+	ex, err := reg.Build("existential-fo", registry.Params{FormulaAST: logic.IndependentSetOfSize(3)})
 	if err != nil {
 		return nil, err
 	}
-	d2, err := core.NewDepth2FO(logic.HasDominatingVertex())
+	d2, err := reg.Build("depth2-fo", registry.Params{FormulaAST: logic.HasDominatingVertex()})
 	if err != nil {
 		return nil, err
 	}
-	uni := &core.Universal{PropertyName: "dominating", Property: func(g *graph.Graph) (bool, error) {
-		for v := 0; v < g.N(); v++ {
-			if g.Degree(v) == g.N()-1 {
-				return true, nil
+	uni, err := reg.Build("universal", registry.Params{
+		Property: "dominating",
+		PropertyFunc: func(g *graph.Graph) (bool, error) {
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(v) == g.N()-1 {
+					return true, nil
+				}
 			}
-		}
-		return false, nil
-	}}
+			return false, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, n := range []int{16, 64, 256} {
 		star := graphgen.Star(n)
 		ae, err := ex.Prove(star)

@@ -1,0 +1,150 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+)
+
+// The default registry must expose every scheme kind of the paper.
+func TestDefaultRegistryNames(t *testing.T) {
+	want := []string{
+		"ct-minor-free", "depth2-fo", "existential-fo", "kernel-mso",
+		"pt-minor-free", "tree-fo", "tree-mso", "treedepth", "universal",
+	}
+	got := Default().Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// Every entry's Info must be complete enough to drive the /schemes
+// listing and the CLI help.
+func TestDefaultRegistryInfoComplete(t *testing.T) {
+	for _, info := range Default().List() {
+		if info.Summary == "" || info.CertBound == "" || info.GraphClass == "" {
+			t.Errorf("entry %q has incomplete metadata: %+v", info.Name, info)
+		}
+	}
+}
+
+// Every tree-mso property listed in the enum must actually build and
+// certify a suitable instance — the enum and the factory switch must
+// never drift apart.
+func TestTreeMSOEnumMatchesFactory(t *testing.T) {
+	props := TreeMSOProperties()
+	if len(props) != 6 {
+		t.Fatalf("TreeMSOProperties() = %v, want 6 entries", props)
+	}
+	for _, p := range props {
+		s, err := Default().Build("tree-mso", Params{Property: p})
+		if err != nil {
+			t.Fatalf("Build(tree-mso, %q): %v", p, err)
+		}
+		if s.Name() == "" {
+			t.Fatalf("tree-mso %q: empty scheme name", p)
+		}
+	}
+	if _, err := Default().Build("tree-mso", Params{Property: "no-such-property"}); err == nil {
+		t.Fatal("Build accepted an unknown tree-mso property")
+	}
+}
+
+// Each built scheme must prove and verify a known yes-instance.
+func TestBuildProveVerify(t *testing.T) {
+	cases := []struct {
+		name   string
+		params Params
+		graph  *graph.Graph
+	}{
+		{"tree-mso", Params{Property: "perfect-matching"}, graphgen.Path(8)},
+		{"tree-fo", Params{Formula: "forall x. exists y. x ~ y"}, graphgen.Path(6)},
+		{"treedepth", Params{T: 3}, graphgen.Path(7)},
+		{"kernel-mso", Params{T: 3, Formula: "forall x. exists y. x ~ y"}, graphgen.Path(7)},
+		{"pt-minor-free", Params{T: 4}, graphgen.Star(9)},
+		{"universal", Params{Property: "connected"}, graphgen.Cycle(5)},
+		{"existential-fo", Params{Formula: "exists x. exists y. x ~ y"}, graphgen.Path(4)},
+		{"depth2-fo", Params{Formula: "forall x. exists y. x ~ y"}, graphgen.Star(5)},
+	}
+	for _, tc := range cases {
+		s, err := Default().Build(tc.name, tc.params)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", tc.name, err)
+		}
+		a, res, err := cert.ProveAndVerify(tc.graph, s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Accepted {
+			t.Fatalf("%s: honest proof rejected at %v", tc.name, res.Rejecters)
+		}
+		if a.MaxBits() == 0 && tc.name != "universal" {
+			t.Logf("%s: zero-bit certificates (allowed but unusual)", tc.name)
+		}
+	}
+}
+
+// Missing or invalid params must be rejected with an informative error.
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		params  Params
+		wantSub string
+	}{
+		{"tree-mso", Params{}, "missing property"},
+		{"tree-fo", Params{}, "missing formula"},
+		{"treedepth", Params{}, "must be positive"},
+		{"kernel-mso", Params{Formula: "forall x. x = x"}, "must be positive"},
+		{"no-such-scheme", Params{}, "unknown scheme"},
+		{"tree-fo", Params{Formula: "forall x. ("}, ""},
+	}
+	for _, tc := range cases {
+		_, err := Default().Build(tc.name, tc.params)
+		if err == nil {
+			t.Fatalf("Build(%s, %+v) succeeded, want error", tc.name, tc.params)
+		}
+		if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("Build(%s) error = %q, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// Registration must reject duplicates and incomplete entries.
+func TestRegisterRejects(t *testing.T) {
+	r := New()
+	ok := Entry{
+		Info:  Info{Name: "x"},
+		Build: func(Params) (cert.Scheme, error) { return nil, nil },
+	}
+	if err := r.Register(ok); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register(ok); err == nil {
+		t.Fatal("Register accepted a duplicate name")
+	}
+	if err := r.Register(Entry{Info: Info{Name: "y"}}); err == nil {
+		t.Fatal("Register accepted a nil factory")
+	}
+	if err := r.Register(Entry{Build: ok.Build}); err == nil {
+		t.Fatal("Register accepted an unnamed entry")
+	}
+}
+
+// Cacheable must flag closure-bearing params as graph-specific.
+func TestParamsCacheable(t *testing.T) {
+	if !(Params{Property: "p", T: 3}).Cacheable() {
+		t.Fatal("value-only params reported uncacheable")
+	}
+	p := Params{PropertyFunc: func(*graph.Graph) (bool, error) { return true, nil }}
+	if p.Cacheable() {
+		t.Fatal("params with a predicate closure reported cacheable")
+	}
+}

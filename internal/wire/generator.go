@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/rooted"
+	"repro/internal/treedepth"
+)
+
+// GeneratorSpec describes a graph to generate server-side instead of
+// shipping it over the wire — the batch API's way of certifying whole
+// families. It is also the one graph-kind switch cmd/certify uses, so the
+// CLI and the server accept the same family names.
+type GeneratorSpec struct {
+	// Kind is one of GeneratorKinds.
+	Kind string `json:"kind"`
+	// N is the number of vertices.
+	N int `json:"n"`
+	// T is the treedepth bound for "random-td".
+	T int `json:"t,omitempty"`
+	// Density is the extra-edge density for "random-td"; 0 means the
+	// default 0.3.
+	Density float64 `json:"density,omitempty"`
+	// Seed drives the random kinds; deterministic per spec.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// GeneratorKinds lists the supported family names.
+func GeneratorKinds() []string {
+	return []string{"path", "cycle", "star", "random-tree", "random-td"}
+}
+
+// MaxGeneratedVertices bounds server-side generation.
+const MaxGeneratedVertices = 1 << 20
+
+// Validate checks the spec without building anything, so request
+// handlers can reject bad specs up front and defer the (potentially
+// large) construction to a worker.
+func (s GeneratorSpec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("wire: generator %q: n must be positive, got %d", s.Kind, s.N)
+	}
+	if s.N > MaxGeneratedVertices {
+		return fmt.Errorf("wire: generator %q: n=%d exceeds limit %d", s.Kind, s.N, MaxGeneratedVertices)
+	}
+	switch s.Kind {
+	case "path", "cycle", "star", "random-tree":
+		return nil
+	case "random-td":
+		if s.T <= 0 {
+			return fmt.Errorf("wire: generator random-td: t must be positive, got %d", s.T)
+		}
+		return nil
+	default:
+		return fmt.Errorf("wire: unknown generator kind %q (known: %v)", s.Kind, GeneratorKinds())
+	}
+}
+
+// Build materializes the spec. For "random-td" it also returns the
+// elimination-tree witness provider the generator knows; it is nil for
+// every other kind.
+func (s GeneratorSpec) Build() (*graph.Graph, func(*graph.Graph) (*rooted.Tree, error), error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	switch s.Kind {
+	case "path":
+		return graphgen.Path(s.N), nil, nil
+	case "cycle":
+		return graphgen.Cycle(s.N), nil, nil
+	case "star":
+		return graphgen.Star(s.N), nil, nil
+	case "random-tree":
+		rng := rand.New(rand.NewSource(s.Seed))
+		return graphgen.RandomTree(s.N, rng), nil, nil
+	case "random-td":
+		density := s.Density
+		if density == 0 {
+			density = 0.3
+		}
+		rng := rand.New(rand.NewSource(s.Seed))
+		g, parents := graphgen.BoundedTreedepth(s.N, s.T, density, rng)
+		provider := func(gg *graph.Graph) (*rooted.Tree, error) {
+			return treedepth.FromParentSlice(gg, parents)
+		}
+		return g, provider, nil
+	default:
+		return nil, nil, fmt.Errorf("wire: unknown generator kind %q (known: %v)", s.Kind, GeneratorKinds())
+	}
+}

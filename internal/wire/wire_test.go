@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+)
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.IDOf(v) != b.IDOf(v) {
+			t.Fatalf("vertex %d: id %d vs %d", v, a.IDOf(v), b.IDOf(v))
+		}
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d: %v vs %v", i, ae[i], be[i])
+		}
+	}
+}
+
+// Binary graph encoding must round-trip structured and random graphs,
+// with and without custom identifiers.
+func TestGraphBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	graphs := []*graph.Graph{
+		graphgen.Path(1),
+		graphgen.Path(17),
+		graphgen.Cycle(9),
+		graphgen.Star(33),
+		graphgen.RandomTree(100, rng),
+	}
+	custom, err := graph.NewWithIDs([]int64{7, 1000003, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom.MustAddEdge(0, 1)
+	custom.MustAddEdge(1, 2)
+	graphs = append(graphs, custom)
+
+	for i, g := range graphs {
+		data := EncodeGraph(g)
+		got, err := DecodeGraph(data)
+		if err != nil {
+			t.Fatalf("graph %d: decode: %v", i, err)
+		}
+		sameGraph(t, g, got)
+	}
+}
+
+// The binary format is compact: a path on 1024 vertices needs about
+// 2*10 bits per edge, far below a naive 32-bit-per-endpoint encoding.
+func TestGraphBinaryCompact(t *testing.T) {
+	g := graphgen.Path(1024)
+	data := EncodeGraph(g)
+	naive := 8 * g.M() // bytes for two 32-bit endpoints per edge
+	if len(data) >= naive {
+		t.Fatalf("encoded %d bytes, naive is %d — format is not compact", len(data), naive)
+	}
+}
+
+func TestGraphBinaryErrors(t *testing.T) {
+	if _, err := DecodeGraph(nil); err == nil {
+		t.Fatal("decoded an empty payload")
+	}
+	// Truncate a valid encoding: must error, not panic or misread.
+	data := EncodeGraph(graphgen.Cycle(20))
+	if _, err := DecodeGraph(data[:len(data)/2]); err == nil {
+		t.Fatal("decoded a truncated payload")
+	}
+}
+
+// JSON graph form must round-trip through encoding/json.
+func TestGraphJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range []*graph.Graph{graphgen.Star(12), graphgen.RandomTree(50, rng)} {
+		blob, err := json.Marshal(GraphToJSON(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j GraphJSON
+		if err := json.Unmarshal(blob, &j); err != nil {
+			t.Fatal(err)
+		}
+		got, err := j.ToGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, g, got)
+	}
+}
+
+func TestGraphJSONErrors(t *testing.T) {
+	cases := []GraphJSON{
+		{N: 3, Edges: [][2]int{{0, 3}}},         // endpoint out of range
+		{N: 2, Edges: [][2]int{{0, 0}}},         // self loop
+		{N: 2, IDs: []int64{1, 2, 3}},           // id count mismatch
+		{N: 2, IDs: []int64{5, 5}},              // duplicate ids
+		{N: 3, Edges: [][2]int{{0, 1}, {0, 1}}}, // duplicate edge
+		{N: -1},                                 // negative count
+		{N: MaxGraphVertices + 1},               // hostile huge header
+	}
+	for i, j := range cases {
+		if _, err := j.ToGraph(); err == nil {
+			t.Fatalf("case %d: ToGraph accepted invalid input %+v", i, j)
+		}
+	}
+}
+
+// Assignments round-trip through both the binary and the string form,
+// including empty certificates.
+func TestAssignmentRoundTrip(t *testing.T) {
+	a := cert.Assignment{
+		{1, 0, 1, 1, 0},
+		nil,
+		{0},
+		{1, 1, 1, 1, 1, 1, 1, 1, 1}, // crosses a byte boundary when packed
+	}
+	got, err := DecodeAssignment(EncodeAssignment(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(a) {
+		t.Fatalf("decoded %d certificates, want %d", len(got), len(a))
+	}
+	for i := range a {
+		if len(got[i]) != len(a[i]) {
+			t.Fatalf("certificate %d: %d bits, want %d", i, len(got[i]), len(a[i]))
+		}
+		for j := range a[i] {
+			if got[i][j] != a[i][j] {
+				t.Fatalf("certificate %d bit %d: %d, want %d", i, j, got[i][j], a[i][j])
+			}
+		}
+	}
+
+	strs := AssignmentToStrings(a)
+	if strs[0] != "10110" || strs[1] != "" || strs[2] != "0" {
+		t.Fatalf("AssignmentToStrings = %v", strs)
+	}
+	back, err := AssignmentFromStrings(strs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(back[i]) != len(a[i]) {
+			t.Fatalf("string round trip: certificate %d has %d bits, want %d", i, len(back[i]), len(a[i]))
+		}
+	}
+}
+
+func TestAssignmentErrors(t *testing.T) {
+	if _, err := AssignmentFromStrings([]string{"01x"}); err == nil {
+		t.Fatal("accepted a non-bit character")
+	}
+	data := EncodeAssignment(cert.Assignment{{1, 1, 1, 1, 1, 1, 1, 1}})
+	if _, err := DecodeAssignment(data[:1]); err == nil {
+		t.Fatal("decoded a truncated assignment")
+	}
+}
+
+// A hostile header claiming far more certificates than the payload can
+// hold must be rejected before allocation, not trusted.
+func TestAssignmentHostileCount(t *testing.T) {
+	var w bitio.Writer
+	w.WriteUvarint(1 << 24) // claims 16M certificates in a few bytes
+	if _, err := DecodeAssignment(Pack(w.Bits())); err == nil {
+		t.Fatal("decoded an assignment whose count exceeds the payload")
+	}
+}
+
+// Same for a binary graph claiming custom identifiers it does not carry.
+func TestGraphHostileIDCount(t *testing.T) {
+	var w bitio.Writer
+	w.WriteUvarint(1 << 23) // n
+	w.WriteUvarint(0)       // m
+	w.WriteBool(true)       // customIDs, but no id data follows
+	if _, err := DecodeGraph(Pack(w.Bits())); err == nil {
+		t.Fatal("decoded a graph whose id count exceeds the payload")
+	}
+}
+
+// Pack/Unpack are inverses up to byte-boundary padding.
+func TestPackUnpack(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(70)
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		got := Unpack(Pack(bits))
+		if len(got) < n {
+			t.Fatalf("unpacked %d bits, want >= %d", len(got), n)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != bits[i] {
+				t.Fatalf("trial %d: bit %d = %d, want %d", trial, i, got[i], bits[i])
+			}
+		}
+		for i := n; i < len(got); i++ {
+			if got[i] != 0 {
+				t.Fatalf("trial %d: padding bit %d is set", trial, i)
+			}
+		}
+	}
+}
+
+// Generator specs must build the families the CLI and server advertise,
+// deterministically per seed.
+func TestGeneratorSpec(t *testing.T) {
+	for _, kind := range GeneratorKinds() {
+		spec := GeneratorSpec{Kind: kind, N: 24, T: 3, Seed: 9}
+		g, provider, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() != 24 {
+			t.Fatalf("%s: n = %d, want 24", kind, g.N())
+		}
+		if (kind == "random-td") != (provider != nil) {
+			t.Fatalf("%s: provider presence wrong", kind)
+		}
+		if provider != nil {
+			m, err := provider(g)
+			if err != nil {
+				t.Fatalf("%s: provider: %v", kind, err)
+			}
+			if m == nil {
+				t.Fatalf("%s: provider returned nil model", kind)
+			}
+		}
+		// Same seed, same graph.
+		g2, _, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, g, g2)
+	}
+	bad := []GeneratorSpec{
+		{Kind: "nope", N: 5},
+		{Kind: "path", N: 0},
+		{Kind: "random-td", N: 10, T: 0},
+		{Kind: "path", N: 1 << 21},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("case %d: Validate accepted %+v", i, spec)
+		}
+		if _, _, err := spec.Build(); err == nil {
+			t.Fatalf("case %d: Build accepted %+v", i, spec)
+		}
+	}
+}
