@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test ci bench bench-engine fmt-check clean
+.PHONY: all build vet test test-race ci bench bench-engine bench-netsim fmt-check clean
 
 all: ci
 
@@ -13,8 +13,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# ci is the tier-1 gate: everything must build, vet clean, and pass.
-ci: build vet test
+# test-race re-runs the suite under the race detector with shuffled test
+# order: the sharded simulator and the batch pipeline are the most
+# concurrency-heavy code in the repo and must stay clean under both.
+test-race:
+	$(GO) test -race -shuffle=on ./...
+
+# ci is the tier-1 gate: everything must build, vet clean, and pass —
+# including under the race detector.
+ci: build vet test test-race
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -26,6 +33,11 @@ bench:
 # uncached compilation and batch pipeline throughput at 1/4/8 workers.
 bench-engine:
 	$(GO) test -bench=. -benchmem -run=NONE ./internal/engine
+
+# bench-netsim compares the sharded round engine against the legacy
+# goroutine-per-vertex simulator (allocations, wall time, n up to 1e5).
+bench-netsim:
+	$(GO) test -bench=. -benchmem -run=NONE ./internal/netsim
 
 clean:
 	$(GO) clean ./...

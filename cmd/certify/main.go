@@ -1,10 +1,12 @@
 // Command certify is a small CLI around the public API: generate a graph
-// family, pick a scheme, prove, verify (sequentially and on the simulated
-// network), optionally tamper, and report certificate sizes.
+// family, pick a scheme, prove, verify (sequentially and on the sharded
+// simulated network), optionally run an adversarial tamper sweep, and
+// report certificate sizes.
 //
-// The graph kinds come from the shared generator spec (internal/wire) and
-// the scheme names and property lists come from the scheme registry, so
-// this command, the facade and cmd/certserver always agree on what exists.
+// The graph kinds come from the shared generator spec (internal/wire), the
+// scheme names and property lists come from the scheme registry, and the
+// tamper kinds come from the shared tamper spec, so this command, the
+// facade and cmd/certserver always agree on what exists.
 //
 // Usage examples:
 //
@@ -12,6 +14,7 @@
 //	certify -graph random-td -n 200 -t 4 -scheme treedepth
 //	certify -graph star -n 50 -scheme depth2-fo -formula "exists x. forall y. x = y | x ~ y"
 //	certify -graph path -n 32 -scheme tree-mso -property max-degree-<=2 -tamper 3
+//	certify -graph cycle -n 100 -scheme universal -property connected -distributed -workers 4 -tamper-kind all -trials 25
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strings"
 
 	compactcert "repro"
+	"repro/internal/netsim"
 	"repro/internal/wire"
 )
 
@@ -49,9 +53,14 @@ func run() int {
 		schemeSel = flag.String("scheme", "tree-mso", schemeNames())
 		property  = flag.String("property", "perfect-matching",
 			"tree-mso property name: "+strings.Join(compactcert.TreeMSOProperties(), " | "))
-		formula = flag.String("formula", "forall x. exists y. x ~ y", "FO/MSO sentence for formula-driven schemes")
-		seed    = flag.Int64("seed", 1, "random seed")
-		tamper  = flag.Int("tamper", 0, "flip this many random certificate bits before verifying")
+		formula     = flag.String("formula", "forall x. exists y. x ~ y", "FO/MSO sentence for formula-driven schemes")
+		seed        = flag.Int64("seed", 1, "random seed")
+		tamper      = flag.Int("tamper", 0, "flip this many random certificate bits before verifying")
+		distributed = flag.Bool("distributed", true, "run the sharded network simulator after the sequential referee")
+		workers     = flag.Int("workers", 0, "simulator worker bound (0 = GOMAXPROCS)")
+		tamperKind  = flag.String("tamper-kind", "", "adversarial sweep: "+strings.Join(wire.TamperKinds(), " | "))
+		tamperK     = flag.Int("tamper-k", 0, "bits to flip per trial for -tamper-kind flip-bits (0 = 1)")
+		trials      = flag.Int("trials", 10, "trials per tamper for -tamper-kind sweeps")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -86,6 +95,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "certify: unknown scheme %q\n", *schemeSel)
 		return 2
 	}
+	tamperSpec := wire.TamperSpec{Kind: *tamperKind, K: *tamperK, Trials: *trials, Seed: *seed}
+	if *tamperKind != "" {
+		if err := tamperSpec.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "certify: %v\n", err)
+			return 2
+		}
+	}
 	s, err := compactcert.BuildScheme(name, params)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "certify: %v\n", err)
@@ -102,22 +118,47 @@ func run() int {
 	fmt.Printf("certificates: max %d bits, total %d bits\n", a.MaxBits(), a.TotalBits())
 	fmt.Printf("sequential verification: accepted=%v\n", res.Accepted)
 
-	rep, err := compactcert.RunDistributed(context.Background(), g, s, a)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "certify: distributed run: %v\n", err)
-		return 1
+	engine := &netsim.Engine{Workers: *workers}
+	if *distributed {
+		rep, err := engine.Run(context.Background(), g, s, a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certify: distributed run: %v\n", err)
+			return 1
+		}
+		fmt.Printf("distributed verification: accepted=%v (1 round, %d nodes, %d workers)\n",
+			rep.Accepted, g.N(), rep.Workers)
 	}
-	fmt.Printf("distributed verification: accepted=%v (1 round, %d nodes)\n", rep.Accepted, g.N())
 
 	if *tamper > 0 {
 		bad := compactcert.FlipRandomBits(a, *tamper, rng)
-		rep2, err := compactcert.RunDistributed(context.Background(), g, s, bad)
+		rep2, err := engine.Run(context.Background(), g, s, bad)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "certify: tampered run: %v\n", err)
 			return 1
 		}
 		fmt.Printf("after flipping %d bits: accepted=%v, rejecting nodes=%v\n",
 			*tamper, rep2.Accepted, rep2.Rejecters)
+	}
+
+	if *tamperKind != "" {
+		tampers, err := tamperSpec.Tampers()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certify: %v\n", err)
+			return 2
+		}
+		sweep, err := engine.Sweep(context.Background(), g, s, a, tampers, tamperSpec.EffectiveTrials(), *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certify: sweep: %v\n", err)
+			return 1
+		}
+		fmt.Printf("adversarial sweep (%d trials per tamper):\n", tamperSpec.EffectiveTrials())
+		for _, st := range sweep.Stats {
+			fmt.Printf("  %-12s mutated=%d detected=%d noops=%d rate=%.2f rejecters=%d\n",
+				st.Tamper, st.Mutated, st.Detected, st.NoOps, st.DetectionRate(), st.Rejecters)
+		}
+		if !sweep.AllDetected {
+			fmt.Println("  WARNING: some corrupted assignments were accepted (see undetected trial indices above)")
+		}
 	}
 	return 0
 }

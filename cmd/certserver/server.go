@@ -18,12 +18,16 @@ import (
 // the batch generator instead of shipping edges over the wire.
 const maxBodyBytes = 32 << 20
 
-// server wires the registry, the compile cache and the batch pipeline
-// behind the JSON API.
+// server wires the registry, the compile cache, the batch pipeline and
+// the network simulator behind the JSON API.
 type server struct {
 	reg   *registry.Registry
 	cache *engine.Cache
 	pipe  *engine.Pipeline
+	// sim is the long-lived sharded simulator: keeping one engine per
+	// server is what lets its sync.Pool shard buffers actually get
+	// reused across /simulate requests.
+	sim *netsim.Engine
 }
 
 // newServer builds a server around the given registry with the given
@@ -34,6 +38,7 @@ func newServer(reg *registry.Registry, workers int) *server {
 		reg:   reg,
 		cache: cache,
 		pipe:  &engine.Pipeline{Cache: cache, Workers: workers},
+		sim:   &netsim.Engine{Workers: workers},
 	}
 }
 
@@ -44,6 +49,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /certify", s.handleCertify)
 	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("POST /simulate", s.handleSimulate)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	return mux
 }
@@ -212,6 +218,123 @@ func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// simulateRequest is the POST /simulate payload: run the sharded network
+// simulator as a served workload. The scheme proves honestly unless
+// certificates are supplied, the round runs on a bounded worker pool, and
+// an optional tamper spec turns the request into an adversarial soundness
+// sweep.
+type simulateRequest struct {
+	jobJSON
+	// Certificates, when present, are verified instead of an honest
+	// proof (the submitted-assignment referee, distributed).
+	Certificates []string `json:"certificates,omitempty"`
+	// Workers bounds the simulator's worker pool for this request;
+	// <= 0 uses the server's long-lived engine (its -workers setting).
+	Workers int `json:"workers,omitempty"`
+	// Tamper additionally sweeps the named tamper family over the
+	// assignment and reports detection statistics. The sweep only runs
+	// when the base round accepted: detection rates against an
+	// already-rejected baseline would be meaningless.
+	Tamper *wire.TamperSpec `json:"tamper,omitempty"`
+}
+
+type simulateResponse struct {
+	Scheme string          `json:"scheme"`
+	Result wire.ResultJSON `json:"result"`
+	// Rounds and Workers describe the simulated network round.
+	Rounds  int `json:"rounds"`
+	Workers int `json:"workers"`
+	// Sweep is present when the request carried a tamper spec.
+	Sweep    *netsim.SweepReport `json:"sweep,omitempty"`
+	ProveNS  int64               `json:"prove_ns,omitempty"`
+	VerifyNS int64               `json:"verify_ns"`
+	SweepNS  int64               `json:"sweep_ns,omitempty"`
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Tamper != nil {
+		if err := req.Tamper.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	g, params, err := req.resolve(s.reg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scheme, err := s.cache.GetOrCompile(req.Scheme, params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := simulateResponse{Scheme: scheme.Name()}
+	var a cert.Assignment
+	if len(req.Certificates) > 0 {
+		a, err = wire.AssignmentFromStrings(req.Certificates)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if len(a) != g.N() {
+			writeError(w, http.StatusBadRequest, "%d certificates for %d vertices", len(a), g.N())
+			return
+		}
+	} else {
+		t0 := time.Now()
+		a, err = scheme.Prove(g)
+		resp.ProveNS = time.Since(t0).Nanoseconds()
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
+			return
+		}
+	}
+	// The shared engine serves the common case so its buffer pool stays
+	// warm; an explicit per-request worker bound gets its own engine.
+	sim := s.sim
+	if req.Workers > 0 {
+		sim = &netsim.Engine{Workers: req.Workers}
+	}
+	t1 := time.Now()
+	rep, err := sim.Run(r.Context(), g, scheme, a)
+	resp.VerifyNS = time.Since(t1).Nanoseconds()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "simulate: %v", err)
+		return
+	}
+	resp.Result = wire.ResultJSON{
+		Accepted:  rep.Accepted,
+		Rejecters: rep.Rejecters,
+		MaxBits:   a.MaxBits(),
+		TotalBits: a.TotalBits(),
+	}
+	resp.Rounds = rep.Rounds
+	resp.Workers = rep.Workers
+	// Sweep only an accepted baseline: attacking an assignment that is
+	// already rejected would produce meaningless detection statistics
+	// (the pipeline applies the same gate).
+	if req.Tamper != nil && rep.Accepted {
+		tampers, terr := req.Tamper.Tampers()
+		if terr != nil {
+			writeError(w, http.StatusBadRequest, "%v", terr)
+			return
+		}
+		t2 := time.Now()
+		sweep, serr := sim.Sweep(r.Context(), g, scheme, a, tampers, req.Tamper.EffectiveTrials(), req.Tamper.Seed)
+		resp.SweepNS = time.Since(t2).Nanoseconds()
+		if serr != nil {
+			writeError(w, http.StatusInternalServerError, "sweep: %v", serr)
+			return
+		}
+		resp.Sweep = &sweep
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // verifyRequest is the POST /verify payload: a graph, a scheme and a
 // claimed assignment to referee.
 type verifyRequest struct {
@@ -255,20 +378,29 @@ type batchRequest struct {
 	// Workers overrides the server's worker count for this batch.
 	Workers int       `json:"workers,omitempty"`
 	Jobs    []jobJSON `json:"jobs"`
+	// Distributed verifies every job on the sharded network simulator
+	// instead of the sequential referee.
+	Distributed bool `json:"distributed,omitempty"`
+	// Tamper runs the adversarial soundness sweep described by the spec
+	// on every accepted job; per-tamper detection statistics land on each
+	// result and aggregate into the batch stats.
+	Tamper *wire.TamperSpec `json:"tamper,omitempty"`
 }
 
 // batchJobResult is the JSON form of engine.JobResult.
 type batchJobResult struct {
-	Index      int    `json:"index"`
-	Scheme     string `json:"scheme,omitempty"`
-	Accepted   bool   `json:"accepted"`
-	Rejecters  []int  `json:"rejecters,omitempty"`
-	MaxBits    int    `json:"max_bits"`
-	TotalBits  int    `json:"total_bits"`
-	GenerateNS int64  `json:"generate_ns"`
-	ProveNS    int64  `json:"prove_ns"`
-	VerifyNS   int64  `json:"verify_ns"`
-	Error      string `json:"error,omitempty"`
+	Index       int                 `json:"index"`
+	Scheme      string              `json:"scheme,omitempty"`
+	Accepted    bool                `json:"accepted"`
+	Rejecters   []int               `json:"rejecters,omitempty"`
+	MaxBits     int                 `json:"max_bits"`
+	TotalBits   int                 `json:"total_bits"`
+	GenerateNS  int64               `json:"generate_ns"`
+	ProveNS     int64               `json:"prove_ns"`
+	VerifyNS    int64               `json:"verify_ns"`
+	Distributed bool                `json:"distributed,omitempty"`
+	Sweep       *netsim.SweepReport `json:"sweep,omitempty"`
+	Error       string              `json:"error,omitempty"`
 }
 
 // maxBatchJobs bounds a single batch; larger workloads should be split
@@ -288,6 +420,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch has %d jobs (limit %d)", len(req.Jobs), maxBatchJobs)
 		return
 	}
+	var sweep *engine.TamperSweep
+	if req.Tamper != nil {
+		tampers, err := req.Tamper.Tampers()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		sweep = &engine.TamperSweep{Tampers: tampers, Trials: req.Tamper.EffectiveTrials(), Seed: req.Tamper.Seed}
+	}
 	jobs := make([]engine.Job, len(req.Jobs))
 	for i, jj := range req.Jobs {
 		switch {
@@ -300,7 +441,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
 				return
 			}
-			jobs[i] = engine.Job{Graph: g, Scheme: jj.Scheme, Params: jj.Params.toParams()}
+			jobs[i] = engine.Job{Graph: g, Scheme: jj.Scheme, Params: jj.Params.toParams(), Distributed: req.Distributed, Sweep: sweep}
 		case jj.Generator != nil:
 			// Validate up front (so bad specs fail the whole request),
 			// but build inside a worker: residency stays bounded by the
@@ -311,7 +452,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			gen, params, useWitness := *jj.Generator, jj.Params.toParams(), schemeUsesWitness(s.reg, jj.Scheme)
 			jobs[i] = engine.Job{
-				Scheme: jj.Scheme,
+				Scheme:      jj.Scheme,
+				Distributed: req.Distributed,
+				Sweep:       sweep,
 				Lazy: func() (*graph.Graph, registry.Params, error) {
 					g, provider, err := gen.Build()
 					if err != nil {
@@ -343,18 +486,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := make([]batchJobResult, len(results))
 	for i, res := range results {
 		out[i] = batchJobResult{
-			Index:      res.Index,
-			Scheme:     res.Scheme,
-			Accepted:   res.Accepted,
-			Rejecters:  res.Rejecters,
-			MaxBits:    res.MaxBits,
-			TotalBits:  res.TotalBits,
-			GenerateNS: res.Generate.Nanoseconds(),
-			ProveNS:    res.Prove.Nanoseconds(),
-			VerifyNS:   res.Verify.Nanoseconds(),
-		}
-		if res.Err != nil {
-			out[i].Error = res.Err.Error()
+			Index:       res.Index,
+			Scheme:      res.Scheme,
+			Accepted:    res.Accepted,
+			Rejecters:   res.Rejecters,
+			MaxBits:     res.MaxBits,
+			TotalBits:   res.TotalBits,
+			GenerateNS:  res.Generate.Nanoseconds(),
+			ProveNS:     res.Prove.Nanoseconds(),
+			VerifyNS:    res.Verify.Nanoseconds(),
+			Distributed: res.Distributed,
+			Sweep:       res.Sweep,
+			Error:       res.Error,
 		}
 	}
 	writeJSON(w, http.StatusOK, struct {

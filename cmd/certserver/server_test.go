@@ -235,6 +235,190 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+// POST /simulate runs the sharded network round as a served workload:
+// honest proof, bounded workers, and — with a tamper spec — a full
+// adversarial soundness sweep.
+func TestSimulateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out simulateResponse
+	resp := postJSON(t, ts.URL+"/simulate", map[string]any{
+		"scheme":    "tree-mso",
+		"params":    map[string]any{"property": "perfect-matching"},
+		"generator": map[string]any{"kind": "path", "n": 64},
+		"workers":   3,
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.Result.Accepted || out.Rounds != 1 {
+		t.Fatalf("simulate = %+v", out)
+	}
+	if out.Workers != 3 {
+		t.Fatalf("workers = %d, want the requested bound 3", out.Workers)
+	}
+	if out.Sweep != nil {
+		t.Fatal("sweep present without a tamper spec")
+	}
+}
+
+func TestSimulateWithTamperSweep(t *testing.T) {
+	ts := newTestServer(t)
+	var out simulateResponse
+	// The universal scheme reads every certificate bit, so every mutating
+	// tamper must be detected. (Witness-style schemes like treedepth can
+	// legitimately accept a flipped bit as an alternative valid proof on
+	// a yes-instance — see the E11 experiment notes.)
+	resp := postJSON(t, ts.URL+"/simulate", map[string]any{
+		"scheme":    "universal",
+		"params":    map[string]any{"property": "connected"},
+		"generator": map[string]any{"kind": "random-tree", "n": 40, "seed": 5},
+		"tamper":    map[string]any{"kind": "all", "trials": 8, "seed": 2},
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.Result.Accepted {
+		t.Fatalf("honest assignment rejected: %+v", out.Result)
+	}
+	if out.Sweep == nil || len(out.Sweep.Stats) == 0 {
+		t.Fatal("missing sweep report")
+	}
+	mutated := 0
+	for _, st := range out.Sweep.Stats {
+		if st.Trials != 8 || st.NoOps+st.Mutated != st.Trials {
+			t.Fatalf("inconsistent sweep accounting: %+v", st)
+		}
+		mutated += st.Mutated
+	}
+	if mutated == 0 {
+		t.Fatal("sweep mutated nothing")
+	}
+	if !out.Sweep.AllDetected {
+		t.Fatalf("universal scheme missed corruption: %+v", out.Sweep.Stats)
+	}
+}
+
+// /simulate referees submitted certificates too: a tampered assignment
+// must be rejected with named rejecters.
+func TestSimulateSubmittedCertificates(t *testing.T) {
+	ts := newTestServer(t)
+	// First obtain honest certificates via /certify.
+	var cr certifyResponse
+	resp := postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme":               "tree-mso",
+		"params":               map[string]any{"property": "is-star"},
+		"graph":                wire.GraphToJSON(graphgen.Star(12)),
+		"include_certificates": true,
+	}, &cr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("certify status %d", resp.StatusCode)
+	}
+	var out simulateResponse
+	resp = postJSON(t, ts.URL+"/simulate", map[string]any{
+		"scheme":       "tree-mso",
+		"params":       map[string]any{"property": "is-star"},
+		"graph":        wire.GraphToJSON(graphgen.Star(12)),
+		"certificates": cr.Certificates,
+	}, &out)
+	if resp.StatusCode != http.StatusOK || !out.Result.Accepted {
+		t.Fatalf("honest certificates rejected: status %d, %+v", resp.StatusCode, out.Result)
+	}
+	// Truncate one certificate: the round must reject, and a tamper spec
+	// on a rejected baseline must NOT produce a sweep (detection rates
+	// against an already-invalid assignment would be meaningless).
+	bad := append([]string(nil), cr.Certificates...)
+	bad[3] = ""
+	resp = postJSON(t, ts.URL+"/simulate", map[string]any{
+		"scheme":       "tree-mso",
+		"params":       map[string]any{"property": "is-star"},
+		"graph":        wire.GraphToJSON(graphgen.Star(12)),
+		"certificates": bad,
+		"tamper":       map[string]any{"kind": "all", "trials": 5},
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Result.Accepted || len(out.Result.Rejecters) == 0 {
+		t.Fatalf("tampered certificates accepted: %+v", out.Result)
+	}
+	if out.Sweep != nil {
+		t.Fatal("sweep ran against a rejected baseline")
+	}
+}
+
+func TestSimulateBadTamper(t *testing.T) {
+	ts := newTestServer(t)
+	var out errorJSON
+	resp := postJSON(t, ts.URL+"/simulate", map[string]any{
+		"scheme":    "tree-mso",
+		"params":    map[string]any{"property": "is-star"},
+		"generator": map[string]any{"kind": "star", "n": 8},
+		"tamper":    map[string]any{"kind": "melt"},
+	}, &out)
+	if resp.StatusCode != http.StatusBadRequest || out.Error == "" {
+		t.Fatalf("status %d, error %q", resp.StatusCode, out.Error)
+	}
+}
+
+// The batch-level tamper field sweeps every accepted job and aggregates
+// detection statistics into the batch stats.
+func TestBatchTamperField(t *testing.T) {
+	ts := newTestServer(t)
+	jobs := make([]map[string]any, 12)
+	for i := range jobs {
+		// The universal scheme reads every certificate bit (whole-graph
+		// description at every vertex), so every mutating tamper is
+		// detectable — the sweep must report a 100% detection rate.
+		jobs[i] = map[string]any{
+			"scheme":    "universal",
+			"params":    map[string]any{"property": "connected"},
+			"generator": map[string]any{"kind": "random-tree", "n": 20, "seed": i},
+		}
+	}
+	var out struct {
+		Stats   engine.BatchStats `json:"stats"`
+		Results []batchJobResult  `json:"results"`
+	}
+	resp := postJSON(t, ts.URL+"/batch", map[string]any{
+		"jobs":        jobs,
+		"distributed": true,
+		"tamper":      map[string]any{"kind": "all", "trials": 4, "seed": 9},
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Stats.Accepted != len(jobs) {
+		t.Fatalf("stats = %+v", out.Stats)
+	}
+	if out.Stats.SweepMutated == 0 || out.Stats.SweepDetected != out.Stats.SweepMutated {
+		t.Fatalf("batch sweep stats: %+v", out.Stats)
+	}
+	for _, r := range out.Results {
+		if !r.Distributed || r.Sweep == nil {
+			t.Fatalf("job %d missing distributed sweep: %+v", r.Index, r)
+		}
+		if !r.Sweep.AllDetected {
+			t.Fatalf("job %d: undetected corruption: %+v", r.Index, r.Sweep.Stats)
+		}
+	}
+}
+
+func TestBatchBadTamper(t *testing.T) {
+	ts := newTestServer(t)
+	var out errorJSON
+	resp := postJSON(t, ts.URL+"/batch", map[string]any{
+		"jobs": []map[string]any{{
+			"scheme":    "tree-mso",
+			"params":    map[string]any{"property": "is-star"},
+			"generator": map[string]any{"kind": "star", "n": 8},
+		}},
+		"tamper": map[string]any{"kind": "flip-bits", "trials": -3},
+	}, &out)
+	if resp.StatusCode != http.StatusBadRequest || out.Error == "" {
+		t.Fatalf("status %d, error %q", resp.StatusCode, out.Error)
+	}
+}
+
 // Generator witnesses are only attached to schemes that can use them:
 // a witness-less scheme on generated graphs stays cacheable.
 func TestBatchWitnessGating(t *testing.T) {

@@ -66,8 +66,9 @@ func ProveAndVerify(g *Graph, s Scheme) (Assignment, Result, error) {
 	return cert.ProveAndVerify(g, s)
 }
 
-// RunDistributed executes one verification round on a simulated network:
-// one goroutine per vertex, one certificate-exchange round over channels.
+// RunDistributed executes one verification round on the sharded network
+// simulator: one certificate-exchange round, vertices partitioned over a
+// bounded worker pool, verdicts identical to the sequential referee.
 func RunDistributed(ctx context.Context, g *Graph, s Scheme, a Assignment) (netsim.Report, error) {
 	return netsim.Run(ctx, g, s, a)
 }
@@ -198,14 +199,31 @@ func RandomBoundedTreedepth(n, t int, density float64, rng *rand.Rand) (*Graph, 
 // (n <= 64) and an optimal elimination tree.
 func ExactTreedepth(g *Graph) (int, *rooted.Tree, error) { return treedepth.Exact(g) }
 
-// Tamper utilities for fault-injection demos.
+// Tamper utilities for fault-injection demos and soundness sweeps.
+
+// Tamper is a named adversarial corruption of an assignment; Apply reports
+// whether it actually changed anything.
+type Tamper = cert.Tamper
+
+// StandardTampers returns the adversary family soundness sweeps use: bit
+// flips, certificate swap (replay), truncation, and forgery.
+func StandardTampers() []Tamper { return cert.StandardTampers() }
 
 // FlipRandomBits returns a corrupted copy of the assignment.
 func FlipRandomBits(a Assignment, k int, rng *rand.Rand) Assignment {
-	return cert.FlipBits(k)(a, rng)
+	out, _ := cert.FlipBits(k).Apply(a, rng)
+	return out
 }
 
 // SwapTwoCertificates returns a copy with two certificates exchanged.
 func SwapTwoCertificates(a Assignment, rng *rand.Rand) Assignment {
-	return cert.SwapCertificates()(a, rng)
+	out, _ := cert.SwapCertificates().Apply(a, rng)
+	return out
+}
+
+// RunSoundnessSweep applies every standard tamper `trials` times to the
+// honest assignment and verifies each corrupted variant on the sharded
+// network simulator, reporting per-tamper detection statistics.
+func RunSoundnessSweep(ctx context.Context, g *Graph, s Scheme, honest Assignment, trials int, seed int64) (netsim.SweepReport, error) {
+	return netsim.Sweep(ctx, g, s, honest, trials, seed)
 }

@@ -7,87 +7,140 @@ import (
 	"repro/internal/graph"
 )
 
-// Tamper is an adversarial transformation of a certificate assignment.
-// Tampering models the failures local certification exists to catch:
-// corrupted memory, replayed state from another vertex, truncation, and
-// outright forgery.
-type Tamper func(a Assignment, rng *rand.Rand) Assignment
+// Tamper is a named adversarial transformation of a certificate
+// assignment. Tampering models the failures local certification exists to
+// catch: corrupted memory, replayed state from another vertex, truncation,
+// and outright forgery.
+//
+// Apply returns the tampered assignment together with a flag reporting
+// whether the result actually differs from the input. The flag matters for
+// soundness sweeps: a tamper that happened to be the identity (swapping two
+// byte-identical certificates, flipping bits of an all-empty assignment,
+// re-randomizing a certificate into itself) must be counted as a no-op
+// trial, not as undetected corruption.
+type Tamper struct {
+	// Name identifies the tamper in sweep reports and wire payloads.
+	Name string
+	// Apply returns a tampered copy of a (the input is never modified)
+	// and whether the copy differs from the input.
+	Apply func(a Assignment, rng *rand.Rand) (Assignment, bool)
+}
 
 // FlipBits returns a tamper flipping k random bits across non-empty
-// certificates.
+// certificates. It reports no mutation when every certificate is empty or
+// when the random flips cancelled each other out (an even number of flips
+// landing on the same bit).
 func FlipBits(k int) Tamper {
-	return func(a Assignment, rng *rand.Rand) Assignment {
-		out := a.Clone()
-		var nonEmpty []int
-		for v, c := range out {
-			if len(c) > 0 {
-				nonEmpty = append(nonEmpty, v)
+	return Tamper{
+		Name: fmt.Sprintf("flip-bits-%d", k),
+		Apply: func(a Assignment, rng *rand.Rand) (Assignment, bool) {
+			out := a.Clone()
+			var nonEmpty []int
+			for v, c := range out {
+				if len(c) > 0 {
+					nonEmpty = append(nonEmpty, v)
+				}
 			}
-		}
-		if len(nonEmpty) == 0 {
-			return out
-		}
-		for i := 0; i < k; i++ {
-			v := nonEmpty[rng.Intn(len(nonEmpty))]
-			p := rng.Intn(len(out[v]))
-			out[v][p] ^= 1
-		}
-		return out
+			if len(nonEmpty) == 0 || k <= 0 {
+				return out, false
+			}
+			// Track flip parity per position: an even number of flips on
+			// the same bit restores it.
+			parity := make(map[[2]int]bool, k)
+			for i := 0; i < k; i++ {
+				v := nonEmpty[rng.Intn(len(nonEmpty))]
+				p := rng.Intn(len(out[v]))
+				out[v][p] ^= 1
+				key := [2]int{v, p}
+				parity[key] = !parity[key]
+			}
+			mutated := false
+			for _, odd := range parity {
+				if odd {
+					mutated = true
+					break
+				}
+			}
+			return out, mutated
+		},
 	}
 }
 
 // SwapCertificates returns a tamper exchanging the certificates of two
-// random distinct vertices (a "replay" fault).
+// random distinct vertices (a "replay" fault). Swapping two byte-identical
+// certificates leaves the assignment unchanged and is reported as a no-op.
 func SwapCertificates() Tamper {
-	return func(a Assignment, rng *rand.Rand) Assignment {
-		out := a.Clone()
-		if len(out) < 2 {
-			return out
-		}
-		u := rng.Intn(len(out))
-		v := rng.Intn(len(out) - 1)
-		if v >= u {
-			v++
-		}
-		out[u], out[v] = out[v], out[u]
-		return out
+	return Tamper{
+		Name: "swap",
+		Apply: func(a Assignment, rng *rand.Rand) (Assignment, bool) {
+			out := a.Clone()
+			if len(out) < 2 {
+				return out, false
+			}
+			u := rng.Intn(len(out))
+			v := rng.Intn(len(out) - 1)
+			if v >= u {
+				v++
+			}
+			out[u], out[v] = out[v], out[u]
+			return out, !certificatesEqual(out[u], out[v])
+		},
 	}
 }
 
-// TruncateOne returns a tamper cutting a random suffix off one random
-// non-empty certificate.
+// TruncateOne returns a tamper cutting a non-empty random suffix off one
+// random non-empty certificate. It is a no-op only on all-empty
+// assignments.
 func TruncateOne() Tamper {
-	return func(a Assignment, rng *rand.Rand) Assignment {
-		out := a.Clone()
-		var nonEmpty []int
-		for v, c := range out {
-			if len(c) > 0 {
-				nonEmpty = append(nonEmpty, v)
+	return Tamper{
+		Name: "truncate",
+		Apply: func(a Assignment, rng *rand.Rand) (Assignment, bool) {
+			out := a.Clone()
+			var nonEmpty []int
+			for v, c := range out {
+				if len(c) > 0 {
+					nonEmpty = append(nonEmpty, v)
+				}
 			}
-		}
-		if len(nonEmpty) == 0 {
-			return out
-		}
-		v := nonEmpty[rng.Intn(len(nonEmpty))]
-		out[v] = out[v][:rng.Intn(len(out[v]))]
-		return out
+			if len(nonEmpty) == 0 {
+				return out, false
+			}
+			v := nonEmpty[rng.Intn(len(nonEmpty))]
+			out[v] = out[v][:rng.Intn(len(out[v]))]
+			return out, true
+		},
 	}
 }
 
 // RandomizeOne returns a tamper replacing one certificate with uniformly
-// random bits of the same length.
+// random bits of the same length — a forgery fault. The forged bits may
+// coincide with the original; that case is reported as a no-op.
 func RandomizeOne() Tamper {
-	return func(a Assignment, rng *rand.Rand) Assignment {
-		out := a.Clone()
-		if len(out) == 0 {
-			return out
-		}
-		v := rng.Intn(len(out))
-		for i := range out[v] {
-			out[v][i] = byte(rng.Intn(2))
-		}
-		return out
+	return Tamper{
+		Name: "randomize",
+		Apply: func(a Assignment, rng *rand.Rand) (Assignment, bool) {
+			out := a.Clone()
+			if len(out) == 0 {
+				return out, false
+			}
+			v := rng.Intn(len(out))
+			mutated := false
+			for i := range out[v] {
+				b := byte(rng.Intn(2))
+				if b != out[v][i] {
+					mutated = true
+				}
+				out[v][i] = b
+			}
+			return out, mutated
+		},
 	}
+}
+
+// StandardTampers is the adversary family soundness sweeps run by default:
+// single- and multi-bit corruption, replay, truncation, and forgery.
+func StandardTampers() []Tamper {
+	return []Tamper{FlipBits(1), FlipBits(5), SwapCertificates(), TruncateOne(), RandomizeOne()}
 }
 
 // RandomAssignment produces an assignment of uniformly random certificates
@@ -131,7 +184,7 @@ func ProbeSoundness(g *graph.Graph, s Scheme, seeds []Assignment, maxBits, trial
 		if len(seeds) > 0 && i%2 == 0 {
 			seed := seeds[rng.Intn(len(seeds))]
 			if len(seed) == g.N() {
-				a = tampers[rng.Intn(len(tampers))](seed, rng)
+				a, _ = tampers[rng.Intn(len(tampers))].Apply(seed, rng)
 			}
 		}
 		if a == nil {
@@ -150,18 +203,18 @@ func ProbeSoundness(g *graph.Graph, s Scheme, seeds []Assignment, maxBits, trial
 }
 
 // ProbeTamperDetection attacks a yes-instance: starting from the honest
-// assignment it applies each tamper `perTamper` times and counts how often
-// the corruption goes undetected while actually changing the assignment.
+// assignment it applies each standard tamper `perTamper` times and counts
+// how often the corruption goes undetected while actually changing the
+// assignment (trials the tamper itself reports as no-ops are skipped).
 // Note that a tamper may occasionally produce another valid certificate
 // assignment (e.g. flipping a bit in an unread field); callers treat the
 // returned rate as a diagnostic, while dedicated tests assert detection of
 // specific, semantically meaningful corruptions.
 func ProbeTamperDetection(g *graph.Graph, s Scheme, honest Assignment, perTamper int, rng *rand.Rand) (detected, changed int, err error) {
-	tampers := []Tamper{FlipBits(1), FlipBits(5), SwapCertificates(), TruncateOne(), RandomizeOne()}
-	for _, tm := range tampers {
+	for _, tm := range StandardTampers() {
 		for i := 0; i < perTamper; i++ {
-			a := tm(honest, rng)
-			if assignmentsEqual(a, honest) {
+			a, mutated := tm.Apply(honest, rng)
+			if !mutated {
 				continue
 			}
 			changed++
@@ -177,18 +230,27 @@ func ProbeTamperDetection(g *graph.Graph, s Scheme, honest Assignment, perTamper
 	return detected, changed, nil
 }
 
+// certificatesEqual compares two certificates byte-wise (nil and empty are
+// equal: both are the empty bit string).
+func certificatesEqual(a, b Certificate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func assignmentsEqual(a, b Assignment) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if len(a[i]) != len(b[i]) {
+		if !certificatesEqual(a[i], b[i]) {
 			return false
-		}
-		for j := range a[i] {
-			if a[i][j] != b[i][j] {
-				return false
-			}
 		}
 	}
 	return true

@@ -171,7 +171,7 @@ func TestTamperDetectionOnEchoScheme(t *testing.T) {
 	}
 	// The echo scheme reads every certificate bit, so every change is
 	// detectable — except swapping two identical certificates, which the
-	// Clone-compare filter already treats as unchanged.
+	// tamper itself reports as a no-op and the probe skips.
 	if detected != changed {
 		t.Errorf("detected %d of %d corruptions", detected, changed)
 	}
@@ -180,14 +180,60 @@ func TestTamperDetectionOnEchoScheme(t *testing.T) {
 func TestTampersActuallyChange(t *testing.T) {
 	honest := Assignment{{1, 1, 1, 1}, {0, 0, 0, 0}}
 	rng := rand.New(rand.NewSource(2))
-	if a := FlipBits(1)(honest, rng); assignmentsEqual(a, honest) {
+	if a, mutated := FlipBits(1).Apply(honest, rng); !mutated || assignmentsEqual(a, honest) {
 		t.Error("FlipBits(1) no-op")
 	}
-	if a := SwapCertificates()(honest, rng); assignmentsEqual(a, honest) {
+	if a, mutated := SwapCertificates().Apply(honest, rng); !mutated || assignmentsEqual(a, honest) {
 		t.Error("SwapCertificates no-op")
 	}
-	if a := TruncateOne()(honest, rng); len(a[0]) == 4 && len(a[1]) == 4 {
+	if a, mutated := TruncateOne().Apply(honest, rng); !mutated || (len(a[0]) == 4 && len(a[1]) == 4) {
 		t.Error("TruncateOne no-op")
+	}
+}
+
+// TestTamperMutationFlagMatchesReality is the regression for the no-op
+// accounting bug: every tamper's reported flag must agree with a byte-wise
+// comparison of input and output, on adversarial corner cases (identical
+// certificates, all-empty assignments) as well as random ones.
+func TestTamperMutationFlagMatchesReality(t *testing.T) {
+	cases := []Assignment{
+		{},                           // empty assignment
+		{nil},                        // single empty certificate
+		{nil, nil, nil},              // all-empty: FlipBits/TruncateOne must report no-op
+		{{1, 0, 1}, {1, 0, 1}},       // identical certs: swap must report no-op
+		{{1}, {0}},                   // one-bit certs
+		{{1, 1, 1, 1}, {0, 0, 0, 0}}, // differing certs
+		{{1, 0}, nil, {1, 0, 1, 1}},  // mixed empty / non-empty
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for ci, honest := range cases {
+			for _, tm := range StandardTampers() {
+				out, mutated := tm.Apply(honest, rng)
+				if really := !assignmentsEqual(out, honest); mutated != really {
+					t.Fatalf("case %d seed %d: %s reported mutated=%v but assignment changed=%v",
+						ci, seed, tm.Name, mutated, really)
+				}
+			}
+		}
+	}
+}
+
+func TestTamperNoOpsOnIdenticalAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	allEmpty := Assignment{nil, nil, nil, nil}
+	for _, tm := range []Tamper{FlipBits(3), TruncateOne()} {
+		for i := 0; i < 10; i++ {
+			if _, mutated := tm.Apply(allEmpty, rng); mutated {
+				t.Fatalf("%s claims to mutate an all-empty assignment", tm.Name)
+			}
+		}
+	}
+	identical := Assignment{{1, 0, 1}, {1, 0, 1}}
+	for i := 0; i < 10; i++ {
+		if _, mutated := SwapCertificates().Apply(identical, rng); mutated {
+			t.Fatal("swap of identical certificates claims to mutate")
+		}
 	}
 }
 
@@ -198,7 +244,7 @@ func TestTampersPreserveOriginal(t *testing.T) {
 		honest := Assignment{{1, 0, 1}, {0, 1}, {1}}
 		snapshot := honest.Clone()
 		for _, tm := range []Tamper{FlipBits(2), SwapCertificates(), TruncateOne(), RandomizeOne()} {
-			_ = tm(honest, rng)
+			_, _ = tm.Apply(honest, rng)
 		}
 		return assignmentsEqual(honest, snapshot)
 	}

@@ -262,7 +262,7 @@ func (r *Reduction) CheckEquality(pairs, probes int, rng *rand.Rand) error {
 			if probe%2 == 0 {
 				a = cert.RandomAssignment(gdNo.G.N(), maxBits, rng)
 			} else {
-				a = cert.FlipBits(1+rng.Intn(4))(honest, rng)
+				a, _ = cert.FlipBits(1+rng.Intn(4)).Apply(honest, rng)
 			}
 			okA, err := r.AliceAccepts(s, a)
 			if err != nil {

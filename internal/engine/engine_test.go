@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -246,6 +247,127 @@ func TestPipelineCancellation(t *testing.T) {
 	}
 	if cancelled != len(jobs) {
 		t.Fatalf("%d of %d jobs cancelled, want all (ctx cancelled before Run)", cancelled, len(jobs))
+	}
+}
+
+// Regression for the dropped-error bug: JobResult.Err was json:"-" only,
+// so serialized results lost their failure cause. Every result of a
+// cancelled or failed batch must keep its Index and carry the error text
+// through JSON.
+func TestPipelineCancelledBatchKeepsIndexAndErrorText(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		jobs[i] = Job{Graph: graphgen.Path(8), Scheme: "tree-mso", Params: registry.Params{Property: "perfect-matching"}}
+	}
+	pipe := &Pipeline{Cache: NewCache(registry.Default()), Workers: 4}
+	results, err := pipe.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d: err = %v", i, r.Err)
+		}
+		if r.Error == "" || !strings.Contains(r.Error, context.Canceled.Error()) {
+			t.Fatalf("result %d: serializable error %q does not carry the cause", i, r.Error)
+		}
+		raw, jerr := json.Marshal(r)
+		if jerr != nil {
+			t.Fatal(jerr)
+		}
+		var decoded struct {
+			Index int    `json:"index"`
+			Error string `json:"error"`
+		}
+		if jerr := json.Unmarshal(raw, &decoded); jerr != nil {
+			t.Fatal(jerr)
+		}
+		if decoded.Index != i || decoded.Error != r.Error {
+			t.Fatalf("JSON round-trip lost failure cause: %s", raw)
+		}
+	}
+}
+
+// Failed (not cancelled) jobs must also serialize their cause.
+func TestPipelineFailedJobSerializesError(t *testing.T) {
+	jobs := []Job{
+		// Odd path has no perfect matching: the honest prover refuses.
+		{Graph: graphgen.Path(7), Scheme: "tree-mso", Params: registry.Params{Property: "perfect-matching"}},
+		{Graph: graphgen.Path(4), Scheme: "no-such-scheme"},
+	}
+	pipe := &Pipeline{Cache: NewCache(registry.Default()), Workers: 2}
+	results, err := pipe.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("job %d should have failed", i)
+		}
+		if r.Error != r.Err.Error() {
+			t.Fatalf("job %d: Error %q != Err %q", i, r.Error, r.Err)
+		}
+		raw, jerr := json.Marshal(r)
+		if jerr != nil {
+			t.Fatal(jerr)
+		}
+		if !strings.Contains(string(raw), `"error"`) {
+			t.Fatalf("job %d: serialized result lost the failure: %s", i, raw)
+		}
+	}
+}
+
+// Distributed jobs verify on the network simulator with identical
+// verdicts, and sweep jobs attach a soundness report.
+func TestPipelineDistributedAndSweepJobs(t *testing.T) {
+	jobs := []Job{
+		{Graph: graphgen.Path(8), Scheme: "tree-mso", Params: registry.Params{Property: "perfect-matching"}, Distributed: true},
+		{
+			Graph:       graphgen.Path(12),
+			Scheme:      "tree-mso",
+			Params:      registry.Params{Property: "perfect-matching"},
+			Distributed: true,
+			Sweep:       &TamperSweep{Trials: 5, Seed: 3},
+		},
+	}
+	pipe := &Pipeline{Cache: NewCache(registry.Default()), Workers: 2}
+	results, err := pipe.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if !r.Accepted || !r.Distributed {
+			t.Fatalf("job %d: %+v", i, r)
+		}
+	}
+	if results[0].Sweep != nil {
+		t.Fatal("sweep report attached to a job that did not ask for one")
+	}
+	sw := results[1].Sweep
+	if sw == nil {
+		t.Fatal("sweep job has no sweep report")
+	}
+	mutated := 0
+	for _, ts := range sw.Stats {
+		if ts.Trials != 5 || ts.NoOps+ts.Mutated != ts.Trials {
+			t.Fatalf("inconsistent sweep accounting: %+v", ts)
+		}
+		mutated += ts.Mutated
+	}
+	if mutated == 0 {
+		t.Fatal("sweep mutated nothing")
+	}
+	st := Summarize(results)
+	if st.SweepMutated != mutated || st.SweepDetected > st.SweepMutated {
+		t.Fatalf("batch sweep stats inconsistent: %+v", st)
 	}
 }
 

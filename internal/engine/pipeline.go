@@ -9,11 +9,24 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/graph"
+	"repro/internal/netsim"
 	"repro/internal/registry"
 )
 
+// TamperSweep asks a job to additionally attack its own honest assignment:
+// each tamper is applied Trials times and every corrupted variant is
+// verified, reporting detection statistics.
+type TamperSweep struct {
+	// Tampers is the adversary family; empty means cert.StandardTampers.
+	Tampers []cert.Tamper
+	// Trials is the per-tamper trial count; <= 0 means 10.
+	Trials int
+	// Seed makes the sweep deterministic.
+	Seed int64
+}
+
 // Job is one unit of pipeline work: prove and verify one graph under one
-// scheme.
+// scheme, optionally followed by an adversarial soundness sweep.
 type Job struct {
 	// Graph is the instance to certify. Leave nil and set Lazy to
 	// materialize the instance inside a worker instead.
@@ -28,6 +41,13 @@ type Job struct {
 	// Params parameterise the scheme factory; ignored when Lazy is set
 	// (Lazy returns the effective params).
 	Params registry.Params
+	// Distributed verifies on the sharded network simulator instead of
+	// the sequential referee (the verdicts are identical; the simulator
+	// additionally exercises the self-stabilization code path).
+	Distributed bool
+	// Sweep, when set, runs the adversarial soundness sweep after an
+	// accepted honest verification.
+	Sweep *TamperSweep
 }
 
 // JobResult reports one job's outcome with per-phase timings and the
@@ -50,8 +70,24 @@ type JobResult struct {
 	Compile  time.Duration `json:"compile_ns"`
 	Prove    time.Duration `json:"prove_ns"`
 	Verify   time.Duration `json:"verify_ns"`
-	// Err is the failure, if the job did not complete.
+	// Distributed reports that verification ran on the network simulator.
+	Distributed bool `json:"distributed,omitempty"`
+	// Sweep is the adversarial soundness report, when the job asked for
+	// one and the honest verification accepted.
+	Sweep *netsim.SweepReport `json:"sweep,omitempty"`
+	// Err is the failure, if the job did not complete. It does not
+	// survive JSON; Error is the serializable form.
 	Err error `json:"-"`
+	// Error is Err's text, populated at the pipeline layer so every
+	// consumer of serialized results sees the failure cause — not only
+	// clients that translate Err by hand.
+	Error string `json:"error,omitempty"`
+}
+
+// fail records an error in both its programmatic and serializable forms.
+func (r *JobResult) fail(err error) {
+	r.Err = err
+	r.Error = err.Error()
 }
 
 // Pipeline proves and verifies batches of jobs on a bounded worker pool,
@@ -105,7 +141,8 @@ dispatch:
 		case <-ctx.Done():
 			// Mark every undispatched job cancelled.
 			for j := i; j < len(jobs); j++ {
-				results[j] = JobResult{Index: j, Err: ctx.Err()}
+				results[j] = JobResult{Index: j}
+				results[j].fail(ctx.Err())
 			}
 			break dispatch
 		}
@@ -115,12 +152,13 @@ dispatch:
 	return results, nil
 }
 
-// runOne executes a single job: compile (through the cache), prove, then
-// verify sequentially at every vertex.
+// runOne executes a single job: compile (through the cache), prove, verify
+// (sequentially or on the network simulator), then optionally run the
+// adversarial soundness sweep.
 func (p *Pipeline) runOne(ctx context.Context, i int, job Job) JobResult {
 	res := JobResult{Index: i}
 	if err := ctx.Err(); err != nil {
-		res.Err = err
+		res.fail(err)
 		return res
 	}
 	g, params := job.Graph, job.Params
@@ -130,19 +168,19 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) JobResult {
 		g, params, err = job.Lazy()
 		res.Generate = time.Since(tg)
 		if err != nil {
-			res.Err = fmt.Errorf("generate: %w", err)
+			res.fail(fmt.Errorf("generate: %w", err))
 			return res
 		}
 	}
 	if g == nil {
-		res.Err = fmt.Errorf("engine: job %d has no graph", i)
+		res.fail(fmt.Errorf("engine: job %d has no graph", i))
 		return res
 	}
 	t0 := time.Now()
 	s, err := p.Cache.GetOrCompile(job.Scheme, params)
 	res.Compile = time.Since(t0)
 	if err != nil {
-		res.Err = err
+		res.fail(err)
 		return res
 	}
 	res.Scheme = s.Name()
@@ -150,20 +188,48 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) JobResult {
 	a, err := s.Prove(g)
 	res.Prove = time.Since(t1)
 	if err != nil {
-		res.Err = fmt.Errorf("prove: %w", err)
+		res.fail(fmt.Errorf("prove: %w", err))
 		return res
 	}
 	res.MaxBits = a.MaxBits()
 	res.TotalBits = a.TotalBits()
 	t2 := time.Now()
-	verdict, err := cert.RunSequential(g, s, a)
-	res.Verify = time.Since(t2)
-	if err != nil {
-		res.Err = fmt.Errorf("verify: %w", err)
-		return res
+	if job.Distributed {
+		rep, rerr := netsim.Run(ctx, g, s, a)
+		res.Verify = time.Since(t2)
+		if rerr != nil {
+			res.fail(fmt.Errorf("verify: %w", rerr))
+			return res
+		}
+		res.Distributed = true
+		res.Accepted = rep.Accepted
+		res.Rejecters = rep.Rejecters
+	} else {
+		verdict, verr := cert.RunSequential(g, s, a)
+		res.Verify = time.Since(t2)
+		if verr != nil {
+			res.fail(fmt.Errorf("verify: %w", verr))
+			return res
+		}
+		res.Accepted = verdict.Accepted
+		res.Rejecters = verdict.Rejecters
 	}
-	res.Accepted = verdict.Accepted
-	res.Rejecters = verdict.Rejecters
+	if job.Sweep != nil && res.Accepted {
+		tampers := job.Sweep.Tampers
+		if len(tampers) == 0 {
+			tampers = cert.StandardTampers()
+		}
+		trials := job.Sweep.Trials
+		if trials <= 0 {
+			trials = 10
+		}
+		sweep, serr := netsim.Default.Sweep(ctx, g, s, a, tampers, trials, job.Sweep.Seed)
+		if serr != nil {
+			res.fail(fmt.Errorf("sweep: %w", serr))
+			return res
+		}
+		res.Sweep = &sweep
+	}
 	return res
 }
 
@@ -179,6 +245,12 @@ type BatchStats struct {
 	// not wall time: jobs overlap across workers).
 	TotalProve  time.Duration `json:"total_prove_ns"`
 	TotalVerify time.Duration `json:"total_verify_ns"`
+	// SweepMutated, SweepDetected and SweepNoOps aggregate the jobs'
+	// adversarial sweeps (zero when no job swept). SweepDetected <
+	// SweepMutated means some corruption went undetected somewhere.
+	SweepMutated  int `json:"sweep_mutated,omitempty"`
+	SweepDetected int `json:"sweep_detected,omitempty"`
+	SweepNoOps    int `json:"sweep_noops,omitempty"`
 }
 
 // Summarize folds results into batch statistics.
@@ -198,6 +270,13 @@ func Summarize(results []JobResult) BatchStats {
 		}
 		st.TotalProve += r.Prove
 		st.TotalVerify += r.Verify
+		if r.Sweep != nil {
+			for _, ts := range r.Sweep.Stats {
+				st.SweepMutated += ts.Mutated
+				st.SweepDetected += ts.Detected
+				st.SweepNoOps += ts.NoOps
+			}
+		}
 	}
 	return st
 }

@@ -93,6 +93,48 @@ func TestE8SmallFragments(t *testing.T) {
 	}
 }
 
+// E11 is the adversarial soundness acceptance check: on the three chosen
+// scheme kinds every mutating tamper must be detected (rate 1.00 on every
+// row), no-op trials are accounted separately, and every tamper family
+// member appears for every scheme.
+func TestE11SoundnessAllDetected(t *testing.T) {
+	tbl, err := E11Soundness(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 schemes x 5 standard tampers.
+	if len(tbl.Rows) != 15 {
+		t.Fatalf("%d rows, want 15", len(tbl.Rows))
+	}
+	schemes := map[string]bool{}
+	sawMutation := false
+	for _, row := range tbl.Rows {
+		schemes[row[0]] = true
+		noops, mutated, detected, rate := row[3], row[4], row[5], row[6]
+		if rate != "1.00" {
+			t.Fatalf("scheme %s tamper %s: detection rate %s (noops=%s mutated=%s detected=%s)",
+				row[0], row[1], rate, noops, mutated, detected)
+		}
+		if mutated != detected {
+			t.Fatalf("scheme %s tamper %s: %s mutated but %s detected", row[0], row[1], mutated, detected)
+		}
+		if mutated != "0" {
+			sawMutation = true
+		}
+	}
+	if len(schemes) != 3 {
+		t.Fatalf("expected 3 scheme kinds, saw %v", schemes)
+	}
+	if !sawMutation {
+		t.Fatal("sweep never mutated anything — the table is vacuous")
+	}
+	for _, note := range tbl.Notes {
+		if strings.Contains(note, "SOUNDNESS FINDING") {
+			t.Fatalf("soundness finding reported: %s", note)
+		}
+	}
+}
+
 // E3 with a fixed seed: the O(t log n) normalisation column must stay
 // bounded (the paper's bound, experiment reproduced deterministically).
 func TestE3TreedepthFixedSeed(t *testing.T) {

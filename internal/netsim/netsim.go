@@ -1,9 +1,18 @@
-// Package netsim runs a local certification the way a real network would:
-// one goroutine per vertex, one message exchange round over per-edge
-// channels (each node sends its identifier and certificate to every
-// neighbour), then each node runs the local verification algorithm on the
-// view it assembled. The simulator must produce exactly the verdict of the
-// sequential referee in package cert — an invariant covered by tests.
+// Package netsim runs a local certification the way a self-stabilizing
+// network would: a single certificate-exchange round in which every node
+// learns the identifier and certificate of each neighbour, followed by the
+// local verification algorithm at every node. The simulator must produce
+// exactly the verdict of the sequential referee in package cert — an
+// invariant covered by differential and property tests.
+//
+// The engine is sharded: vertices are partitioned into contiguous shards
+// over a bounded worker pool, and the exchange round is realized through
+// preallocated per-shard view buffers reused across runs via sync.Pool.
+// This replaces the original goroutine-per-vertex, channel-per-edge
+// realization (kept in legacy.go as a differential baseline), which
+// collapsed under serving load: n goroutines and 2m channels per request
+// versus a constant number of workers and near-zero steady-state
+// allocations here.
 //
 // This is the "self-stabilization" deployment story of the paper: the
 // verification round is what a network would run periodically to detect
@@ -13,123 +22,181 @@ package netsim
 import (
 	"context"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cert"
 	"repro/internal/graph"
 )
-
-// message is what travels over an edge during the exchange round: the
-// sender's identifier and certificate. Nothing else may cross the wire —
-// in particular no adjacency information, matching the paper's model.
-type message struct {
-	id   graph.ID
-	cert cert.Certificate
-}
 
 // Report is the outcome of a distributed verification round.
 type Report struct {
 	Accepted  bool
 	Rejecters []int // vertex indices that rejected, sorted
 	Rounds    int   // communication rounds used (always 1 in this model)
+	Workers   int   // workers the engine used for this run
+}
+
+// Engine is a sharded round engine. The zero value is ready to use; it
+// runs with GOMAXPROCS workers and an engine-local buffer pool. Engines
+// must not be copied after first use (they embed a sync.Pool).
+type Engine struct {
+	// Workers bounds the goroutines a run may spawn; <= 0 means
+	// GOMAXPROCS. A run never uses more goroutines than this, whatever
+	// the graph size.
+	Workers int
+
+	// pool recycles per-shard scratch buffers (neighbour views and
+	// rejecter lists) across runs, so a warmed-up engine performs the
+	// exchange round without per-run allocations proportional to n or m.
+	pool sync.Pool
+}
+
+// shardScratch is the reusable working memory of one worker: the view
+// buffer the exchange round is assembled into, and the local rejecter
+// accumulator.
+type shardScratch struct {
+	views []cert.NeighborView
+	rej   []int
+}
+
+// checkInterval is how many vertices a worker verifies between context
+// checks; a power of two so the test compiles to a mask.
+const checkInterval = 256
+
+// Default is the shared engine package-level Run delegates to, so every
+// caller that does not need its own worker bound shares one warm buffer
+// pool.
+var Default = &Engine{}
+
+// Run executes one distributed verification round on the shared Default
+// engine. See Engine.Run.
+func Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.Assignment) (Report, error) {
+	return Default.Run(ctx, g, s, a)
+}
+
+// effectiveWorkers resolves the worker count for n vertices.
+func (e *Engine) effectiveWorkers(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (e *Engine) getScratch() *shardScratch {
+	if sc, ok := e.pool.Get().(*shardScratch); ok {
+		return sc
+	}
+	return &shardScratch{}
 }
 
 // Run executes one distributed verification round of scheme s on graph g
-// under the certificate assignment a. It spawns one goroutine per vertex,
-// wires a buffered channel per directed edge, performs the single
-// certificate-exchange round, and aggregates the per-vertex verdicts.
+// under the certificate assignment a: every vertex assembles its radius-1
+// view (own identifier and certificate plus each neighbour's, sorted by
+// identifier — exactly what crosses the wire in the paper's model, no
+// adjacency information) and runs the local verification algorithm.
 //
-// The context allows cancelling a run; since every channel is buffered
-// with capacity 1 the simulation cannot deadlock, but a cancelled context
-// still aborts promptly with an error.
-func Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.Assignment) (Report, error) {
+// Vertices are partitioned into one contiguous shard per worker; each
+// worker assembles views in a pooled scratch buffer that is reused from
+// vertex to vertex and returned to the engine pool when the shard is done.
+// Consequently Verify implementations must not retain the view's Neighbors
+// slice past the call — none of the schemes in this module do.
+//
+// The verdict is identical to cert.RunSequential: same Accepted flag, same
+// sorted Rejecters. Cancellation via ctx aborts promptly with an error;
+// all workers are joined before Run returns, so no goroutine outlives the
+// call, and at most Workers goroutines exist during it.
+func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.Assignment) (Report, error) {
 	n := g.N()
 	if len(a) != n {
 		return Report{}, fmt.Errorf("netsim: assignment has %d certificates for %d vertices", len(a), n)
 	}
-
-	// inbox[v][i] receives the message from the i-th neighbour of v.
-	inbox := make([][]chan message, n)
-	for v := 0; v < n; v++ {
-		inbox[v] = make([]chan message, g.Degree(v))
-		for i := range inbox[v] {
-			inbox[v][i] = make(chan message, 1)
-		}
+	if err := ctx.Err(); err != nil {
+		return Report{}, fmt.Errorf("netsim: %w", err)
 	}
-	// channelTo[v][w] is the index of w in v's inbox, i.e. the channel on
-	// which w must send to v.
-	channelTo := make([]map[int]int, n)
-	for v := 0; v < n; v++ {
-		channelTo[v] = make(map[int]int, g.Degree(v))
-		for i, w := range g.Neighbors(v) {
-			channelTo[v][w] = i
-		}
+	workers := e.effectiveWorkers(n)
+	if n == 0 {
+		return Report{Accepted: true, Rounds: 1, Workers: 0}, nil
 	}
 
-	type verdict struct {
-		vertex int
-		accept bool
-	}
-	verdicts := make(chan verdict, n)
-
+	// Contiguous shards, processed and concatenated in shard order, keep
+	// the merged rejecter list sorted without a final sort.
+	rejecters := make([][]int, workers)
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		go func(v int) {
+	per := n / workers
+	extra := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + per
+		if w < extra {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			// Round 1: send own (id, certificate) to every neighbour.
-			for _, w := range g.Neighbors(v) {
-				select {
-				case inbox[w][channelTo[w][v]] <- message{id: g.IDOf(v), cert: a[v]}:
-				case <-ctx.Done():
+			sc := e.getScratch()
+			rej := sc.rej[:0]
+			for v := lo; v < hi; v++ {
+				if (v-lo)%checkInterval == 0 && ctx.Err() != nil {
+					aborted.Store(true)
+					sc.rej = rej[:0]
+					e.pool.Put(sc)
 					return
 				}
-			}
-			// Receive from every neighbour and assemble the radius-1 view.
-			view := cert.View{ID: g.IDOf(v), Cert: a[v]}
-			view.Neighbors = make([]cert.NeighborView, 0, g.Degree(v))
-			for i := range inbox[v] {
-				select {
-				case m := <-inbox[v][i]:
-					view.Neighbors = append(view.Neighbors, cert.NeighborView{ID: m.id, Cert: m.cert})
-				case <-ctx.Done():
-					return
+				// The exchange round for v: collect (id, certificate)
+				// from every neighbour into the reused view buffer.
+				nbrs := g.Neighbors(v)
+				views := sc.views[:0]
+				for _, u := range nbrs {
+					views = append(views, cert.NeighborView{ID: g.IDOf(u), Cert: a[u]})
+				}
+				slices.SortFunc(views, func(x, y cert.NeighborView) int {
+					switch {
+					case x.ID < y.ID:
+						return -1
+					case x.ID > y.ID:
+						return 1
+					default:
+						return 0
+					}
+				})
+				sc.views = views // keep grown capacity for the next vertex
+				if !s.Verify(cert.View{ID: g.IDOf(v), Cert: a[v], Neighbors: views}) {
+					rej = append(rej, v)
 				}
 			}
-			sort.Slice(view.Neighbors, func(i, j int) bool {
-				return view.Neighbors[i].ID < view.Neighbors[j].ID
-			})
-			select {
-			case verdicts <- verdict{vertex: v, accept: s.Verify(view)}:
-			case <-ctx.Done():
+			if len(rej) > 0 {
+				// The scratch returns to the pool; the result must own
+				// its memory.
+				rejecters[w] = append([]int(nil), rej...)
 			}
-		}(v)
+			sc.rej = rej[:0]
+			e.pool.Put(sc)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return Report{}, fmt.Errorf("netsim: %w", context.Cause(ctx))
 	}
 
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		// Channels are buffered, so the workers blocked on ctx will unwind;
-		// wait for them so no goroutine leaks past this call.
-		wg.Wait()
-		return Report{}, fmt.Errorf("netsim: %w", ctx.Err())
-	}
-	close(verdicts)
-
-	rep := Report{Accepted: true, Rounds: 1}
-	for vd := range verdicts {
-		if !vd.accept {
+	rep := Report{Accepted: true, Rounds: 1, Workers: workers}
+	for _, rj := range rejecters {
+		if len(rj) > 0 {
 			rep.Accepted = false
-			rep.Rejecters = append(rep.Rejecters, vd.vertex)
+			rep.Rejecters = append(rep.Rejecters, rj...)
 		}
 	}
-	sort.Ints(rep.Rejecters)
 	return rep, nil
 }
 

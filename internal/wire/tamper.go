@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/cert"
+)
+
+// TamperSpec is the wire form of an adversarial tamper request — the spec
+// the HTTP API (POST /simulate, the batch `tamper` field) and cmd/certify
+// share, mirroring how GeneratorSpec is shared for graph families.
+type TamperSpec struct {
+	// Kind is one of TamperKinds: "flip-bits", "swap", "truncate",
+	// "randomize", or "all" for the whole standard family.
+	Kind string `json:"kind"`
+	// K is the number of bits to flip for "flip-bits"; 0 means 1.
+	K int `json:"k,omitempty"`
+	// Trials is how many times each tamper is applied; 0 means 10.
+	Trials int `json:"trials,omitempty"`
+	// Seed drives the tamper randomness; sweeps are deterministic per
+	// spec.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// TamperKinds lists the supported tamper kind names.
+func TamperKinds() []string {
+	return []string{"flip-bits", "swap", "truncate", "randomize", "all"}
+}
+
+// MaxTamperTrials bounds per-request sweep work: each trial is a full
+// verification round over the whole graph.
+const MaxTamperTrials = 10000
+
+// EffectiveTrials resolves the trial count (default 10).
+func (s TamperSpec) EffectiveTrials() int {
+	if s.Trials == 0 {
+		return 10
+	}
+	return s.Trials
+}
+
+// Validate checks the spec without building anything.
+func (s TamperSpec) Validate() error {
+	switch s.Kind {
+	case "flip-bits", "swap", "truncate", "randomize", "all":
+	default:
+		return fmt.Errorf("wire: unknown tamper kind %q (known: %v)", s.Kind, TamperKinds())
+	}
+	if s.K < 0 {
+		return fmt.Errorf("wire: tamper %q: k must be non-negative, got %d", s.Kind, s.K)
+	}
+	if s.K > 0 && s.Kind != "flip-bits" {
+		return fmt.Errorf("wire: tamper %q does not take k", s.Kind)
+	}
+	if s.Trials < 0 || s.Trials > MaxTamperTrials {
+		return fmt.Errorf("wire: tamper %q: trials %d out of range [0, %d]", s.Kind, s.Trials, MaxTamperTrials)
+	}
+	return nil
+}
+
+// Tampers materializes the spec into the tamper family a sweep applies.
+func (s TamperSpec) Tampers() ([]cert.Tamper, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case "flip-bits":
+		k := s.K
+		if k == 0 {
+			k = 1
+		}
+		return []cert.Tamper{cert.FlipBits(k)}, nil
+	case "swap":
+		return []cert.Tamper{cert.SwapCertificates()}, nil
+	case "truncate":
+		return []cert.Tamper{cert.TruncateOne()}, nil
+	case "randomize":
+		return []cert.Tamper{cert.RandomizeOne()}, nil
+	case "all":
+		return cert.StandardTampers(), nil
+	default:
+		return nil, fmt.Errorf("wire: unknown tamper kind %q (known: %v)", s.Kind, TamperKinds())
+	}
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cert"
+)
+
+func TestTamperSpecValidate(t *testing.T) {
+	good := []TamperSpec{
+		{Kind: "flip-bits"},
+		{Kind: "flip-bits", K: 3, Trials: 50},
+		{Kind: "swap"},
+		{Kind: "truncate", Seed: 9},
+		{Kind: "randomize"},
+		{Kind: "all", Trials: MaxTamperTrials},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+	bad := []TamperSpec{
+		{},
+		{Kind: "melt"},
+		{Kind: "flip-bits", K: -1},
+		{Kind: "swap", K: 2},
+		{Kind: "all", Trials: -1},
+		{Kind: "all", Trials: MaxTamperTrials + 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+}
+
+func TestTamperSpecTampers(t *testing.T) {
+	all, err := TamperSpec{Kind: "all"}.Tampers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(cert.StandardTampers()) {
+		t.Fatalf("all resolved to %d tampers", len(all))
+	}
+	for _, kind := range []string{"flip-bits", "swap", "truncate", "randomize"} {
+		tms, err := TamperSpec{Kind: kind}.Tampers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tms) != 1 {
+			t.Fatalf("kind %q resolved to %d tampers", kind, len(tms))
+		}
+		// Every resolved tamper must be applicable.
+		rng := rand.New(rand.NewSource(1))
+		honest := cert.Assignment{{1, 0, 1, 1}, {0, 1, 0, 0}}
+		if out, _ := tms[0].Apply(honest, rng); len(out) != len(honest) {
+			t.Fatalf("kind %q mangled the assignment", kind)
+		}
+	}
+	if spec := (TamperSpec{Kind: "flip-bits", K: 4}); true {
+		tms, err := spec.Tampers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tms[0].Name != "flip-bits-4" {
+			t.Fatalf("name = %q", tms[0].Name)
+		}
+	}
+	if _, err := (TamperSpec{Kind: "nope"}).Tampers(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTamperSpecEffectiveTrials(t *testing.T) {
+	if n := (TamperSpec{Kind: "all"}).EffectiveTrials(); n != 10 {
+		t.Fatalf("default trials = %d", n)
+	}
+	if n := (TamperSpec{Kind: "all", Trials: 3}).EffectiveTrials(); n != 3 {
+		t.Fatalf("trials = %d", n)
+	}
+}
