@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race ci bench bench-engine bench-netsim fmt-check clean
+.PHONY: all build vet test test-race ci bench bench-engine bench-netsim bench-treewidth bench-json fmt-check clean
 
 all: ci
 
@@ -19,9 +19,9 @@ test:
 test-race:
 	$(GO) test -race -shuffle=on ./...
 
-# ci is the tier-1 gate: everything must build, vet clean, and pass —
-# including under the race detector.
-ci: build vet test test-race
+# ci is the tier-1 gate: everything must be gofmt-clean, build, vet clean,
+# and pass — including under the race detector.
+ci: fmt-check build vet test test-race
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -39,5 +39,22 @@ bench-engine:
 bench-netsim:
 	$(GO) test -bench=. -benchmem -run=NONE ./internal/netsim
 
+# bench-treewidth measures the decomposition heuristics, the exact solver,
+# and the tw-mso prove/verify round trip.
+bench-treewidth:
+	$(GO) test -bench=. -benchmem -run=NONE ./internal/treewidth
+
+# bench-json runs the engine, simulator and treewidth benchmarks and emits
+# machine-readable BENCH_PR3.json, so the perf trajectory accumulates as
+# data across PRs. The raw output goes through a temp file (not a pipe) so
+# a benchmark failure fails the target instead of being swallowed.
+bench-json:
+	$(GO) test -bench=. -benchmem -run=NONE \
+		./internal/engine ./internal/netsim ./internal/treewidth > bench-raw.tmp
+	$(GO) run ./cmd/benchjson < bench-raw.tmp > BENCH_PR3.json
+	@rm -f bench-raw.tmp
+	@echo wrote BENCH_PR3.json
+
 clean:
 	$(GO) clean ./...
+	rm -f bench-raw.tmp

@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into machine-readable JSON on stdout, so benchmark runs accumulate as
+// data instead of terminal scrollback:
+//
+//	go test -bench=. -benchmem -run=NONE ./internal/engine ./internal/netsim ./internal/treewidth \
+//	    | go run ./cmd/benchjson > BENCH_PR3.json
+//
+// (`make bench-json` runs exactly that.) The output is one JSON document:
+//
+//	{"goos": ..., "goarch": ..., "cpu": ..., "benchmarks": [
+//	  {"package": ..., "name": ..., "runs": N, "ns_per_op": ...,
+//	   "bytes_per_op": ..., "allocs_per_op": ...}, ...]}
+//
+// Metric fields beyond ns/op are present only when the bench line carried
+// them. Non-benchmark lines are ignored, so the full `go test` output can
+// be piped through unmodified.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Package     string  `json:"package,omitempty"`
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and collects benchmark lines plus
+// the goos/goarch/cpu preamble. The current package (from "pkg:" lines)
+// tags subsequent benchmarks.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				b.Package = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkFoo-8   1000  1234 ns/op  56 B/op  7 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs}
+	seenNs := false
+	// Metrics come as (value, unit) pairs after the run count.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.NsPerOp = ns
+			seenNs = true
+		case "B/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.AllocsPerOp = &v
+		}
+	}
+	return b, seenNs
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/netsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedEngine/n=10000-8         	     138	   8638917 ns/op	  961810 B/op	   10023 allocs/op
+BenchmarkGoroutinePerVertex/n=10000-8    	      15	  76541253 ns/op	28943321 B/op	  135674 allocs/op
+PASS
+ok  	repro/internal/netsim	3.905s
+pkg: repro/internal/treewidth
+BenchmarkExactRandom16 	       5	    351380 ns/op
+some unrelated line
+ok  	repro/internal/treewidth	0.003s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("preamble: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkShardedEngine/n=10000-8" || b0.Package != "repro/internal/netsim" {
+		t.Fatalf("first benchmark: %+v", b0)
+	}
+	if b0.Runs != 138 || b0.NsPerOp != 8638917 {
+		t.Fatalf("first benchmark metrics: %+v", b0)
+	}
+	if b0.BytesPerOp == nil || *b0.BytesPerOp != 961810 || b0.AllocsPerOp == nil || *b0.AllocsPerOp != 10023 {
+		t.Fatalf("first benchmark memory metrics: %+v", b0)
+	}
+	b2 := rep.Benchmarks[2]
+	if b2.Package != "repro/internal/treewidth" || b2.BytesPerOp != nil {
+		t.Fatalf("third benchmark: %+v", b2)
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	rep, err := Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise", len(rep.Benchmarks))
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX abc 12 ns/op",
+		"BenchmarkX 10 twelve ns/op",
+		"BenchmarkX 10 12", // no ns/op unit
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted malformed line %q", line)
+		}
+	}
+}

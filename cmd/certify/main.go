@@ -15,6 +15,7 @@
 //	certify -graph star -n 50 -scheme depth2-fo -formula "exists x. forall y. x = y | x ~ y"
 //	certify -graph path -n 32 -scheme tree-mso -property max-degree-<=2 -tamper 3
 //	certify -graph cycle -n 100 -scheme universal -property connected -distributed -workers 4 -tamper-kind all -trials 25
+//	certify -graph partial-k-tree -n 200 -t 3 -scheme tw-mso -property tw-bound -decompose -tamper-kind corrupt-bag
 package main
 
 import (
@@ -26,7 +27,9 @@ import (
 	"strings"
 
 	compactcert "repro"
+	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/treewidth"
 	"repro/internal/wire"
 )
 
@@ -49,24 +52,27 @@ func run() int {
 	var (
 		graphKind = flag.String("graph", "path", strings.Join(wire.GeneratorKinds(), " | "))
 		n         = flag.Int("n", 32, "number of vertices")
-		t         = flag.Int("t", 3, "treedepth bound (for treedepth/kernel schemes and random-td)")
+		t         = flag.Int("t", 3, "treedepth/treewidth bound (treedepth/kernel/tw-mso schemes, random-td and k-tree families)")
 		schemeSel = flag.String("scheme", "tree-mso", schemeNames())
 		property  = flag.String("property", "perfect-matching",
-			"tree-mso property name: "+strings.Join(compactcert.TreeMSOProperties(), " | "))
+			"tree-mso property: "+strings.Join(compactcert.TreeMSOProperties(), " | ")+
+				"; tw-mso property: "+strings.Join(compactcert.TreewidthMSOProperties(), " | "))
 		formula     = flag.String("formula", "forall x. exists y. x ~ y", "FO/MSO sentence for formula-driven schemes")
 		seed        = flag.Int64("seed", 1, "random seed")
+		density     = flag.Float64("density", 0, "extra-edge density for random-td / edge-keep probability for partial-k-tree (0 = default)")
 		tamper      = flag.Int("tamper", 0, "flip this many random certificate bits before verifying")
 		distributed = flag.Bool("distributed", true, "run the sharded network simulator after the sequential referee")
 		workers     = flag.Int("workers", 0, "simulator worker bound (0 = GOMAXPROCS)")
 		tamperKind  = flag.String("tamper-kind", "", "adversarial sweep: "+strings.Join(wire.TamperKinds(), " | "))
 		tamperK     = flag.Int("tamper-k", 0, "bits to flip per trial for -tamper-kind flip-bits (0 = 1)")
 		trials      = flag.Int("trials", 10, "trials per tamper for -tamper-kind sweeps")
+		decompose   = flag.Bool("decompose", false, "print the graph's tree decomposition summary (heuristics, exact when small)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
 
-	spec := wire.GeneratorSpec{Kind: *graphKind, N: *n, T: *t, Seed: *seed}
-	g, provider, err := spec.Build()
+	spec := wire.GeneratorSpec{Kind: *graphKind, N: *n, T: *t, Density: *density, Seed: *seed}
+	g, witness, err := spec.Build()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "certify: %v\n", err)
 		return 2
@@ -74,10 +80,11 @@ func run() int {
 
 	name := *schemeSel
 	params := compactcert.SchemeParams{
-		Property: *property,
-		Formula:  *formula,
-		T:        *t,
-		Provider: provider,
+		Property:       *property,
+		Formula:        *formula,
+		T:              *t,
+		Provider:       witness.Model,
+		DecompProvider: witness.Decomp,
 	}
 	if name == "universal-diam2" {
 		// Historical alias for the generic upper-bound demo.
@@ -109,6 +116,28 @@ func run() int {
 	}
 
 	fmt.Printf("graph: %s n=%d m=%d\n", *graphKind, g.N(), g.M())
+	if *decompose {
+		for _, method := range []struct {
+			name string
+			f    func(*graph.Graph) (*treewidth.Decomposition, []int, int, error)
+		}{{"min-fill", treewidth.MinFill}, {"min-degree", treewidth.MinDegree}} {
+			d, _, width, err := method.f(g)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "certify: decompose: %v\n", err)
+				return 1
+			}
+			fmt.Printf("decomposition (%s): width=%d bags=%d valid=%v\n",
+				method.name, width, d.NumBags(), treewidth.IsValid(g, d))
+		}
+		if g.N() <= treewidth.ExactLimit {
+			w, _, err := treewidth.Exact(g)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "certify: decompose: %v\n", err)
+				return 1
+			}
+			fmt.Printf("decomposition (exact): treewidth=%d\n", w)
+		}
+	}
 	fmt.Printf("scheme: %s\n", s.Name())
 	a, res, err := compactcert.ProveAndVerify(g, s)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/registry"
+	"repro/internal/treewidth"
 	"repro/internal/wire"
 )
 
@@ -34,6 +35,9 @@ type server struct {
 // default worker count (<= 0 means GOMAXPROCS).
 func newServer(reg *registry.Registry, workers int) *server {
 	cache := engine.NewCache(reg)
+	// One decomposition cache per server: tw-mso jobs and /decompose
+	// requests share per-graph decompositions across the whole process.
+	cache.Decomps = engine.NewDecompCache()
 	return &server{
 		reg:   reg,
 		cache: cache,
@@ -51,6 +55,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /verify", s.handleVerify)
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /decompose", s.handleDecompose)
 	return mux
 }
 
@@ -75,9 +80,10 @@ type jobJSON struct {
 }
 
 // resolve materializes the job's graph and scheme params. Generator-built
-// graphs wire the generator's elimination-tree witness into the params so
-// treedepth-style schemes prove in polynomial time; schemes that cannot
-// use a witness don't get one, keeping them cacheable.
+// graphs wire the generator's witness into the params so witness-driven
+// schemes prove in polynomial time — the elimination tree for
+// treedepth-style schemes, the tree decomposition for tw-mso; schemes
+// that cannot use either don't get one, keeping them cacheable.
 func (j jobJSON) resolve(reg *registry.Registry) (*graph.Graph, registry.Params, error) {
 	params := j.Params.toParams()
 	switch {
@@ -87,22 +93,28 @@ func (j jobJSON) resolve(reg *registry.Registry) (*graph.Graph, registry.Params,
 		g, err := j.Graph.ToGraph()
 		return g, params, err
 	case j.Generator != nil:
-		g, provider, err := j.Generator.Build()
-		if schemeUsesWitness(reg, j.Scheme) {
-			params.Provider = provider
-		}
+		g, witness, err := j.Generator.Build()
+		attachWitness(&params, witness, reg, j.Scheme)
 		return g, params, err
 	default:
 		return nil, params, fmt.Errorf("job has neither a graph nor a generator")
 	}
 }
 
-// schemeUsesWitness reports whether the named scheme's prover can exploit
-// an elimination-tree witness. Unknown names resolve to false; the compile
-// step reports them properly.
-func schemeUsesWitness(reg *registry.Registry, name string) bool {
-	e, ok := reg.Lookup(name)
-	return ok && e.UsesWitness
+// attachWitness copies the witness parts the named scheme declares it can
+// use into the params. Unknown names get nothing; the compile step reports
+// them properly.
+func attachWitness(params *registry.Params, w wire.Witness, reg *registry.Registry, scheme string) {
+	e, ok := reg.Lookup(scheme)
+	if !ok {
+		return
+	}
+	if e.UsesWitness {
+		params.Provider = w.Model
+	}
+	if e.UsesDecomposition {
+		params.DecompProvider = w.Decomp
+	}
 }
 
 // errorJSON is the uniform error envelope.
@@ -138,12 +150,14 @@ func (s *server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	}{s.reg.List()})
 }
 
-// handleHealthz reports liveness and cache effectiveness.
+// handleHealthz reports liveness and cache effectiveness for both the
+// compile cache and the decomposition cache.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		OK    bool         `json:"ok"`
-		Cache engine.Stats `json:"cache"`
-	}{true, s.cache.Stats()})
+		OK      bool               `json:"ok"`
+		Cache   engine.Stats       `json:"cache"`
+		Decomps engine.DecompStats `json:"decompositions"`
+	}{true, s.cache.Stats(), s.cache.Decomps.Stats()})
 }
 
 // certifyRequest is the POST /certify payload.
@@ -450,20 +464,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
 				return
 			}
-			gen, params, useWitness := *jj.Generator, jj.Params.toParams(), schemeUsesWitness(s.reg, jj.Scheme)
+			gen, params, scheme := *jj.Generator, jj.Params.toParams(), jj.Scheme
 			jobs[i] = engine.Job{
 				Scheme:      jj.Scheme,
 				Distributed: req.Distributed,
 				Sweep:       sweep,
 				Lazy: func() (*graph.Graph, registry.Params, error) {
-					g, provider, err := gen.Build()
+					g, witness, err := gen.Build()
 					if err != nil {
 						return nil, params, err
 					}
 					p := params
-					if useWitness {
-						p.Provider = provider
-					}
+					attachWitness(&p, witness, s.reg, scheme)
 					return g, p, nil
 				},
 			}
@@ -505,4 +517,112 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		WallNS  int64             `json:"wall_ns"`
 		Results []batchJobResult  `json:"results"`
 	}{engine.Summarize(results), wallNS, out})
+}
+
+// decomposeRequest is the POST /decompose payload: compute a tree
+// decomposition of a graph (explicit or generated server-side) as a
+// served artifact — the cacheable per-graph state the tw-mso workload is
+// built on, exposed directly.
+type decomposeRequest struct {
+	Graph     *wire.GraphJSON     `json:"graph,omitempty"`
+	Generator *wire.GeneratorSpec `json:"generator,omitempty"`
+	// Method is "auto" (default: best heuristic through the shared
+	// decomposition cache), "min-fill", "min-degree", or "exact"
+	// (branch-and-bound, n <= treewidth.ExactLimit).
+	Method string `json:"method,omitempty"`
+	// Nice additionally converts to a nice decomposition and reports its
+	// node count (the DP substrate size).
+	Nice bool `json:"nice,omitempty"`
+	// IncludeDecomposition echoes the bags and tree edges; width and
+	// shape statistics are always reported.
+	IncludeDecomposition bool `json:"include_decomposition,omitempty"`
+}
+
+type decomposeResponse struct {
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Method string `json:"method"`
+	Width  int    `json:"width"`
+	Bags   int    `json:"bags"`
+	// Valid is the result of the full validity check (coverage, edge
+	// coverage, trace connectivity) — always true for a healthy server.
+	Valid         bool                    `json:"valid"`
+	NiceNodes     int                     `json:"nice_nodes,omitempty"`
+	Decomposition *wire.DecompositionJSON `json:"decomposition,omitempty"`
+	ComputeNS     int64                   `json:"compute_ns"`
+}
+
+func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var req decomposeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var g *graph.Graph
+	var err error
+	switch {
+	case req.Graph != nil && req.Generator != nil:
+		writeError(w, http.StatusBadRequest, "request has both a graph and a generator")
+		return
+	case req.Graph != nil:
+		g, err = req.Graph.ToGraph()
+	case req.Generator != nil:
+		g, _, err = req.Generator.Build()
+	default:
+		writeError(w, http.StatusBadRequest, "request has neither a graph nor a generator")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if g.N() == 0 {
+		writeError(w, http.StatusBadRequest, "graph is empty")
+		return
+	}
+	method := req.Method
+	if method == "" {
+		method = "auto"
+	}
+	var d *treewidth.Decomposition
+	t0 := time.Now()
+	switch method {
+	case "auto":
+		d, err = s.cache.Decomps.Get(g)
+	case "min-fill":
+		d, _, _, err = treewidth.MinFill(g)
+	case "min-degree":
+		d, _, _, err = treewidth.MinDegree(g)
+	case "exact":
+		_, d, err = treewidth.Exact(g)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown method %q (known: auto, min-fill, min-degree, exact)", method)
+		return
+	}
+	computeNS := time.Since(t0).Nanoseconds()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "decompose: %v", err)
+		return
+	}
+	resp := decomposeResponse{
+		N:         g.N(),
+		M:         g.M(),
+		Method:    method,
+		Width:     d.Width(),
+		Bags:      d.NumBags(),
+		Valid:     treewidth.IsValid(g, d),
+		ComputeNS: computeNS,
+	}
+	if req.Nice {
+		nice, nerr := treewidth.MakeNice(d, 0)
+		if nerr != nil {
+			writeError(w, http.StatusInternalServerError, "nice: %v", nerr)
+			return
+		}
+		resp.NiceNodes = nice.NumNodes()
+	}
+	if req.IncludeDecomposition {
+		j := wire.DecompositionToJSON(d)
+		resp.Decomposition = &j
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

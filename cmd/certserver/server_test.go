@@ -513,3 +513,219 @@ func TestMethodRouting(t *testing.T) {
 		t.Fatal("GET /certify should not succeed")
 	}
 }
+
+// POST /decompose computes a served decomposition for explicit graphs and
+// generator specs, across every method.
+func TestDecomposeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	for _, method := range []string{"auto", "min-fill", "min-degree", "exact"} {
+		var out decomposeResponse
+		resp := postJSON(t, ts.URL+"/decompose", map[string]any{
+			"generator": map[string]any{"kind": "partial-k-tree", "n": 20, "t": 2, "seed": 3},
+			"method":    method,
+			"nice":      true,
+		}, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", method, resp.StatusCode)
+		}
+		if !out.Valid {
+			t.Fatalf("%s: served decomposition invalid: %+v", method, out)
+		}
+		if out.Width < 1 || out.Width > 2 {
+			t.Fatalf("%s: width %d for a partial 2-tree", method, out.Width)
+		}
+		if out.Bags == 0 || out.NiceNodes == 0 {
+			t.Fatalf("%s: empty decomposition report: %+v", method, out)
+		}
+	}
+	// Explicit graph with the bags echoed back.
+	var out decomposeResponse
+	resp := postJSON(t, ts.URL+"/decompose", map[string]any{
+		"graph":                 wire.GraphToJSON(graphgen.Cycle(8)),
+		"include_decomposition": true,
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Method != "auto" || out.Width != 2 || out.Decomposition == nil {
+		t.Fatalf("cycle decomposition: %+v", out)
+	}
+	if len(out.Decomposition.Bags) != out.Bags {
+		t.Fatalf("echoed %d bags, reported %d", len(out.Decomposition.Bags), out.Bags)
+	}
+}
+
+func TestDecomposeBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []map[string]any{
+		{},
+		{"graph": wire.GraphToJSON(graphgen.Path(3)), "generator": map[string]any{"kind": "path", "n": 3}},
+		{"graph": wire.GraphToJSON(graphgen.Path(3)), "method": "magic"},
+	}
+	for i, body := range cases {
+		resp := postJSON(t, ts.URL+"/decompose", body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Exact beyond its limit is unprocessable, not a panic.
+	resp := postJSON(t, ts.URL+"/decompose", map[string]any{
+		"generator": map[string]any{"kind": "path", "n": 64},
+		"method":    "exact",
+	}, nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("exact on n=64: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// tw-mso is served end to end: /schemes lists it, /certify proves and
+// verifies it (sequentially and distributed), and the generator's
+// decomposition witness reaches the prover.
+func TestCertifyTreewidthMSO(t *testing.T) {
+	ts := newTestServer(t)
+	var listing struct {
+		Schemes []registry.Info `json:"schemes"`
+	}
+	resp, err := http.Get(ts.URL + "/schemes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, info := range listing.Schemes {
+		if info.Name == "tw-mso" {
+			found = true
+			if !info.UsesDecomposition || len(info.Enum) == 0 {
+				t.Fatalf("tw-mso metadata incomplete: %+v", info)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("/schemes does not list tw-mso")
+	}
+	var out certifyResponse
+	resp2 := postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme":      "tw-mso",
+		"params":      map[string]any{"property": "2-colorable", "t": 3},
+		"generator":   map[string]any{"kind": "k-tree", "n": 2, "t": 1, "seed": 1},
+		"distributed": true,
+	}, &out)
+	// A 1-tree on 2 vertices is an edge: 2-colorable, width 1.
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	var out3 certifyResponse
+	resp3 := postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme":      "tw-mso",
+		"params":      map[string]any{"property": "3-colorable", "t": 2},
+		"generator":   map[string]any{"kind": "partial-k-tree", "n": 40, "t": 2, "seed": 7},
+		"distributed": true,
+	}, &out3)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp3.StatusCode)
+	}
+	if !out3.Result.Accepted || out3.DistributedAccepted == nil || !*out3.DistributedAccepted {
+		t.Fatalf("tw-mso certify: %+v", out3)
+	}
+	if out3.Result.MaxBits == 0 {
+		t.Fatal("tw-mso produced empty certificates")
+	}
+}
+
+// A tw-mso batch over one generator spec reuses the compiled scheme and
+// the decomposition across jobs, visible in /healthz.
+func TestBatchTreewidthDecompositionReuse(t *testing.T) {
+	ts := newTestServer(t)
+	job := map[string]any{
+		"scheme": "tw-mso",
+		"params": map[string]any{"property": "tw-bound", "t": 2},
+		"graph":  wire.GraphToJSON(graphgen.Cycle(30)),
+	}
+	var out struct {
+		Stats   engine.BatchStats `json:"stats"`
+		Results []batchJobResult  `json:"results"`
+	}
+	resp := postJSON(t, ts.URL+"/batch", map[string]any{
+		"workers": 4,
+		"jobs":    []any{job, job, job, job},
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Stats.Accepted != 4 {
+		t.Fatalf("batch stats: %+v", out.Stats)
+	}
+	var health struct {
+		OK      bool               `json:"ok"`
+		Decomps engine.DecompStats `json:"decompositions"`
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Decomps.Misses != 1 || health.Decomps.Hits != 3 {
+		t.Fatalf("decomposition cache stats = %+v, want 1 miss / 3 hits", health.Decomps)
+	}
+}
+
+// /simulate runs tw-mso on the sharded simulator and the adversarial
+// sweep — including the decomposition-aware corrupt-bag tampers — detects
+// every mutating corruption.
+func TestSimulateTreewidthSweep(t *testing.T) {
+	ts := newTestServer(t)
+	var out simulateResponse
+	resp := postJSON(t, ts.URL+"/simulate", map[string]any{
+		"scheme":    "tw-mso",
+		"params":    map[string]any{"property": "tw-bound", "t": 2},
+		"generator": map[string]any{"kind": "partial-k-tree", "n": 32, "t": 2, "seed": 11},
+		"workers":   3,
+		"tamper":    map[string]any{"kind": "all", "trials": 12, "seed": 5},
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.Result.Accepted {
+		t.Fatalf("honest tw-mso round rejected: %+v", out.Result)
+	}
+	if out.Sweep == nil || !out.Sweep.AllDetected {
+		t.Fatalf("sweep missed corruption: %+v", out.Sweep)
+	}
+	kinds := map[string]bool{}
+	mutated := 0
+	for _, st := range out.Sweep.Stats {
+		kinds[st.Tamper] = true
+		mutated += st.Mutated
+	}
+	if !kinds["corrupt-bag-id"] || !kinds["corrupt-bag-contents"] {
+		t.Fatalf("sweep did not include the decomposition-aware tampers: %+v", kinds)
+	}
+	if mutated == 0 {
+		t.Fatal("sweep mutated nothing")
+	}
+	// Dedicated corrupt-bag sweep.
+	var bagOut simulateResponse
+	resp2 := postJSON(t, ts.URL+"/simulate", map[string]any{
+		"scheme":    "tw-mso",
+		"params":    map[string]any{"property": "3-colorable", "t": 2},
+		"generator": map[string]any{"kind": "partial-k-tree", "n": 24, "t": 2, "seed": 2},
+		"tamper":    map[string]any{"kind": "corrupt-bag", "trials": 15, "seed": 9},
+	}, &bagOut)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	if bagOut.Sweep == nil || !bagOut.Sweep.AllDetected {
+		t.Fatalf("corrupt-bag sweep missed corruption: %+v", bagOut.Sweep)
+	}
+	for _, st := range bagOut.Sweep.Stats {
+		if st.Mutated == 0 {
+			t.Fatalf("tamper %s never mutated a tw-mso assignment", st.Tamper)
+		}
+	}
+}

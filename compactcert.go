@@ -35,6 +35,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/rooted"
 	"repro/internal/treedepth"
+	"repro/internal/treewidth"
 )
 
 // Re-exported core types. See the internal packages for full
@@ -135,6 +136,48 @@ func KernelMSOScheme(t int, sentence string) (Scheme, error) {
 	return BuildScheme("kernel-mso", SchemeParams{T: t, Formula: sentence})
 }
 
+// Decomposition is a tree decomposition: bags plus the decomposition
+// tree's adjacency (see internal/treewidth).
+type Decomposition = treewidth.Decomposition
+
+// DecompositionProvider supplies a tree-decomposition witness for a graph,
+// letting the tw-mso prover skip recomputation.
+type DecompositionProvider = func(*Graph) (*Decomposition, error)
+
+// TreewidthMSOProperties lists the property names TreewidthMSOScheme
+// accepts, straight from the registry entry.
+func TreewidthMSOProperties() []string { return registry.TreewidthMSOProperties() }
+
+// TreewidthMSOScheme returns the bounded-treewidth MSO certification
+// scheme: "the graph admits a tree decomposition of width <= t and
+// satisfies the named property", with O(t log n)-bit certificates carrying
+// each vertex's home bag and DP witness.
+func TreewidthMSOScheme(t int, property string) (Scheme, error) {
+	return BuildScheme("tw-mso", SchemeParams{Property: property, T: t})
+}
+
+// TreewidthMSOSchemeWithDecomposition is TreewidthMSOScheme with a
+// decomposition witness (e.g. the second return value of RandomPartialKTree).
+func TreewidthMSOSchemeWithDecomposition(t int, property string, provider DecompositionProvider) (Scheme, error) {
+	return BuildScheme("tw-mso", SchemeParams{Property: property, T: t, DecompProvider: provider})
+}
+
+// HeuristicTreeDecomposition computes a tree decomposition with the better
+// of the min-fill and min-degree elimination heuristics, reporting which
+// won.
+func HeuristicTreeDecomposition(g *Graph) (*Decomposition, string, error) {
+	return treewidth.Heuristic(g)
+}
+
+// ExactTreewidth computes the exact treewidth of a graph
+// (n <= treewidth.ExactLimit) and an optimal decomposition by
+// branch-and-bound over elimination orders.
+func ExactTreewidth(g *Graph) (int, *Decomposition, error) { return treewidth.Exact(g) }
+
+// ValidateDecomposition checks coverage, edge coverage and bag-trace
+// connectivity of a claimed tree decomposition.
+func ValidateDecomposition(g *Graph, d *Decomposition) error { return treewidth.Validate(g, d) }
+
 // PathMinorFreeScheme returns the Corollary 2.7 scheme for
 // P_t-minor-freeness (O(log n) bits).
 func PathMinorFreeScheme(t int) (Scheme, error) {
@@ -193,6 +236,25 @@ func RandomBoundedTreedepth(n, t int, density float64, rng *rand.Rand) (*Graph, 
 		return treedepth.FromParentSlice(gg, parents)
 	}
 	return g, provider
+}
+
+// RandomKTree returns a random k-tree (treewidth exactly k for n > k)
+// together with its ground-truth decomposition witness.
+func RandomKTree(n, k int, rng *rand.Rand) (*Graph, DecompositionProvider) {
+	g, attach := graphgen.KTree(n, k, rng)
+	return g, func(gg *Graph) (*Decomposition, error) {
+		return treewidth.FromKTree(gg.N(), k, attach)
+	}
+}
+
+// RandomPartialKTree returns a random connected partial k-tree (treewidth
+// <= k by construction; each optional edge kept with probability keepProb)
+// together with its ground-truth decomposition witness.
+func RandomPartialKTree(n, k int, keepProb float64, rng *rand.Rand) (*Graph, DecompositionProvider) {
+	g, attach := graphgen.PartialKTree(n, k, keepProb, rng)
+	return g, func(gg *Graph) (*Decomposition, error) {
+		return treewidth.FromKTree(gg.N(), k, attach)
+	}
 }
 
 // ExactTreedepth computes the exact treedepth of a connected graph

@@ -29,6 +29,12 @@ import (
 type Cache struct {
 	reg *registry.Registry
 
+	// Decomps, when set, is the shared decomposition cache handed to
+	// compiled tw-mso schemes: the scheme itself stays cacheable (the
+	// provider is graph-agnostic) while per-graph decompositions are
+	// computed once per fingerprint across jobs and requests.
+	Decomps *DecompCache
+
 	mu      sync.Mutex
 	flights map[string]*flight
 
@@ -83,7 +89,11 @@ func (c *Cache) Key(name string, p registry.Params) (string, error) {
 func (c *Cache) GetOrCompile(name string, p registry.Params) (cert.Scheme, error) {
 	if !p.Cacheable() {
 		c.bypasses.Add(1)
-		return c.reg.Build(name, p)
+		s, err := c.reg.Build(name, p)
+		if err == nil {
+			c.attachDecompCache(s)
+		}
+		return s, err
 	}
 	key, err := c.Key(name, p)
 	if err != nil {
@@ -102,6 +112,10 @@ func (c *Cache) GetOrCompile(name string, p registry.Params) (cert.Scheme, error
 
 	c.misses.Add(1)
 	f.scheme, f.err = c.reg.Build(name, p)
+	if f.err == nil {
+		// Attach shared per-graph state before publishing to waiters.
+		c.attachDecompCache(f.scheme)
+	}
 	close(f.done)
 	if f.err != nil {
 		// Failed compiles are not pinned: a later request with the same

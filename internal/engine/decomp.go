@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/treewidth"
+	"repro/internal/wire"
+)
+
+// DecompCache memoizes tree decompositions by graph fingerprint with the
+// same singleflight discipline as the compile cache: a batch of tw-mso
+// jobs over the same graph (or the same generator spec, which rebuilds an
+// identical graph) computes the decomposition once and shares it. The
+// decomposition is the expensive per-graph artifact of the treewidth
+// workload — the heuristics are quadratic — so this is the engine-level
+// reuse the compile cache cannot provide for graph-specific state.
+//
+// Keys are FNV-64a fingerprints of the canonical wire encoding; a
+// collision would hand a scheme a decomposition of the wrong graph, which
+// the prover's validity check rejects instead of certifying garbage.
+type DecompCache struct {
+	mu      sync.Mutex
+	flights map[uint64]*decompFlight
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type decompFlight struct {
+	done   chan struct{}
+	decomp *treewidth.Decomposition
+	err    error
+}
+
+// maxDecompEntries bounds the cache: fingerprints are client-controlled
+// (every distinct graph is a fresh key), so without a cap a client
+// iterating over seeds would grow the server's memory monotonically. On
+// overflow an arbitrary entry is evicted — waiters already holding its
+// flight keep their pointer; later requests simply recompute.
+const maxDecompEntries = 1024
+
+// NewDecompCache returns an empty decomposition cache.
+func NewDecompCache() *DecompCache {
+	return &DecompCache{flights: map[uint64]*decompFlight{}}
+}
+
+// fingerprint folds the canonical binary encoding of g into a cache key.
+func fingerprint(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(wire.EncodeGraph(g))
+	return h.Sum64()
+}
+
+// Get returns the cached decomposition for g, computing it with the
+// elimination heuristics if absent.
+func (c *DecompCache) Get(g *graph.Graph) (*treewidth.Decomposition, error) {
+	if g == nil {
+		return nil, fmt.Errorf("engine: decomposition cache: nil graph")
+	}
+	key := fingerprint(g)
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-f.done
+		return f.decomp, f.err
+	}
+	if len(c.flights) >= maxDecompEntries {
+		for k := range c.flights {
+			delete(c.flights, k)
+			break
+		}
+	}
+	f := &decompFlight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	f.decomp, _, f.err = treewidth.Heuristic(g)
+	close(f.done)
+	if f.err != nil {
+		// Failed computations are not pinned, mirroring the compile cache.
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+	}
+	return f.decomp, f.err
+}
+
+// Provider adapts the cache to the scheme's DecompProvider slot. Unlike a
+// generator witness the returned closure is graph-agnostic, so a compiled
+// tw-mso scheme carrying it stays shareable across graphs and cacheable.
+func (c *DecompCache) Provider() func(*graph.Graph) (*treewidth.Decomposition, error) {
+	return c.Get
+}
+
+// DecompStats is a snapshot of decomposition-cache effectiveness.
+type DecompStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Size   int   `json:"size"`
+}
+
+// Stats returns current counters.
+func (c *DecompCache) Stats() DecompStats {
+	c.mu.Lock()
+	size := len(c.flights)
+	c.mu.Unlock()
+	return DecompStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: size}
+}
+
+// Purge drops every cached decomposition (counters are kept).
+func (c *DecompCache) Purge() {
+	c.mu.Lock()
+	c.flights = map[uint64]*decompFlight{}
+	c.mu.Unlock()
+}
+
+// attachDecompCache hands a freshly compiled tw-mso scheme the shared
+// decomposition cache when it has no witness of its own. It runs inside
+// the compiling goroutine, before the scheme is published to waiters.
+func (c *Cache) attachDecompCache(s cert.Scheme) {
+	if c.Decomps == nil || s == nil {
+		return
+	}
+	if tws, ok := s.(*treewidth.MSOScheme); ok && tws.DecompProvider == nil {
+		tws.DecompProvider = c.Decomps.Provider()
+	}
+}

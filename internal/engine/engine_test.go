@@ -16,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphgen"
 	"repro/internal/registry"
+	"repro/internal/treewidth"
 )
 
 // countingRegistry returns a registry with one entry whose factory counts
@@ -452,4 +453,110 @@ func ExampleSummarize() {
 	})
 	fmt.Println(st.Jobs, st.Accepted, st.Rejected, st.Failed, st.MaxBits)
 	// Output: 3 1 1 1 18
+}
+
+// A batch of tw-mso jobs over the same graph must compute the tree
+// decomposition once: the compiled scheme is shared through the compile
+// cache and the decomposition through the attached decomposition cache.
+func TestDecompCacheReusedAcrossBatchJobs(t *testing.T) {
+	cache := NewCache(registry.Default())
+	cache.Decomps = NewDecompCache()
+	pipe := &Pipeline{Cache: cache, Workers: 4}
+	rng := rand.New(rand.NewSource(8))
+	g, _ := graphgen.PartialKTree(40, 2, 0.5, rng)
+	const jobsN = 6
+	jobs := make([]Job, jobsN)
+	for i := range jobs {
+		jobs[i] = Job{
+			Graph:  g,
+			Scheme: "tw-mso",
+			Params: registry.Params{Property: "tw-bound", T: 2},
+		}
+	}
+	results, err := pipe.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", res.Index, res.Err)
+		}
+		if !res.Accepted {
+			t.Fatalf("job %d rejected at %v", res.Index, res.Rejecters)
+		}
+	}
+	st := cache.Decomps.Stats()
+	if st.Misses != 1 || st.Hits != jobsN-1 {
+		t.Fatalf("decomposition cache stats = %+v, want 1 miss and %d hits", st, jobsN-1)
+	}
+	// A second batch over the same graph is all hits.
+	if _, err := pipe.Run(context.Background(), jobs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	st = cache.Decomps.Stats()
+	if st.Misses != 1 || st.Hits != jobsN+1 {
+		t.Fatalf("after second batch: %+v", st)
+	}
+	// A different graph is a fresh miss.
+	g2, _ := graphgen.PartialKTree(30, 2, 0.5, rng)
+	if _, err := cache.Decomps.Get(g2); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Decomps.Stats(); st.Misses != 2 || st.Size != 2 {
+		t.Fatalf("after second graph: %+v", st)
+	}
+	cache.Decomps.Purge()
+	if st := cache.Decomps.Stats(); st.Size != 0 {
+		t.Fatalf("purge left %d entries", st.Size)
+	}
+}
+
+// A scheme compiled without the decomposition cache computes its own
+// decomposition; with an explicit witness the cache is bypassed entirely.
+func TestDecompCacheNotAttachedOverWitness(t *testing.T) {
+	cache := NewCache(registry.Default())
+	cache.Decomps = NewDecompCache()
+	rng := rand.New(rand.NewSource(3))
+	g, attach := graphgen.PartialKTree(20, 2, 0.5, rng)
+	called := false
+	params := registry.Params{Property: "tw-bound", T: 2, DecompProvider: func(gg *graph.Graph) (*treewidth.Decomposition, error) {
+		called = true
+		return treewidth.FromKTree(gg.N(), 2, attach)
+	}}
+	s, err := cache.GetOrCompile("tw-mso", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prove(g); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("explicit witness was not used")
+	}
+	if st := cache.Decomps.Stats(); st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("witness-driven job touched the decomposition cache: %+v", st)
+	}
+	if st := cache.Stats(); st.Bypasses != 1 {
+		t.Fatalf("witness params did not bypass the compile cache: %+v", st)
+	}
+}
+
+// The decomposition cache is bounded: fingerprints are client-controlled,
+// so distinct graphs must not grow it without limit.
+func TestDecompCacheBounded(t *testing.T) {
+	c := NewDecompCache()
+	for i := 0; i < 1100; i++ {
+		ids := []graph.ID{1, graph.ID(i + 2)}
+		g, err := graph.NewWithIDs(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.MustAddEdge(0, 1)
+		if _, err := c.Get(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Size > 1024 {
+		t.Fatalf("cache grew to %d entries", st.Size)
+	}
 }

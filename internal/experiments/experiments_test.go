@@ -102,9 +102,9 @@ func TestE11SoundnessAllDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 schemes x 5 standard tampers.
-	if len(tbl.Rows) != 15 {
-		t.Fatalf("%d rows, want 15", len(tbl.Rows))
+	// 3 schemes x 5 standard tampers + tw-mso x (5 standard + 2 bag).
+	if len(tbl.Rows) != 22 {
+		t.Fatalf("%d rows, want 22", len(tbl.Rows))
 	}
 	schemes := map[string]bool{}
 	sawMutation := false
@@ -122,8 +122,17 @@ func TestE11SoundnessAllDetected(t *testing.T) {
 			sawMutation = true
 		}
 	}
-	if len(schemes) != 3 {
-		t.Fatalf("expected 3 scheme kinds, saw %v", schemes)
+	if len(schemes) != 4 {
+		t.Fatalf("expected 4 scheme kinds, saw %v", schemes)
+	}
+	bagKinds := 0
+	for _, row := range tbl.Rows {
+		if row[0] == "tw-mso(tw<=2)" && strings.HasPrefix(row[1], "corrupt-bag") {
+			bagKinds++
+		}
+	}
+	if bagKinds != 2 {
+		t.Fatalf("tw-mso row is missing the decomposition-aware tampers (%d found)", bagKinds)
 	}
 	if !sawMutation {
 		t.Fatal("sweep never mutated anything — the table is vacuous")
@@ -158,6 +167,41 @@ func TestE3TreedepthFixedSeed(t *testing.T) {
 			if tbl.Rows[i][j] != tbl2.Rows[i][j] {
 				t.Fatalf("row %d cell %d not deterministic: %q vs %q", i, j, tbl.Rows[i][j], tbl2.Rows[i][j])
 			}
+		}
+	}
+}
+
+// E12: the certificate-size column must grow sublinearly at fixed width
+// (the O(t log n) shape) and the heuristic-vs-exact rows must respect the
+// lower bound.
+func TestE12Treewidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 1024-vertex instances")
+	}
+	tbl, err := E12Treewidth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(tbl.Rows))
+	}
+	atoi := func(s string) int {
+		v := 0
+		for _, c := range s {
+			v = v*10 + int(c-'0')
+		}
+		return v
+	}
+	// Size rows: 32 -> 1024 is a 32x growth in n; bits must grow far less
+	// than linearly (they are ~log n at fixed width).
+	first, last := atoi(tbl.Rows[0][2]), atoi(tbl.Rows[3][2])
+	if last >= first*8 {
+		t.Fatalf("certificate bits grew from %d to %d over 32x n — not logarithmic", first, last)
+	}
+	for _, row := range tbl.Rows[4:] {
+		wf, wd, wx := atoi(row[4]), atoi(row[5]), atoi(row[6])
+		if wf < wx || wd < wx {
+			t.Fatalf("heuristic beats exact in row %v", row)
 		}
 	}
 }

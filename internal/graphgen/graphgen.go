@@ -7,6 +7,7 @@ package graphgen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -209,6 +210,77 @@ func BoundedTreedepth(n, t int, extraDensity float64, rng *rand.Rand) (*graph.Gr
 		}
 	}
 	return g, parent
+}
+
+// KTree returns a random k-tree on n vertices (n >= k+1) together with
+// its construction record: attach[v] is the sorted k-clique vertex v was
+// attached to (nil for the k+1 seed vertices). A k-tree has treewidth
+// exactly k (for n > k), and the record is the ground-truth decomposition
+// witness: bag {v} ∪ attach[v] per attached vertex (see
+// treewidth.FromKTree).
+func KTree(n, k int, rng *rand.Rand) (*graph.Graph, [][]int) {
+	if k < 1 || n < k+1 {
+		panic(fmt.Sprintf("graphgen: k-tree needs k >= 1 and n >= k+1, got n=%d k=%d", n, k))
+	}
+	g := graph.New(n)
+	attach := make([][]int, n)
+	// Seed clique on 0..k, and its k-element subsets as attachable cliques.
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	var cliques [][]int
+	for skip := 0; skip <= k; skip++ {
+		c := make([]int, 0, k)
+		for i := 0; i <= k; i++ {
+			if i != skip {
+				c = append(c, i)
+			}
+		}
+		cliques = append(cliques, c)
+	}
+	for v := k + 1; v < n; v++ {
+		c := cliques[rng.Intn(len(cliques))]
+		attach[v] = append([]int(nil), c...)
+		for _, u := range c {
+			g.MustAddEdge(v, u)
+		}
+		// Each member swapped for v yields a new attachable k-clique.
+		for i := range c {
+			nc := append([]int(nil), c...)
+			nc[i] = v
+			sort.Ints(nc)
+			cliques = append(cliques, nc)
+		}
+	}
+	return g, attach
+}
+
+// PartialKTree returns a random partial k-tree — a connected subgraph of a
+// random k-tree, so treewidth <= k by construction — together with the
+// k-tree's construction record, which remains a valid decomposition
+// witness for the subgraph. Each optional edge survives with probability
+// keepProb; a spanning skeleton (the seed path 0-1-...-k and one edge from
+// every attached vertex into its clique) is always kept so the graph stays
+// connected.
+func PartialKTree(n, k int, keepProb float64, rng *rand.Rand) (*graph.Graph, [][]int) {
+	full, attach := KTree(n, k, rng)
+	g := graph.New(n)
+	for _, e := range full.Edges() {
+		u, v := e[0], e[1]
+		mandatory := false
+		switch {
+		case v <= k:
+			mandatory = v == u+1 // seed path
+		case attach[v] != nil && u == attach[v][0]:
+			mandatory = true // first clique member anchors v
+		}
+		if mandatory || rng.Float64() < keepProb {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g, attach
 }
 
 // Grid returns the rows x cols grid graph.

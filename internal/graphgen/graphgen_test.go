@@ -255,3 +255,59 @@ func TestCycleTooSmallPanics(t *testing.T) {
 	}()
 	Cycle(2)
 }
+
+// KTree has exactly C(k+1,2) + (n-k-1)k edges; PartialKTree stays
+// connected at any keep probability and never exceeds the k-tree.
+func TestKTreeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, k := range []int{1, 2, 4} {
+		for _, n := range []int{k + 1, k + 2, 30} {
+			g, attach := KTree(n, k, rng)
+			wantM := k*(k+1)/2 + (n-k-1)*k
+			if g.M() != wantM {
+				t.Fatalf("KTree(%d,%d): m=%d, want %d", n, k, g.M(), wantM)
+			}
+			if !g.Connected() {
+				t.Fatalf("KTree(%d,%d) disconnected", n, k)
+			}
+			for v := 0; v <= k; v++ {
+				if attach[v] != nil {
+					t.Fatalf("seed vertex %d has an attachment", v)
+				}
+			}
+			for v := k + 1; v < n; v++ {
+				if len(attach[v]) != k {
+					t.Fatalf("vertex %d attached to %d vertices, want %d", v, len(attach[v]), k)
+				}
+				for _, u := range attach[v] {
+					if u >= v || !g.HasEdge(u, v) {
+						t.Fatalf("vertex %d attachment %v not realized as edges", v, attach[v])
+					}
+				}
+			}
+		}
+	}
+	for _, keep := range []float64{0, 0.5, 1} {
+		g, _ := PartialKTree(40, 3, keep, rng)
+		if !g.Connected() {
+			t.Fatalf("PartialKTree(keep=%.1f) disconnected", keep)
+		}
+		full, _ := KTree(40, 3, rng)
+		if g.M() > full.M() {
+			t.Fatalf("partial k-tree has more edges (%d) than a full one (%d)", g.M(), full.M())
+		}
+	}
+}
+
+func TestKTreePanicsOnBadParams(t *testing.T) {
+	for _, bad := range [][2]int{{3, 0}, {2, 2}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KTree(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			KTree(bad[0], bad[1], rand.New(rand.NewSource(1)))
+		}()
+	}
+}

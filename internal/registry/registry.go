@@ -25,6 +25,7 @@ import (
 	"repro/internal/minor"
 	"repro/internal/rooted"
 	"repro/internal/treedepth"
+	"repro/internal/treewidth"
 )
 
 // Param names an argument a scheme factory consumes. Entries declare which
@@ -61,6 +62,12 @@ type Params struct {
 	// treedepth and kernel-mso provers. A scheme built with a provider is
 	// graph-specific and must not be cached across graphs.
 	Provider func(*graph.Graph) (*rooted.Tree, error)
+	// DecompProvider optionally supplies a tree-decomposition witness to
+	// the tw-mso prover (a generator's ground-truth record). Like
+	// Provider, it binds the scheme to one graph and defeats caching —
+	// the engine's shared decomposition cache attaches a graph-agnostic
+	// provider after compilation instead.
+	DecompProvider func(*graph.Graph) (*treewidth.Decomposition, error)
 	// PropertyFunc overrides the named predicate of the universal scheme
 	// with an arbitrary Go predicate. Like Provider, it makes the built
 	// scheme uncacheable.
@@ -70,7 +77,9 @@ type Params struct {
 // Cacheable reports whether a scheme built from these params may be reused
 // for other graphs: closures (witness providers, ad-hoc predicates) bind
 // the scheme to one caller and defeat keying by value.
-func (p Params) Cacheable() bool { return p.Provider == nil && p.PropertyFunc == nil }
+func (p Params) Cacheable() bool {
+	return p.Provider == nil && p.DecompProvider == nil && p.PropertyFunc == nil
+}
 
 // formula resolves the effective sentence: the pre-parsed AST if present,
 // otherwise the parsed textual form.
@@ -100,6 +109,10 @@ type Info struct {
 	// witness should only attach it to these (a provider makes the
 	// built scheme graph-specific and uncacheable).
 	UsesWitness bool `json:"uses_witness,omitempty"`
+	// UsesDecomposition marks schemes whose prover can exploit a
+	// Params.DecompProvider tree-decomposition witness, with the same
+	// cacheability caveat as UsesWitness.
+	UsesDecomposition bool `json:"uses_decomposition,omitempty"`
 }
 
 // NeedsParam reports whether the entry declares the given param.
@@ -265,6 +278,15 @@ func TreeMSOProperties() []string {
 	return append([]string(nil), e.Enum...)
 }
 
+// TreewidthMSOProperties returns the property names of the tw-mso entry.
+func TreewidthMSOProperties() []string {
+	e, ok := Default().Lookup("tw-mso")
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), e.Enum...)
+}
+
 // UniversalProperties returns the named predicates of the universal entry.
 func UniversalProperties() []string {
 	e, ok := Default().Lookup("universal")
@@ -382,6 +404,25 @@ func registerAll(r *Registry) {
 			}
 			s.ModelProvider = p.Provider
 			return s, nil
+		},
+	})
+	r.MustRegister(Entry{
+		Info: Info{
+			Name: "tw-mso",
+			Summary: "meta-theorem workload (arXiv:2503.19671, arXiv:2112.03195): MSO certification on " +
+				"bounded-treewidth graphs via a distributed tree decomposition",
+			CertBound:         "O(t log n)",
+			GraphClass:        "connected graphs of treewidth <= t",
+			Needs:             []Param{ParamProperty, ParamT},
+			Enum:              treewidth.Properties(),
+			UsesDecomposition: true,
+		},
+		Build: func(p Params) (cert.Scheme, error) {
+			prop, ok := treewidth.PropertyByName(p.Property)
+			if !ok {
+				return nil, fmt.Errorf("registry: tw-mso: unknown property %q", p.Property)
+			}
+			return &treewidth.MSOScheme{T: p.T, Prop: prop, DecompProvider: p.DecompProvider}, nil
 		},
 	})
 	r.MustRegister(Entry{

@@ -7,13 +7,15 @@ import (
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/graphgen"
+	"repro/internal/treewidth"
+	"repro/internal/wire"
 )
 
 // The default registry must expose every scheme kind of the paper.
 func TestDefaultRegistryNames(t *testing.T) {
 	want := []string{
 		"ct-minor-free", "depth2-fo", "existential-fo", "kernel-mso",
-		"pt-minor-free", "tree-fo", "tree-mso", "treedepth", "universal",
+		"pt-minor-free", "tree-fo", "tree-mso", "treedepth", "tw-mso", "universal",
 	}
 	got := Default().Names()
 	if len(got) != len(want) {
@@ -73,6 +75,8 @@ func TestBuildProveVerify(t *testing.T) {
 		{"universal", Params{Property: "connected"}, graphgen.Cycle(5)},
 		{"existential-fo", Params{Formula: "exists x. exists y. x ~ y"}, graphgen.Path(4)},
 		{"depth2-fo", Params{Formula: "forall x. exists y. x ~ y"}, graphgen.Star(5)},
+		{"tw-mso", Params{Property: "tw-bound", T: 2}, graphgen.Cycle(8)},
+		{"tw-mso", Params{Property: "3-colorable", T: 2}, graphgen.Cycle(9)},
 	}
 	for _, tc := range cases {
 		s, err := Default().Build(tc.name, tc.params)
@@ -100,6 +104,8 @@ func TestBuildValidation(t *testing.T) {
 		wantSub string
 	}{
 		{"tree-mso", Params{}, "missing property"},
+		{"tw-mso", Params{Property: "tw-bound"}, "must be positive"},
+		{"tw-mso", Params{Property: "no-such", T: 2}, "unknown property"},
 		{"tree-fo", Params{}, "missing formula"},
 		{"treedepth", Params{}, "must be positive"},
 		{"kernel-mso", Params{Formula: "forall x. x = x"}, "must be positive"},
@@ -146,5 +152,40 @@ func TestParamsCacheable(t *testing.T) {
 	p := Params{PropertyFunc: func(*graph.Graph) (bool, error) { return true, nil }}
 	if p.Cacheable() {
 		t.Fatal("params with a predicate closure reported cacheable")
+	}
+	d := Params{DecompProvider: func(*graph.Graph) (*treewidth.Decomposition, error) { return nil, nil }}
+	if d.Cacheable() {
+		t.Fatal("params with a decomposition witness reported cacheable")
+	}
+}
+
+// The tw-mso enum and the property library must agree, and a generator
+// witness must drive the prover.
+func TestTreewidthMSOEntry(t *testing.T) {
+	props := TreewidthMSOProperties()
+	if len(props) != len(treewidth.Properties()) {
+		t.Fatalf("TreewidthMSOProperties() = %v", props)
+	}
+	e, ok := Default().Lookup("tw-mso")
+	if !ok {
+		t.Fatal("tw-mso not registered")
+	}
+	if !e.UsesDecomposition || e.UsesWitness {
+		t.Fatalf("tw-mso witness flags wrong: %+v", e.Info)
+	}
+	g, witness, err := wire.GeneratorSpec{Kind: "partial-k-tree", N: 18, T: 2, Seed: 5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Default().Build("tw-mso", Params{Property: "tw-bound", T: 2, DecompProvider: witness.Decomp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := cert.ProveAndVerify(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("witness-driven tw-mso proof rejected at %v", res.Rejecters)
 	}
 }

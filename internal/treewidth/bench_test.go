@@ -1,0 +1,96 @@
+package treewidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+)
+
+// Heuristic decomposition of a 1000-vertex partial 3-tree — the per-graph
+// artifact the engine's decomposition cache amortizes.
+func BenchmarkMinFillPartialKTree1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, _ := graphgen.PartialKTree(1000, 3, 0.5, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := MinFill(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinDegreePartialKTree1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, _ := graphgen.PartialKTree(1000, 3, 0.5, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := MinDegree(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Exact branch-and-bound at the property-test scale.
+func BenchmarkExactRandom16(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graphgen.RandomConnected(16, 10, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Exact(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Full tw-mso prove+verify round trip with the generator witness: what one
+// served /certify request costs.
+func BenchmarkTWMSOProveVerify(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	// Width 2 keeps the instance 3-colorable by construction (a partial
+	// 3-tree can retain a K4).
+	g, attach := graphgen.PartialKTree(256, 2, 0.5, rng)
+	prop, _ := PropertyByName("3-colorable")
+	s := &MSOScheme{T: 2, Prop: prop, DecompProvider: func(gg *graph.Graph) (*Decomposition, error) {
+		return FromKTree(gg.N(), 2, attach)
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := s.Prove(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := cert.RunSequential(g, s, a)
+		if err != nil || !res.Accepted {
+			b.Fatalf("rejected: %v %v", err, res.Rejecters)
+		}
+	}
+}
+
+// Verification alone, per round: the steady-state self-stabilization cost.
+func BenchmarkTWMSOVerifyOnly(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g, attach := graphgen.PartialKTree(1024, 3, 0.5, rng)
+	prop, _ := PropertyByName("tw-bound")
+	s := &MSOScheme{T: 3, Prop: prop, DecompProvider: func(gg *graph.Graph) (*Decomposition, error) {
+		return FromKTree(gg.N(), 3, attach)
+	}}
+	a, err := s.Prove(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cert.RunSequential(g, s, a)
+		if err != nil || !res.Accepted {
+			b.Fatalf("rejected: %v", err)
+		}
+	}
+}

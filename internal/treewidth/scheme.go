@@ -1,0 +1,501 @@
+package treewidth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/cert"
+	"repro/internal/graph"
+)
+
+// Property is one entry of the tw-mso property library: the MSO property
+// certified on top of the width bound. Colors > 0 selects c-colorability
+// (the canonical Courcelle exemplar — the prover solves it by DP over the
+// nice decomposition and the certificate carries the witness colour);
+// Colors == 0 is the trivial property, certifying the width bound alone.
+type Property struct {
+	Name   string
+	Colors int
+}
+
+// propertyLibrary is the single source of the tw-mso property list; the
+// registry enum and the scheme dispatch both derive from it.
+var propertyLibrary = []Property{
+	{Name: "tw-bound", Colors: 0},
+	{Name: "2-colorable", Colors: 2},
+	{Name: "3-colorable", Colors: 3},
+}
+
+// Properties lists the admissible tw-mso property names.
+func Properties() []string {
+	out := make([]string, len(propertyLibrary))
+	for i, p := range propertyLibrary {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// PropertyByName resolves a property name.
+func PropertyByName(name string) (Property, bool) {
+	for _, p := range propertyLibrary {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Property{}, false
+}
+
+// MSOScheme is the decomposition-distributed certification of "G has a
+// tree decomposition of width <= T and satisfies the property": the prover
+// computes a decomposition, roots it, assigns every vertex the root bag of
+// its trace as home bag, and hands each vertex its home bag id, the bag
+// contents, and the Courcelle-style DP witness for the property. The
+// verification is purely radius-1, against the neighbouring bags:
+//
+//   - membership and width: the vertex and the bag's canonical owner are
+//     in the encoded bag, and the bag has at most T+1 entries;
+//   - edge coverage: for every graph edge, the deeper home bag contains
+//     the other endpoint (the trace-root rule), so one endpoint's id
+//     appears in the other's bag;
+//   - bag agreement: neighbours claiming the same home bag agree on depth
+//     and contents; neighbours with different home bags are in strict
+//     ancestor order (exactly one containment, container strictly
+//     shallower), which rules out cycles among bag claims;
+//   - property: witness colours of adjacent vertices differ.
+//
+// Certificates are O(t log n) bits — bag id and up to t+1 identifiers —
+// plus a 16-bit guard binding the certificate to its vertex, so replayed
+// or bit-corrupted certificates are rejected locally in one round (the
+// self-stabilization deployment; semantic soundness never relies on the
+// guard, which any adversary can recompute).
+type MSOScheme struct {
+	// T is the certified width bound.
+	T int
+	// Prop is the certified property from the library.
+	Prop Property
+	// DecompProvider, when set, supplies the tree decomposition (e.g. a
+	// generator's ground-truth witness or a shared decomposition cache).
+	// When nil, Prove computes one: the elimination heuristics first,
+	// exact branch-and-bound for graphs up to ExactLimit vertices when
+	// they miss the bound.
+	DecompProvider func(g *graph.Graph) (*Decomposition, error)
+}
+
+var _ cert.Scheme = (*MSOScheme)(nil)
+
+// Name implements cert.Scheme.
+func (s *MSOScheme) Name() string { return fmt.Sprintf("tw-mso[%s]<=%d", s.Prop.Name, s.T) }
+
+// guardBits is the width of the per-certificate integrity guard.
+const guardBits = 16
+
+// maxBagEntries caps decoded bag sizes before the width bound is applied,
+// so a hostile certificate cannot force a large allocation.
+const maxBagEntries = 1 << 12
+
+// Payload is the decoded certificate of one vertex.
+type Payload struct {
+	// BagID is the home bag's canonical identifier: the smallest vertex
+	// ID homed at the bag (always a member of Bag).
+	BagID graph.ID
+	// Depth is the home bag's depth in the rooted, pruned decomposition.
+	Depth uint64
+	// Bag is the home bag's contents as sorted vertex IDs (<= T+1).
+	Bag []graph.ID
+	// State is the property witness (the vertex's colour) when the
+	// property has one; 0 otherwise.
+	State uint64
+}
+
+// encodePrefixTo writes the self-delimiting decomposition fields (bag id,
+// depth, bag contents) — the exact counterpart of decodePrefix, shared by
+// the honest encoder and the decomposition-aware tampers so the two can
+// never drift apart.
+func encodePrefixTo(w *bitio.Writer, p Payload) {
+	w.WriteUvarint(uint64(p.BagID))
+	w.WriteUvarint(p.Depth)
+	w.WriteUvarint(uint64(len(p.Bag)))
+	// Delta encoding enforces strictly increasing ids structurally: any
+	// decodable bag is sorted and duplicate-free.
+	prev := uint64(0)
+	for i, id := range p.Bag {
+		if i == 0 {
+			w.WriteUvarint(uint64(id))
+		} else {
+			w.WriteUvarint(uint64(id) - prev - 1)
+		}
+		prev = uint64(id)
+	}
+}
+
+// encodeBody writes the guarded part of the payload.
+func encodeBody(w *bitio.Writer, p Payload, colors int) {
+	encodePrefixTo(w, p)
+	if colors > 0 {
+		w.WriteUint(p.State, 2)
+	}
+}
+
+// EncodePayload serializes the payload and appends the guard binding it to
+// the owning vertex.
+func EncodePayload(p Payload, owner graph.ID, colors int) cert.Certificate {
+	var w bitio.Writer
+	encodeBody(&w, p, colors)
+	body := w.Clone()
+	w.WriteUint(guardOf(owner, body), guardBits)
+	return w.Clone()
+}
+
+// DecodePayload parses a certificate and checks its guard against the
+// claimed owner; the whole certificate must be consumed.
+func DecodePayload(c cert.Certificate, owner graph.ID, colors int) (Payload, bool) {
+	if len(c) < guardBits {
+		return Payload{}, false
+	}
+	body := c[:len(c)-guardBits]
+	r := bitio.NewReader(c[len(c)-guardBits:])
+	guard, err := r.ReadUint(guardBits)
+	if err != nil || guard != guardOf(owner, body) {
+		return Payload{}, false
+	}
+	p, tail, ok := decodePrefix(body)
+	if !ok {
+		return Payload{}, false
+	}
+	br := bitio.NewReader(tail)
+	if colors > 0 {
+		state, err := br.ReadUint(2)
+		if err != nil {
+			return Payload{}, false
+		}
+		p.State = state
+	}
+	if br.Remaining() != 0 {
+		return Payload{}, false
+	}
+	return p, true
+}
+
+// decodePrefix parses the self-delimiting decomposition fields (bag id,
+// depth, bag contents) off the body and returns the unparsed tail bits —
+// the property payload, which decomposition-aware tampers carry through
+// unchanged.
+func decodePrefix(body []byte) (Payload, []byte, bool) {
+	r := bitio.NewReader(body)
+	var p Payload
+	bagID, err := r.ReadUvarint()
+	if err != nil || bagID == 0 {
+		return p, nil, false
+	}
+	p.BagID = graph.ID(bagID)
+	if p.Depth, err = r.ReadUvarint(); err != nil {
+		return p, nil, false
+	}
+	size, err := r.ReadUvarint()
+	if err != nil || size == 0 || size > maxBagEntries {
+		return p, nil, false
+	}
+	p.Bag = make([]graph.ID, size)
+	prev := uint64(0)
+	for i := range p.Bag {
+		v, err := r.ReadUvarint()
+		if err != nil {
+			return p, nil, false
+		}
+		if i == 0 {
+			if v == 0 {
+				return p, nil, false
+			}
+			prev = v
+		} else {
+			prev = prev + v + 1
+		}
+		p.Bag[i] = graph.ID(prev)
+	}
+	return p, body[len(body)-r.Remaining():], true
+}
+
+// guardOf folds the owner identifier and the body bits into the guard
+// word (FNV-1a), binding a certificate to its vertex: a swapped, replayed
+// or bit-flipped certificate fails the recomputation at the receiving
+// vertex and its neighbours.
+func guardOf(owner graph.ID, body []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	o := uint64(owner)
+	for i := 0; i < 8; i++ {
+		h ^= o & 0xff
+		h *= prime64
+		o >>= 8
+	}
+	for _, b := range body {
+		h ^= uint64(b & 1)
+		h *= prime64
+	}
+	return h & (1<<guardBits - 1)
+}
+
+// Holds implements cert.Scheme: the graph admits a tree decomposition of
+// width at most T and satisfies the property. The width part is resolved
+// exactly like Prove's (provider first, then heuristics, then exact
+// branch-and-bound up to ExactLimit vertices) except that a proven
+// too-wide graph answers false instead of erroring; only graphs the
+// solvers cannot decide report an error.
+func (s *MSOScheme) Holds(g *graph.Graph) (bool, error) {
+	if g.N() == 0 || !g.Connected() {
+		return false, fmt.Errorf("treewidth: %s: graph must be connected and non-empty", s.Name())
+	}
+	d, err := s.decomposition(g)
+	if err != nil {
+		if errors.Is(err, errTooWide) {
+			return false, nil
+		}
+		return false, err
+	}
+	if s.Prop.Colors == 0 {
+		return true, nil
+	}
+	nice, err := MakeNice(d, 0)
+	if err != nil {
+		return false, err
+	}
+	_, ok, err := ColorGraph(g, nice, s.Prop.Colors)
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// errTooWide marks decomposition failures that are proofs of a
+// no-instance (exact treewidth above the bound), as opposed to inputs the
+// solvers cannot decide.
+var errTooWide = errors.New("treewidth exceeds the certified bound")
+
+// decomposition resolves the width-<=T decomposition both Prove and Holds
+// run on: the provider's (validated; a too-wide or failing witness falls
+// back to computation), otherwise the better heuristic, otherwise exact
+// branch-and-bound for graphs up to ExactLimit vertices. A proven
+// no-instance returns an error wrapping errTooWide.
+func (s *MSOScheme) decomposition(g *graph.Graph) (*Decomposition, error) {
+	if s.DecompProvider != nil {
+		d, err := s.DecompProvider(g)
+		if err == nil {
+			if verr := Validate(g, d); verr != nil {
+				return nil, fmt.Errorf("treewidth: provided decomposition: %w", verr)
+			}
+			if d.Width() <= s.T {
+				return d, nil
+			}
+		}
+		// A missing or too-wide witness is not a proof of anything;
+		// fall through to computing one.
+	}
+	d, _, err := Heuristic(g)
+	if err != nil {
+		return nil, err
+	}
+	if d.Width() <= s.T {
+		return d, nil
+	}
+	if g.N() > ExactLimit {
+		return nil, fmt.Errorf("treewidth: %s: no decomposition of width <= %d found for n=%d (heuristic; exact limited to %d vertices)",
+			s.Name(), s.T, g.N(), ExactLimit)
+	}
+	w, dx, err := Exact(g)
+	if err != nil {
+		return nil, err
+	}
+	if w > s.T {
+		return nil, fmt.Errorf("treewidth: %s: width is %d: %w", s.Name(), w, errTooWide)
+	}
+	return dx, nil
+}
+
+// Prove implements cert.Scheme.
+func (s *MSOScheme) Prove(g *graph.Graph) (cert.Assignment, error) {
+	if g.N() == 0 || !g.Connected() {
+		return nil, fmt.Errorf("treewidth: %s: graph must be connected and non-empty", s.Name())
+	}
+	d, err := s.decomposition(g)
+	if err != nil {
+		return nil, err
+	}
+	payloads, err := BuildPayloads(g, d, s.Prop)
+	if err != nil {
+		return nil, err
+	}
+	a := make(cert.Assignment, g.N())
+	for v, p := range payloads {
+		a[v] = EncodePayload(p, g.IDOf(v), s.Prop.Colors)
+	}
+	return a, nil
+}
+
+// BuildPayloads assembles the per-vertex certificates from a valid
+// decomposition of sufficient width: root it, assign home bags (trace
+// roots), prune bags that are nobody's home (safe: such a bag's contents
+// reappear in its parent), name each remaining bag after its smallest
+// homed vertex id, and attach the DP witness for the property.
+func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, error) {
+	n := g.N()
+	parent, depth, order, err := d.Rooted(0)
+	if err != nil {
+		return nil, err
+	}
+	home, err := d.HomeBags(n, depth)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical owner id per home bag.
+	owner := make([]graph.ID, d.NumBags())
+	for v := 0; v < n; v++ {
+		b := home[v]
+		id := g.IDOf(v)
+		if owner[b] == 0 || id < owner[b] {
+			owner[b] = id
+		}
+	}
+	// Pruned depth: count only home-bag ancestors. Top-down over the BFS
+	// order, tracking each bag's nearest home ancestor.
+	hanc := make([]int, d.NumBags())
+	pruned := make([]uint64, d.NumBags())
+	for _, b := range order {
+		pb := parent[b]
+		anc := -1
+		if pb >= 0 {
+			anc = hanc[pb]
+			if owner[pb] != 0 {
+				anc = pb
+			}
+		}
+		hanc[b] = anc
+		if owner[b] != 0 {
+			if anc >= 0 {
+				pruned[b] = pruned[anc] + 1
+			} else {
+				pruned[b] = 0
+			}
+		}
+	}
+	// Property witness.
+	var colors []int
+	if prop.Colors > 0 {
+		nice, err := MakeNice(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		cols, ok, err := ColorGraph(g, nice, prop.Colors)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("treewidth: tw-mso[%s]: graph is not %d-colorable (nothing to certify)", prop.Name, prop.Colors)
+		}
+		colors = cols
+	}
+	payloads := make([]Payload, n)
+	bagIDs := make(map[int][]graph.ID, d.NumBags())
+	for v := 0; v < n; v++ {
+		b := home[v]
+		ids, ok := bagIDs[b]
+		if !ok {
+			ids = make([]graph.ID, len(d.Bags[b]))
+			for i, u := range d.Bags[b] {
+				ids[i] = g.IDOf(u)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			bagIDs[b] = ids
+		}
+		payloads[v] = Payload{
+			BagID: owner[b],
+			Depth: pruned[b],
+			Bag:   ids,
+		}
+		if prop.Colors > 0 {
+			payloads[v].State = uint64(colors[v])
+		}
+	}
+	return payloads, nil
+}
+
+// Verify implements cert.Scheme; see the type comment for the check list.
+func (s *MSOScheme) Verify(v cert.View) bool {
+	own, ok := DecodePayload(v.Cert, v.ID, s.Prop.Colors)
+	if !ok {
+		return false
+	}
+	if len(own.Bag) > s.T+1 {
+		return false
+	}
+	if !containsID(own.Bag, v.ID) || !containsID(own.Bag, own.BagID) {
+		return false
+	}
+	// The bag is named after its smallest homed vertex, so no member homed
+	// at it has a smaller id.
+	if own.BagID > v.ID {
+		return false
+	}
+	if s.Prop.Colors > 0 && own.State >= uint64(s.Prop.Colors) {
+		return false
+	}
+	for _, nb := range v.Neighbors {
+		pu, ok := DecodePayload(nb.Cert, nb.ID, s.Prop.Colors)
+		if !ok {
+			return false
+		}
+		if len(pu.Bag) > s.T+1 || !containsID(pu.Bag, nb.ID) {
+			return false
+		}
+		uIn := containsID(own.Bag, nb.ID)
+		vIn := containsID(pu.Bag, v.ID)
+		if !uIn && !vIn {
+			return false // edge covered by no claimed bag
+		}
+		if own.BagID == pu.BagID {
+			// Same home bag: full agreement on the bag.
+			if own.Depth != pu.Depth || !equalIDs(own.Bag, pu.Bag) {
+				return false
+			}
+		} else {
+			// Different home bags lie on one root path: mutual containment
+			// would force the same home, and the containing side is the
+			// strictly shallower one.
+			if uIn && vIn {
+				return false
+			}
+			if uIn && pu.Depth >= own.Depth {
+				return false
+			}
+			if vIn && own.Depth >= pu.Depth {
+				return false
+			}
+		}
+		if s.Prop.Colors > 0 && own.State == pu.State {
+			return false // improper colouring
+		}
+	}
+	return true
+}
+
+// containsID reports membership in a sorted id slice.
+func containsID(ids []graph.ID, id graph.ID) bool {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	return i < len(ids) && ids[i] == id
+}
+
+func equalIDs(a, b []graph.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graphgen"
 	"repro/internal/rooted"
 	"repro/internal/treedepth"
+	"repro/internal/treewidth"
 )
 
 // GeneratorSpec describes a graph to generate server-side instead of
@@ -19,22 +20,43 @@ type GeneratorSpec struct {
 	Kind string `json:"kind"`
 	// N is the number of vertices.
 	N int `json:"n"`
-	// T is the treedepth bound for "random-td".
+	// T is the treedepth bound for "random-td" and the clique size k for
+	// "k-tree" / "partial-k-tree" (ground-truth treewidth <= k).
 	T int `json:"t,omitempty"`
-	// Density is the extra-edge density for "random-td"; 0 means the
-	// default 0.3.
+	// Density is the extra-edge density for "random-td" (default 0.3) and
+	// the edge-keep probability for "partial-k-tree" (default 0.5).
 	Density float64 `json:"density,omitempty"`
 	// Seed drives the random kinds; deterministic per spec.
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// Witness carries the ground-truth structure a generator knows about the
+// graph it built: an elimination-tree model for treedepth-style schemes
+// and/or a tree decomposition for treewidth-style schemes. Callers attach
+// each part only to schemes whose registry entry declares it can use it
+// (UsesWitness, UsesDecomposition) — a witness makes the built scheme
+// graph-specific and uncacheable.
+type Witness struct {
+	// Model supplies the elimination tree ("random-td").
+	Model func(*graph.Graph) (*rooted.Tree, error)
+	// Decomp supplies the tree decomposition ("k-tree", "partial-k-tree").
+	Decomp func(*graph.Graph) (*treewidth.Decomposition, error)
+}
+
 // GeneratorKinds lists the supported family names.
 func GeneratorKinds() []string {
-	return []string{"path", "cycle", "star", "random-tree", "random-td"}
+	return []string{"path", "cycle", "star", "random-tree", "random-td", "k-tree", "partial-k-tree"}
 }
 
 // MaxGeneratedVertices bounds server-side generation.
 const MaxGeneratedVertices = 1 << 20
+
+// MaxGeneratedEdges bounds the edge count a generator spec may imply.
+// Every O(n) family is covered by MaxGeneratedVertices alone, but a
+// k-tree builds C(k+1,2) + (n-k-1)k edges — without this cap a single
+// request with a large clique size could allocate terabytes before any
+// later limit is consulted.
+const MaxGeneratedEdges = 1 << 24
 
 // Validate checks the spec without building anything, so request
 // handlers can reject bad specs up front and defer the (potentially
@@ -54,28 +76,40 @@ func (s GeneratorSpec) Validate() error {
 			return fmt.Errorf("wire: generator random-td: t must be positive, got %d", s.T)
 		}
 		return nil
+	case "k-tree", "partial-k-tree":
+		if s.T <= 0 {
+			return fmt.Errorf("wire: generator %s: t (the clique size k) must be positive, got %d", s.Kind, s.T)
+		}
+		if s.N < s.T+1 {
+			return fmt.Errorf("wire: generator %s: n=%d below k+1=%d", s.Kind, s.N, s.T+1)
+		}
+		k, n := int64(s.T), int64(s.N)
+		if edges := k*(k+1)/2 + (n-k-1)*k; edges > MaxGeneratedEdges {
+			return fmt.Errorf("wire: generator %s: n=%d k=%d implies %d edges (limit %d)",
+				s.Kind, s.N, s.T, edges, MaxGeneratedEdges)
+		}
+		return nil
 	default:
 		return fmt.Errorf("wire: unknown generator kind %q (known: %v)", s.Kind, GeneratorKinds())
 	}
 }
 
-// Build materializes the spec. For "random-td" it also returns the
-// elimination-tree witness provider the generator knows; it is nil for
-// every other kind.
-func (s GeneratorSpec) Build() (*graph.Graph, func(*graph.Graph) (*rooted.Tree, error), error) {
+// Build materializes the spec together with the witness structure the
+// generator knows; the witness parts are nil for kinds without one.
+func (s GeneratorSpec) Build() (*graph.Graph, Witness, error) {
 	if err := s.Validate(); err != nil {
-		return nil, nil, err
+		return nil, Witness{}, err
 	}
 	switch s.Kind {
 	case "path":
-		return graphgen.Path(s.N), nil, nil
+		return graphgen.Path(s.N), Witness{}, nil
 	case "cycle":
-		return graphgen.Cycle(s.N), nil, nil
+		return graphgen.Cycle(s.N), Witness{}, nil
 	case "star":
-		return graphgen.Star(s.N), nil, nil
+		return graphgen.Star(s.N), Witness{}, nil
 	case "random-tree":
 		rng := rand.New(rand.NewSource(s.Seed))
-		return graphgen.RandomTree(s.N, rng), nil, nil
+		return graphgen.RandomTree(s.N, rng), Witness{}, nil
 	case "random-td":
 		density := s.Density
 		if density == 0 {
@@ -83,11 +117,29 @@ func (s GeneratorSpec) Build() (*graph.Graph, func(*graph.Graph) (*rooted.Tree, 
 		}
 		rng := rand.New(rand.NewSource(s.Seed))
 		g, parents := graphgen.BoundedTreedepth(s.N, s.T, density, rng)
-		provider := func(gg *graph.Graph) (*rooted.Tree, error) {
+		w := Witness{Model: func(gg *graph.Graph) (*rooted.Tree, error) {
 			return treedepth.FromParentSlice(gg, parents)
+		}}
+		return g, w, nil
+	case "k-tree", "partial-k-tree":
+		rng := rand.New(rand.NewSource(s.Seed))
+		var g *graph.Graph
+		var attach [][]int
+		if s.Kind == "k-tree" {
+			g, attach = graphgen.KTree(s.N, s.T, rng)
+		} else {
+			keep := s.Density
+			if keep == 0 {
+				keep = 0.5
+			}
+			g, attach = graphgen.PartialKTree(s.N, s.T, keep, rng)
 		}
-		return g, provider, nil
+		k := s.T
+		w := Witness{Decomp: func(gg *graph.Graph) (*treewidth.Decomposition, error) {
+			return treewidth.FromKTree(gg.N(), k, attach)
+		}}
+		return g, w, nil
 	default:
-		return nil, nil, fmt.Errorf("wire: unknown generator kind %q (known: %v)", s.Kind, GeneratorKinds())
+		return nil, Witness{}, fmt.Errorf("wire: unknown generator kind %q (known: %v)", s.Kind, GeneratorKinds())
 	}
 }

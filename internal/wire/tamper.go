@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cert"
+	"repro/internal/treewidth"
 )
 
 // TamperSpec is the wire form of an adversarial tamper request — the spec
@@ -11,7 +12,10 @@ import (
 // share, mirroring how GeneratorSpec is shared for graph families.
 type TamperSpec struct {
 	// Kind is one of TamperKinds: "flip-bits", "swap", "truncate",
-	// "randomize", or "all" for the whole standard family.
+	// "randomize", "corrupt-bag" (the decomposition-aware adversary that
+	// rewrites tw-mso bag fields with a forged guard; a no-op on other
+	// schemes' certificates), or "all" for the standard family plus the
+	// decomposition-aware pair.
 	Kind string `json:"kind"`
 	// K is the number of bits to flip for "flip-bits"; 0 means 1.
 	K int `json:"k,omitempty"`
@@ -24,7 +28,7 @@ type TamperSpec struct {
 
 // TamperKinds lists the supported tamper kind names.
 func TamperKinds() []string {
-	return []string{"flip-bits", "swap", "truncate", "randomize", "all"}
+	return []string{"flip-bits", "swap", "truncate", "randomize", "corrupt-bag", "all"}
 }
 
 // MaxTamperTrials bounds per-request sweep work: each trial is a full
@@ -42,7 +46,7 @@ func (s TamperSpec) EffectiveTrials() int {
 // Validate checks the spec without building anything.
 func (s TamperSpec) Validate() error {
 	switch s.Kind {
-	case "flip-bits", "swap", "truncate", "randomize", "all":
+	case "flip-bits", "swap", "truncate", "randomize", "corrupt-bag", "all":
 	default:
 		return fmt.Errorf("wire: unknown tamper kind %q (known: %v)", s.Kind, TamperKinds())
 	}
@@ -76,8 +80,10 @@ func (s TamperSpec) Tampers() ([]cert.Tamper, error) {
 		return []cert.Tamper{cert.TruncateOne()}, nil
 	case "randomize":
 		return []cert.Tamper{cert.RandomizeOne()}, nil
+	case "corrupt-bag":
+		return treewidth.BagTampers(), nil
 	case "all":
-		return cert.StandardTampers(), nil
+		return append(cert.StandardTampers(), treewidth.BagTampers()...), nil
 	default:
 		return nil, fmt.Errorf("wire: unknown tamper kind %q (known: %v)", s.Kind, TamperKinds())
 	}

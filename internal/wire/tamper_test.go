@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cert"
+	"repro/internal/treewidth"
 )
 
 func TestTamperSpecValidate(t *testing.T) {
@@ -14,6 +15,7 @@ func TestTamperSpecValidate(t *testing.T) {
 		{Kind: "swap"},
 		{Kind: "truncate", Seed: 9},
 		{Kind: "randomize"},
+		{Kind: "corrupt-bag"},
 		{Kind: "all", Trials: MaxTamperTrials},
 	}
 	for _, s := range good {
@@ -26,6 +28,7 @@ func TestTamperSpecValidate(t *testing.T) {
 		{Kind: "melt"},
 		{Kind: "flip-bits", K: -1},
 		{Kind: "swap", K: 2},
+		{Kind: "corrupt-bag", K: 1},
 		{Kind: "all", Trials: -1},
 		{Kind: "all", Trials: MaxTamperTrials + 1},
 	}
@@ -41,8 +44,15 @@ func TestTamperSpecTampers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != len(cert.StandardTampers()) {
+	if len(all) != len(cert.StandardTampers())+len(treewidth.BagTampers()) {
 		t.Fatalf("all resolved to %d tampers", len(all))
+	}
+	bag, err := TamperSpec{Kind: "corrupt-bag"}.Tampers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bag) != len(treewidth.BagTampers()) {
+		t.Fatalf("corrupt-bag resolved to %d tampers", len(bag))
 	}
 	for _, kind := range []string{"flip-bits", "swap", "truncate", "randomize"} {
 		tms, err := TamperSpec{Kind: kind}.Tampers()

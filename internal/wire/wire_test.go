@@ -9,6 +9,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/graphgen"
+	"repro/internal/treewidth"
 )
 
 func sameGraph(t *testing.T, a, b *graph.Graph) {
@@ -221,23 +222,39 @@ func TestPackUnpack(t *testing.T) {
 func TestGeneratorSpec(t *testing.T) {
 	for _, kind := range GeneratorKinds() {
 		spec := GeneratorSpec{Kind: kind, N: 24, T: 3, Seed: 9}
-		g, provider, err := spec.Build()
+		g, witness, err := spec.Build()
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		if g.N() != 24 {
 			t.Fatalf("%s: n = %d, want 24", kind, g.N())
 		}
-		if (kind == "random-td") != (provider != nil) {
-			t.Fatalf("%s: provider presence wrong", kind)
+		if (kind == "random-td") != (witness.Model != nil) {
+			t.Fatalf("%s: model witness presence wrong", kind)
 		}
-		if provider != nil {
-			m, err := provider(g)
+		wantDecomp := kind == "k-tree" || kind == "partial-k-tree"
+		if wantDecomp != (witness.Decomp != nil) {
+			t.Fatalf("%s: decomposition witness presence wrong", kind)
+		}
+		if witness.Model != nil {
+			m, err := witness.Model(g)
 			if err != nil {
-				t.Fatalf("%s: provider: %v", kind, err)
+				t.Fatalf("%s: model witness: %v", kind, err)
 			}
 			if m == nil {
-				t.Fatalf("%s: provider returned nil model", kind)
+				t.Fatalf("%s: model witness returned nil", kind)
+			}
+		}
+		if witness.Decomp != nil {
+			d, err := witness.Decomp(g)
+			if err != nil {
+				t.Fatalf("%s: decomposition witness: %v", kind, err)
+			}
+			if err := treewidth.Validate(g, d); err != nil {
+				t.Fatalf("%s: decomposition witness invalid: %v", kind, err)
+			}
+			if d.Width() > spec.T {
+				t.Fatalf("%s: witness width %d exceeds k=%d", kind, d.Width(), spec.T)
 			}
 		}
 		// Same seed, same graph.
@@ -252,6 +269,12 @@ func TestGeneratorSpec(t *testing.T) {
 		{Kind: "path", N: 0},
 		{Kind: "random-td", N: 10, T: 0},
 		{Kind: "path", N: 1 << 21},
+		{Kind: "k-tree", N: 10, T: 0},
+		{Kind: "partial-k-tree", N: 3, T: 3},
+		// Implied edge count beyond the cap: a hostile clique size must be
+		// rejected before any construction.
+		{Kind: "k-tree", N: 1 << 20, T: 1<<20 - 1},
+		{Kind: "partial-k-tree", N: 1 << 16, T: 1 << 10},
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {
@@ -260,5 +283,61 @@ func TestGeneratorSpec(t *testing.T) {
 		if _, _, err := spec.Build(); err == nil {
 			t.Fatalf("case %d: Build accepted %+v", i, spec)
 		}
+	}
+}
+
+// The decomposition wire formats round-trip and reject hostile headers.
+func TestDecompositionRoundTrip(t *testing.T) {
+	g, witness, err := GeneratorSpec{Kind: "partial-k-tree", N: 20, T: 2, Seed: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := witness.Decomp(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary round trip.
+	blob := EncodeDecomposition(d)
+	got, err := DecodeDecomposition(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treewidth.Validate(g, got); err != nil {
+		t.Fatalf("binary round trip lost validity: %v", err)
+	}
+	if got.Width() != d.Width() || got.NumBags() != d.NumBags() {
+		t.Fatalf("binary round trip changed shape: width %d/%d bags %d/%d",
+			got.Width(), d.Width(), got.NumBags(), d.NumBags())
+	}
+	// JSON round trip.
+	j := DecompositionToJSON(d)
+	if len(j.Edges) != d.NumTreeEdges() {
+		t.Fatalf("JSON has %d edges, want %d", len(j.Edges), d.NumTreeEdges())
+	}
+	back, err := j.ToDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treewidth.Validate(g, back); err != nil {
+		t.Fatalf("JSON round trip lost validity: %v", err)
+	}
+}
+
+func TestDecompositionHostileHeaders(t *testing.T) {
+	// A tiny blob claiming a huge bag count must be rejected before any
+	// allocation.
+	var w bitio.Writer
+	w.WriteUvarint(1 << 21)
+	if _, err := DecodeDecomposition(Pack(w.Bits())); err == nil {
+		t.Fatal("hostile bag count accepted")
+	}
+	if _, err := DecodeDecomposition(nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+	if _, err := (DecompositionJSON{}).ToDecomposition(); err == nil {
+		t.Fatal("empty JSON decomposition accepted")
+	}
+	if _, err := (DecompositionJSON{Bags: [][]int{{0}}, Edges: [][2]int{{0, 5}}}).ToDecomposition(); err == nil {
+		t.Fatal("out-of-range JSON tree edge accepted")
 	}
 }
