@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race ci bench bench-engine bench-netsim bench-treewidth bench-json fmt-check clean
+.PHONY: all build vet test test-race fuzz-short ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-json fmt-check clean
 
 all: ci
 
@@ -19,9 +19,15 @@ test:
 test-race:
 	$(GO) test -race -shuffle=on ./...
 
+# fuzz-short is the hostile-input gate on the formula parser: formulas
+# arrive over HTTP, so every ci run hammers Parse for a few seconds on top
+# of the committed regression corpus (which plain `go test` replays).
+fuzz-short:
+	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=5s ./internal/logic
+
 # ci is the tier-1 gate: everything must be gofmt-clean, build, vet clean,
-# and pass — including under the race detector.
-ci: fmt-check build vet test test-race
+# and pass — including under the race detector and a short parser fuzz.
+ci: fmt-check build vet test test-race fuzz-short
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -44,16 +50,25 @@ bench-netsim:
 bench-treewidth:
 	$(GO) test -bench=. -benchmem -run=NONE ./internal/treewidth
 
-# bench-json runs the engine, simulator and treewidth benchmarks and emits
-# machine-readable BENCH_PR3.json, so the perf trajectory accumulates as
-# data across PRs. The raw output goes through a temp file (not a pipe) so
-# a benchmark failure fails the target instead of being swallowed.
+# bench-logic measures the formula pipeline: parse, canonicalize,
+# compile-from-formula cached vs uncached, the EMSO clique-locality
+# compiler and the generalized Courcelle DP (the E13 timing set).
+bench-logic:
+	$(GO) test -bench=. -benchmem -run=NONE ./internal/logic
+	$(GO) test -bench='CompileFromFormula|FormulaKey' -benchmem -run=NONE ./internal/engine
+	$(GO) test -bench='EMSO' -benchmem -run=NONE ./internal/treewidth
+
+# bench-json runs the logic, engine and treewidth benchmarks and emits
+# machine-readable BENCH_PR4.json, so the perf trajectory accumulates as
+# data across PRs (BENCH_PR3.json stays committed as history). The raw
+# output goes through a temp file (not a pipe) so a benchmark failure
+# fails the target instead of being swallowed.
 bench-json:
 	$(GO) test -bench=. -benchmem -run=NONE \
-		./internal/engine ./internal/netsim ./internal/treewidth > bench-raw.tmp
-	$(GO) run ./cmd/benchjson < bench-raw.tmp > BENCH_PR3.json
+		./internal/logic ./internal/engine ./internal/treewidth > bench-raw.tmp
+	$(GO) run ./cmd/benchjson < bench-raw.tmp > BENCH_PR4.json
 	@rm -f bench-raw.tmp
-	@echo wrote BENCH_PR3.json
+	@echo wrote BENCH_PR4.json
 
 clean:
 	$(GO) clean ./...

@@ -57,7 +57,9 @@ func run() int {
 		property  = flag.String("property", "perfect-matching",
 			"tree-mso property: "+strings.Join(compactcert.TreeMSOProperties(), " | ")+
 				"; tw-mso property: "+strings.Join(compactcert.TreewidthMSOProperties(), " | "))
-		formula     = flag.String("formula", "forall x. exists y. x ~ y", "FO/MSO sentence for formula-driven schemes")
+		formula = flag.String("formula", "",
+			"FO/MSO sentence; supersedes -property on formula-capable schemes "+
+				"(default for formula-only schemes: \"forall x. exists y. x ~ y\")")
 		seed        = flag.Int64("seed", 1, "random seed")
 		density     = flag.Float64("density", 0, "extra-edge density for random-td / edge-keep probability for partial-k-tree (0 = default)")
 		tamper      = flag.Int("tamper", 0, "flip this many random certificate bits before verifying")
@@ -90,17 +92,32 @@ func run() int {
 		// Historical alias for the generic upper-bound demo.
 		name, params.Property = "universal", "diameter-<=2"
 	}
-	known := false
+	var entry *compactcert.SchemeInfo
 	for _, info := range compactcert.Schemes() {
 		if info.Name == name {
-			known = true
+			i := info
+			entry = &i
 			break
 		}
 	}
-	if !known {
+	if entry == nil {
 		// Usage error, like an unknown graph kind: exit 2.
 		fmt.Fprintf(os.Stderr, "certify: unknown scheme %q\n", *schemeSel)
 		return 2
+	}
+	// Formula-only schemes keep their historical default sentence; schemes
+	// accepting both leave the formula empty so -property drives the build
+	// unless the user asked for a formula explicitly (which supersedes it).
+	needsFormula := entry.NeedsParam(compactcert.ParamFormula)
+	needsProperty := entry.NeedsParam(compactcert.ParamProperty)
+	if params.Formula == "" && needsFormula && !needsProperty {
+		params.Formula = "forall x. exists y. x ~ y"
+	}
+	if params.Formula != "" {
+		if err := wire.ValidateFormula(params.Formula); err != nil {
+			fmt.Fprintf(os.Stderr, "certify: %v\n", err)
+			return 2
+		}
 	}
 	tamperSpec := wire.TamperSpec{Kind: *tamperKind, K: *tamperK, Trials: *trials, Seed: *seed}
 	if *tamperKind != "" {

@@ -70,6 +70,16 @@ func (p paramsJSON) toParams() registry.Params {
 	return registry.Params{Property: p.Property, Formula: p.Formula, T: p.T}
 }
 
+// validate applies the hostile-input guards to client-supplied params
+// before any compilation work: formulas are size-capped, parseable
+// sentences or the request dies with a 400 here.
+func (p paramsJSON) validate() error {
+	if p.Formula == "" {
+		return nil
+	}
+	return wire.ValidateFormula(p.Formula)
+}
+
 // jobJSON is one certification request: a scheme plus either an explicit
 // graph or a server-side generator spec.
 type jobJSON struct {
@@ -86,6 +96,9 @@ type jobJSON struct {
 // that cannot use either don't get one, keeping them cacheable.
 func (j jobJSON) resolve(reg *registry.Registry) (*graph.Graph, registry.Params, error) {
 	params := j.Params.toParams()
+	if err := j.Params.validate(); err != nil {
+		return nil, params, err
+	}
 	switch {
 	case j.Graph != nil && j.Generator != nil:
 		return nil, params, fmt.Errorf("job has both a graph and a generator")
@@ -150,14 +163,15 @@ func (s *server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	}{s.reg.List()})
 }
 
-// handleHealthz reports liveness and cache effectiveness for both the
-// compile cache and the decomposition cache.
+// handleHealthz reports liveness and cache effectiveness for the compile
+// cache, the decomposition cache and the formula canonicalization memo.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		OK      bool               `json:"ok"`
-		Cache   engine.Stats       `json:"cache"`
-		Decomps engine.DecompStats `json:"decompositions"`
-	}{true, s.cache.Stats(), s.cache.Decomps.Stats()})
+		OK       bool                `json:"ok"`
+		Cache    engine.Stats        `json:"cache"`
+		Decomps  engine.DecompStats  `json:"decompositions"`
+		Formulas engine.FormulaStats `json:"formulas"`
+	}{true, s.cache.Stats(), s.cache.Decomps.Stats(), s.cache.FormulaStats()})
 }
 
 // certifyRequest is the POST /certify payload.
@@ -445,6 +459,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	jobs := make([]engine.Job, len(req.Jobs))
 	for i, jj := range req.Jobs {
+		if err := jj.Params.validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
 		switch {
 		case jj.Graph != nil && jj.Generator != nil:
 			writeError(w, http.StatusBadRequest, "job %d: has both a graph and a generator", i)

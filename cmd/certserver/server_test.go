@@ -729,3 +729,172 @@ func TestSimulateTreewidthSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestCertifyWithFormula drives the formula-first pipeline end to end over
+// HTTP: sentences in no enum certify through /certify, and the E11-style
+// adversarial sweep on /simulate detects 100% of mutating corruptions.
+func TestCertifyWithFormula(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Triangle-freeness on a bounded-width instance (tw-mso, EMSO path).
+	var tri struct {
+		Scheme string          `json:"scheme"`
+		Result wire.ResultJSON `json:"result"`
+	}
+	resp := postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme":    "tw-mso",
+		"params":    map[string]any{"formula": "forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)", "t": 2},
+		"generator": map[string]any{"kind": "cycle", "n": 24},
+	}, &tri)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tw-mso formula certify: status %d", resp.StatusCode)
+	}
+	if !tri.Result.Accepted {
+		t.Fatalf("triangle-freeness proof rejected: %+v", tri.Result)
+	}
+	if !strings.Contains(tri.Scheme, "tw-mso") {
+		t.Fatalf("unexpected scheme name %q", tri.Scheme)
+	}
+
+	// HasDominatingVertex (universal, model-checking path).
+	var dom struct {
+		Result wire.ResultJSON `json:"result"`
+	}
+	resp = postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme":    "universal",
+		"params":    map[string]any{"formula": "exists x. forall y. x = y | x ~ y"},
+		"generator": map[string]any{"kind": "star", "n": 12},
+	}, &dom)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("universal formula certify: status %d", resp.StatusCode)
+	}
+	if !dom.Result.Accepted {
+		t.Fatalf("dominating-vertex proof rejected: %+v", dom.Result)
+	}
+
+	// A no-instance must 422 (nothing to certify).
+	resp = postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme":    "universal",
+		"params":    map[string]any{"formula": "exists x. forall y. x = y | x ~ y"},
+		"generator": map[string]any{"kind": "path", "n": 8},
+	}, nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("no-instance formula certify: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestSimulateFormulaTamperSweep asserts 100% detection for the two
+// novel formula workloads under the full adversary family.
+func TestSimulateFormulaTamperSweep(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []map[string]any{
+		{
+			"scheme":    "tw-mso",
+			"params":    map[string]any{"formula": "forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)", "t": 2},
+			"generator": map[string]any{"kind": "cycle", "n": 20},
+			"tamper":    map[string]any{"kind": "all", "trials": 12, "seed": 9},
+		},
+		{
+			"scheme":    "universal",
+			"params":    map[string]any{"formula": "exists x. forall y. x = y | x ~ y"},
+			"generator": map[string]any{"kind": "star", "n": 10},
+			"tamper":    map[string]any{"kind": "all", "trials": 12, "seed": 9},
+		},
+	}
+	for i, req := range cases {
+		var out struct {
+			Result wire.ResultJSON `json:"result"`
+			Sweep  *struct {
+				AllDetected bool `json:"all_detected"`
+				Stats       []struct {
+					Tamper     string `json:"tamper"`
+					Mutated    int    `json:"mutated"`
+					Detected   int    `json:"detected"`
+					Undetected []int  `json:"undetected,omitempty"`
+				} `json:"stats"`
+			} `json:"sweep"`
+		}
+		resp := postJSON(t, ts.URL+"/simulate", req, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("case %d: status %d", i, resp.StatusCode)
+		}
+		if !out.Result.Accepted {
+			t.Fatalf("case %d: honest round rejected", i)
+		}
+		if out.Sweep == nil {
+			t.Fatalf("case %d: no sweep in response", i)
+		}
+		if !out.Sweep.AllDetected {
+			t.Fatalf("case %d: corrupted assignment accepted: %+v", i, out.Sweep.Stats)
+		}
+		for _, st := range out.Sweep.Stats {
+			if st.Mutated != st.Detected {
+				t.Fatalf("case %d: tamper %s: %d/%d detected", i, st.Tamper, st.Detected, st.Mutated)
+			}
+		}
+	}
+}
+
+// TestFormulaHostileInputsRejected exercises the wire-level guards on
+// every formula-accepting endpoint.
+func TestFormulaHostileInputsRejected(t *testing.T) {
+	ts := newTestServer(t)
+	hostile := []string{
+		strings.Repeat("(", 4000) + "x = x" + strings.Repeat(")", 4000),
+		strings.Repeat("!", 9000) + "x = x",
+		"x ~ y",        // not a sentence
+		"forall x. (",  // malformed
+		"\x00\xff\xfe", // bytes that once hung the tokenizer
+	}
+	for _, f := range hostile {
+		resp := postJSON(t, ts.URL+"/certify", map[string]any{
+			"scheme":    "tree-mso",
+			"params":    map[string]any{"formula": f},
+			"generator": map[string]any{"kind": "path", "n": 4},
+		}, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("hostile formula %q: status %d, want 400", f[:min(len(f), 12)], resp.StatusCode)
+		}
+		resp = postJSON(t, ts.URL+"/batch", map[string]any{
+			"jobs": []map[string]any{{
+				"scheme":    "tree-mso",
+				"params":    map[string]any{"formula": f},
+				"generator": map[string]any{"kind": "path", "n": 4},
+			}},
+		}, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("hostile batch formula: status %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzFormulaStats checks that the canonicalization memo surfaces
+// in /healthz and moves when formula requests arrive.
+func TestHealthzFormulaStats(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		postJSON(t, ts.URL+"/certify", map[string]any{
+			"scheme":    "tree-mso",
+			"params":    map[string]any{"formula": "forall x. exists y. x ~ y"},
+			"generator": map[string]any{"kind": "path", "n": 6},
+		}, nil)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		OK       bool                `json:"ok"`
+		Formulas engine.FormulaStats `json:"formulas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.OK {
+		t.Fatal("healthz not ok")
+	}
+	if body.Formulas.Misses < 1 || body.Formulas.Hits < 1 {
+		t.Fatalf("formula stats did not move: %+v", body.Formulas)
+	}
+}

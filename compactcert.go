@@ -81,6 +81,15 @@ type SchemeParams = registry.Params
 // bound, required graph class, and the parameters its factory consumes.
 type SchemeInfo = registry.Info
 
+// Param names a factory argument in SchemeInfo.Needs. Entries declaring
+// both ParamProperty and ParamFormula treat them as alternatives, with the
+// formula superseding the enum lookup.
+const (
+	ParamProperty = registry.ParamProperty
+	ParamFormula  = registry.ParamFormula
+	ParamT        = registry.ParamT
+)
+
 // Schemes lists every scheme kind the module implements — the same
 // listing cmd/certify derives its flag help from and cmd/certserver
 // serves at GET /schemes.
@@ -104,10 +113,30 @@ func TreeMSOScheme(property string) (Scheme, error) {
 	return BuildScheme("tree-mso", SchemeParams{Property: property})
 }
 
+// TreeMSOFormulaScheme compiles an arbitrary sentence into a Theorem 2.2
+// scheme on trees: library sentences (in any alpha-equivalent spelling)
+// map to their hand-built automata, other FO sentences compile via rank-k
+// type discovery.
+func TreeMSOFormulaScheme(sentence string) (Scheme, error) {
+	return BuildScheme("tree-mso", SchemeParams{Formula: sentence})
+}
+
 // TreeFOScheme compiles an FO sentence into a Theorem 2.2 scheme via
 // rank-k type discovery (constant-size certificates on trees).
 func TreeFOScheme(sentence string) (Scheme, error) {
 	return BuildScheme("tree-fo", SchemeParams{Formula: sentence})
+}
+
+// CanonicalFormula parses a sentence and renders the canonical form the
+// engine keys its compile cache on: negation normal form with bound
+// variables alpha-renamed, so equivalent spellings share one compiled
+// scheme.
+func CanonicalFormula(sentence string) (string, error) {
+	f, err := logic.Parse(sentence)
+	if err != nil {
+		return "", err
+	}
+	return logic.CanonicalString(f), nil
 }
 
 // TreedepthScheme returns the Theorem 2.4 scheme certifying
@@ -160,6 +189,21 @@ func TreewidthMSOScheme(t int, property string) (Scheme, error) {
 // decomposition witness (e.g. the second return value of RandomPartialKTree).
 func TreewidthMSOSchemeWithDecomposition(t int, property string, provider DecompositionProvider) (Scheme, error) {
 	return BuildScheme("tw-mso", SchemeParams{Property: property, T: t, DecompProvider: provider})
+}
+
+// TreewidthMSOFormulaScheme certifies "treewidth <= t AND the sentence"
+// for any sentence of the clique-local EMSO fragment
+// (existsset* forall* matrix) — e.g. colorability encodings or
+// triangle-freeness.
+func TreewidthMSOFormulaScheme(t int, sentence string) (Scheme, error) {
+	return BuildScheme("tw-mso", SchemeParams{Formula: sentence, T: t})
+}
+
+// UniversalFormulaScheme certifies an arbitrary FO/MSO sentence with the
+// generic whole-graph scheme, decided by direct model checking (MSO
+// evaluation is limited to small graphs; FO costs n^depth).
+func UniversalFormulaScheme(sentence string) (Scheme, error) {
+	return BuildScheme("universal", SchemeParams{Formula: sentence})
 }
 
 // HeuristicTreeDecomposition computes a tree decomposition with the better

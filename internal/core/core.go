@@ -60,6 +60,38 @@ func (s *Universal) Prove(g *graph.Graph) (cert.Assignment, error) {
 	return a, nil
 }
 
+// maxUniversalEvalOps bounds the model-checking work one formula-driven
+// predicate call may trigger (~1.7e7 atom evaluations, well under a
+// second). Formulas arrive over HTTP: the wire guards bound parse cost,
+// this bounds evaluation cost, so a tiny sentence with a deep quantifier
+// prefix ("forallset A. forallset B. ...") errors out instead of pinning
+// a server CPU essentially forever.
+const maxUniversalEvalOps = 1 << 24
+
+// NewUniversalFormula certifies an arbitrary FO/MSO sentence with the
+// universal whole-graph scheme, deciding the property by direct model
+// checking (logic.Eval). This is the formula-first replacement for the
+// named-predicate dispatch: any sentence works, at the generic scheme's
+// O(n^2)-bit price — FO evaluation is n^depth, MSO evaluation is limited
+// to logic.MaxSetQuantVertices vertices, and every call refuses work
+// beyond maxUniversalEvalOps with an error rather than guessing (the
+// named predicates are the scalable path).
+func NewUniversalFormula(f logic.Formula) (*Universal, error) {
+	if !logic.IsSentence(f) {
+		return nil, fmt.Errorf("core: universal formula scheme needs a sentence, got %s", f)
+	}
+	return &Universal{
+		PropertyName: f.String(),
+		Property: func(g *graph.Graph) (bool, error) {
+			if cost := logic.EvalCost(f, g.N()); cost > maxUniversalEvalOps {
+				return false, fmt.Errorf("core: universal(%s): model checking needs ~%.3g atom evaluations on n=%d (limit %d); use a named predicate or a smaller graph",
+					f, cost, g.N(), maxUniversalEvalOps)
+			}
+			return logic.Eval(f, logic.NewModel(g))
+		},
+	}, nil
+}
+
 // Verify implements cert.Scheme.
 func (s *Universal) Verify(v cert.View) bool {
 	g, err := decodeGraph(v.Cert)

@@ -122,3 +122,59 @@ func benchPipeline(b *testing.B, workers int) {
 func BenchmarkPipeline1Worker(b *testing.B)  { benchPipeline(b, 1) }
 func BenchmarkPipeline4Workers(b *testing.B) { benchPipeline(b, 4) }
 func BenchmarkPipeline8Workers(b *testing.B) { benchPipeline(b, 8) }
+
+// Formula-first compile path: a tree-mso request by sentence, uncached
+// (full canonicalization + automaton/type compilation per iteration)
+// versus cached (the canonical form resolves to one shared flight).
+func BenchmarkCompileFromFormulaUncached(b *testing.B) {
+	g := graphgen.Path(64)
+	for i := 0; i < b.N; i++ {
+		cache := NewCache(registry.Default())
+		s, err := cache.GetOrCompile("tree-mso", registry.Params{Formula: benchFormula})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Prove(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileFromFormulaCached(b *testing.B) {
+	g := graphgen.Path(64)
+	cache := NewCache(registry.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := cache.GetOrCompile("tree-mso", registry.Params{Formula: benchFormula})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Prove(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Key computation alone: the canonicalization memo's effect on the
+// per-request overhead of formula keying.
+func BenchmarkFormulaKey(b *testing.B) {
+	cache := NewCache(registry.Default())
+	const spelled = "existsset S. forall x. forall y. x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))"
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Key("tw-mso", registry.Params{Formula: spelled, T: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := NewCache(registry.Default())
+			if _, err := c.Key("tw-mso", registry.Params{Formula: spelled, T: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

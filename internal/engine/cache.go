@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cert"
+	"repro/internal/compile"
+	"repro/internal/logic"
 	"repro/internal/registry"
 )
 
@@ -41,6 +43,14 @@ type Cache struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 	bypasses atomic.Int64
+
+	// canon memoizes raw formula text -> canonical form (NNF +
+	// alpha-renaming), so a hot formula is parsed once per distinct
+	// spelling rather than once per request.
+	canonMu       sync.Mutex
+	canon         map[string]string
+	formulaHits   atomic.Int64
+	formulaMisses atomic.Int64
 }
 
 // flight is one compilation: started by the first requester, awaited by
@@ -53,31 +63,92 @@ type flight struct {
 
 // NewCache returns a cache compiling through the given registry.
 func NewCache(reg *registry.Registry) *Cache {
-	return &Cache{reg: reg, flights: map[string]*flight{}}
+	return &Cache{reg: reg, flights: map[string]*flight{}, canon: map[string]string{}}
+}
+
+// maxCanonEntries bounds the formula canonicalization memo: raw spellings
+// are client-controlled, so the memo would otherwise grow with every
+// distinct hostile string. Eviction is arbitrary, like the decomp cache.
+const maxCanonEntries = 4096
+
+// canonicalFormula memoizes the canonical form of raw formula text.
+// Unparsable text canonicalizes to itself — the key still serves, and the
+// compile step reports the real parse error (failed flights are unpinned,
+// so the bad key cannot poison the cache).
+func (c *Cache) canonicalFormula(raw string) string {
+	c.canonMu.Lock()
+	if v, ok := c.canon[raw]; ok {
+		c.canonMu.Unlock()
+		c.formulaHits.Add(1)
+		return v
+	}
+	c.canonMu.Unlock()
+	c.formulaMisses.Add(1)
+	canon := raw
+	if f, err := logic.Parse(raw); err == nil {
+		canon = logic.CanonicalString(f)
+	}
+	c.canonMu.Lock()
+	if len(c.canon) >= maxCanonEntries {
+		for k := range c.canon {
+			delete(c.canon, k)
+			break
+		}
+	}
+	c.canon[raw] = canon
+	c.canonMu.Unlock()
+	return canon
 }
 
 // Key returns the canonical cache key for a scheme request. Only the
 // params the entry declares enter the key, so e.g. a stray T on a tree-fo
-// request does not fragment the cache.
+// request does not fragment the cache. Formulas are keyed by canonical
+// form (NNF + alpha-renaming), so alpha-equivalent and implies-eliminated
+// spellings of one sentence share a single compiled scheme; enum property
+// names whose build routes through the formula path (tree-mso, tw-mso)
+// are keyed by their alias sentence's canonical form, so an enum request
+// and an equivalent formula request share one flight too.
 func (c *Cache) Key(name string, p registry.Params) (string, error) {
 	e, ok := c.reg.Lookup(name)
 	if !ok {
 		return "", fmt.Errorf("engine: unknown scheme %q", name)
 	}
+	formulaKey := ""
+	if e.NeedsParam(registry.ParamFormula) {
+		switch {
+		case p.FormulaAST != nil:
+			formulaKey = logic.CanonicalString(p.FormulaAST)
+		case p.Formula != "":
+			formulaKey = c.canonicalFormula(p.Formula)
+		}
+	}
 	var sb strings.Builder
 	sb.WriteString(name)
 	for _, need := range e.Needs {
-		sb.WriteByte(0)
 		switch need {
 		case registry.ParamProperty:
+			if e.NeedsParam(registry.ParamFormula) {
+				continue // folded into the sentence segment below
+			}
+			sb.WriteByte(0)
 			sb.WriteString(p.Property)
 		case registry.ParamFormula:
-			if p.FormulaAST != nil {
-				sb.WriteString(p.FormulaAST.String())
-			} else {
-				sb.WriteString(p.Formula)
+			sb.WriteByte(0)
+			switch {
+			case formulaKey != "":
+				sb.WriteString("f:")
+				sb.WriteString(formulaKey)
+			default:
+				if ck, ok := compile.PropertyCacheKey(name, p.Property); ok {
+					sb.WriteString("f:")
+					sb.WriteString(ck)
+				} else {
+					sb.WriteString("p:")
+					sb.WriteString(p.Property)
+				}
 			}
 		case registry.ParamT:
+			sb.WriteByte(0)
 			sb.WriteString(strconv.Itoa(p.T))
 		}
 	}
@@ -152,9 +223,36 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
-// Purge drops every cached scheme (counters are kept).
+// FormulaStats is a snapshot of the formula canonicalization memo: how
+// often raw formula text was re-keyed without a fresh parse.
+type FormulaStats struct {
+	// Hits counts key requests answered from the memo.
+	Hits int64 `json:"hits"`
+	// Misses counts spellings that were parsed and canonicalized.
+	Misses int64 `json:"misses"`
+	// Size is the number of memoized spellings.
+	Size int `json:"size"`
+}
+
+// FormulaStats returns current canonicalization counters.
+func (c *Cache) FormulaStats() FormulaStats {
+	c.canonMu.Lock()
+	size := len(c.canon)
+	c.canonMu.Unlock()
+	return FormulaStats{
+		Hits:   c.formulaHits.Load(),
+		Misses: c.formulaMisses.Load(),
+		Size:   size,
+	}
+}
+
+// Purge drops every cached scheme and memoized formula (counters are
+// kept).
 func (c *Cache) Purge() {
 	c.mu.Lock()
 	c.flights = map[string]*flight{}
 	c.mu.Unlock()
+	c.canonMu.Lock()
+	c.canon = map[string]string{}
+	c.canonMu.Unlock()
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/graphgen"
+	"repro/internal/logic"
 	"repro/internal/registry"
 	"repro/internal/treewidth"
 )
@@ -559,4 +560,101 @@ func TestDecompCacheBounded(t *testing.T) {
 	if st := c.Stats(); st.Size > 1024 {
 		t.Fatalf("cache grew to %d entries", st.Size)
 	}
+}
+
+// TestCacheCanonicalFormulaKeys is the cache-canonicalization acceptance
+// test: alpha-equivalent and implies-eliminated spellings of one sentence,
+// mixed into a single batch, must produce exactly one compile miss — and
+// an enum property request must share the flight of its defining
+// sentence.
+func TestCacheCanonicalFormulaKeys(t *testing.T) {
+	t.Run("alpha-and-implies-spellings", func(t *testing.T) {
+		cache := NewCache(registry.Default())
+		pipe := &Pipeline{Cache: cache, Workers: 4}
+		g := graphgen.Star(6)
+		spellings := []string{
+			"exists x. forall y. x = y | x ~ y",
+			"exists a. forall b. !(a = b) -> a ~ b", // implies sugar, NNF-equal
+			"exists u. forall w. u = w | u ~ w",     // alpha variant
+		}
+		jobs := make([]Job, 0, 2*len(spellings))
+		for _, src := range spellings {
+			jobs = append(jobs,
+				Job{Graph: g, Scheme: "depth2-fo", Params: registry.Params{Formula: src}},
+				Job{Graph: g, Scheme: "depth2-fo", Params: registry.Params{Formula: src}},
+			)
+		}
+		results, err := pipe.Run(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("job %d failed: %v", r.Index, r.Err)
+			}
+		}
+		st := cache.Stats()
+		if st.Misses != 1 || st.Hits != int64(len(jobs)-1) {
+			t.Fatalf("mixed spellings: misses=%d hits=%d, want 1 miss / %d hits", st.Misses, st.Hits, len(jobs)-1)
+		}
+		fs := cache.FormulaStats()
+		if fs.Size != len(spellings) {
+			t.Fatalf("formula memo holds %d spellings, want %d", fs.Size, len(spellings))
+		}
+	})
+	t.Run("enum-and-formula-unified", func(t *testing.T) {
+		cache := NewCache(registry.Default())
+		pipe := &Pipeline{Cache: cache, Workers: 2}
+		g := graphgen.Path(8)
+		alias := logic.CanonicalString(logic.MaxDegreeAtMost(2))
+		jobs := []Job{
+			{Graph: g, Scheme: "tree-mso", Params: registry.Params{Property: "max-degree-<=2"}},
+			{Graph: g, Scheme: "tree-mso", Params: registry.Params{Formula: alias}},
+			{Graph: g, Scheme: "tree-mso", Params: registry.Params{Property: "max-degree-<=2"}},
+		}
+		results, err := pipe.Run(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("job %d failed: %v", r.Index, r.Err)
+			}
+			if !r.Accepted {
+				t.Fatalf("job %d rejected", r.Index)
+			}
+		}
+		st := cache.Stats()
+		if st.Misses != 1 || st.Hits != 2 {
+			t.Fatalf("enum+formula: misses=%d hits=%d, want 1 miss / 2 hits", st.Misses, st.Hits)
+		}
+	})
+	t.Run("distinct-sentences-stay-distinct", func(t *testing.T) {
+		cache := NewCache(registry.Default())
+		k1, err := cache.Key("depth2-fo", registry.Params{Formula: "exists x. exists y. x ~ y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := cache.Key("depth2-fo", registry.Params{Formula: "forall x. forall y. x ~ y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 == k2 {
+			t.Fatalf("distinct sentences share key %q", k1)
+		}
+		// Universal enum names must NOT collapse onto the formula path:
+		// the native predicate and the model checker are different
+		// deciders with different limits.
+		ke, err := cache.Key("universal", registry.Params{Property: "connected"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kf, err := cache.Key("universal", registry.Params{Formula: logic.Connected().String()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ke == kf {
+			t.Fatal("universal enum and formula requests share a cache key")
+		}
+	})
 }

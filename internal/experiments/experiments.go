@@ -1,8 +1,9 @@
 // Package experiments regenerates every experiment of EXPERIMENTS.md
-// (E1–E10, plus the E11 adversarial soundness sweep and the E12
-// tree-decomposition workload added on top of the paper's set): one
-// function per experiment, each returning formatted table rows so that
-// cmd/experiments and the benchmarks share the exact same code paths.
+// (E1–E10, plus the E11 adversarial soundness sweep, the E12
+// tree-decomposition workload and the E13 formula-compilation survey
+// added on top of the paper's set): one function per experiment, each
+// returning formatted table rows so that cmd/experiments and the
+// benchmarks share the exact same code paths.
 package experiments
 
 import (
@@ -652,6 +653,82 @@ func E12Treewidth(seed int64) (*Table, error) {
 	return table, nil
 }
 
+// E13Formulas measures the formula-first pipeline: certificate bits
+// against quantifier depth and alternation count across library sentences,
+// each compiled into the cheapest backend that certifies it (via the same
+// registry factories the server uses). The tree rows reproduce the O(1)
+// story at every depth; the tw-mso rows pay O(t log n); the universal
+// model-checking rows pay O(n^2) regardless of depth — the paper's
+// hierarchy, now indexed by the sentence itself.
+func E13Formulas(seed int64) (*Table, error) {
+	table := &Table{
+		ID:    "E13",
+		Title: "Formula compilation — certificate bits vs quantifier depth/alternation",
+		Head:  []string{"sentence", "depth", "alt", "scheme", "graph", "n", "max bits"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type row struct {
+		label   string
+		formula logic.Formula
+		scheme  string
+		params  registry.Params
+		graph   *graph.Graph
+		gname   string
+	}
+	rows := []row{
+		{"HasEdge", logic.HasEdge(), "existential-fo", registry.Params{}, graphgen.Path(64), "path"},
+		{"ContainsPath(4)", logic.ContainsPath(4), "existential-fo", registry.Params{}, graphgen.Path(64), "path"},
+		{"HasDominatingVertex", logic.HasDominatingVertex(), "depth2-fo", registry.Params{}, graphgen.Star(64), "star"},
+		{"MaxDegreeAtMost(2)", logic.MaxDegreeAtMost(2), "tree-mso", registry.Params{}, graphgen.Path(64), "path"},
+		{"DiameterAtMost(4)", logic.DiameterAtMost(4), "tree-mso", registry.Params{}, graphgen.Path(5), "path"},
+		{"LeavesAtLeast(3)", logic.LeavesAtLeast(3), "tree-mso", registry.Params{}, graphgen.Star(64), "star"},
+		{"PerfectMatching", logic.PerfectMatching(), "tree-mso", registry.Params{}, graphgen.Path(64), "path"},
+		{"TwoColorable", logic.TwoColorable(), "tw-mso", registry.Params{T: 2}, graphgen.Cycle(64), "cycle"},
+		{"ThreeColorable", logic.ThreeColorable(), "tw-mso", registry.Params{T: 2}, mustPartialKTree(64, 2, rng), "partial-2-tree"},
+		{"TriangleFree", logic.TriangleFree(), "tw-mso", registry.Params{T: 2}, graphgen.Cycle(64), "cycle"},
+		{"DiameterAtMost2", logic.DiameterAtMost2(), "universal", registry.Params{}, graphgen.Star(20), "star"},
+	}
+	reg := registry.Default()
+	for _, r := range rows {
+		p := r.params
+		p.Formula = r.formula.String()
+		s, err := reg.Build(r.scheme, p)
+		if err != nil {
+			return nil, fmt.Errorf("E13: %s: build: %w", r.label, err)
+		}
+		a, err := s.Prove(r.graph)
+		if err != nil {
+			return nil, fmt.Errorf("E13: %s: prove: %w", r.label, err)
+		}
+		res, err := cert.RunSequential(r.graph, s, a)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Accepted {
+			return nil, fmt.Errorf("E13: %s: honest proof rejected at %v", r.label, res.Rejecters)
+		}
+		table.Rows = append(table.Rows, []string{
+			r.label,
+			fmt.Sprint(logic.QuantifierDepth(r.formula)),
+			fmt.Sprint(logic.Alternations(r.formula)),
+			r.scheme,
+			r.gname,
+			fmt.Sprint(r.graph.N()),
+			fmt.Sprint(a.MaxBits()),
+		})
+	}
+	table.Notes = append(table.Notes,
+		"every sentence reaches its backend through the one formula pipeline (registry ParamFormula)",
+		"tree rows: bits stay O(1) as depth grows; tw rows: O(t log n); universal rows: O(n^2) at any depth")
+	return table, nil
+}
+
+// mustPartialKTree builds a random partial k-tree for experiment tables.
+func mustPartialKTree(n, k int, rng *rand.Rand) *graph.Graph {
+	g, _ := graphgen.PartialKTree(n, k, 0.5, rng)
+	return g
+}
+
 // cactusChain builds a chain of k triangles (C4-minor-free).
 func cactusChain(k int) *graph.Graph {
 	g := graph.New(2*k + 1)
@@ -694,6 +771,7 @@ func All(seed int64) ([]*Table, error) {
 		E10Substrates,
 		func() (*Table, error) { return E11Soundness(seed) },
 		func() (*Table, error) { return E12Treewidth(seed) },
+		func() (*Table, error) { return E13Formulas(seed) },
 	}
 	for _, step := range steps {
 		t, err := step()

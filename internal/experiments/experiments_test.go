@@ -205,3 +205,33 @@ func TestE12Treewidth(t *testing.T) {
 		}
 	}
 }
+
+func TestE13Formulas(t *testing.T) {
+	tbl, err := E13Formulas(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 11 {
+		t.Fatalf("%d rows, want 11", len(tbl.Rows))
+	}
+	// The tree rows must stay O(1): single-digit certificates even at
+	// quantifier depth 5, while the universal row pays hundreds of bits at
+	// depth 3 — the hierarchy the experiment exists to show.
+	byLabel := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byLabel[row[0]] = row
+	}
+	for _, label := range []string{"MaxDegreeAtMost(2)", "DiameterAtMost(4)", "LeavesAtLeast(3)", "PerfectMatching"} {
+		row, ok := byLabel[label]
+		if !ok {
+			t.Fatalf("missing row %s", label)
+		}
+		if len(row[6]) > 1 {
+			t.Fatalf("%s: tree certificate %s bits, want single-digit O(1)", label, row[6])
+		}
+	}
+	uni, ok := byLabel["DiameterAtMost2"]
+	if !ok || len(uni[6]) < 3 {
+		t.Fatalf("universal row missing or implausibly small: %v", uni)
+	}
+}

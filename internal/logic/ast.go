@@ -282,3 +282,9 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// badFormula builds the panic message for an unknown Formula node — only
+// reachable when a new node type is added without updating every walk.
+func badFormula(f Formula) string {
+	return fmt.Sprintf("logic: unknown formula type %T", f)
+}

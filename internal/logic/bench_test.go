@@ -1,0 +1,38 @@
+package logic
+
+import "testing"
+
+// The parse and canonicalize costs matter because every formula-driven
+// request pays them before the compile cache can answer: Parse on the way
+// into the registry, CanonicalString on the way into the cache key.
+
+var benchSentences = map[string]string{
+	"diameter2":    "forall x. forall y. x = y | x ~ y | exists z. x ~ z & z ~ y",
+	"2-colorable":  "existsset S. forall x. forall y. x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))",
+	"triangleFree": "forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)",
+}
+
+func BenchmarkParse(b *testing.B) {
+	for name, src := range benchSentences {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCanonicalString(b *testing.B) {
+	for name, src := range benchSentences {
+		f := MustParse(src)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = CanonicalString(f)
+			}
+		})
+	}
+}

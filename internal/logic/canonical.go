@@ -1,0 +1,155 @@
+package logic
+
+// This file defines the canonical form the certification engine keys its
+// compile cache on: two spellings of the same sentence that differ only in
+// bound-variable names, implication sugar, or double negation must map to
+// one cache entry, so a mixed batch compiles the scheme once.
+
+// Canonicalize returns a canonical representative of f's alpha-equivalence
+// class in negation normal form: implications are eliminated, negations
+// pushed to atoms, and every bound variable renamed to a position-derived
+// name (v1, v2, ... for vertex variables, S1, S2, ... for set variables,
+// numbered in traversal order). Free variables are left untouched, so the
+// canonical form of a sentence is itself a sentence that reparses.
+func Canonicalize(f Formula) Formula {
+	vc, sc := 0, 0
+	return canonicalize(NNF(f), map[Var]Var{}, map[SetVar]SetVar{}, &vc, &sc)
+}
+
+// CanonicalString renders the canonical form — the string the engine's
+// compile cache uses as the formula part of its keys.
+func CanonicalString(f Formula) string {
+	return Canonicalize(f).String()
+}
+
+func canonicalize(f Formula, subV map[Var]Var, subS map[SetVar]SetVar, vc, sc *int) Formula {
+	substV := func(v Var) Var {
+		if w, ok := subV[v]; ok {
+			return w
+		}
+		return v
+	}
+	substS := func(s SetVar) SetVar {
+		if t, ok := subS[s]; ok {
+			return t
+		}
+		return s
+	}
+	switch t := f.(type) {
+	case Equal:
+		return Equal{X: substV(t.X), Y: substV(t.Y)}
+	case Adj:
+		return Adj{X: substV(t.X), Y: substV(t.Y)}
+	case In:
+		return In{X: substV(t.X), S: substS(t.S)}
+	case HasLabel:
+		return HasLabel{X: substV(t.X), Label: t.Label}
+	case Not:
+		// NNF input: negations wrap atoms only.
+		return Not{F: canonicalize(t.F, subV, subS, vc, sc)}
+	case And:
+		return And{L: canonicalize(t.L, subV, subS, vc, sc), R: canonicalize(t.R, subV, subS, vc, sc)}
+	case Or:
+		return Or{L: canonicalize(t.L, subV, subS, vc, sc), R: canonicalize(t.R, subV, subS, vc, sc)}
+	case ForAll:
+		fresh := freshVar(vc)
+		return ForAll{V: fresh, F: canonicalize(t.F, withVarSub(subV, t.V, fresh), subS, vc, sc)}
+	case Exists:
+		fresh := freshVar(vc)
+		return Exists{V: fresh, F: canonicalize(t.F, withVarSub(subV, t.V, fresh), subS, vc, sc)}
+	case ForAllSet:
+		fresh := freshSet(sc)
+		return ForAllSet{S: fresh, F: canonicalize(t.F, subV, withSetSub(subS, t.S, fresh), vc, sc)}
+	case ExistsSet:
+		fresh := freshSet(sc)
+		return ExistsSet{S: fresh, F: canonicalize(t.F, subV, withSetSub(subS, t.S, fresh), vc, sc)}
+	default:
+		panic(badFormula(f))
+	}
+}
+
+func freshVar(c *int) Var {
+	*c++
+	return Var(smallName('v', *c))
+}
+
+func freshSet(c *int) SetVar {
+	*c++
+	return SetVar(smallName('S', *c))
+}
+
+// smallName renders names like v12 without fmt (canonicalization sits on
+// the cache-key hot path).
+func smallName(prefix byte, n int) string {
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	i--
+	buf[i] = prefix
+	return string(buf[i:])
+}
+
+func withVarSub(m map[Var]Var, from, to Var) map[Var]Var {
+	out := make(map[Var]Var, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	out[from] = to
+	return out
+}
+
+func withSetSub(m map[SetVar]SetVar, from, to SetVar) map[SetVar]SetVar {
+	out := make(map[SetVar]SetVar, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	out[from] = to
+	return out
+}
+
+// Alternations returns the maximum number of universal/existential switches
+// along any root-to-leaf quantifier path of the negation normal form —
+// first- and second-order quantifiers alike. Existential-only or
+// universal-only sentences have 0 alternations; the paper's diameter
+// example (forall forall exists) has 1.
+func Alternations(f Formula) int {
+	return alternations(NNF(f), 0)
+}
+
+// alternations walks with last = 0 (no quantifier seen), 1 (universal) or
+// 2 (existential).
+func alternations(f Formula, last int) int {
+	step := func(body Formula, kind int) int {
+		if last != 0 && last != kind {
+			return 1 + alternations(body, kind)
+		}
+		return alternations(body, kind)
+	}
+	switch t := f.(type) {
+	case Equal, Adj, In, HasLabel:
+		return 0
+	case Not:
+		return alternations(t.F, last)
+	case And:
+		return max(alternations(t.L, last), alternations(t.R, last))
+	case Or:
+		return max(alternations(t.L, last), alternations(t.R, last))
+	case Implies:
+		// Unreachable on NNF input, handled for direct callers.
+		return max(alternations(t.L, last), alternations(t.R, last))
+	case ForAll:
+		return step(t.F, 1)
+	case Exists:
+		return step(t.F, 2)
+	case ForAllSet:
+		return step(t.F, 1)
+	case ExistsSet:
+		return step(t.F, 2)
+	default:
+		panic(badFormula(f))
+	}
+}

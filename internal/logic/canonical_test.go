@@ -1,0 +1,273 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graphgen"
+)
+
+func TestCanonicalStringIdentifiesSpellings(t *testing.T) {
+	groups := [][]string{
+		{
+			// Alpha-renaming.
+			"exists x. exists y. x ~ y",
+			"exists u. exists w. u ~ w",
+		},
+		{
+			// Implication sugar vs explicit disjunction, plus renaming.
+			"forall x. forall y. x ~ y -> x = y",
+			"forall a. forall b. !(a ~ b) | a = b",
+		},
+		{
+			// Double negation.
+			"exists x. !!(x ~ x)",
+			"exists q. q ~ q",
+		},
+		{
+			// Set-variable renaming.
+			"existsset S. forall x. x in S",
+			"existsset T. forall v. v in T",
+		},
+	}
+	for _, group := range groups {
+		want := ""
+		for i, src := range group {
+			f := MustParse(src)
+			got := CanonicalString(f)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("canonical mismatch within group:\n  %q -> %q\n  %q -> %q",
+					group[0], want, src, got)
+			}
+		}
+	}
+	// Distinct sentences must stay distinct.
+	a := CanonicalString(MustParse("exists x. exists y. x ~ y"))
+	b := CanonicalString(MustParse("forall x. forall y. x ~ y"))
+	if a == b {
+		t.Fatalf("canonical form conflated exists/forall: %q", a)
+	}
+}
+
+func TestCanonicalFormReparsesAndPreservesSemantics(t *testing.T) {
+	sentences := []Formula{
+		DiameterAtMost2(),
+		TriangleFree(),
+		HasDominatingVertex(),
+		TwoColorable(),
+		ThreeColorable(),
+		PerfectMatching(),
+		Connected(),
+		IsTree(),
+		TrueSentence(),
+	}
+	rng := rand.New(rand.NewSource(7))
+	models := []Model{
+		NewModel(graphgen.Path(5)),
+		NewModel(graphgen.Star(5)),
+		NewModel(graphgen.Cycle(6)),
+		NewModel(graphgen.Cycle(5)),
+		NewModel(graphgen.RandomTree(6, rng)),
+		NewModel(graphgen.Clique(4)),
+	}
+	for _, f := range sentences {
+		canon, err := Parse(CanonicalString(f))
+		if err != nil {
+			t.Fatalf("canonical form of %s does not reparse: %v", f, err)
+		}
+		if got := CanonicalString(canon); got != CanonicalString(f) {
+			t.Errorf("canonicalization not idempotent for %s:\n  %q\n  %q", f, CanonicalString(f), got)
+		}
+		for _, m := range models {
+			want, err := Eval(f, m)
+			if err != nil {
+				t.Fatalf("Eval(%s): %v", f, err)
+			}
+			got, err := Eval(canon, m)
+			if err != nil {
+				t.Fatalf("Eval(canonical %s): %v", canon, err)
+			}
+			if got != want {
+				t.Errorf("canonicalization changed semantics of %s on n=%d: %v vs %v",
+					f, m.G.N(), got, want)
+			}
+		}
+	}
+}
+
+func TestAlternations(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"exists x. exists y. x ~ y", 0},
+		{"forall x. forall y. x ~ y", 0},
+		{"forall x. exists y. x ~ y", 1},
+		{"forall x. forall y. x = y | x ~ y | exists z. x ~ z & z ~ y", 1},
+		{"exists x. forall y. exists z. x ~ z & z ~ y", 2},
+		{"existsset S. forall x. x in S", 1},
+		// Negation flips the quantifier in NNF: !exists == forall.
+		{"forall x. !(exists y. x ~ y)", 0},
+		{"x ~ y", 0},
+	}
+	for _, tc := range cases {
+		if got := Alternations(MustParse(tc.src)); got != tc.want {
+			t.Errorf("Alternations(%q) = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseHostileInputs(t *testing.T) {
+	deep := strings.Repeat("(", 2000) + "x = x" + strings.Repeat(")", 2000)
+	if _, err := Parse(deep); err == nil {
+		t.Fatal("deeply parenthesized formula parsed without error")
+	}
+	nots := strings.Repeat("!", 5000) + "x = x"
+	if _, err := Parse(nots); err == nil {
+		t.Fatal("deep negation chain parsed without error")
+	}
+	huge := "forall x. " + strings.Repeat("x = x & ", MaxFormulaBytes/8) + "x = x"
+	if _, err := Parse(huge); err == nil {
+		t.Fatal("oversized formula parsed without error")
+	}
+	// A deep but legal nesting stays below the cap.
+	ok := strings.Repeat("(", 100) + "x = x" + strings.Repeat(")", 100)
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("legal nesting rejected: %v", err)
+	}
+}
+
+func TestNewLibrarySentences(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	// PerfectMatching against the combinatorial ground truth on trees.
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(7)
+		g := graphgen.RandomTree(n, rng)
+		got, err := Eval(PerfectMatching(), NewModel(g))
+		if err != nil {
+			t.Fatalf("Eval(PerfectMatching, n=%d): %v", n, err)
+		}
+		want := treeHasPerfectMatching(g.N(), g.Edges())
+		if got != want {
+			t.Fatalf("PerfectMatching formula disagrees on %v: got %v want %v", g.Edges(), got, want)
+		}
+	}
+
+	// DiameterAtMost(d) against the graph's diameter.
+	for _, d := range []int{1, 2, 3, 4} {
+		f := DiameterAtMost(d)
+		for trial := 0; trial < 10; trial++ {
+			g := graphgen.RandomTree(2+rng.Intn(7), rng)
+			got, err := Eval(f, NewModel(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diam := g.Diameter()
+			want := diam >= 0 && diam <= d
+			if got != want {
+				t.Fatalf("DiameterAtMost(%d) on tree with diameter %d: got %v", d, diam, got)
+			}
+		}
+	}
+
+	// LeavesAtLeast(k) against the degree count.
+	for trial := 0; trial < 10; trial++ {
+		g := graphgen.RandomTree(2+rng.Intn(7), rng)
+		leaves := 0
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) <= 1 {
+				leaves++
+			}
+		}
+		for _, k := range []int{1, 2, 3} {
+			got, err := Eval(LeavesAtLeast(k), NewModel(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != (leaves >= k) {
+				t.Fatalf("LeavesAtLeast(%d) with %d leaves: got %v", k, leaves, got)
+			}
+		}
+	}
+
+	// Connected / IsTree on hand-picked instances.
+	conn, err := Eval(Connected(), NewModel(graphgen.Path(2)))
+	if err != nil || !conn {
+		t.Fatalf("Connected on P2: %v %v", conn, err)
+	}
+	cyc := graphgen.Cycle(5)
+	if got, _ := Eval(IsTree(), NewModel(cyc)); got {
+		t.Fatal("IsTree accepted C5")
+	}
+	tree := graphgen.RandomTree(7, rng)
+	if got, err := Eval(IsTree(), NewModel(tree)); err != nil || !got {
+		t.Fatalf("IsTree rejected a tree: %v %v", got, err)
+	}
+	if got, _ := Eval(Acyclic(), NewModel(cyc)); got {
+		t.Fatal("Acyclic accepted C5")
+	}
+
+	// ThreeColorable on known instances.
+	if got, _ := Eval(ThreeColorable(), NewModel(graphgen.Cycle(5))); !got {
+		t.Fatal("ThreeColorable rejected C5")
+	}
+	if got, _ := Eval(ThreeColorable(), NewModel(graphgen.Clique(4))); got {
+		t.Fatal("ThreeColorable accepted K4")
+	}
+
+	// TrueSentence holds everywhere.
+	if got, _ := Eval(TrueSentence(), NewModel(graphgen.Clique(4))); !got {
+		t.Fatal("TrueSentence rejected a graph")
+	}
+}
+
+// treeHasPerfectMatching re-implements the greedy tree matching check on
+// the edge list, independent of the automata package (no import cycle).
+func treeHasPerfectMatching(n int, edges [][2]int) bool {
+	if n%2 != 0 {
+		return false
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	matched := make([]bool, n)
+	visited := make([]bool, n)
+	parent := make([]int, n)
+	var post []int
+	var dfs func(v, p int)
+	dfs = func(v, p int) {
+		visited[v] = true
+		parent[v] = p
+		for _, w := range adj[v] {
+			if w != p && !visited[w] {
+				dfs(w, v)
+			}
+		}
+		post = append(post, v)
+	}
+	dfs(0, -1)
+	for _, v := range post {
+		unmatched := 0
+		for _, w := range adj[v] {
+			if parent[w] == v && !matched[w] {
+				unmatched++
+			}
+		}
+		switch unmatched {
+		case 0:
+		case 1:
+			matched[v] = true
+		default:
+			return false
+		}
+	}
+	return matched[0]
+}

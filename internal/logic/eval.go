@@ -2,6 +2,7 @@ package logic
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 )
@@ -94,6 +95,37 @@ func EvalWithAssignment(f Formula, m Model, vars map[Var]int, sets map[SetVar]ui
 		sets = map[SetVar]uint64{}
 	}
 	return eval(f, m, env{vars: vars, sets: sets}), nil
+}
+
+// EvalCost estimates the number of atom evaluations Eval performs on an
+// n-vertex model: each first-order quantifier multiplies by n, each set
+// quantifier by 2^n. Callers exposing Eval to untrusted sentences (the
+// universal formula scheme) use it to refuse work that would never
+// finish instead of pinning a CPU. The estimate is in float64, so deeply
+// quantified sentences saturate towards +Inf rather than overflowing.
+func EvalCost(f Formula, n int) float64 {
+	switch t := f.(type) {
+	case Equal, Adj, In, HasLabel:
+		return 1
+	case Not:
+		return EvalCost(t.F, n)
+	case And:
+		return EvalCost(t.L, n) + EvalCost(t.R, n)
+	case Or:
+		return EvalCost(t.L, n) + EvalCost(t.R, n)
+	case Implies:
+		return EvalCost(t.L, n) + EvalCost(t.R, n)
+	case ForAll:
+		return 1 + float64(n)*EvalCost(t.F, n)
+	case Exists:
+		return 1 + float64(n)*EvalCost(t.F, n)
+	case ForAllSet:
+		return 1 + math.Ldexp(1, min(n, 1023))*EvalCost(t.F, n)
+	case ExistsSet:
+		return 1 + math.Ldexp(1, min(n, 1023))*EvalCost(t.F, n)
+	default:
+		panic(badFormula(f))
+	}
 }
 
 func eval(f Formula, m Model, e env) bool {

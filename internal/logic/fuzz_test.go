@@ -1,0 +1,88 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the regression corpus: honest library spellings plus every
+// input shape that once looked dangerous (deep nesting, operator soup,
+// truncated quantifiers, non-ASCII bytes, oversized numbers). The parser
+// must return an error — never panic and never exhaust the stack — because
+// formulas now arrive over HTTP.
+var fuzzSeeds = []string{
+	"forall x. forall y. x = y | x ~ y | exists z. x ~ z & z ~ y",
+	"existsset S. forall x. forall y. x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))",
+	"label(x, 3) & x ~ y",
+	"label(x, 99999999999999999999999999)",
+	"forall",
+	"forall .",
+	"forall x",
+	"exists x. ",
+	"x",
+	"x =",
+	"x ~ ~",
+	"x in s",
+	"X in S",
+	"((((((((((((((((((((((((((((((",
+	strings.Repeat("(", 600) + "x = x" + strings.Repeat(")", 600),
+	strings.Repeat("!", 600) + "x = x",
+	strings.Repeat("forall x. ", 600) + "x = x",
+	"x = x -> " + strings.Repeat("x = x -> ", 600) + "x = x",
+	"\x00\xff\xfe",
+	"forall é. é = é",
+	"label(x,)",
+	"label(,1)",
+	"in in in",
+	". . .",
+	"x ~ y & | z",
+}
+
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// A parsed formula must print and reparse stably: the printed form
+		// feeds scheme names, cache keys and HTTP responses.
+		printed := formula.String()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but reparse of %q failed: %v", input, printed, err)
+		}
+		if re.String() != printed {
+			t.Fatalf("unstable print/parse: %q vs %q", printed, re.String())
+		}
+		// Canonicalization must not panic either, and must be idempotent.
+		canon := CanonicalString(formula)
+		cf, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, input, err)
+		}
+		if got := CanonicalString(cf); got != canon {
+			t.Fatalf("canonicalization not idempotent: %q vs %q", canon, got)
+		}
+	})
+}
+
+// TestFuzzSeedsDirectly runs the corpus through the fuzz body in ordinary
+// `go test` runs, so the regressions stay covered without -fuzz.
+func TestFuzzSeedsDirectly(t *testing.T) {
+	for _, seed := range fuzzSeeds {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", seed, r)
+				}
+			}()
+			f, err := Parse(seed)
+			if err == nil {
+				_ = CanonicalString(f)
+			}
+		}()
+	}
+}

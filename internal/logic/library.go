@@ -80,6 +80,114 @@ func TwoColorable() Formula {
 		"x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))")
 }
 
+// ThreeColorable is the MSO sentence "there is a proper 3-colouring",
+// encoded with two sets: a vertex's colour is the pair (x in A, x in B),
+// the combination (1,1) is forbidden, and adjacent vertices must differ.
+func ThreeColorable() Formula {
+	same := func(s string) string {
+		return "((x in " + s + " & y in " + s + ") | (!(x in " + s + ") & !(y in " + s + ")))"
+	}
+	return MustParse("existsset A. existsset B. forall x. forall y. " +
+		"!(x in A & x in B) & (x ~ y -> !(" + same("A") + " & " + same("B") + "))")
+}
+
+// TrueSentence is the trivial property: it holds on every graph. Schemes
+// that certify a structural bound "and a property" use it as the property
+// slot when only the bound itself is certified.
+func TrueSentence() Formula {
+	return MustParse("forall x. x = x")
+}
+
+// PerfectMatching is the MSO sentence "the graph has a perfect matching",
+// valid on trees (and all bipartite graphs): there is a set S such that
+// every vertex in S has exactly one neighbour outside S and every vertex
+// outside S has exactly one neighbour in S. Such an S induces the pairing
+// u <-> its unique cross-neighbour; conversely, given a perfect matching,
+// 2-colouring the graph so that exactly the matching edges are bichromatic
+// is a consistent constraint system whenever the non-matching edges span
+// no odd cycle — in particular always on trees.
+func PerfectMatching() Formula {
+	exactlyOneOut := "(exists y. x ~ y & !(y in S) & forall z. (x ~ z & !(z in S)) -> z = y)"
+	exactlyOneIn := "(exists y. x ~ y & y in S & forall z. (x ~ z & z in S) -> z = y)"
+	return MustParse("existsset S. forall x. " +
+		"(x in S -> " + exactlyOneOut + ") & (!(x in S) -> " + exactlyOneIn + ")")
+}
+
+// DiameterAtMost returns the FO sentence "every pair of vertices is at
+// distance at most d" (d >= 1), spelled as a disjunction over walk lengths
+// 0..d. Each disjunct is sound (a walk of length k implies distance <= k)
+// and the union is complete (a pair at distance k admits a walk of exactly
+// length k), so no parity trickery is needed even on bipartite graphs.
+func DiameterAtMost(d int) Formula {
+	if d < 1 {
+		panic("logic: DiameterAtMost needs d >= 1")
+	}
+	parts := []string{"x = y", "x ~ y"}
+	for k := 2; k <= d; k++ {
+		hops := make([]string, 0, k)
+		prev := "x"
+		var quants strings.Builder
+		for i := 1; i < k; i++ {
+			z := fmt.Sprintf("z%d", i)
+			fmt.Fprintf(&quants, "exists %s. ", z)
+			hops = append(hops, prev+" ~ "+z)
+			prev = z
+		}
+		hops = append(hops, prev+" ~ y")
+		parts = append(parts, "("+quants.String()+strings.Join(hops, " & ")+")")
+	}
+	return MustParse("forall x. forall y. " + strings.Join(parts, " | "))
+}
+
+// LeavesAtLeast returns the FO sentence "the graph has at least k vertices
+// of degree at most one" — on trees with n >= 2, "at least k leaves".
+func LeavesAtLeast(k int) Formula {
+	if k < 1 {
+		panic("logic: LeavesAtLeast needs k >= 1")
+	}
+	leaf := func(v string) string {
+		return "(forall y. forall z. (" + v + " ~ y & " + v + " ~ z) -> y = z)"
+	}
+	vars := make([]string, k)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i)
+	}
+	var parts []string
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			parts = append(parts, fmt.Sprintf("!(%s = %s)", vars[i], vars[j]))
+		}
+	}
+	for _, v := range vars {
+		parts = append(parts, leaf(v))
+	}
+	inner := strings.Join(parts, " & ")
+	for i := k - 1; i >= 0; i-- {
+		inner = fmt.Sprintf("exists %s. %s", vars[i], inner)
+	}
+	return MustParse(inner)
+}
+
+// Connected is the MSO sentence "the graph is connected": every set that
+// contains some but not all vertices is crossed by an edge.
+func Connected() Formula {
+	return MustParse("forallset S. ((exists x. x in S) & (exists y. !(y in S))) -> " +
+		"(exists u. exists v. u in S & !(v in S) & u ~ v)")
+}
+
+// Acyclic is the MSO sentence "the graph is a forest": every non-empty set
+// has a vertex with at most one neighbour inside the set (forests are
+// exactly the 1-degenerate graphs).
+func Acyclic() Formula {
+	return MustParse("forallset S. (exists w. w in S) -> " +
+		"(exists x. x in S & forall y. forall z. (x ~ y & y in S & x ~ z & z in S) -> y = z)")
+}
+
+// IsTree is the MSO sentence "connected and acyclic".
+func IsTree() Formula {
+	return And{L: Connected(), R: Acyclic()}
+}
+
 // HasIsolatedVertex: some vertex with no neighbour. On connected graphs
 // this means n = 1; useful as a sanity formula in tests.
 func HasIsolatedVertex() Formula {

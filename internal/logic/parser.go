@@ -29,6 +29,9 @@ import (
 //	triangle-free:  forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)
 //	2-colorable:    existsset S. forall x. forall y. x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))
 func Parse(input string) (Formula, error) {
+	if len(input) > MaxFormulaBytes {
+		return nil, fmt.Errorf("logic: formula is %d bytes (limit %d)", len(input), MaxFormulaBytes)
+	}
 	p := &parser{tokens: tokenize(input)}
 	f, err := p.parseFormula()
 	if err != nil {
@@ -50,10 +53,33 @@ func MustParse(input string) Formula {
 	return f
 }
 
+// MaxFormulaBytes bounds the textual input Parse accepts. Formulas now
+// arrive over HTTP, so the parser is a hostile-input surface: the cap keeps
+// tokenization allocations proportional to an honest request.
+const MaxFormulaBytes = 1 << 16
+
+// maxParseDepth bounds the parser's recursion. Without it a few kilobytes
+// of "!!!!..." or "((((..." drive the recursive-descent parser (and every
+// later formula walk, which recurses along the same shape) arbitrarily
+// deep — a stack-exhaustion crash, not a recoverable error.
+const maxParseDepth = 512
+
 type parser struct {
 	tokens []string
 	pos    int
+	depth  int
 }
+
+// enter guards a recursive production; callers must pair it with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("logic: formula nests deeper than %d", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) atEnd() bool { return p.pos >= len(p.tokens) }
 
@@ -79,6 +105,10 @@ func (p *parser) expect(tok string) error {
 }
 
 func (p *parser) parseFormula() (Formula, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.peek() {
 	case "forall", "exists", "forallset", "existsset":
 		kw := p.next()
@@ -201,6 +231,10 @@ func (p *parser) parseAnd() (Formula, error) {
 }
 
 func (p *parser) parseNot() (Formula, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.peek() == "!" {
 		p.next()
 		f, err := p.parseNot()
@@ -296,9 +330,15 @@ func tokenize(input string) []string {
 		case strings.ContainsRune("()=~!&|.,", c):
 			toks = append(toks, string(c))
 			i++
-		case unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_':
+		case isWordByte(input[i]):
+			// Identifiers are ASCII words. Gating on the byte (not the rune)
+			// matters: a byte >= 0x80 whose rune value happens to be a
+			// letter (0xff = 'ÿ') used to enter this branch, fail the word
+			// scan, and loop forever without consuming input — a hostile
+			// single byte could pin the CPU and grow the token slice
+			// unboundedly. Regression seed "\x00\xff\xfe" in FuzzParse.
 			j := i
-			for j < len(input) && (isWordByte(input[j])) {
+			for j < len(input) && isWordByte(input[j]) {
 				j++
 			}
 			toks = append(toks, input[i:j])

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/cert"
+	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kernel"
@@ -201,14 +202,32 @@ func (r *Registry) List() []Info {
 	return out
 }
 
+// hasFormula reports whether the params carry a sentence in either form.
+func (p Params) hasFormula() bool { return p.Formula != "" || p.FormulaAST != nil }
+
 // validate checks that every declared param is supplied and that enum
-// params name a known value.
+// params name a known value. Entries declaring both ParamProperty and
+// ParamFormula treat them as alternatives: the formula supersedes the enum
+// lookup when both are given, and the enum membership check only applies
+// when the property actually drives the build.
 func (e *Entry) validate(p Params) error {
+	needsProp, needsFormula := e.NeedsParam(ParamProperty), e.NeedsParam(ParamFormula)
+	if needsProp && needsFormula {
+		if p.PropertyFunc == nil && !p.hasFormula() && p.Property == "" {
+			return fmt.Errorf("registry: %s: needs a formula or a property (one of %v)", e.Name, e.Enum)
+		}
+	}
 	for _, need := range e.Needs {
 		switch need {
 		case ParamProperty:
 			if p.PropertyFunc != nil {
 				break // an ad-hoc predicate supplies its own semantics
+			}
+			if needsFormula && p.hasFormula() {
+				break // the formula supersedes the enum lookup
+			}
+			if needsFormula && p.Property == "" {
+				break // already reported above
 			}
 			if p.Property == "" {
 				return fmt.Errorf("registry: %s: missing property (one of %v)", e.Name, e.Enum)
@@ -226,7 +245,10 @@ func (e *Entry) validate(p Params) error {
 				}
 			}
 		case ParamFormula:
-			if p.Formula == "" && p.FormulaAST == nil {
+			if needsProp {
+				break // alternative pair, handled above
+			}
+			if !p.hasFormula() {
 				return fmt.Errorf("registry: %s: missing formula", e.Name)
 			}
 		case ParamT:
@@ -267,34 +289,27 @@ func Default() *Registry {
 	return defaultReg
 }
 
+// Enum returns the declared property names of any entry in the default
+// registry — the single accessor the per-scheme helpers below wrap, so
+// the enum lists cannot drift between callers.
+func Enum(kind string) []string {
+	e, ok := Default().Lookup(kind)
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), e.Enum...)
+}
+
 // TreeMSOProperties returns the property names of the tree-mso entry in
 // the default registry — the one list both the facade and the CLI derive
 // their help text from.
-func TreeMSOProperties() []string {
-	e, ok := Default().Lookup("tree-mso")
-	if !ok {
-		return nil
-	}
-	return append([]string(nil), e.Enum...)
-}
+func TreeMSOProperties() []string { return Enum("tree-mso") }
 
 // TreewidthMSOProperties returns the property names of the tw-mso entry.
-func TreewidthMSOProperties() []string {
-	e, ok := Default().Lookup("tw-mso")
-	if !ok {
-		return nil
-	}
-	return append([]string(nil), e.Enum...)
-}
+func TreewidthMSOProperties() []string { return Enum("tw-mso") }
 
 // UniversalProperties returns the named predicates of the universal entry.
-func UniversalProperties() []string {
-	e, ok := Default().Lookup("universal")
-	if !ok {
-		return nil
-	}
-	return append([]string(nil), e.Enum...)
-}
+func UniversalProperties() []string { return Enum("universal") }
 
 // universalPredicates are the named ground-truth predicates of the
 // universal baseline scheme.
@@ -316,43 +331,39 @@ func sortedKeys(m map[string]func(*graph.Graph) (bool, error)) []string {
 	return out
 }
 
-// treeMSOLibrary is the single source of the tree-mso property list:
-// the Enum shown by listings and the factory dispatch both derive from
-// it, so the two can never drift apart.
-var treeMSOLibrary = []struct {
-	name  string
-	build func() (*automata.TreeScheme, error)
-}{
-	{"perfect-matching", automata.NewPerfectMatchingScheme},
-	{"is-star", automata.NewStarScheme},
-	{"max-degree-<=2", func() (*automata.TreeScheme, error) { return automata.NewMaxDegreeScheme(2) }},
-	{"max-degree-<=3", func() (*automata.TreeScheme, error) { return automata.NewMaxDegreeScheme(3) }},
-	{"diameter-<=4", func() (*automata.TreeScheme, error) { return automata.NewDiameterScheme(4) }},
-	{"leaves->=3", func() (*automata.TreeScheme, error) { return automata.NewLeavesAtLeastScheme(3) }},
+// resolveFormula returns the sentence driving a formula-or-property entry:
+// the explicit formula when present (it supersedes the enum lookup),
+// otherwise the property name's defining alias sentence from the compile
+// layer.
+func resolveFormula(kind string, p Params) (logic.Formula, error) {
+	if p.hasFormula() {
+		return p.formula()
+	}
+	f, ok := compile.AliasFormula(kind, p.Property)
+	if !ok {
+		return nil, fmt.Errorf("registry: %s: unknown property %q (one of %v)", kind, p.Property, compile.AliasNames(kind))
+	}
+	return f, nil
 }
 
 // registerAll wires every scheme of the paper into r.
 func registerAll(r *Registry) {
-	treeMSOEnum := make([]string, len(treeMSOLibrary))
-	for i, p := range treeMSOLibrary {
-		treeMSOEnum[i] = p.name
-	}
 	r.MustRegister(Entry{
 		Info: Info{
-			Name:       "tree-mso",
-			Summary:    "Theorem 2.2: O(1)-bit certification of a library MSO property on trees",
+			Name: "tree-mso",
+			Summary: "Theorem 2.2: O(1)-bit certification of an MSO/FO sentence on trees " +
+				"(library sentences map to hand-built automata, other FO compiles via type discovery)",
 			CertBound:  "O(1)",
 			GraphClass: "trees",
-			Needs:      []Param{ParamProperty},
-			Enum:       treeMSOEnum,
+			Needs:      []Param{ParamProperty, ParamFormula},
+			Enum:       compile.AliasNames("tree-mso"),
 		},
 		Build: func(p Params) (cert.Scheme, error) {
-			for _, prop := range treeMSOLibrary {
-				if prop.name == p.Property {
-					return prop.build()
-				}
+			f, err := resolveFormula("tree-mso", p)
+			if err != nil {
+				return nil, err
 			}
-			return nil, fmt.Errorf("registry: tree-mso: unknown property %q", p.Property)
+			return compile.Tree(f)
 		},
 	})
 	r.MustRegister(Entry{
@@ -413,14 +424,18 @@ func registerAll(r *Registry) {
 				"bounded-treewidth graphs via a distributed tree decomposition",
 			CertBound:         "O(t log n)",
 			GraphClass:        "connected graphs of treewidth <= t",
-			Needs:             []Param{ParamProperty, ParamT},
-			Enum:              treewidth.Properties(),
+			Needs:             []Param{ParamProperty, ParamFormula, ParamT},
+			Enum:              compile.AliasNames("tw-mso"),
 			UsesDecomposition: true,
 		},
 		Build: func(p Params) (cert.Scheme, error) {
-			prop, ok := treewidth.PropertyByName(p.Property)
-			if !ok {
-				return nil, fmt.Errorf("registry: tw-mso: unknown property %q", p.Property)
+			f, err := resolveFormula("tw-mso", p)
+			if err != nil {
+				return nil, err
+			}
+			prop, err := compile.Treewidth(f)
+			if err != nil {
+				return nil, err
 			}
 			return &treewidth.MSOScheme{T: p.T, Prop: prop, DecompProvider: p.DecompProvider}, nil
 		},
@@ -451,18 +466,29 @@ func registerAll(r *Registry) {
 	})
 	r.MustRegister(Entry{
 		Info: Info{
-			Name:       "universal",
-			Summary:    "generic upper bound: whole-graph certificates for a named decidable property",
+			Name: "universal",
+			Summary: "generic upper bound: whole-graph certificates for a named decidable property " +
+				"or an arbitrary FO/MSO sentence (decided by model checking)",
 			CertBound:  "O(n^2)",
 			GraphClass: "connected graphs",
-			Needs:      []Param{ParamProperty},
+			Needs:      []Param{ParamProperty, ParamFormula},
 			Enum:       sortedKeys(universalPredicates),
 		},
 		Build: func(p Params) (cert.Scheme, error) {
-			pred := p.PropertyFunc
-			if pred == nil {
-				pred = universalPredicates[p.Property]
+			if p.PropertyFunc != nil {
+				return &core.Universal{PropertyName: p.Property, Property: p.PropertyFunc}, nil
 			}
+			if p.hasFormula() {
+				// The formula path model-checks the sentence directly; the
+				// enum names below keep their native predicates, which
+				// scale past the brute-force evaluator's limits.
+				f, err := p.formula()
+				if err != nil {
+					return nil, err
+				}
+				return compile.Universal(f)
+			}
+			pred := universalPredicates[p.Property]
 			if pred == nil {
 				return nil, fmt.Errorf("registry: universal: unknown property %q", p.Property)
 			}

@@ -1,8 +1,11 @@
 package registry
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/compile"
 
 	"repro/internal/cert"
 	"repro/internal/graph"
@@ -103,7 +106,9 @@ func TestBuildValidation(t *testing.T) {
 		params  Params
 		wantSub string
 	}{
-		{"tree-mso", Params{}, "missing property"},
+		{"tree-mso", Params{}, "needs a formula or a property"},
+		{"tree-mso", Params{Property: "no-such"}, "unknown property"},
+		{"tree-mso", Params{Formula: "existsset S. forall x. x in S"}, "outside the tree automaton library"},
 		{"tw-mso", Params{Property: "tw-bound"}, "must be positive"},
 		{"tw-mso", Params{Property: "no-such", T: 2}, "unknown property"},
 		{"tree-fo", Params{}, "missing formula"},
@@ -187,5 +192,94 @@ func TestTreewidthMSOEntry(t *testing.T) {
 	}
 	if !res.Accepted {
 		t.Fatalf("witness-driven tw-mso proof rejected at %v", res.Rejecters)
+	}
+}
+
+// TestEnumAndFormulaPathsCertifyIdentically is the acceptance check of the
+// formula-first refactor: every previously enum-named property, requested
+// by its defining sentence instead, must behave identically end to end —
+// same Holds verdict over random instances, and identical certificates on
+// yes-instances.
+func TestEnumAndFormulaPathsCertifyIdentically(t *testing.T) {
+	reg := Default()
+	for _, kind := range []string{"tree-mso", "tw-mso", "universal"} {
+		for _, alias := range compile.Aliases(kind) {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				var g *graph.Graph
+				var params Params
+				switch kind {
+				case "tree-mso":
+					g = graphgen.RandomTree(2+rng.Intn(10), rng)
+				case "tw-mso":
+					g, _ = graphgen.PartialKTree(6+rng.Intn(10), 2, 0.5, rng)
+					params.T = 2
+				case "universal":
+					// The formula path model-checks MSO sentences by 2^n
+					// subset enumeration; stay small.
+					g = graphgen.RandomTree(2+rng.Intn(6), rng)
+				}
+				ep := params
+				ep.Property = alias.Name
+				fp := params
+				fp.Formula = alias.Source()
+				enumScheme, err := reg.Build(kind, ep)
+				if err != nil {
+					t.Fatalf("%s/%s: enum build: %v", kind, alias.Name, err)
+				}
+				formulaScheme, err := reg.Build(kind, fp)
+				if err != nil {
+					t.Fatalf("%s/%s: formula build: %v", kind, alias.Name, err)
+				}
+				eh, eerr := enumScheme.Holds(g)
+				fh, ferr := formulaScheme.Holds(g)
+				if (eerr == nil) != (ferr == nil) || eh != fh {
+					t.Fatalf("%s/%s seed %d: Holds diverges: enum=(%v,%v) formula=(%v,%v)",
+						kind, alias.Name, seed, eh, eerr, fh, ferr)
+				}
+				if eerr != nil || !eh {
+					continue
+				}
+				ea, err := enumScheme.Prove(g)
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: enum prove: %v", kind, alias.Name, seed, err)
+				}
+				fa, err := formulaScheme.Prove(g)
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: formula prove: %v", kind, alias.Name, seed, err)
+				}
+				for v := range ea {
+					if string(ea[v]) != string(fa[v]) {
+						t.Fatalf("%s/%s seed %d: certificates diverge at vertex %d", kind, alias.Name, seed, v)
+					}
+				}
+				er, err := cert.RunSequential(g, enumScheme, ea)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fr, err := cert.RunSequential(g, formulaScheme, fa)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !er.Accepted || !fr.Accepted {
+					t.Fatalf("%s/%s seed %d: honest proofs rejected: enum=%v formula=%v",
+						kind, alias.Name, seed, er.Rejecters, fr.Rejecters)
+				}
+			}
+		}
+	}
+}
+
+// TestFormulaSupersedesEnum checks the precedence rule: when both a
+// property and a formula are supplied, the formula drives the build.
+func TestFormulaSupersedesEnum(t *testing.T) {
+	s, err := Default().Build("tree-mso", Params{Property: "perfect-matching", Formula: "forall x. forall y. x = y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HasAtMostOneVertex is FO and not a library automaton: the type
+	// compiler names its schemes distinctively.
+	if !strings.Contains(s.Name(), "tree-fo-types") {
+		t.Fatalf("formula did not supersede the enum: built %q", s.Name())
 	}
 }

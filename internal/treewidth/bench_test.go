@@ -7,6 +7,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/graphgen"
+	"repro/internal/logic"
 )
 
 // Heuristic decomposition of a 1000-vertex partial 3-tree — the per-graph
@@ -92,5 +93,68 @@ func BenchmarkTWMSOVerifyOnly(b *testing.B) {
 		if err != nil || !res.Accepted {
 			b.Fatalf("rejected: %v", err)
 		}
+	}
+}
+
+// BenchmarkEMSODP measures the generalized Courcelle DP (E13 timings):
+// cost of SolveEMSO per sentence on a width-2 instance, against the
+// hardcoded colouring DP it replaced.
+func BenchmarkEMSODP(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g, _ := graphgen.PartialKTree(256, 2, 0.5, rng)
+	d, _, err := Heuristic(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nice, err := MakeNice(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		phi  *EMSO
+	}{
+		{"tw-bound", MustCompileEMSO(logic.TrueSentence())},
+		{"2-colorable", MustCompileEMSO(logic.TwoColorable())},
+		{"3-colorable", MustCompileEMSO(logic.ThreeColorable())},
+		{"triangle-free", MustCompileEMSO(logic.TriangleFree())},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SolveEMSO(g, nice, tc.phi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("legacy-color-dp-3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ColorGraph(g, nice, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompileEMSO measures formula-to-DP compilation, dominated by
+// the clique-locality world enumeration.
+func BenchmarkCompileEMSO(b *testing.B) {
+	sentences := map[string]logic.Formula{
+		"2-colorable":   logic.TwoColorable(),
+		"3-colorable":   logic.ThreeColorable(),
+		"triangle-free": logic.TriangleFree(),
+	}
+	for name, f := range sentences {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CompileEMSO(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -8,24 +8,27 @@ import (
 	"repro/internal/bitio"
 	"repro/internal/cert"
 	"repro/internal/graph"
+	"repro/internal/logic"
 )
 
-// Property is one entry of the tw-mso property library: the MSO property
-// certified on top of the width bound. Colors > 0 selects c-colorability
-// (the canonical Courcelle exemplar — the prover solves it by DP over the
-// nice decomposition and the certificate carries the witness colour);
-// Colors == 0 is the trivial property, certifying the width bound alone.
+// Property is the MSO property certified on top of the width bound: a
+// display name plus the compiled EMSO form that drives the Courcelle DP,
+// the certificate layout and the radius-1 verification. The historic
+// property names are aliases for library sentences (see propertyLibrary);
+// PropertyFromFormula compiles arbitrary fragment sentences.
 type Property struct {
-	Name   string
-	Colors int
+	Name string
+	Phi  *EMSO
 }
 
 // propertyLibrary is the single source of the tw-mso property list; the
-// registry enum and the scheme dispatch both derive from it.
+// registry enum and the scheme dispatch both derive from it. Every entry
+// is the compiled form of a library sentence, so the enum names are pure
+// aliases of the formula path.
 var propertyLibrary = []Property{
-	{Name: "tw-bound", Colors: 0},
-	{Name: "2-colorable", Colors: 2},
-	{Name: "3-colorable", Colors: 3},
+	{Name: "tw-bound", Phi: MustCompileEMSO(logic.TrueSentence())},
+	{Name: "2-colorable", Phi: MustCompileEMSO(logic.TwoColorable())},
+	{Name: "3-colorable", Phi: MustCompileEMSO(logic.ThreeColorable())},
 }
 
 // Properties lists the admissible tw-mso property names.
@@ -47,11 +50,22 @@ func PropertyByName(name string) (Property, bool) {
 	return Property{}, false
 }
 
+// PropertyFromFormula compiles an arbitrary sentence of the clique-local
+// EMSO fragment into a certifiable property.
+func PropertyFromFormula(f logic.Formula) (Property, error) {
+	phi, err := CompileEMSO(f)
+	if err != nil {
+		return Property{}, err
+	}
+	return Property{Name: f.String(), Phi: phi}, nil
+}
+
 // MSOScheme is the decomposition-distributed certification of "G has a
 // tree decomposition of width <= T and satisfies the property": the prover
 // computes a decomposition, roots it, assigns every vertex the root bag of
 // its trace as home bag, and hands each vertex its home bag id, the bag
-// contents, and the Courcelle-style DP witness for the property. The
+// contents, its adjacency row over the bag, and the EMSO DP's witness word
+// (the vertex's membership in each existentially quantified set). The
 // verification is purely radius-1, against the neighbouring bags:
 //
 //   - membership and width: the vertex and the bag's canonical owner are
@@ -63,17 +77,25 @@ func PropertyByName(name string) (Property, bool) {
 //     and contents; neighbours with different home bags are in strict
 //     ancestor order (exactly one containment, container strictly
 //     shallower), which rules out cycles among bag claims;
-//   - property: witness colours of adjacent vertices differ.
+//   - adjacency rows: each vertex checks its own row against its actual
+//     neighbourhood (it sees exactly its neighbours' identifiers), so an
+//     accepted run's rows are ground truth for everyone who reads them;
+//   - property: the verifier re-evaluates the compiled matrix on every
+//     variable tuple drawn from the vertex and its neighbours. The
+//     fragment's clique-locality means a violating tuple is always a
+//     clique; its members are then mutual neighbours, the trace-root rule
+//     pins each pair's adjacency inside some home bag, and the
+//     self-verified rows expose it — so some member of the violating
+//     clique evaluates the matrix on genuine adjacency values and rejects.
 //
-// Certificates are O(t log n) bits — bag id and up to t+1 identifiers —
-// plus a 16-bit guard binding the certificate to its vertex, so replayed
-// or bit-corrupted certificates are rejected locally in one round (the
-// self-stabilization deployment; semantic soundness never relies on the
-// guard, which any adversary can recompute).
+// Certificates are O(t log n) bits — bag id, up to t+1 identifiers, t+1
+// row bits and m witness bits — plus a 16-bit guard binding certs to their
+// vertex, so flips/replays/truncations are caught in one round (the
+// self-stabilization deployment; semantic soundness never relies on it).
 type MSOScheme struct {
 	// T is the certified width bound.
 	T int
-	// Prop is the certified property from the library.
+	// Prop is the certified property (library alias or compiled formula).
 	Prop Property
 	// DecompProvider, when set, supplies the tree decomposition (e.g. a
 	// generator's ground-truth witness or a shared decomposition cache).
@@ -87,6 +109,15 @@ var _ cert.Scheme = (*MSOScheme)(nil)
 
 // Name implements cert.Scheme.
 func (s *MSOScheme) Name() string { return fmt.Sprintf("tw-mso[%s]<=%d", s.Prop.Name, s.T) }
+
+// phi returns the compiled property, defaulting to the trivial one so a
+// zero-valued scheme still behaves (certifying the width bound alone).
+func (s *MSOScheme) phi() *EMSO {
+	if s.Prop.Phi != nil {
+		return s.Prop.Phi
+	}
+	return propertyLibrary[0].Phi
+}
 
 // guardBits is the width of the per-certificate integrity guard.
 const guardBits = 16
@@ -104,8 +135,13 @@ type Payload struct {
 	Depth uint64
 	// Bag is the home bag's contents as sorted vertex IDs (<= T+1).
 	Bag []graph.ID
-	// State is the property witness (the vertex's colour) when the
-	// property has one; 0 otherwise.
+	// Row is the owner's adjacency row over Bag: Row[i] reports whether
+	// the owner is adjacent to Bag[i] (false at the owner's own slot).
+	// Each vertex can check its own row exactly, which is what makes the
+	// rows trustworthy evidence for everyone else's tuple checks.
+	Row []bool
+	// State is the property witness: the owner's m-bit set-membership
+	// word, bit k = membership in the k-th existentially quantified set.
 	State uint64
 }
 
@@ -130,19 +166,24 @@ func encodePrefixTo(w *bitio.Writer, p Payload) {
 	}
 }
 
-// encodeBody writes the guarded part of the payload.
-func encodeBody(w *bitio.Writer, p Payload, colors int) {
+// encodeBody writes the guarded part of the payload: the decomposition
+// prefix, the adjacency row (one bit per bag entry) and the membership
+// word (setBits bits).
+func encodeBody(w *bitio.Writer, p Payload, setBits int) {
 	encodePrefixTo(w, p)
-	if colors > 0 {
-		w.WriteUint(p.State, 2)
+	for i := range p.Bag {
+		w.WriteBool(i < len(p.Row) && p.Row[i])
+	}
+	if setBits > 0 {
+		w.WriteUint(p.State, setBits)
 	}
 }
 
 // EncodePayload serializes the payload and appends the guard binding it to
 // the owning vertex.
-func EncodePayload(p Payload, owner graph.ID, colors int) cert.Certificate {
+func EncodePayload(p Payload, owner graph.ID, setBits int) cert.Certificate {
 	var w bitio.Writer
-	encodeBody(&w, p, colors)
+	encodeBody(&w, p, setBits)
 	body := w.Clone()
 	w.WriteUint(guardOf(owner, body), guardBits)
 	return w.Clone()
@@ -150,7 +191,7 @@ func EncodePayload(p Payload, owner graph.ID, colors int) cert.Certificate {
 
 // DecodePayload parses a certificate and checks its guard against the
 // claimed owner; the whole certificate must be consumed.
-func DecodePayload(c cert.Certificate, owner graph.ID, colors int) (Payload, bool) {
+func DecodePayload(c cert.Certificate, owner graph.ID, setBits int) (Payload, bool) {
 	if len(c) < guardBits {
 		return Payload{}, false
 	}
@@ -165,8 +206,16 @@ func DecodePayload(c cert.Certificate, owner graph.ID, colors int) (Payload, boo
 		return Payload{}, false
 	}
 	br := bitio.NewReader(tail)
-	if colors > 0 {
-		state, err := br.ReadUint(2)
+	p.Row = make([]bool, len(p.Bag))
+	for i := range p.Row {
+		b, err := br.ReadBool()
+		if err != nil {
+			return Payload{}, false
+		}
+		p.Row[i] = b
+	}
+	if setBits > 0 {
+		state, err := br.ReadUint(setBits)
 		if err != nil {
 			return Payload{}, false
 		}
@@ -180,8 +229,8 @@ func DecodePayload(c cert.Certificate, owner graph.ID, colors int) (Payload, boo
 
 // decodePrefix parses the self-delimiting decomposition fields (bag id,
 // depth, bag contents) off the body and returns the unparsed tail bits —
-// the property payload, which decomposition-aware tampers carry through
-// unchanged.
+// the row and property payload, which decomposition-aware tampers carry
+// through unchanged.
 func decodePrefix(body []byte) (Payload, []byte, bool) {
 	r := bitio.NewReader(body)
 	var p Payload
@@ -241,11 +290,12 @@ func guardOf(owner graph.ID, body []byte) uint64 {
 }
 
 // Holds implements cert.Scheme: the graph admits a tree decomposition of
-// width at most T and satisfies the property. The width part is resolved
-// exactly like Prove's (provider first, then heuristics, then exact
-// branch-and-bound up to ExactLimit vertices) except that a proven
-// too-wide graph answers false instead of erroring; only graphs the
-// solvers cannot decide report an error.
+// width at most T and satisfies the property (decided by the EMSO DP over
+// a nice decomposition). The width part is resolved exactly like Prove's
+// (provider first, then heuristics, then exact branch-and-bound up to
+// ExactLimit vertices) except that a proven too-wide graph answers false
+// instead of erroring; only graphs the solvers cannot decide report an
+// error.
 func (s *MSOScheme) Holds(g *graph.Graph) (bool, error) {
 	if g.N() == 0 || !g.Connected() {
 		return false, fmt.Errorf("treewidth: %s: graph must be connected and non-empty", s.Name())
@@ -257,14 +307,11 @@ func (s *MSOScheme) Holds(g *graph.Graph) (bool, error) {
 		}
 		return false, err
 	}
-	if s.Prop.Colors == 0 {
-		return true, nil
-	}
 	nice, err := MakeNice(d, 0)
 	if err != nil {
 		return false, err
 	}
-	_, ok, err := ColorGraph(g, nice, s.Prop.Colors)
+	_, ok, err := SolveEMSO(g, nice, s.phi())
 	if err != nil {
 		return false, err
 	}
@@ -325,13 +372,13 @@ func (s *MSOScheme) Prove(g *graph.Graph) (cert.Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	payloads, err := BuildPayloads(g, d, s.Prop)
+	payloads, err := BuildPayloads(g, d, Property{Name: s.Prop.Name, Phi: s.phi()})
 	if err != nil {
 		return nil, err
 	}
 	a := make(cert.Assignment, g.N())
 	for v, p := range payloads {
-		a[v] = EncodePayload(p, g.IDOf(v), s.Prop.Colors)
+		a[v] = EncodePayload(p, g.IDOf(v), s.phi().NumSets())
 	}
 	return a, nil
 }
@@ -340,7 +387,8 @@ func (s *MSOScheme) Prove(g *graph.Graph) (cert.Assignment, error) {
 // decomposition of sufficient width: root it, assign home bags (trace
 // roots), prune bags that are nobody's home (safe: such a bag's contents
 // reappear in its parent), name each remaining bag after its smallest
-// homed vertex id, and attach the DP witness for the property.
+// homed vertex id, and attach each vertex's adjacency row over its home
+// bag and its EMSO witness word.
 func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, error) {
 	n := g.N()
 	parent, depth, order, err := d.Rooted(0)
@@ -382,21 +430,22 @@ func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, 
 			}
 		}
 	}
-	// Property witness.
-	var colors []int
-	if prop.Colors > 0 {
-		nice, err := MakeNice(d, 0)
-		if err != nil {
-			return nil, err
-		}
-		cols, ok, err := ColorGraph(g, nice, prop.Colors)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("treewidth: tw-mso[%s]: graph is not %d-colorable (nothing to certify)", prop.Name, prop.Colors)
-		}
-		colors = cols
+	// Property witness: the EMSO DP's membership words (all zero for a
+	// set-free property, but the DP still decides the universal matrix).
+	phi := prop.Phi
+	if phi == nil {
+		phi = propertyLibrary[0].Phi
+	}
+	nice, err := MakeNice(d, 0)
+	if err != nil {
+		return nil, err
+	}
+	words, ok, err := SolveEMSO(g, nice, phi)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("treewidth: tw-mso[%s]: property does not hold (nothing to certify)", prop.Name)
 	}
 	payloads := make([]Payload, n)
 	bagIDs := make(map[int][]graph.ID, d.NumBags())
@@ -411,13 +460,18 @@ func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, 
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			bagIDs[b] = ids
 		}
+		row := make([]bool, len(ids))
+		for i, id := range ids {
+			if u, exists := g.IndexOf(id); exists && u != v {
+				row[i] = g.HasEdge(v, u)
+			}
+		}
 		payloads[v] = Payload{
 			BagID: owner[b],
 			Depth: pruned[b],
 			Bag:   ids,
-		}
-		if prop.Colors > 0 {
-			payloads[v].State = uint64(colors[v])
+			Row:   row,
+			State: uint64(words[v]),
 		}
 	}
 	return payloads, nil
@@ -425,7 +479,9 @@ func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, 
 
 // Verify implements cert.Scheme; see the type comment for the check list.
 func (s *MSOScheme) Verify(v cert.View) bool {
-	own, ok := DecodePayload(v.Cert, v.ID, s.Prop.Colors)
+	phi := s.phi()
+	m := phi.NumSets()
+	own, ok := DecodePayload(v.Cert, v.ID, m)
 	if !ok {
 		return false
 	}
@@ -440,11 +496,20 @@ func (s *MSOScheme) Verify(v cert.View) bool {
 	if own.BagID > v.ID {
 		return false
 	}
-	if s.Prop.Colors > 0 && own.State >= uint64(s.Prop.Colors) {
-		return false
+	// The adjacency row must match the vertex's actual neighbourhood —
+	// fully checkable locally, which is what lets everyone else trust it.
+	for i, id := range own.Bag {
+		_, isNb := v.NeighborByID(id)
+		if id == v.ID {
+			isNb = false
+		}
+		if own.Row[i] != isNb {
+			return false
+		}
 	}
-	for _, nb := range v.Neighbors {
-		pu, ok := DecodePayload(nb.Cert, nb.ID, s.Prop.Colors)
+	neighbors := make([]Payload, len(v.Neighbors))
+	for i, nb := range v.Neighbors {
+		pu, ok := DecodePayload(nb.Cert, nb.ID, m)
 		if !ok {
 			return false
 		}
@@ -475,17 +540,78 @@ func (s *MSOScheme) Verify(v cert.View) bool {
 				return false
 			}
 		}
-		if s.Prop.Colors > 0 && own.State == pu.State {
-			return false // improper colouring
-		}
+		neighbors[i] = pu
 	}
-	return true
+	// Property: re-evaluate the matrix on every tuple over {v} ∪ N(v).
+	// Point 0 is v itself, point i+1 its i-th neighbour. Adjacency between
+	// two neighbours is read off their self-verified rows through the
+	// trace-root rule: the deeper-homed endpoint of any real edge carries
+	// the other in its bag, so an accepted run exposes every real edge
+	// among the candidates and claims no fake ones it would need.
+	points := 1 + len(v.Neighbors)
+	ids := make([]graph.ID, points)
+	words := make([]uint64, points)
+	ids[0], words[0] = v.ID, own.State
+	for i, nb := range v.Neighbors {
+		ids[i+1], words[i+1] = nb.ID, neighbors[i].State
+	}
+	adj := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if a == 0 || b == 0 {
+			return true // every candidate but v itself is a neighbour of v
+		}
+		pa, pb := neighbors[a-1], neighbors[b-1]
+		if i := searchID(pa.Bag, ids[b]); i >= 0 && pa.Row[i] {
+			return true
+		}
+		if i := searchID(pb.Bag, ids[a]); i >= 0 && pb.Row[i] {
+			return true
+		}
+		return false
+	}
+	member := func(set, point int) bool { return words[point]>>uint(set)&1 == 1 }
+	// Enumerate only tuples whose points are pairwise equal or adjacent
+	// under the evidence oracle: clique-locality makes the matrix
+	// vacuously true on every other tuple, and the pruning keeps a
+	// high-degree vertex's check near O(deg) instead of O(deg^r).
+	r := phi.NumVars()
+	tuple := make([]int, r)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == r {
+			return phi.EvalTuple(tuple, adj, member)
+		}
+	next:
+		for p := 0; p < points; p++ {
+			for j := 0; j < i; j++ {
+				if tuple[j] != p && !adj(tuple[j], p) {
+					continue next
+				}
+			}
+			tuple[i] = p
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
 }
 
 // containsID reports membership in a sorted id slice.
 func containsID(ids []graph.ID, id graph.ID) bool {
+	return searchID(ids, id) >= 0
+}
+
+// searchID returns the position of id in a sorted id slice, or -1.
+func searchID(ids []graph.ID, id graph.ID) int {
 	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
-	return i < len(ids) && ids[i] == id
+	if i < len(ids) && ids[i] == id {
+		return i
+	}
+	return -1
 }
 
 func equalIDs(a, b []graph.ID) bool {

@@ -1,0 +1,32 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// MaxFormulaBytes bounds the textual formulas request handlers accept —
+// the same limit the parser itself enforces, surfaced here so handlers
+// can reject oversized formulas with a 4xx before any parsing work.
+const MaxFormulaBytes = logic.MaxFormulaBytes
+
+// ValidateFormula is the hostile-input guard for formulas arriving over
+// the wire: size-capped, parseable, and a sentence (free variables can
+// never certify — every scheme would reject them later with a less
+// pointed error). The parsed form is discarded; builds re-parse through
+// the engine's canonicalization memo.
+func ValidateFormula(src string) error {
+	if len(src) > MaxFormulaBytes {
+		return fmt.Errorf("wire: formula is %d bytes (limit %d)", len(src), MaxFormulaBytes)
+	}
+	f, err := logic.Parse(src)
+	if err != nil {
+		return fmt.Errorf("wire: formula: %w", err)
+	}
+	if !logic.IsSentence(f) {
+		vars, sets := logic.FreeVars(f)
+		return fmt.Errorf("wire: formula must be a sentence; free variables: %v %v", vars, sets)
+	}
+	return nil
+}

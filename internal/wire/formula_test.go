@@ -1,0 +1,32 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFormula(t *testing.T) {
+	good := []string{
+		"forall x. exists y. x ~ y",
+		"existsset S. forall x. forall y. x ~ y -> !((x in S & y in S) | (!(x in S) & !(y in S)))",
+	}
+	for _, src := range good {
+		if err := ValidateFormula(src); err != nil {
+			t.Errorf("ValidateFormula(%q) = %v", src, err)
+		}
+	}
+	bad := []struct {
+		src string
+		why string
+	}{
+		{"x ~ y", "free variables"},
+		{"forall x. (", "malformed"},
+		{strings.Repeat("(", 1000) + "x = x" + strings.Repeat(")", 1000), "nesting"},
+		{"forall x. " + strings.Repeat("x = x & ", MaxFormulaBytes/8) + "x = x", "oversized"},
+	}
+	for _, tc := range bad {
+		if err := ValidateFormula(tc.src); err == nil {
+			t.Errorf("ValidateFormula accepted %s input", tc.why)
+		}
+	}
+}
