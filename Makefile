@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-short ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-json fmt-check clean
+.PHONY: all build vet test test-race fuzz-short bench-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-json bench-compare fmt-check clean
 
 all: ci
 
@@ -25,9 +25,17 @@ test-race:
 fuzz-short:
 	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=5s ./internal/logic
 
+# bench-smoke compiles and runs every benchmark exactly once: benchmarks
+# are the perf PRs' acceptance instruments, so they must not bit-rot
+# between those PRs. One iteration keeps ci fast while still executing
+# every benchmark body.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
 # ci is the tier-1 gate: everything must be gofmt-clean, build, vet clean,
-# and pass — including under the race detector and a short parser fuzz.
-ci: fmt-check build vet test test-race fuzz-short
+# and pass — including under the race detector, a short parser fuzz, and
+# a one-iteration benchmark smoke run.
+ci: fmt-check build vet test test-race fuzz-short bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -59,16 +67,23 @@ bench-logic:
 	$(GO) test -bench='EMSO' -benchmem -run=NONE ./internal/treewidth
 
 # bench-json runs the logic, engine and treewidth benchmarks and emits
-# machine-readable BENCH_PR4.json, so the perf trajectory accumulates as
-# data across PRs (BENCH_PR3.json stays committed as history). The raw
+# machine-readable BENCH_PR5.json, so the perf trajectory accumulates as
+# data across PRs (BENCH_PR3/4.json stay committed as history). The raw
 # output goes through a temp file (not a pipe) so a benchmark failure
 # fails the target instead of being swallowed.
 bench-json:
 	$(GO) test -bench=. -benchmem -run=NONE \
 		./internal/logic ./internal/engine ./internal/treewidth > bench-raw.tmp
-	$(GO) run ./cmd/benchjson < bench-raw.tmp > BENCH_PR4.json
+	$(GO) run ./cmd/benchjson < bench-raw.tmp > BENCH_PR5.json
 	@rm -f bench-raw.tmp
-	@echo wrote BENCH_PR4.json
+	@echo wrote BENCH_PR5.json
+
+# bench-compare is the regression gate between committed snapshots: a
+# per-benchmark delta table, non-zero exit when any shared benchmark's
+# ns/op regressed by more than 25%. Run it after bench-json to prove a
+# perf PR did not pay for one hot path with another.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

@@ -14,14 +14,26 @@
 // Metric fields beyond ns/op are present only when the bench line carried
 // them. Non-benchmark lines are ignored, so the full `go test` output can
 // be piped through unmodified.
+//
+// The second mode is the regression gate:
+//
+//	benchjson -compare old.json new.json
+//
+// prints a per-benchmark delta table (ns/op and allocs/op) for every
+// benchmark present in both documents, lists added and removed ones, and
+// exits non-zero when any shared benchmark's ns/op regressed by more than
+// -threshold percent (default 25). `make bench-compare` wires it against
+// the committed per-PR snapshots.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,6 +57,34 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 25, "ns/op regression percentage that fails -compare")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		old, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		regressions := Compare(os.Stdout, old, cur, *threshold)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed by more than %.0f%% ns/op:\n", len(regressions), *threshold)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -56,6 +96,90 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies a benchmark across reports: the trailing
+// "-<GOMAXPROCS>" suffix is stripped so runs from differently sized
+// machines still line up.
+func benchKey(b Benchmark) string {
+	name := b.Name
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return b.Package + " " + name
+}
+
+// Compare writes the per-benchmark delta table for benchmarks present in
+// both reports (plus added/removed listings) to w and returns the keys
+// whose ns/op regressed by more than threshold percent.
+func Compare(w io.Writer, old, cur *Report, threshold float64) []string {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+	curBy := map[string]Benchmark{}
+	curKeys := make([]string, 0, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		k := benchKey(b)
+		if _, dup := curBy[k]; !dup {
+			curKeys = append(curKeys, k)
+		}
+		curBy[k] = b
+	}
+	sort.Strings(curKeys)
+	var regressions, added []string
+	fmt.Fprintf(w, "%-64s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	for _, k := range curKeys {
+		nb := curBy[k]
+		ob, shared := oldBy[k]
+		if !shared {
+			added = append(added, k)
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		allocs := "-"
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+			allocs = fmt.Sprintf("%+d", *nb.AllocsPerOp-*ob.AllocsPerOp)
+		}
+		flag := ""
+		if delta > threshold {
+			flag = "  << REGRESSION"
+			regressions = append(regressions, k)
+		}
+		fmt.Fprintf(w, "%-64s %14.1f %14.1f %+8.1f%% %9s%s\n", k, ob.NsPerOp, nb.NsPerOp, delta, allocs, flag)
+	}
+	for _, k := range added {
+		fmt.Fprintf(w, "%-64s %14s %14.1f %9s\n", k, "(new)", curBy[k].NsPerOp, "")
+	}
+	var removed []string
+	for k := range oldBy {
+		if _, ok := curBy[k]; !ok {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		fmt.Fprintf(w, "%-64s %14s\n", k, "(removed)")
+	}
+	return regressions
 }
 
 // Parse reads `go test -bench` output and collects benchmark lines plus

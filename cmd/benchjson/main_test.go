@@ -68,3 +68,60 @@ func TestParseBenchLineMalformed(t *testing.T) {
 		}
 	}
 }
+
+func i64(v int64) *int64 { return &v }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkA-4", NsPerOp: 1000, AllocsPerOp: i64(100)},
+		{Package: "p", Name: "BenchmarkB-4", NsPerOp: 1000},
+		{Package: "p", Name: "BenchmarkGone-4", NsPerOp: 5},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		// 30% slower: above the 25% gate.
+		{Package: "p", Name: "BenchmarkA-8", NsPerOp: 1300, AllocsPerOp: i64(90)},
+		// 20% slower: within the gate.
+		{Package: "p", Name: "BenchmarkB-8", NsPerOp: 1200},
+		{Package: "p", Name: "BenchmarkNew-8", NsPerOp: 7},
+	}}
+	var out strings.Builder
+	regs := Compare(&out, old, cur, 25)
+	if len(regs) != 1 || regs[0] != "p BenchmarkA" {
+		t.Fatalf("regressions = %v, want exactly [p BenchmarkA]", regs)
+	}
+	text := out.String()
+	for _, want := range []string{"REGRESSION", "(new)", "(removed)", "p BenchmarkB"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareThresholdAndImprovements(t *testing.T) {
+	fast := &Report{Benchmarks: []Benchmark{{Package: "p", Name: "BenchmarkFast-4", NsPerOp: 100}}}
+	slow := &Report{Benchmarks: []Benchmark{{Package: "p", Name: "BenchmarkFast-4", NsPerOp: 1000}}}
+	var out strings.Builder
+	if regs := Compare(&out, slow, fast, 25); len(regs) != 0 {
+		t.Fatalf("a 10x improvement flagged as regression: %v", regs)
+	}
+	var out2 strings.Builder
+	if regs := Compare(&out2, fast, slow, 2000); len(regs) != 0 {
+		t.Fatalf("slowdown within a loose threshold flagged: %v", regs)
+	}
+	var out3 strings.Builder
+	if regs := Compare(&out3, fast, slow, 25); len(regs) != 1 {
+		t.Fatalf("10x slowdown not flagged at 25%%: %v", regs)
+	}
+}
+
+func TestBenchKeyStripsGomaxprocs(t *testing.T) {
+	a := Benchmark{Package: "p", Name: "BenchmarkX-4"}
+	b := Benchmark{Package: "p", Name: "BenchmarkX-16"}
+	sub := Benchmark{Package: "p", Name: "BenchmarkX/sub-case-4"}
+	if benchKey(a) != benchKey(b) {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q vs %q", benchKey(a), benchKey(b))
+	}
+	if benchKey(sub) != "p BenchmarkX/sub-case" {
+		t.Fatalf("sub-benchmark key mangled: %q", benchKey(sub))
+	}
+}

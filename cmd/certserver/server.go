@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -130,9 +131,38 @@ func attachWitness(params *registry.Params, w wire.Witness, reg *registry.Regist
 	}
 }
 
-// errorJSON is the uniform error envelope.
+// errorJSON is the uniform error envelope. Traceback is present only for
+// EMSO DP traceback failures (see writeProveError).
 type errorJSON struct {
-	Error string `json:"error"`
+	Error     string         `json:"error"`
+	Traceback *tracebackJSON `json:"traceback,omitempty"`
+}
+
+// tracebackJSON is the structured diagnostic of a
+// treewidth.TracebackError: which nice-decomposition node the witness
+// extraction got stuck at, its kind and its bag.
+type tracebackJSON struct {
+	Node int    `json:"node"`
+	Kind string `json:"kind"`
+	Bag  []int  `json:"bag"`
+}
+
+// writeProveError maps prover failures onto responses. An EMSO DP
+// traceback error is an internal invariant violation (the DP's own
+// tables could not be walked back), not a property of the input, so it
+// surfaces as a 500 carrying the node kind and bag instead of an opaque
+// 422 — diagnosable straight from the response. Everything else keeps
+// the 422 contract: the graph cannot be certified as requested.
+func writeProveError(w http.ResponseWriter, err error) {
+	var te *treewidth.TracebackError
+	if errors.As(err, &te) {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{
+			Error:     fmt.Sprintf("prove: %v", err),
+			Traceback: &tracebackJSON{Node: te.Node, Kind: te.Kind.String(), Bag: te.Bag},
+		})
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -215,7 +245,7 @@ func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	a, err := scheme.Prove(g)
 	proveNS := time.Since(t1).Nanoseconds()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
+		writeProveError(w, err)
 		return
 	}
 	t2 := time.Now()
@@ -317,7 +347,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		a, err = scheme.Prove(g)
 		resp.ProveNS = time.Since(t0).Nanoseconds()
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
+			writeProveError(w, err)
 			return
 		}
 	}

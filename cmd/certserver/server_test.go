@@ -9,9 +9,12 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cert"
 	"repro/internal/engine"
+	"repro/internal/graph"
 	"repro/internal/graphgen"
 	"repro/internal/registry"
+	"repro/internal/treewidth"
 	"repro/internal/wire"
 )
 
@@ -896,5 +899,74 @@ func TestHealthzFormulaStats(t *testing.T) {
 	}
 	if body.Formulas.Misses < 1 || body.Formulas.Hits < 1 {
 		t.Fatalf("formula stats did not move: %+v", body.Formulas)
+	}
+}
+
+// stuckProver is a stub scheme whose prover fails with the EMSO DP's
+// typed traceback error, letting the handler test exercise the error
+// mapping without manufacturing a genuinely corrupted DP table.
+type stuckProver struct{}
+
+func (stuckProver) Name() string                       { return "stuck-dp" }
+func (stuckProver) Holds(g *graph.Graph) (bool, error) { return true, nil }
+func (stuckProver) Verify(v cert.View) bool            { return true }
+func (stuckProver) Prove(g *graph.Graph) (cert.Assignment, error) {
+	return nil, fmt.Errorf("solving: %w", &treewidth.TracebackError{
+		Node: 17, Kind: treewidth.KindForget, Bag: []int{2, 5, 9},
+	})
+}
+
+// TestCertifyTracebackErrorDiagnosable pins the /certify contract for
+// EMSO DP traceback failures: a 500 (internal invariant violation, not a
+// client error) whose body carries the node kind and bag, so the failure
+// is diagnosable from the response alone.
+func TestCertifyTracebackErrorDiagnosable(t *testing.T) {
+	reg := registry.New()
+	reg.MustRegister(registry.Entry{
+		Info:  registry.Info{Name: "stuck-dp", Summary: "test stub"},
+		Build: func(registry.Params) (cert.Scheme, error) { return stuckProver{}, nil },
+	})
+	ts := httptest.NewServer(newServer(reg, 1).routes())
+	defer ts.Close()
+	var body struct {
+		Error     string `json:"error"`
+		Traceback *struct {
+			Node int    `json:"node"`
+			Kind string `json:"kind"`
+			Bag  []int  `json:"bag"`
+		} `json:"traceback"`
+	}
+	resp := postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme": "stuck-dp",
+		"graph":  wire.GraphToJSON(graphgen.Path(4)),
+	}, &body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(body.Error, "traceback stuck at forget node 17") {
+		t.Fatalf("error text not diagnosable: %q", body.Error)
+	}
+	tb := body.Traceback
+	if tb == nil || tb.Node != 17 || tb.Kind != "forget" || len(tb.Bag) != 3 || tb.Bag[1] != 5 {
+		t.Fatalf("structured traceback missing or wrong: %+v", tb)
+	}
+	// Ordinary prove failures keep the 422 contract: a 2-tree is packed
+	// with triangles, so certifying triangle-freeness has nothing to
+	// prove — a property of the input, not a server bug.
+	ts2 := newTestServer(t)
+	var plain struct {
+		Error     string          `json:"error"`
+		Traceback json.RawMessage `json:"traceback"`
+	}
+	resp = postJSON(t, ts2.URL+"/certify", map[string]any{
+		"scheme":    "tw-mso",
+		"params":    map[string]any{"formula": "forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)", "t": 2},
+		"generator": map[string]any{"kind": "k-tree", "n": 8, "t": 2, "seed": 1},
+	}, &plain)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ordinary prove failure: status %d, want 422", resp.StatusCode)
+	}
+	if len(plain.Traceback) != 0 {
+		t.Fatalf("ordinary prove failure carried a traceback: %s", plain.Traceback)
 	}
 }

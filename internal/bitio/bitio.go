@@ -25,6 +25,12 @@ type Writer struct {
 // Len returns the number of bits written so far.
 func (w *Writer) Len() int { return len(w.bits) }
 
+// Reset empties the writer while keeping its buffer, so encoders looping
+// over many certificates can reuse one writer instead of growing a fresh
+// buffer per item. Bit strings previously returned by Bits are
+// invalidated; Clone results are unaffected.
+func (w *Writer) Reset() { w.bits = w.bits[:0] }
+
 // WriteBit appends a single bit (any non-zero b is treated as 1).
 func (w *Writer) WriteBit(b byte) {
 	if b != 0 {

@@ -123,6 +123,39 @@ func BenchmarkPipeline1Worker(b *testing.B)  { benchPipeline(b, 1) }
 func BenchmarkPipeline4Workers(b *testing.B) { benchPipeline(b, 4) }
 func BenchmarkPipeline8Workers(b *testing.B) { benchPipeline(b, 8) }
 
+// A tw-mso batch over one graph: the jobs share a compiled scheme through
+// the compile cache and a decomposition through the DecompCache, so the
+// per-job cost is dominated by the EMSO DP prove and the radius-1 verify
+// — the paths the table-driven solver and the pooled verifier carry.
+func BenchmarkTWMSOBatchDecompCache(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g, _ := graphgen.PartialKTree(256, 2, 0.5, rng)
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{
+			Graph:  g,
+			Scheme: "tw-mso",
+			Params: registry.Params{Property: "3-colorable", T: 2},
+		}
+	}
+	cache := NewCache(registry.Default())
+	cache.Decomps = NewDecompCache()
+	pipe := &Pipeline{Cache: cache, Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := pipe.Run(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil || !r.Accepted {
+				b.Fatalf("job %d: err=%v accepted=%v", r.Index, r.Err, r.Accepted)
+			}
+		}
+	}
+}
+
 // Formula-first compile path: a tree-mso request by sentence, uncached
 // (full canonicalization + automaton/type compilation per iteration)
 // versus cached (the canonical form resolves to one shared flight).

@@ -10,11 +10,14 @@ import (
 	"repro/internal/logic"
 )
 
-// Heuristic decomposition of a 1000-vertex partial 3-tree — the per-graph
-// artifact the engine's decomposition cache amortizes.
-func BenchmarkMinFillPartialKTree1000(b *testing.B) {
+// Heuristic decomposition of partial 3-trees — the per-graph artifact the
+// engine's decomposition cache amortizes. Multiple sizes pin the scaling
+// of the incremental bitset engine (the selection scan is quadratic, the
+// count maintenance near-linear in fill work).
+func benchMinFill(b *testing.B, n int) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(1))
-	g, _ := graphgen.PartialKTree(1000, 3, 0.5, rng)
+	g, _ := graphgen.PartialKTree(n, 3, 0.5, rng)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -23,6 +26,9 @@ func BenchmarkMinFillPartialKTree1000(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkMinFillPartialKTree1000(b *testing.B) { benchMinFill(b, 1000) }
+func BenchmarkMinFillPartialKTree4000(b *testing.B) { benchMinFill(b, 4000) }
 
 func BenchmarkMinDegreePartialKTree1000(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
@@ -137,6 +143,35 @@ func BenchmarkEMSODP(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEMSODPJoinHeavy runs the DP over the join-heaviest shape a
+// decomposition can take: a book graph's spine bag with 200 triangle
+// bags as children folds through 199 binary joins, so the
+// merge-intersect path dominates instead of the introduce tables.
+func BenchmarkEMSODPJoinHeavy(b *testing.B) {
+	g, d := bookGraph(200)
+	nice, err := MakeNice(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		phi  *EMSO
+	}{
+		{"tw-bound", MustCompileEMSO(logic.TrueSentence())},
+		{"3-colorable", MustCompileEMSO(logic.ThreeColorable())},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SolveEMSO(g, nice, tc.phi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCompileEMSO measures formula-to-DP compilation, dominated by

@@ -318,12 +318,24 @@ func FromEliminationOrder(g *graph.Graph, order []int) (*Decomposition, error) {
 	}
 	// Replay the elimination on the shared fill-in state: at step i the
 	// alive vertices are exactly the later ones, so each bag is the
-	// vertex plus its remaining neighbours.
-	st := newElimState(g)
+	// vertex plus its remaining neighbours. The bitset state is bounded
+	// by its quadratic memory; larger graphs replay on the map state.
 	bags := make([][]int, n)
-	for i, v := range order {
-		bags[i] = st.bagOf(v)
-		st.eliminate(v)
+	if n <= MaxHeuristicVertices {
+		// Counts off: the replay only reads bags, so the incremental
+		// fill-in maintenance would be pure overhead.
+		st := newElimBits(g, false)
+		nbrs := make([]int, 0, n)
+		for i, v := range order {
+			bags[i] = st.bagOf(v)
+			nbrs, _ = st.eliminate(v, nbrs)
+		}
+	} else {
+		st := newRefElimState(g)
+		for i, v := range order {
+			bags[i] = st.bagOf(v)
+			st.eliminate(v)
+		}
 	}
 	return linkEliminationBags(order, bags), nil
 }

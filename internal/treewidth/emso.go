@@ -3,6 +3,7 @@ package treewidth
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/logic"
@@ -54,6 +55,19 @@ type EMSO struct {
 
 	varIdx map[logic.Var]int
 	setIdx map[logic.SetVar]int
+
+	// The intro memo caches the introduce-node transition tables of the
+	// table-driven solver, keyed by bag configuration (size, introduced
+	// position, adjacency pattern) — packed into a uint64 for the common
+	// narrow bags, a byte string for wide ones. Library sentences are
+	// compiled once and shared process-wide, so the memo amortizes table
+	// construction across every decomposition the sentence is ever
+	// solved on. Typed maps under an RWMutex (instead of a sync.Map)
+	// keep the read path free of interface boxing — the lookup runs once
+	// per introduce node.
+	introMu  sync.RWMutex
+	introU64 map[uint64]*introTables
+	introStr map[string]*introTables
 }
 
 // NumSets returns the number of existentially quantified sets (the
@@ -241,33 +255,45 @@ func cliqueTuple(g *graph.Graph, tuple []int) bool {
 // radius-1 verifier (certificate-evidenced adjacency) evaluate through
 // this single entry point, so the two can never drift apart.
 func (phi *EMSO) EvalTuple(tuple []int, adj func(a, b int) bool, member func(set, point int) bool) bool {
-	var eval func(f logic.Formula) bool
-	eval = func(f logic.Formula) bool {
-		switch t := f.(type) {
-		case logic.Equal:
-			return tuple[phi.varIdx[t.X]] == tuple[phi.varIdx[t.Y]]
-		case logic.Adj:
-			a, b := tuple[phi.varIdx[t.X]], tuple[phi.varIdx[t.Y]]
-			return a != b && adj(a, b)
-		case logic.In:
-			return member(phi.setIdx[t.S], tuple[phi.varIdx[t.X]])
-		case logic.HasLabel:
-			// The treewidth workload runs on unlabeled graphs: every vertex
-			// carries label 0.
-			return t.Label == 0
-		case logic.Not:
-			return !eval(t.F)
-		case logic.And:
-			return eval(t.L) && eval(t.R)
-		case logic.Or:
-			return eval(t.L) || eval(t.R)
-		case logic.Implies:
-			return !eval(t.L) || eval(t.R)
-		default:
-			panic(fmt.Sprintf("treewidth: emso: unexpected matrix node %T", f))
-		}
+	ev := matrixEval{phi: phi, tuple: tuple, adj: adj, member: member}
+	return ev.eval(phi.Matrix)
+}
+
+// matrixEval walks the matrix AST without allocating: a method on a
+// stack-held struct instead of a recursive closure, which keeps EvalTuple
+// cheap enough for the verifier's per-tuple checks and the DP's witness
+// guard.
+type matrixEval struct {
+	phi    *EMSO
+	tuple  []int
+	adj    func(a, b int) bool
+	member func(set, point int) bool
+}
+
+func (ev *matrixEval) eval(f logic.Formula) bool {
+	switch t := f.(type) {
+	case logic.Equal:
+		return ev.tuple[ev.phi.varIdx[t.X]] == ev.tuple[ev.phi.varIdx[t.Y]]
+	case logic.Adj:
+		a, b := ev.tuple[ev.phi.varIdx[t.X]], ev.tuple[ev.phi.varIdx[t.Y]]
+		return a != b && ev.adj(a, b)
+	case logic.In:
+		return ev.member(ev.phi.setIdx[t.S], ev.tuple[ev.phi.varIdx[t.X]])
+	case logic.HasLabel:
+		// The treewidth workload runs on unlabeled graphs: every vertex
+		// carries label 0.
+		return t.Label == 0
+	case logic.Not:
+		return !ev.eval(t.F)
+	case logic.And:
+		return ev.eval(t.L) && ev.eval(t.R)
+	case logic.Or:
+		return ev.eval(t.L) || ev.eval(t.R)
+	case logic.Implies:
+		return !ev.eval(t.L) || ev.eval(t.R)
+	default:
+		panic(fmt.Sprintf("treewidth: emso: unexpected matrix node %T", f))
 	}
-	return eval(phi.Matrix)
 }
 
 // word helpers: DP states pack one m-bit membership word per bag position.
@@ -286,13 +312,14 @@ func forgetWord(s uint64, pos, m int) uint64 {
 	return low | high<<uint(m*pos)
 }
 
-// SolveEMSO decides whether g satisfies phi by the Courcelle-style dynamic
-// program over a nice decomposition and, when it does, extracts the
-// per-vertex membership words witnessing the existential set prefix by
-// walking the tables back down from the root. It returns (nil, false, nil)
-// when phi does not hold and an error when the width is too large for the
-// state-table bound.
-func SolveEMSO(g *graph.Graph, nice *Nice, phi *EMSO) ([]uint8, bool, error) {
+// solveEMSOReference is the original map-based realization of the EMSO
+// dynamic program: per-node state sets held in map[uint64]struct{} and
+// recursive closures for both passes. The table-driven SolveEMSO (see
+// emso_engine.go) replaced it on the hot path; this implementation is
+// retained as the executable specification that the differential property
+// test drives the optimized engine against — verdicts and extracted
+// witness words must match byte for byte.
+func solveEMSOReference(g *graph.Graph, nice *Nice, phi *EMSO) ([]uint8, bool, error) {
 	m := len(phi.Sets)
 	states := 1
 	for i := 0; i <= nice.Width(); i++ {
@@ -372,14 +399,14 @@ func SolveEMSO(g *graph.Graph, nice *Nice, phi *EMSO) ([]uint8, bool, error) {
 					return down(node.Children[0], cs)
 				}
 			}
-			return fmt.Errorf("treewidth: EMSO DP traceback stuck at forget node %d", t)
+			return &TracebackError{Node: t, Kind: node.Kind, Bag: node.Bag}
 		case KindJoin:
 			if err := down(node.Children[0], s); err != nil {
 				return err
 			}
 			return down(node.Children[1], s)
 		}
-		return fmt.Errorf("treewidth: unknown node kind %v", node.Kind)
+		return &TracebackError{Node: t, Kind: node.Kind, Bag: node.Bag}
 	}
 	if err := down(nice.Root, 0); err != nil {
 		return nil, false, err
@@ -426,32 +453,44 @@ func introduceOK(g *graph.Graph, phi *EMSO, bag []int, pos int, s uint64) bool {
 // cliques among the candidate points (on a high-degree vertex's
 // neighbourhood this is the difference between deg^r and ~deg).
 func allTuplesOK(phi *EMSO, bag []int, adj func(a, b int) bool, member func(set, point int) bool, mustInclude int) bool {
-	r := len(phi.Vars)
 	if len(bag) == 0 {
 		return true
 	}
-	tuple := make([]int, r)
-	var rec func(i int, has bool) bool
-	rec = func(i int, has bool) bool {
-		if i == r {
-			if mustInclude >= 0 && !has {
-				return true
-			}
-			return phi.EvalTuple(tuple, adj, member)
+	tc := tupleCheck{phi: phi, bag: bag, adj: adj, member: member, mustInclude: mustInclude}
+	return tc.rec(0, false)
+}
+
+// tupleCheck is the allocation-free enumerator behind allTuplesOK: the
+// tuple buffer lives in the struct (stack-held by the caller) instead of
+// a fresh slice and closure per bag.
+type tupleCheck struct {
+	phi         *EMSO
+	bag         []int
+	adj         func(a, b int) bool
+	member      func(set, point int) bool
+	mustInclude int
+	tuple       [MaxEMSOVars]int
+}
+
+func (tc *tupleCheck) rec(i int, has bool) bool {
+	r := len(tc.phi.Vars)
+	if i == r {
+		if tc.mustInclude >= 0 && !has {
+			return true
 		}
-	next:
-		for _, v := range bag {
-			for j := 0; j < i; j++ {
-				if tuple[j] != v && !adj(tuple[j], v) {
-					continue next // non-clique tuple: vacuously true
-				}
-			}
-			tuple[i] = v
-			if !rec(i+1, has || v == mustInclude) {
-				return false
-			}
-		}
-		return true
+		return tc.phi.EvalTuple(tc.tuple[:r], tc.adj, tc.member)
 	}
-	return rec(0, false)
+next:
+	for _, v := range tc.bag {
+		for j := 0; j < i; j++ {
+			if tc.tuple[j] != v && !tc.adj(tc.tuple[j], v) {
+				continue next // non-clique tuple: vacuously true
+			}
+		}
+		tc.tuple[i] = v
+		if !tc.rec(i+1, has || v == tc.mustInclude) {
+			return false
+		}
+	}
+	return true
 }

@@ -2,116 +2,222 @@ package treewidth
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/graph"
 )
 
 // MaxHeuristicVertices bounds the elimination heuristics: selection scans
-// every remaining vertex each round (min-fill additionally counts missing
-// neighbour pairs), so the cost grows quadratically in n.
+// every remaining vertex each round, so the cost grows quadratically in n,
+// and the bitset adjacency rows take n²/8 bytes.
 const MaxHeuristicVertices = 1 << 13
 
-// elimState is the shared working state of the elimination heuristics: the
-// fill-in neighbour sets of the not-yet-eliminated vertices.
-type elimState struct {
-	nbr   []map[int]struct{}
+// elimBits is the working state of the elimination heuristics: adjacency
+// as bitset rows (one word-packed row per vertex, eliminated vertices
+// cleared out), plus incrementally maintained degree and fill-in counts.
+// Keeping the counts current under elimination — instead of recounting
+// missing neighbour pairs per candidate per round, as the map-based
+// reference implementation below does — is what turns min-fill from
+// cubic-ish into roughly quadratic: each round pays one O(n) selection
+// scan plus bitset work proportional to the eliminated vertex's
+// neighbourhood.
+type elimBits struct {
+	n     int
+	words int
+	rows  []uint64 // n rows of `words` words each
 	alive []bool
-	left  int
+	deg   []int // current neighbour count
+	fill  []int // current missing-pair count among the neighbours
+	// counts gates the fill-in maintenance: the heuristics need it, but
+	// a pure elimination replay (FromEliminationOrder) only reads bags,
+	// so it skips the per-fill-edge row scans entirely.
+	counts bool
+	left   int
 }
 
-func newElimState(g *graph.Graph) *elimState {
+func newElimBits(g *graph.Graph, counts bool) *elimBits {
 	n := g.N()
-	st := &elimState{
-		nbr:   make([]map[int]struct{}, n),
-		alive: make([]bool, n),
-		left:  n,
+	st := &elimBits{
+		n:      n,
+		words:  (n + 63) / 64,
+		alive:  make([]bool, n),
+		deg:    make([]int, n),
+		counts: counts,
+		left:   n,
 	}
+	st.rows = make([]uint64, n*st.words)
 	for v := 0; v < n; v++ {
 		st.alive[v] = true
-		st.nbr[v] = make(map[int]struct{}, g.Degree(v))
+		st.deg[v] = g.Degree(v)
+		row := st.row(v)
 		for _, w := range g.Neighbors(v) {
-			st.nbr[v][w] = struct{}{}
+			row[w>>6] |= 1 << uint(w&63)
 		}
+	}
+	if !counts {
+		return st
+	}
+	// Initial fill-in counts: missing pairs among N(v) = all pairs minus
+	// the edges inside N(v), counted via row intersections.
+	st.fill = make([]int, n)
+	for v := 0; v < n; v++ {
+		row := st.row(v)
+		inside := 0
+		for _, w := range g.Neighbors(v) {
+			inside += intersectCount(row, st.row(w))
+		}
+		d := st.deg[v]
+		st.fill[v] = d*(d-1)/2 - inside/2
 	}
 	return st
 }
 
+func (st *elimBits) row(v int) []uint64 {
+	return st.rows[v*st.words : (v+1)*st.words]
+}
+
+func (st *elimBits) hasEdge(u, v int) bool {
+	return st.row(u)[v>>6]>>(uint(v)&63)&1 == 1
+}
+
+// intersectCount returns |a ∩ b| for two rows.
+func intersectCount(a, b []uint64) int {
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+	}
+	return c
+}
+
+// diffCount returns |a \ b| for two rows.
+func diffCount(a, b []uint64) int {
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w &^ b[i])
+	}
+	return c
+}
+
+// appendMembers appends the set bits of a row to buf as vertex indices.
+func appendMembers(buf []int, row []uint64) []int {
+	for i, w := range row {
+		base := i << 6
+		for w != 0 {
+			buf = append(buf, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
 // bagOf returns v's elimination bag at the current state: the vertex plus
 // its remaining (fill-in) neighbours, sorted.
-func (st *elimState) bagOf(v int) []int {
-	bag := make([]int, 0, len(st.nbr[v])+1)
+func (st *elimBits) bagOf(v int) []int {
+	bag := make([]int, 0, st.deg[v]+1)
 	bag = append(bag, v)
-	for w := range st.nbr[v] {
-		bag = append(bag, w)
-	}
+	bag = appendMembers(bag, st.row(v))
 	sort.Ints(bag)
 	return bag
 }
 
-// eliminate removes v, cliquing its remaining neighbours, and returns its
-// degree at elimination time (the bag size minus one).
-func (st *elimState) eliminate(v int) int {
-	nbrs := make([]int, 0, len(st.nbr[v]))
-	for w := range st.nbr[v] {
-		nbrs = append(nbrs, w)
-	}
+// eliminate removes v, cliquing its remaining neighbours and keeping every
+// degree and fill-in count exact, and returns v's degree at elimination
+// time (the bag size minus one). nbrs is scratch for the neighbour list.
+func (st *elimBits) eliminate(v int, nbrs []int) ([]int, int) {
+	nbrs = appendMembers(nbrs[:0], st.row(v))
+	vRow := st.row(v)
+	// Add the missing fill edges among N(v), updating counts as each edge
+	// lands so later pairs see the current adjacency:
+	//   - every live vertex adjacent to both endpoints had the pair in its
+	//     neighbourhood's missing set — one fewer missing pair now;
+	//   - each endpoint gains the other as a neighbour, adding a missing
+	//     pair for every neighbour the other endpoint is not adjacent to.
 	for i := 0; i < len(nbrs); i++ {
+		a := nbrs[i]
+		aRow := st.row(a)
 		for j := i + 1; j < len(nbrs); j++ {
-			a, b := nbrs[i], nbrs[j]
-			st.nbr[a][b] = struct{}{}
-			st.nbr[b][a] = struct{}{}
+			b := nbrs[j]
+			if aRow[b>>6]>>(uint(b)&63)&1 == 1 {
+				continue
+			}
+			bRow := st.row(b)
+			if st.counts {
+				for wi := 0; wi < st.words; wi++ {
+					common := aRow[wi] & bRow[wi]
+					base := wi << 6
+					for common != 0 {
+						x := base + bits.TrailingZeros64(common)
+						common &= common - 1
+						if x != v {
+							st.fill[x]--
+						}
+					}
+				}
+				st.fill[a] += diffCount(aRow, bRow)
+				st.fill[b] += diffCount(bRow, aRow)
+			}
+			aRow[b>>6] |= 1 << uint(b&63)
+			bRow[a>>6] |= 1 << uint(a&63)
+			st.deg[a]++
+			st.deg[b]++
 		}
-		delete(st.nbr[nbrs[i]], v)
+	}
+	// Detach v: each neighbour loses the pairs {v, y} with y a neighbour
+	// it shares with nobody — after the cliquing above, exactly its
+	// neighbours outside N(v) ∪ {v}.
+	for _, w := range nbrs {
+		wRow := st.row(w)
+		if st.counts {
+			st.fill[w] -= diffCount(wRow, vRow) - 1
+		}
+		wRow[v>>6] &^= 1 << uint(v&63)
+		st.deg[w]--
 	}
 	st.alive[v] = false
 	st.left--
-	return len(nbrs)
+	return nbrs, len(nbrs)
 }
 
-// fillCost counts the edges missing among v's remaining neighbours — the
-// number of fill edges eliminating v would create.
-func (st *elimState) fillCost(v int) int {
-	nbrs := make([]int, 0, len(st.nbr[v]))
-	for w := range st.nbr[v] {
-		nbrs = append(nbrs, w)
-	}
-	missing := 0
-	for i := 0; i < len(nbrs); i++ {
-		for j := i + 1; j < len(nbrs); j++ {
-			if _, ok := st.nbr[nbrs[i]][nbrs[j]]; !ok {
-				missing++
-			}
-		}
-	}
-	return missing
-}
+// heuristicScore selects what the elimination greedily minimizes.
+type heuristicScore int
 
-// runHeuristic eliminates every vertex in the order chosen by score
+const (
+	scoreDegree heuristicScore = iota
+	scoreFill
+)
+
+// runHeuristic eliminates every vertex in the order chosen by the score
 // (smallest score wins, lowest index breaks ties — deterministic) and
 // returns the induced decomposition, the order, and the realized width.
 // The bags are recorded during the single elimination pass — the
 // decomposition costs no second simulation.
-func runHeuristic(g *graph.Graph, score func(st *elimState, v int) int) (*Decomposition, []int, int) {
-	st := newElimState(g)
+func runHeuristic(g *graph.Graph, score heuristicScore) (*Decomposition, []int, int) {
+	st := newElimBits(g, true)
 	n := g.N()
 	order := make([]int, 0, n)
 	bags := make([][]int, 0, n)
+	nbrs := make([]int, 0, n)
 	width := 0
+	vals := st.deg
+	if score == scoreFill {
+		vals = st.fill
+	}
 	for st.left > 0 {
 		best, bestScore := -1, 0
 		for v := 0; v < n; v++ {
 			if !st.alive[v] {
 				continue
 			}
-			s := score(st, v)
-			if best == -1 || s < bestScore {
+			if s := vals[v]; best == -1 || s < bestScore {
 				best, bestScore = v, s
 			}
 		}
 		order = append(order, best)
 		bags = append(bags, st.bagOf(best))
-		if d := st.eliminate(best); d > width {
+		var d int
+		nbrs, d = st.eliminate(best, nbrs)
+		if d > width {
 			width = d
 		}
 	}
@@ -124,7 +230,7 @@ func MinDegree(g *graph.Graph) (*Decomposition, []int, int, error) {
 	if err := checkHeuristicInput(g); err != nil {
 		return nil, nil, 0, err
 	}
-	d, order, width := runHeuristic(g, func(st *elimState, v int) int { return len(st.nbr[v]) })
+	d, order, width := runHeuristic(g, scoreDegree)
 	return d, order, width, nil
 }
 
@@ -134,7 +240,7 @@ func MinFill(g *graph.Graph) (*Decomposition, []int, int, error) {
 	if err := checkHeuristicInput(g); err != nil {
 		return nil, nil, 0, err
 	}
-	d, order, width := runHeuristic(g, (*elimState).fillCost)
+	d, order, width := runHeuristic(g, scoreFill)
 	return d, order, width, nil
 }
 
@@ -196,4 +302,108 @@ func checkHeuristicInput(g *graph.Graph) error {
 		return fmt.Errorf("treewidth: heuristics limited to %d vertices, got %d", MaxHeuristicVertices, g.N())
 	}
 	return nil
+}
+
+// The map-based realization below is the executable specification of the
+// elimination heuristics: neighbour sets as maps, scores recomputed from
+// scratch every round. The bitset engine above replaced it on the hot
+// path; a differential test keeps the two order-, bag- and
+// width-identical, which pins the incremental count maintenance exactly.
+
+type refElimState struct {
+	nbr   []map[int]struct{}
+	alive []bool
+	left  int
+}
+
+func newRefElimState(g *graph.Graph) *refElimState {
+	n := g.N()
+	st := &refElimState{
+		nbr:   make([]map[int]struct{}, n),
+		alive: make([]bool, n),
+		left:  n,
+	}
+	for v := 0; v < n; v++ {
+		st.alive[v] = true
+		st.nbr[v] = make(map[int]struct{}, g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			st.nbr[v][w] = struct{}{}
+		}
+	}
+	return st
+}
+
+func (st *refElimState) bagOf(v int) []int {
+	bag := make([]int, 0, len(st.nbr[v])+1)
+	bag = append(bag, v)
+	for w := range st.nbr[v] {
+		bag = append(bag, w)
+	}
+	sort.Ints(bag)
+	return bag
+}
+
+func (st *refElimState) eliminate(v int) int {
+	nbrs := make([]int, 0, len(st.nbr[v]))
+	for w := range st.nbr[v] {
+		nbrs = append(nbrs, w)
+	}
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			a, b := nbrs[i], nbrs[j]
+			st.nbr[a][b] = struct{}{}
+			st.nbr[b][a] = struct{}{}
+		}
+		delete(st.nbr[nbrs[i]], v)
+	}
+	st.alive[v] = false
+	st.left--
+	return len(nbrs)
+}
+
+func (st *refElimState) fillCost(v int) int {
+	nbrs := make([]int, 0, len(st.nbr[v]))
+	for w := range st.nbr[v] {
+		nbrs = append(nbrs, w)
+	}
+	missing := 0
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if _, ok := st.nbr[nbrs[i]][nbrs[j]]; !ok {
+				missing++
+			}
+		}
+	}
+	return missing
+}
+
+// runHeuristicReference is the reference elimination driver the
+// differential test compares runHeuristic against.
+func runHeuristicReference(g *graph.Graph, score heuristicScore) (*Decomposition, []int, int) {
+	st := newRefElimState(g)
+	n := g.N()
+	order := make([]int, 0, n)
+	bags := make([][]int, 0, n)
+	width := 0
+	for st.left > 0 {
+		best, bestScore := -1, 0
+		for v := 0; v < n; v++ {
+			if !st.alive[v] {
+				continue
+			}
+			s := len(st.nbr[v])
+			if score == scoreFill {
+				s = st.fillCost(v)
+			}
+			if best == -1 || s < bestScore {
+				best, bestScore = v, s
+			}
+		}
+		order = append(order, best)
+		bags = append(bags, st.bagOf(best))
+		if d := st.eliminate(best); d > width {
+			width = d
+		}
+	}
+	return linkEliminationBags(order, bags), order, width
 }

@@ -96,7 +96,7 @@ func MakeNice(d *Decomposition, root int) (*Nice, error) {
 			cur := []int{}
 			for _, v := range bag {
 				cur = insertSorted(cur, v)
-				node = nice.add(NiceNode{Kind: KindIntroduce, Bag: cur, Vertex: v, Children: []int{node}})
+				node = nice.addOwned(NiceNode{Kind: KindIntroduce, Bag: cur, Vertex: v, Children: []int{node}})
 			}
 			return node, nil
 		}
@@ -111,18 +111,19 @@ func MakeNice(d *Decomposition, root int) (*Nice, error) {
 			cur := append([]int(nil), d.Bags[c]...)
 			for _, v := range diffSorted(d.Bags[c], bag) {
 				cur = removeSorted(cur, v)
-				node = nice.add(NiceNode{Kind: KindForget, Bag: cur, Vertex: v, Children: []int{node}})
+				node = nice.addOwned(NiceNode{Kind: KindForget, Bag: cur, Vertex: v, Children: []int{node}})
 			}
 			for _, v := range diffSorted(bag, d.Bags[c]) {
 				cur = insertSorted(cur, v)
-				node = nice.add(NiceNode{Kind: KindIntroduce, Bag: cur, Vertex: v, Children: []int{node}})
+				node = nice.addOwned(NiceNode{Kind: KindIntroduce, Bag: cur, Vertex: v, Children: []int{node}})
 			}
 			tops = append(tops, node)
 		}
-		// Fold the chains with binary joins.
+		// Fold the chains with binary joins (sharing one bag copy — nice
+		// bags are read-only once built).
 		node := tops[0]
 		for _, other := range tops[1:] {
-			node = nice.add(NiceNode{Kind: KindJoin, Bag: bag, Vertex: -1, Children: []int{node, other}})
+			node = nice.addOwned(NiceNode{Kind: KindJoin, Bag: bag, Vertex: -1, Children: []int{node, other}})
 		}
 		return node, nil
 	}
@@ -135,7 +136,7 @@ func MakeNice(d *Decomposition, root int) (*Nice, error) {
 	for len(cur) > 0 {
 		v := cur[len(cur)-1]
 		cur = removeSorted(cur, v)
-		top = nice.add(NiceNode{Kind: KindForget, Bag: append([]int(nil), cur...), Vertex: v, Children: []int{top}})
+		top = nice.addOwned(NiceNode{Kind: KindForget, Bag: cur, Vertex: v, Children: []int{top}})
 	}
 	nice.Root = top
 	return nice, nil
@@ -146,6 +147,16 @@ func (n *Nice) add(node NiceNode) int {
 		node.Bag = []int{}
 	} else {
 		node.Bag = append([]int(nil), node.Bag...)
+	}
+	return n.addOwned(node)
+}
+
+// addOwned appends a node whose bag the caller hands over (already a
+// fresh or shareable copy), skipping add's defensive re-copy — half of
+// MakeNice's allocations on the prove hot path.
+func (n *Nice) addOwned(node NiceNode) int {
+	if node.Bag == nil {
+		node.Bag = []int{}
 	}
 	n.Nodes = append(n.Nodes, node)
 	return len(n.Nodes) - 1

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/cert"
@@ -183,48 +184,67 @@ func encodeBody(w *bitio.Writer, p Payload, setBits int) {
 // the owning vertex.
 func EncodePayload(p Payload, owner graph.ID, setBits int) cert.Certificate {
 	var w bitio.Writer
-	encodeBody(&w, p, setBits)
-	body := w.Clone()
-	w.WriteUint(guardOf(owner, body), guardBits)
+	return encodePayloadInto(&w, p, owner, setBits)
+}
+
+// encodePayloadInto is EncodePayload on a reusable writer: the prover
+// encodes n certificates through one buffer instead of growing a fresh
+// one per vertex. The returned certificate is an independent copy.
+func encodePayloadInto(w *bitio.Writer, p Payload, owner graph.ID, setBits int) cert.Certificate {
+	w.Reset()
+	encodeBody(w, p, setBits)
+	// Bits aliases the body written so far; the guard is computed before
+	// it is appended, so it covers exactly the body.
+	w.WriteUint(guardOf(owner, w.Bits()), guardBits)
 	return w.Clone()
 }
 
 // DecodePayload parses a certificate and checks its guard against the
 // claimed owner; the whole certificate must be consumed.
 func DecodePayload(c cert.Certificate, owner graph.ID, setBits int) (Payload, bool) {
-	if len(c) < guardBits {
+	var p Payload
+	if !decodePayloadInto(c, owner, setBits, &p) {
 		return Payload{}, false
+	}
+	return p, true
+}
+
+// decodePayloadInto is DecodePayload into caller-owned storage: p's Bag
+// and Row capacity is reused, which keeps the verifier — decoding one
+// certificate per visible vertex per round — allocation-free in steady
+// state. On failure p is left with truncated slices and must not be used.
+func decodePayloadInto(c cert.Certificate, owner graph.ID, setBits int, p *Payload) bool {
+	if len(c) < guardBits {
+		return false
 	}
 	body := c[:len(c)-guardBits]
 	r := bitio.NewReader(c[len(c)-guardBits:])
 	guard, err := r.ReadUint(guardBits)
 	if err != nil || guard != guardOf(owner, body) {
-		return Payload{}, false
+		return false
 	}
-	p, tail, ok := decodePrefix(body)
+	tail, ok := decodePrefixInto(body, p)
 	if !ok {
-		return Payload{}, false
+		return false
 	}
 	br := bitio.NewReader(tail)
-	p.Row = make([]bool, len(p.Bag))
-	for i := range p.Row {
+	p.Row = p.Row[:0]
+	for i := 0; i < len(p.Bag); i++ {
 		b, err := br.ReadBool()
 		if err != nil {
-			return Payload{}, false
+			return false
 		}
-		p.Row[i] = b
+		p.Row = append(p.Row, b)
 	}
+	p.State = 0
 	if setBits > 0 {
 		state, err := br.ReadUint(setBits)
 		if err != nil {
-			return Payload{}, false
+			return false
 		}
 		p.State = state
 	}
-	if br.Remaining() != 0 {
-		return Payload{}, false
-	}
-	return p, true
+	return br.Remaining() == 0
 }
 
 // decodePrefix parses the self-delimiting decomposition fields (bag id,
@@ -232,38 +252,48 @@ func DecodePayload(c cert.Certificate, owner graph.ID, setBits int) (Payload, bo
 // the row and property payload, which decomposition-aware tampers carry
 // through unchanged.
 func decodePrefix(body []byte) (Payload, []byte, bool) {
-	r := bitio.NewReader(body)
 	var p Payload
+	tail, ok := decodePrefixInto(body, &p)
+	if !ok {
+		return Payload{}, nil, false
+	}
+	return p, tail, true
+}
+
+// decodePrefixInto is decodePrefix into caller-owned storage (p.Bag
+// capacity is reused).
+func decodePrefixInto(body []byte, p *Payload) ([]byte, bool) {
+	r := bitio.NewReader(body)
 	bagID, err := r.ReadUvarint()
 	if err != nil || bagID == 0 {
-		return p, nil, false
+		return nil, false
 	}
 	p.BagID = graph.ID(bagID)
 	if p.Depth, err = r.ReadUvarint(); err != nil {
-		return p, nil, false
+		return nil, false
 	}
 	size, err := r.ReadUvarint()
 	if err != nil || size == 0 || size > maxBagEntries {
-		return p, nil, false
+		return nil, false
 	}
-	p.Bag = make([]graph.ID, size)
+	p.Bag = p.Bag[:0]
 	prev := uint64(0)
-	for i := range p.Bag {
+	for i := 0; i < int(size); i++ {
 		v, err := r.ReadUvarint()
 		if err != nil {
-			return p, nil, false
+			return nil, false
 		}
 		if i == 0 {
 			if v == 0 {
-				return p, nil, false
+				return nil, false
 			}
 			prev = v
 		} else {
 			prev = prev + v + 1
 		}
-		p.Bag[i] = graph.ID(prev)
+		p.Bag = append(p.Bag, graph.ID(prev))
 	}
-	return p, body[len(body)-r.Remaining():], true
+	return body[len(body)-r.Remaining():], true
 }
 
 // guardOf folds the owner identifier and the body bits into the guard
@@ -377,8 +407,10 @@ func (s *MSOScheme) Prove(g *graph.Graph) (cert.Assignment, error) {
 		return nil, err
 	}
 	a := make(cert.Assignment, g.N())
+	var w bitio.Writer
+	setBits := s.phi().NumSets()
 	for v, p := range payloads {
-		a[v] = EncodePayload(p, g.IDOf(v), s.phi().NumSets())
+		a[v] = encodePayloadInto(&w, p, g.IDOf(v), setBits)
 	}
 	return a, nil
 }
@@ -477,14 +509,31 @@ func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, 
 	return payloads, nil
 }
 
+// verifyScratch is the recycled working memory of one Verify call: the
+// decoded payloads and the point tables. Verify runs once per vertex per
+// round — and concurrently under the sharded simulator — so each call
+// checks a scratch out of the pool and every buffer is reused across
+// calls instead of reallocated.
+type verifyScratch struct {
+	own       Payload
+	neighbors []Payload
+	ids       []graph.ID
+	words     []uint64
+	points    []int
+}
+
+var verifyScratchPool = sync.Pool{New: func() any { return &verifyScratch{} }}
+
 // Verify implements cert.Scheme; see the type comment for the check list.
 func (s *MSOScheme) Verify(v cert.View) bool {
 	phi := s.phi()
 	m := phi.NumSets()
-	own, ok := DecodePayload(v.Cert, v.ID, m)
-	if !ok {
+	sc := verifyScratchPool.Get().(*verifyScratch)
+	defer verifyScratchPool.Put(sc)
+	if !decodePayloadInto(v.Cert, v.ID, m, &sc.own) {
 		return false
 	}
+	own := &sc.own
 	if len(own.Bag) > s.T+1 {
 		return false
 	}
@@ -507,10 +556,13 @@ func (s *MSOScheme) Verify(v cert.View) bool {
 			return false
 		}
 	}
-	neighbors := make([]Payload, len(v.Neighbors))
+	for len(sc.neighbors) < len(v.Neighbors) {
+		sc.neighbors = append(sc.neighbors, Payload{})
+	}
+	neighbors := sc.neighbors[:len(v.Neighbors)]
 	for i, nb := range v.Neighbors {
-		pu, ok := DecodePayload(nb.Cert, nb.ID, m)
-		if !ok {
+		pu := &neighbors[i]
+		if !decodePayloadInto(nb.Cert, nb.ID, m, pu) {
 			return false
 		}
 		if len(pu.Bag) > s.T+1 || !containsID(pu.Bag, nb.ID) {
@@ -540,7 +592,6 @@ func (s *MSOScheme) Verify(v cert.View) bool {
 				return false
 			}
 		}
-		neighbors[i] = pu
 	}
 	// Property: re-evaluate the matrix on every tuple over {v} ∪ N(v).
 	// Point 0 is v itself, point i+1 its i-th neighbour. Adjacency between
@@ -549,12 +600,17 @@ func (s *MSOScheme) Verify(v cert.View) bool {
 	// the other in its bag, so an accepted run exposes every real edge
 	// among the candidates and claims no fake ones it would need.
 	points := 1 + len(v.Neighbors)
-	ids := make([]graph.ID, points)
-	words := make([]uint64, points)
-	ids[0], words[0] = v.ID, own.State
+	sc.ids = append(sc.ids[:0], v.ID)
+	sc.words = append(sc.words[:0], own.State)
+	sc.points = sc.points[:0]
 	for i, nb := range v.Neighbors {
-		ids[i+1], words[i+1] = nb.ID, neighbors[i].State
+		sc.ids = append(sc.ids, nb.ID)
+		sc.words = append(sc.words, neighbors[i].State)
 	}
+	for p := 0; p < points; p++ {
+		sc.points = append(sc.points, p)
+	}
+	ids, words := sc.ids, sc.words
 	adj := func(a, b int) bool {
 		if a == b {
 			return false
@@ -562,7 +618,7 @@ func (s *MSOScheme) Verify(v cert.View) bool {
 		if a == 0 || b == 0 {
 			return true // every candidate but v itself is a neighbour of v
 		}
-		pa, pb := neighbors[a-1], neighbors[b-1]
+		pa, pb := &neighbors[a-1], &neighbors[b-1]
 		if i := searchID(pa.Bag, ids[b]); i >= 0 && pa.Row[i] {
 			return true
 		}
@@ -575,29 +631,11 @@ func (s *MSOScheme) Verify(v cert.View) bool {
 	// Enumerate only tuples whose points are pairwise equal or adjacent
 	// under the evidence oracle: clique-locality makes the matrix
 	// vacuously true on every other tuple, and the pruning keeps a
-	// high-degree vertex's check near O(deg) instead of O(deg^r).
-	r := phi.NumVars()
-	tuple := make([]int, r)
-	var rec func(i int) bool
-	rec = func(i int) bool {
-		if i == r {
-			return phi.EvalTuple(tuple, adj, member)
-		}
-	next:
-		for p := 0; p < points; p++ {
-			for j := 0; j < i; j++ {
-				if tuple[j] != p && !adj(tuple[j], p) {
-					continue next
-				}
-			}
-			tuple[i] = p
-			if !rec(i + 1) {
-				return false
-			}
-		}
-		return true
-	}
-	return rec(0)
+	// high-degree vertex's check near O(deg) instead of O(deg^r). The
+	// shared clique-tuple enumerator runs over point indices here
+	// (mustInclude -1: every tuple the vertex can see is checked).
+	tc := tupleCheck{phi: phi, bag: sc.points, adj: adj, member: member, mustInclude: -1}
+	return tc.rec(0, false)
 }
 
 // containsID reports membership in a sorted id slice.
