@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-short bench-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-json bench-compare fmt-check clean
+.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-json bench-compare fmt-check clean
 
 all: ci
 
@@ -32,10 +32,26 @@ fuzz-short:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# metrics-smoke is the observability gate: boot a real certserver on a
+# loopback port, drive one request, scrape /metrics and validate every
+# exposition line through cmd/promcheck (which shares the parser with the
+# unit tests). The server is always killed, even when the check fails.
+metrics-smoke:
+	@$(GO) build -o /tmp/certserver-smoke ./cmd/certserver
+	@/tmp/certserver-smoke -addr 127.0.0.1:18080 -quiet & \
+	pid=$$!; \
+	$(GO) run ./cmd/promcheck \
+		-url http://127.0.0.1:18080/metrics \
+		-probe http://127.0.0.1:18080/healthz; \
+	rc=$$?; \
+	kill $$pid 2>/dev/null; \
+	rm -f /tmp/certserver-smoke; \
+	exit $$rc
+
 # ci is the tier-1 gate: everything must be gofmt-clean, build, vet clean,
-# and pass — including under the race detector, a short parser fuzz, and
-# a one-iteration benchmark smoke run.
-ci: fmt-check build vet test test-race fuzz-short bench-smoke
+# and pass — including under the race detector, a short parser fuzz, a
+# one-iteration benchmark smoke run, and a live /metrics exposition check.
+ci: fmt-check build vet test test-race fuzz-short bench-smoke metrics-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -65,6 +81,19 @@ bench-logic:
 	$(GO) test -bench=. -benchmem -run=NONE ./internal/logic
 	$(GO) test -bench='CompileFromFormula|FormulaKey' -benchmem -run=NONE ./internal/engine
 	$(GO) test -bench='EMSO' -benchmem -run=NONE ./internal/treewidth
+
+# bench-obs runs this PR's benchmark set — the PR5 packages plus the
+# observability primitives and the instrumented-vs-bare pipeline pair —
+# and emits BENCH_PR6.json, then gates it against the committed
+# BENCH_PR5.json snapshot (>25% ns/op regression on any shared benchmark
+# fails), so the metrics layer proves it did not tax the hot paths.
+bench-obs:
+	$(GO) test -bench=. -benchmem -run=NONE \
+		./internal/logic ./internal/engine ./internal/treewidth ./internal/obs > bench-raw.tmp
+	$(GO) run ./cmd/benchjson < bench-raw.tmp > BENCH_PR6.json
+	@rm -f bench-raw.tmp
+	@echo wrote BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR6.json
 
 # bench-json runs the logic, engine and treewidth benchmarks and emits
 # machine-readable BENCH_PR5.json, so the perf trajectory accumulates as

@@ -27,8 +27,10 @@ import (
 	"strings"
 
 	compactcert "repro"
+	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/treewidth"
 	"repro/internal/wire"
 )
@@ -69,12 +71,16 @@ func run() int {
 		tamperK     = flag.Int("tamper-k", 0, "bits to flip per trial for -tamper-kind flip-bits (0 = 1)")
 		trials      = flag.Int("trials", 10, "trials per tamper for -tamper-kind sweeps")
 		decompose   = flag.Bool("decompose", false, "print the graph's tree decomposition summary (heuristics, exact when small)")
+		trace       = flag.Bool("trace", false, "print the phase span tree (compile/prove/verify/rounds) after the run")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
+	ctx, root := obs.Start(context.Background(), "certify")
 
 	spec := wire.GeneratorSpec{Kind: *graphKind, N: *n, T: *t, Density: *density, Seed: *seed}
+	_, gsp := obs.Start(ctx, "generate")
 	g, witness, err := spec.Build()
+	gsp.End()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "certify: %v\n", err)
 		return 2
@@ -126,11 +132,17 @@ func run() int {
 			return 2
 		}
 	}
+	_, csp := obs.Start(ctx, "compile")
 	s, err := compactcert.BuildScheme(name, params)
+	csp.SetAttr("scheme", name)
+	csp.End()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "certify: %v\n", err)
 		return 1
 	}
+
+	root.SetAttr("graph", *graphKind)
+	root.SetAttr("n", g.N())
 
 	fmt.Printf("graph: %s n=%d m=%d\n", *graphKind, g.N(), g.M())
 	if *decompose {
@@ -156,9 +168,19 @@ func run() int {
 		}
 	}
 	fmt.Printf("scheme: %s\n", s.Name())
-	a, res, err := compactcert.ProveAndVerify(g, s)
+	_, psp := obs.Start(ctx, "prove")
+	a, err := s.Prove(g)
+	psp.End()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "certify: prove: %v\n", err)
+		return 1
+	}
+	_, vsp := obs.Start(ctx, "verify")
+	vsp.SetAttr("mode", "sequential")
+	res, err := cert.RunSequential(g, s, a)
+	vsp.End()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "certify: verify: %v\n", err)
 		return 1
 	}
 	fmt.Printf("certificates: max %d bits, total %d bits\n", a.MaxBits(), a.TotalBits())
@@ -166,7 +188,10 @@ func run() int {
 
 	engine := &netsim.Engine{Workers: *workers}
 	if *distributed {
-		rep, err := engine.Run(context.Background(), g, s, a)
+		dctx, dsp := obs.Start(ctx, "verify")
+		dsp.SetAttr("mode", "distributed")
+		rep, err := engine.Run(dctx, g, s, a)
+		dsp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "certify: distributed run: %v\n", err)
 			return 1
@@ -177,7 +202,9 @@ func run() int {
 
 	if *tamper > 0 {
 		bad := compactcert.FlipRandomBits(a, *tamper, rng)
-		rep2, err := engine.Run(context.Background(), g, s, bad)
+		tctx, tsp := obs.Start(ctx, "tampered-verify")
+		rep2, err := engine.Run(tctx, g, s, bad)
+		tsp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "certify: tampered run: %v\n", err)
 			return 1
@@ -192,7 +219,9 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "certify: %v\n", err)
 			return 2
 		}
-		sweep, err := engine.Sweep(context.Background(), g, s, a, tampers, tamperSpec.EffectiveTrials(), *seed)
+		sctx, ssp := obs.Start(ctx, "sweep")
+		sweep, err := engine.Sweep(sctx, g, s, a, tampers, tamperSpec.EffectiveTrials(), *seed)
+		ssp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "certify: sweep: %v\n", err)
 			return 1
@@ -205,6 +234,11 @@ func run() int {
 		if !sweep.AllDetected {
 			fmt.Println("  WARNING: some corrupted assignments were accepted (see undetected trial indices above)")
 		}
+	}
+	root.End()
+	if *trace {
+		fmt.Println("trace:")
+		root.WriteTree(os.Stdout)
 	}
 	return 0
 }

@@ -2,9 +2,15 @@
 //
 //	GET  /schemes  list every registered scheme kind with metadata
 //	GET  /healthz  liveness plus compile-cache statistics
+//	GET  /metrics  Prometheus text exposition of every engine metric
 //	POST /certify  prove + verify one graph under one scheme
 //	POST /verify   referee a claimed certificate assignment
 //	POST /batch    prove + verify many jobs on the parallel pipeline
+//
+// The -pprof flag additionally exposes net/http/pprof under /debug/pprof.
+// Every response carries an X-Request-Id (inbound ids are honored), and
+// each request logs one structured line with its per-phase latency
+// breakdown (disable with -quiet).
 //
 // Graphs travel in the wire JSON form ({"n", "edges", "ids"?}) or are
 // generated server-side from a family spec ({"kind", "n", ...}). Schemes
@@ -17,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,13 +39,19 @@ func main() {
 
 func run() int {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "batch pipeline workers (0 = GOMAXPROCS)")
-		warm    = flag.Bool("warm", false, "pre-compile every parameterless scheme variant at startup")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "batch pipeline workers (0 = GOMAXPROCS)")
+		warm     = flag.Bool("warm", false, "pre-compile every parameterless scheme variant at startup")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
+		quietLog = flag.Bool("quiet", false, "disable per-request log lines")
 	)
 	flag.Parse()
 
 	srv := newServer(registry.Default(), *workers)
+	srv.pprof = *pprofOn
+	if !*quietLog {
+		srv.logger = log.New(os.Stdout, "", log.LstdFlags|log.Lmicroseconds)
+	}
 	if *warm {
 		warmCache(srv.cache)
 	}

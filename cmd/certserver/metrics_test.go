@@ -1,0 +1,168 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/graphgen"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// scrape fetches /metrics and parses it through the shared exposition
+// validator, so every scrape in the test doubles as a format check.
+func scrape(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	samples, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v", err)
+	}
+	return samples
+}
+
+// TestMetricsEndToEnd drives the certification endpoints and asserts the
+// exposition advances in every instrumented subsystem: phase histograms,
+// all three engine caches, the network simulator, the sweep counters and
+// the HTTP layer itself.
+func TestMetricsEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	before := scrape(t, ts)
+
+	// Two identical formula certifies: compile miss then hit, formula
+	// canonicalization miss then hit.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/certify", map[string]any{
+			"scheme":    "tree-mso",
+			"params":    map[string]any{"formula": "forall x. exists y. x ~ y"},
+			"generator": map[string]any{"kind": "path", "n": 12},
+		}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("certify status %d", resp.StatusCode)
+		}
+	}
+	// A tw-mso batch over one shared graph: decomposition cache miss then
+	// hits, plus a decompose phase sample per job.
+	job := map[string]any{
+		"scheme": "tw-mso",
+		"params": map[string]any{"property": "tw-bound", "t": 2},
+		"graph":  wire.GraphToJSON(graphgen.Cycle(24)),
+	}
+	if resp := postJSON(t, ts.URL+"/batch", map[string]any{
+		"workers": 2,
+		"jobs":    []any{job, job, job},
+	}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	// A simulate with an adversarial sweep: rounds, shard latencies, bit
+	// traffic and sweep-trial outcomes.
+	if resp := postJSON(t, ts.URL+"/simulate", map[string]any{
+		"scheme":    "tree-mso",
+		"params":    map[string]any{"property": "perfect-matching"},
+		"generator": map[string]any{"kind": "path", "n": 16},
+		"workers":   2,
+		"tamper":    map[string]any{"kind": "all", "trials": 4, "seed": 3},
+	}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d", resp.StatusCode)
+	}
+
+	after := scrape(t, ts)
+	advanced := func(series string) {
+		t.Helper()
+		if after[series] <= before[series] {
+			t.Errorf("series %s did not advance: before=%v after=%v",
+				series, before[series], after[series])
+		}
+	}
+
+	// Phase histograms: every certification phase saw samples.
+	for _, phase := range []string{"compile", "decompose", "prove", "verify", "sweep"} {
+		advanced(obs.SeriesKey("certify_phase_seconds_count", obs.L("phase", phase)))
+	}
+	// All three engine caches counted hits and misses.
+	for _, cache := range []string{"compile", "formula", "decomp"} {
+		advanced(obs.SeriesKey("engine_cache_requests_total", obs.L("cache", cache), obs.L("result", "hit")))
+		advanced(obs.SeriesKey("engine_cache_requests_total", obs.L("cache", cache), obs.L("result", "miss")))
+	}
+	// The batch pipeline recorded accepted jobs.
+	advanced(obs.SeriesKey("engine_jobs_total", obs.L("outcome", "accepted")))
+	// The network simulator moved rounds, shards and certificate bits.
+	advanced("netsim_rounds_total")
+	advanced(obs.SeriesKey("netsim_round_seconds_count"))
+	advanced(obs.SeriesKey("netsim_shard_seconds_count"))
+	advanced("netsim_round_bits_total")
+	advanced("netsim_round_messages_total")
+	// The sweep detected its mutations.
+	advanced(obs.SeriesKey("netsim_sweep_trials_total", obs.L("outcome", "detected")))
+	// The HTTP layer counted its own traffic.
+	advanced(obs.SeriesKey("http_requests_total", obs.L("path", "/certify"), obs.L("code", "200")))
+	advanced(obs.SeriesKey("http_request_seconds_count", obs.L("path", "/simulate")))
+	// Process gauges are present.
+	if _, ok := after["process_goroutines"]; !ok {
+		t.Error("process_goroutines missing from exposition")
+	}
+	if _, ok := after["process_uptime_seconds"]; !ok {
+		t.Error("process_uptime_seconds missing from exposition")
+	}
+}
+
+// TestRequestIDEcho pins the X-Request-Id contract: inbound ids are
+// honored and echoed, and the server mints one when the client sends none.
+func TestRequestIDEcho(t *testing.T) {
+	ts := newTestServer(t)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "test-trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "test-trace-42" {
+		t.Fatalf("inbound request id not echoed: got %q", got)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); got == "" {
+		t.Fatal("server did not mint a request id")
+	}
+}
+
+// TestMetricsPathCardinality checks the path-label allowlist: probing an
+// unknown URL lands in the "other" bucket instead of minting a new series.
+func TestMetricsPathCardinality(t *testing.T) {
+	ts := newTestServer(t)
+	for _, p := range []string{"/nope", "/nope/deeper", "/admin"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	samples := scrape(t, ts)
+	if samples[obs.SeriesKey("http_requests_total", obs.L("path", "other"), obs.L("code", "404"))] != 3 {
+		t.Fatalf("unknown paths did not collapse into the other bucket: %v", samples)
+	}
+	for series := range samples {
+		if strings.Contains(series, `path="/nope`) || strings.Contains(series, `path="/admin"`) {
+			t.Fatalf("unknown path leaked into a metric label: %s", series)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// knownPaths is the label allowlist for HTTP metrics: paths outside it
+// collapse into "other" so a client probing random URLs cannot grow the
+// series set without bound.
+var knownPaths = map[string]bool{
+	"/schemes":   true,
+	"/healthz":   true,
+	"/metrics":   true,
+	"/certify":   true,
+	"/verify":    true,
+	"/simulate":  true,
+	"/batch":     true,
+	"/decompose": true,
+}
+
+// pathLabel maps a request path onto its bounded metric label.
+func pathLabel(p string) string {
+	if knownPaths[p] {
+		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with the request observability layer: a request
+// ID (honoring an inbound X-Request-Id, echoed on the response), a root
+// span the handlers hang their phase spans off, the request counter and
+// latency histogram, and — when a logger is configured — one structured
+// line per request with the per-phase breakdown.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx, sp := obs.Start(ctx, "request")
+		w.Header().Set("X-Request-Id", reqID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		sp.End()
+
+		pl := pathLabel(r.URL.Path)
+		s.obs.Counter("http_requests_total", "HTTP requests by path and status",
+			obs.L("path", pl), obs.L("code", strconv.Itoa(rec.status))).Inc()
+		s.obs.Histogram("http_request_seconds", "HTTP request latency",
+			obs.L("path", pl)).Observe(sp.Duration())
+
+		if s.logger != nil {
+			line := fmt.Sprintf("req=%s method=%s path=%s status=%d total_us=%d",
+				reqID, r.Method, r.URL.Path, rec.status, sp.Duration().Microseconds())
+			pd := sp.PhaseDurations()
+			for _, ph := range []string{"compile", "decompose", "prove", "verify", "sweep", "round", "job"} {
+				if d, ok := pd[ph]; ok {
+					line += fmt.Sprintf(" %s_us=%d", ph, d.Microseconds())
+				}
+			}
+			if attrs := sp.Attrs(); len(attrs) > 0 {
+				line += " " + obs.FormatAttrs(attrs)
+			}
+			s.logger.Println(line)
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's own
+// registry (engine caches, phase histograms, netsim, HTTP) merged with the
+// package-level default registry (compile backend counters and any code
+// using the package-level netsim engine).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.obs.Gauge("process_uptime_seconds", "seconds since server start").
+		Set(int64(time.Since(s.start).Seconds()))
+	s.obs.Gauge("process_goroutines", "current goroutine count").
+		Set(int64(runtime.NumGoroutine()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteMerged(w, s.obs, obs.Default())
+}
+
+// registerPprof wires the pprof handlers onto the mux (behind -pprof).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

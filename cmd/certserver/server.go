@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/treewidth"
 	"repro/internal/wire"
@@ -30,34 +32,53 @@ type server struct {
 	// server is what lets its sync.Pool shard buffers actually get
 	// reused across /simulate requests.
 	sim *netsim.Engine
+	// obs is the server's metric registry: the engine caches, the phase
+	// histograms, the simulator and the HTTP layer all write here, and
+	// /metrics and /healthz both read from it — one source of truth.
+	obs   *obs.Registry
+	start time.Time
+	// logger, when set, receives one structured line per request; nil
+	// (the test default) disables request logging.
+	logger *log.Logger
+	// pprof exposes /debug/pprof when set (the -pprof flag).
+	pprof bool
 }
 
 // newServer builds a server around the given registry with the given
 // default worker count (<= 0 means GOMAXPROCS).
 func newServer(reg *registry.Registry, workers int) *server {
-	cache := engine.NewCache(reg)
+	oreg := obs.NewRegistry()
+	cache := engine.NewCacheObs(reg, oreg)
 	// One decomposition cache per server: tw-mso jobs and /decompose
 	// requests share per-graph decompositions across the whole process.
-	cache.Decomps = engine.NewDecompCache()
+	cache.Decomps = engine.NewDecompCacheObs(oreg)
+	sim := &netsim.Engine{Workers: workers, Obs: oreg}
 	return &server{
 		reg:   reg,
 		cache: cache,
-		pipe:  &engine.Pipeline{Cache: cache, Workers: workers},
-		sim:   &netsim.Engine{Workers: workers},
+		pipe:  &engine.Pipeline{Cache: cache, Workers: workers, Sim: sim},
+		sim:   sim,
+		obs:   oreg,
+		start: time.Now(),
 	}
 }
 
-// routes returns the HTTP handler.
+// routes returns the HTTP handler, wrapped in the request observability
+// middleware.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /schemes", s.handleSchemes)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /certify", s.handleCertify)
 	mux.HandleFunc("POST /verify", s.handleVerify)
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /decompose", s.handleDecompose)
-	return mux
+	if s.pprof {
+		registerPprof(mux)
+	}
+	return s.instrument(mux)
 }
 
 // paramsJSON is the wire form of registry.Params.
@@ -193,15 +214,26 @@ func (s *server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	}{s.reg.List()})
 }
 
-// handleHealthz reports liveness and cache effectiveness for the compile
-// cache, the decomposition cache and the formula canonicalization memo.
+// handleHealthz reports liveness, uptime and cache effectiveness for the
+// compile cache, the decomposition cache and the formula canonicalization
+// memo. The cache stats read the same obs counters /metrics exposes, so
+// the two endpoints can never disagree.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var requests int64
+	for _, snap := range s.obs.Snapshot() {
+		if snap.Name == "http_requests_total" {
+			requests += snap.Value
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
-		OK       bool                `json:"ok"`
-		Cache    engine.Stats        `json:"cache"`
-		Decomps  engine.DecompStats  `json:"decompositions"`
-		Formulas engine.FormulaStats `json:"formulas"`
-	}{true, s.cache.Stats(), s.cache.Decomps.Stats(), s.cache.FormulaStats()})
+		OK            bool                `json:"ok"`
+		UptimeSeconds float64             `json:"uptime_seconds"`
+		Requests      int64               `json:"requests"`
+		Cache         engine.Stats        `json:"cache"`
+		Decomps       engine.DecompStats  `json:"decompositions"`
+		Formulas      engine.FormulaStats `json:"formulas"`
+	}{true, time.Since(s.start).Seconds(), requests,
+		s.cache.Stats(), s.cache.Decomps.Stats(), s.cache.FormulaStats()})
 }
 
 // certifyRequest is the POST /certify payload.
@@ -220,6 +252,7 @@ type certifyResponse struct {
 	// DistributedAccepted is present when the simulator ran.
 	DistributedAccepted *bool `json:"distributed_accepted,omitempty"`
 	CompileNS           int64 `json:"compile_ns"`
+	DecomposeNS         int64 `json:"decompose_ns,omitempty"`
 	ProveNS             int64 `json:"prove_ns"`
 	VerifyNS            int64 `json:"verify_ns"`
 }
@@ -229,44 +262,53 @@ func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	ctx := r.Context()
+	rsp := obs.FromContext(ctx)
 	g, params, err := req.resolve(s.reg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	t0 := time.Now()
-	scheme, err := s.cache.GetOrCompile(req.Scheme, params)
+	scheme, err := s.cache.GetOrCompileCtx(ctx, req.Scheme, params)
 	compileNS := time.Since(t0).Nanoseconds()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	t1 := time.Now()
+	rsp.SetAttr("scheme", scheme.Name())
+	rsp.SetAttr("n", g.N())
+	decomposeNS := s.cache.PrewarmDecomposition(ctx, scheme, g).Nanoseconds()
+	_, psp := obs.Start(ctx, "prove")
 	a, err := scheme.Prove(g)
-	proveNS := time.Since(t1).Nanoseconds()
+	psp.End()
+	engine.PhaseHistogram(s.obs, "prove").Observe(psp.Duration())
 	if err != nil {
 		writeProveError(w, err)
 		return
 	}
-	t2 := time.Now()
+	_, vsp := obs.Start(ctx, "verify")
 	res, err := cert.RunSequential(g, scheme, a)
-	verifyNS := time.Since(t2).Nanoseconds()
+	vsp.End()
+	engine.PhaseHistogram(s.obs, "verify").Observe(vsp.Duration())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "verify: %v", err)
 		return
 	}
+	rsp.SetAttr("accepted", res.Accepted)
 	resp := certifyResponse{
-		Scheme:    scheme.Name(),
-		Result:    wire.ResultToJSON(res, a),
-		CompileNS: compileNS,
-		ProveNS:   proveNS,
-		VerifyNS:  verifyNS,
+		Scheme:      scheme.Name(),
+		Result:      wire.ResultToJSON(res, a),
+		CompileNS:   compileNS,
+		DecomposeNS: decomposeNS,
+		ProveNS:     psp.Duration().Nanoseconds(),
+		VerifyNS:    vsp.Duration().Nanoseconds(),
 	}
 	if req.IncludeCertificates {
 		resp.Certificates = wire.AssignmentToStrings(a)
 	}
 	if req.Distributed {
-		rep, err := netsim.Run(r.Context(), g, scheme, a)
+		rep, err := s.sim.Run(ctx, g, scheme, a)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "distributed: %v", err)
 			return
@@ -320,16 +362,20 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ctx := r.Context()
+	rsp := obs.FromContext(ctx)
 	g, params, err := req.resolve(s.reg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	scheme, err := s.cache.GetOrCompile(req.Scheme, params)
+	scheme, err := s.cache.GetOrCompileCtx(ctx, req.Scheme, params)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	rsp.SetAttr("scheme", scheme.Name())
+	rsp.SetAttr("n", g.N())
 	resp := simulateResponse{Scheme: scheme.Name()}
 	var a cert.Assignment
 	if len(req.Certificates) > 0 {
@@ -343,27 +389,34 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		t0 := time.Now()
+		s.cache.PrewarmDecomposition(ctx, scheme, g)
+		_, psp := obs.Start(ctx, "prove")
 		a, err = scheme.Prove(g)
-		resp.ProveNS = time.Since(t0).Nanoseconds()
+		psp.End()
+		engine.PhaseHistogram(s.obs, "prove").Observe(psp.Duration())
+		resp.ProveNS = psp.Duration().Nanoseconds()
 		if err != nil {
 			writeProveError(w, err)
 			return
 		}
 	}
 	// The shared engine serves the common case so its buffer pool stays
-	// warm; an explicit per-request worker bound gets its own engine.
+	// warm; an explicit per-request worker bound gets its own engine
+	// (writing into the same registry).
 	sim := s.sim
 	if req.Workers > 0 {
-		sim = &netsim.Engine{Workers: req.Workers}
+		sim = &netsim.Engine{Workers: req.Workers, Obs: s.obs}
 	}
-	t1 := time.Now()
-	rep, err := sim.Run(r.Context(), g, scheme, a)
-	resp.VerifyNS = time.Since(t1).Nanoseconds()
+	vctx, vsp := obs.Start(ctx, "verify")
+	rep, err := sim.Run(vctx, g, scheme, a)
+	vsp.End()
+	engine.PhaseHistogram(s.obs, "verify").Observe(vsp.Duration())
+	resp.VerifyNS = vsp.Duration().Nanoseconds()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "simulate: %v", err)
 		return
 	}
+	rsp.SetAttr("accepted", rep.Accepted)
 	resp.Result = wire.ResultJSON{
 		Accepted:  rep.Accepted,
 		Rejecters: rep.Rejecters,
@@ -381,9 +434,11 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", terr)
 			return
 		}
-		t2 := time.Now()
-		sweep, serr := sim.Sweep(r.Context(), g, scheme, a, tampers, req.Tamper.EffectiveTrials(), req.Tamper.Seed)
-		resp.SweepNS = time.Since(t2).Nanoseconds()
+		sctx, ssp := obs.Start(ctx, "sweep")
+		sweep, serr := sim.Sweep(sctx, g, scheme, a, tampers, req.Tamper.EffectiveTrials(), req.Tamper.Seed)
+		ssp.End()
+		engine.PhaseHistogram(s.obs, "sweep").Observe(ssp.Duration())
+		resp.SweepNS = ssp.Duration().Nanoseconds()
 		if serr != nil {
 			writeError(w, http.StatusInternalServerError, "sweep: %v", serr)
 			return
@@ -415,12 +470,16 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	scheme, err := s.cache.GetOrCompile(req.Scheme, params)
+	ctx := r.Context()
+	scheme, err := s.cache.GetOrCompileCtx(ctx, req.Scheme, params)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	_, vsp := obs.Start(ctx, "verify")
 	res, err := cert.RunSequential(g, scheme, a)
+	vsp.End()
+	engine.PhaseHistogram(s.obs, "verify").Observe(vsp.Duration())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "verify: %v", err)
 		return
@@ -454,6 +513,8 @@ type batchJobResult struct {
 	MaxBits     int                 `json:"max_bits"`
 	TotalBits   int                 `json:"total_bits"`
 	GenerateNS  int64               `json:"generate_ns"`
+	CompileNS   int64               `json:"compile_ns"`
+	DecomposeNS int64               `json:"decompose_ns,omitempty"`
 	ProveNS     int64               `json:"prove_ns"`
 	VerifyNS    int64               `json:"verify_ns"`
 	Distributed bool                `json:"distributed,omitempty"`
@@ -534,7 +595,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	pipe := s.pipe
 	if req.Workers > 0 {
-		pipe = &engine.Pipeline{Cache: s.cache, Workers: req.Workers}
+		pipe = &engine.Pipeline{Cache: s.cache, Workers: req.Workers, Sim: s.sim}
 	}
 	t0 := time.Now()
 	results, err := pipe.Run(r.Context(), jobs)
@@ -553,6 +614,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			MaxBits:     res.MaxBits,
 			TotalBits:   res.TotalBits,
 			GenerateNS:  res.Generate.Nanoseconds(),
+			CompileNS:   res.Compile.Nanoseconds(),
+			DecomposeNS: res.Decompose.Nanoseconds(),
 			ProveNS:     res.Prove.Nanoseconds(),
 			VerifyNS:    res.Verify.Nanoseconds(),
 			Distributed: res.Distributed,
@@ -635,7 +698,7 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	switch method {
 	case "auto":
-		d, err = s.cache.Decomps.Get(g)
+		d, err = s.cache.Decomps.GetCtx(r.Context(), g)
 	case "min-fill":
 		d, _, _, err = treewidth.MinFill(g)
 	case "min-degree":

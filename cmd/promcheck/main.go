@@ -1,0 +1,106 @@
+// Command promcheck is the /metrics smoke gate: it waits for a certserver
+// to come up, optionally drives a probe request so the request-level
+// metrics advance, then scrapes /metrics and validates every line through
+// the same exposition parser the unit tests use (internal/obs). Malformed
+// families, non-cumulative histogram buckets, duplicate series or a
+// suspiciously empty exposition all fail the gate with a non-zero exit.
+//
+//	promcheck -url http://127.0.0.1:8080/metrics -probe http://127.0.0.1:8080/healthz
+//
+// `make metrics-smoke` boots a throwaway server and runs exactly that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080/metrics", "metrics endpoint to scrape")
+		probe     = flag.String("probe", "", "optional URL to GET before scraping, so request metrics advance")
+		retries   = flag.Int("retries", 40, "connection attempts while waiting for the server to boot")
+		delay     = flag.Duration("delay", 250*time.Millisecond, "pause between connection attempts")
+		minSeries = flag.Int("min-series", 10, "fail unless the exposition carries at least this many series")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Wait for the server: a fresh boot refuses connections for a moment.
+	var lastErr error
+	for i := 0; i < *retries; i++ {
+		resp, err := client.Get(*url)
+		if err == nil {
+			resp.Body.Close()
+			lastErr = nil
+			break
+		}
+		lastErr = err
+		time.Sleep(*delay)
+	}
+	if lastErr != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: server never came up at %s: %v\n", *url, lastErr)
+		return 1
+	}
+
+	if *probe != "" {
+		resp, err := client.Get(*probe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: probe %s: %v\n", *probe, err)
+			return 1
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			fmt.Fprintf(os.Stderr, "promcheck: probe %s: status %d\n", *probe, resp.StatusCode)
+			return 1
+		}
+	}
+
+	resp, err := client.Get(*url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: scrape %s: %v\n", *url, err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "promcheck: scrape %s: status %d\n", *url, resp.StatusCode)
+		return 1
+	}
+	samples, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: malformed exposition: %v\n", err)
+		return 1
+	}
+	if len(samples) < *minSeries {
+		fmt.Fprintf(os.Stderr, "promcheck: only %d series (want >= %d) — exposition looks empty\n",
+			len(samples), *minSeries)
+		return 1
+	}
+	if *probe != "" {
+		// The probe request must be visible in the scrape that followed it.
+		seen := false
+		for series := range samples {
+			if strings.HasPrefix(series, "http_requests_total") {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			fmt.Fprintln(os.Stderr, "promcheck: probe ran but no http_requests_total series appeared")
+			return 1
+		}
+	}
+	fmt.Printf("promcheck: OK — %d series, valid exposition\n", len(samples))
+	return 0
+}

@@ -26,8 +26,22 @@ import (
 	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/treewidth"
 )
+
+// MetricBackends counts sentence lowerings by backend, labeled
+// backend=library|rankk|emso|modelcheck. The counters live in the
+// package-level obs.Default() registry — this layer has no handle on a
+// server's registry, and servers merge Default into their exposition.
+const MetricBackends = "compile_backend_total"
+
+// countBackend records one lowering through the named backend.
+func countBackend(backend string) {
+	obs.Default().Counter(MetricBackends,
+		"formula lowerings by certification backend",
+		obs.L("backend", backend)).Inc()
+}
 
 // Alias is one enum property name defined as a library sentence.
 type Alias struct {
@@ -150,9 +164,11 @@ func Tree(f logic.Formula) (cert.Scheme, error) {
 		return nil, fmt.Errorf("compile: tree scheme needs a sentence, got %s", f)
 	}
 	if b, ok := canonicalTreeIndex[logic.CanonicalString(f)]; ok {
+		countBackend("library")
 		return b.build()
 	}
 	if logic.IsFO(f) {
+		countBackend("rankk")
 		return automata.NewTypeScheme(f)
 	}
 	return nil, fmt.Errorf("compile: MSO sentence %s is outside the tree automaton library "+
@@ -162,6 +178,7 @@ func Tree(f logic.Formula) (cert.Scheme, error) {
 // Treewidth lowers a sentence to a tw-mso property via the clique-local
 // EMSO compiler.
 func Treewidth(f logic.Formula) (treewidth.Property, error) {
+	countBackend("emso")
 	if name, ok := aliasNameFor("tw-mso", f); ok {
 		// Library sentences keep their short display name.
 		if p, ok := treewidth.PropertyByName(name); ok {
@@ -174,6 +191,7 @@ func Treewidth(f logic.Formula) (treewidth.Property, error) {
 // Universal lowers a sentence to the generic whole-graph scheme, deciding
 // it by direct model checking.
 func Universal(f logic.Formula) (cert.Scheme, error) {
+	countBackend("modelcheck")
 	return core.NewUniversalFormula(f)
 }
 

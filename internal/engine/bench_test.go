@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/cert"
 	"repro/internal/graphgen"
 	"repro/internal/registry"
 )
@@ -210,4 +211,49 @@ func BenchmarkFormulaKey(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Observability overhead: the same prove+verify work, once through the
+// fully instrumented pipeline (job/phase spans, histograms, counters) and
+// once calling the scheme directly. The ns/op delta upper-bounds the
+// per-job price of the observability layer (it also includes the pipeline's
+// worker dispatch); tracked in the committed benchmark snapshots so a
+// hot-path metric can never silently grow into a second DP.
+func BenchmarkObsOverheadInstrumented(b *testing.B) {
+	g := graphgen.Path(64)
+	cache := NewCache(registry.Default())
+	if _, err := cache.GetOrCompile("tree-fo", registry.Params{Formula: benchFormula}); err != nil {
+		b.Fatal(err)
+	}
+	pipe := &Pipeline{Cache: cache, Workers: 1}
+	jobs := []Job{{Graph: g, Scheme: "tree-fo", Params: registry.Params{Formula: benchFormula}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := pipe.Run(context.Background(), jobs)
+		if err != nil || results[0].Err != nil || !results[0].Accepted {
+			b.Fatalf("err=%v results=%+v", err, results)
+		}
+	}
+}
+
+func BenchmarkObsOverheadBare(b *testing.B) {
+	g := graphgen.Path(64)
+	cache := NewCache(registry.Default())
+	s, err := cache.GetOrCompile("tree-fo", registry.Params{Formula: benchFormula})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := s.Prove(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := cert.RunSequential(g, s, a)
+		if err != nil || !res.Accepted {
+			b.Fatalf("err=%v accepted=%v", err, res.Accepted)
+		}
+	}
 }

@@ -6,15 +6,16 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/cert"
 	"repro/internal/compile"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -37,20 +38,39 @@ type Cache struct {
 	// computed once per fingerprint across jobs and requests.
 	Decomps *DecompCache
 
+	// Obs is the metric registry the cache counters and phase histograms
+	// live in, when the cache was built with one (NewCacheObs): a server
+	// passes its own registry so /metrics and /healthz read the same
+	// series the engine writes. NewCache leaves it nil — the counters are
+	// then bare handles, still exact per cache (readable via the Stats
+	// accessors) but unregistered, so constructing a throwaway cache costs
+	// no registry wiring.
+	Obs *obs.Registry
+
 	mu      sync.Mutex
 	flights map[string]*flight
 
-	hits     atomic.Int64
-	misses   atomic.Int64
-	bypasses atomic.Int64
+	hits     *obs.Counter
+	misses   *obs.Counter
+	bypasses *obs.Counter
+
+	compilePhase *obs.Histogram
 
 	// canon memoizes raw formula text -> canonical form (NNF +
 	// alpha-renaming), so a hot formula is parsed once per distinct
 	// spelling rather than once per request.
 	canonMu       sync.Mutex
 	canon         map[string]string
-	formulaHits   atomic.Int64
-	formulaMisses atomic.Int64
+	formulaHits   *obs.Counter
+	formulaMisses *obs.Counter
+
+	// bare backs the handles above when Obs is nil, so a registry-less
+	// cache costs no allocations beyond its own struct.
+	bare struct {
+		hits, misses, bypasses     obs.Counter
+		formulaHits, formulaMisses obs.Counter
+		compilePhase               obs.Histogram
+	}
 }
 
 // flight is one compilation: started by the first requester, awaited by
@@ -61,9 +81,37 @@ type flight struct {
 	err    error
 }
 
-// NewCache returns a cache compiling through the given registry.
+// NewCache returns a cache compiling through the given registry, with
+// bare (unregistered) metric handles.
 func NewCache(reg *registry.Registry) *Cache {
-	return &Cache{reg: reg, flights: map[string]*flight{}, canon: map[string]string{}}
+	return NewCacheObs(reg, nil)
+}
+
+// NewCacheObs returns a cache whose counters and phase histograms live in
+// r (nil means bare unregistered handles).
+func NewCacheObs(reg *registry.Registry, r *obs.Registry) *Cache {
+	c := &Cache{
+		reg:     reg,
+		Obs:     r,
+		flights: map[string]*flight{},
+		canon:   map[string]string{},
+	}
+	if r == nil {
+		c.hits = &c.bare.hits
+		c.misses = &c.bare.misses
+		c.bypasses = &c.bare.bypasses
+		c.formulaHits = &c.bare.formulaHits
+		c.formulaMisses = &c.bare.formulaMisses
+		c.compilePhase = &c.bare.compilePhase
+		return c
+	}
+	c.hits = cacheCounter(r, "compile", "hit")
+	c.misses = cacheCounter(r, "compile", "miss")
+	c.bypasses = cacheCounter(r, "compile", "bypass")
+	c.formulaHits = cacheCounter(r, "formula", "hit")
+	c.formulaMisses = cacheCounter(r, "formula", "miss")
+	c.compilePhase = PhaseHistogram(r, "compile")
+	return c
 }
 
 // maxCanonEntries bounds the formula canonicalization memo: raw spellings
@@ -79,11 +127,11 @@ func (c *Cache) canonicalFormula(raw string) string {
 	c.canonMu.Lock()
 	if v, ok := c.canon[raw]; ok {
 		c.canonMu.Unlock()
-		c.formulaHits.Add(1)
+		c.formulaHits.Inc()
 		return v
 	}
 	c.canonMu.Unlock()
-	c.formulaMisses.Add(1)
+	c.formulaMisses.Inc()
 	canon := raw
 	if f, err := logic.Parse(raw); err == nil {
 		canon = logic.CanonicalString(f)
@@ -158,30 +206,49 @@ func (c *Cache) Key(name string, p registry.Params) (string, error) {
 // GetOrCompile returns the cached scheme for (name, p), compiling it if
 // absent. Uncacheable params bypass the cache entirely.
 func (c *Cache) GetOrCompile(name string, p registry.Params) (cert.Scheme, error) {
+	s, _, err := c.getOrCompile(name, p)
+	return s, err
+}
+
+// GetOrCompileCtx is GetOrCompile under a "compile" span: the span lands in
+// the caller's trace tree tagged with the cache outcome, and the call's
+// duration is recorded in the compile phase histogram.
+func (c *Cache) GetOrCompileCtx(ctx context.Context, name string, p registry.Params) (cert.Scheme, error) {
+	_, sp := obs.Start(ctx, "compile")
+	s, outcome, err := c.getOrCompile(name, p)
+	sp.SetAttr("cache", outcome)
+	sp.End()
+	c.compilePhase.Observe(sp.Duration())
+	return s, err
+}
+
+// getOrCompile implements the cache lookup and reports the outcome
+// ("hit", "miss" or "bypass") alongside the scheme.
+func (c *Cache) getOrCompile(name string, p registry.Params) (cert.Scheme, string, error) {
 	if !p.Cacheable() {
-		c.bypasses.Add(1)
+		c.bypasses.Inc()
 		s, err := c.reg.Build(name, p)
 		if err == nil {
 			c.attachDecompCache(s)
 		}
-		return s, err
+		return s, "bypass", err
 	}
 	key, err := c.Key(name, p)
 	if err != nil {
-		return nil, err
+		return nil, "error", err
 	}
 	c.mu.Lock()
 	if f, ok := c.flights[key]; ok {
 		c.mu.Unlock()
-		c.hits.Add(1)
+		c.hits.Inc()
 		<-f.done
-		return f.scheme, f.err
+		return f.scheme, "hit", f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	c.misses.Add(1)
+	c.misses.Inc()
 	f.scheme, f.err = c.reg.Build(name, p)
 	if f.err == nil {
 		// Attach shared per-graph state before publishing to waiters.
@@ -195,7 +262,7 @@ func (c *Cache) GetOrCompile(name string, p registry.Params) (cert.Scheme, error
 		delete(c.flights, key)
 		c.mu.Unlock()
 	}
-	return f.scheme, f.err
+	return f.scheme, "miss", f.err
 }
 
 // Stats is a snapshot of cache effectiveness counters.
@@ -216,9 +283,9 @@ func (c *Cache) Stats() Stats {
 	size := len(c.flights)
 	c.mu.Unlock()
 	return Stats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Bypasses: c.bypasses.Load(),
+		Hits:     c.hits.Value(),
+		Misses:   c.misses.Value(),
+		Bypasses: c.bypasses.Value(),
 		Size:     size,
 	}
 }
@@ -240,8 +307,8 @@ func (c *Cache) FormulaStats() FormulaStats {
 	size := len(c.canon)
 	c.canonMu.Unlock()
 	return FormulaStats{
-		Hits:   c.formulaHits.Load(),
-		Misses: c.formulaMisses.Load(),
+		Hits:   c.formulaHits.Value(),
+		Misses: c.formulaMisses.Value(),
 		Size:   size,
 	}
 }

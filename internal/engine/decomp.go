@@ -1,13 +1,15 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/treewidth"
 	"repro/internal/wire"
 )
@@ -27,8 +29,17 @@ type DecompCache struct {
 	mu      sync.Mutex
 	flights map[uint64]*decompFlight
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits   *obs.Counter
+	misses *obs.Counter
+
+	decompPhase *obs.Histogram
+
+	// bare backs the handles above when the cache is built without a
+	// registry, so construction costs no registry wiring.
+	bare struct {
+		hits, misses obs.Counter
+		decompPhase  obs.Histogram
+	}
 }
 
 type decompFlight struct {
@@ -44,9 +55,28 @@ type decompFlight struct {
 // flight keep their pointer; later requests simply recompute.
 const maxDecompEntries = 1024
 
-// NewDecompCache returns an empty decomposition cache.
+// NewDecompCache returns an empty decomposition cache with bare
+// (unregistered) metric handles.
 func NewDecompCache() *DecompCache {
-	return &DecompCache{flights: map[uint64]*decompFlight{}}
+	return NewDecompCacheObs(nil)
+}
+
+// NewDecompCacheObs returns an empty decomposition cache whose counters
+// and phase histogram live in r (nil means bare unregistered handles).
+// Pass the same registry as the compile cache's so one exposition carries
+// all three cache families.
+func NewDecompCacheObs(r *obs.Registry) *DecompCache {
+	c := &DecompCache{flights: map[uint64]*decompFlight{}}
+	if r == nil {
+		c.hits = &c.bare.hits
+		c.misses = &c.bare.misses
+		c.decompPhase = &c.bare.decompPhase
+		return c
+	}
+	c.hits = cacheCounter(r, "decomp", "hit")
+	c.misses = cacheCounter(r, "decomp", "miss")
+	c.decompPhase = PhaseHistogram(r, "decompose")
+	return c
 }
 
 // fingerprint folds the canonical binary encoding of g into a cache key.
@@ -59,16 +89,48 @@ func fingerprint(g *graph.Graph) uint64 {
 // Get returns the cached decomposition for g, computing it with the
 // elimination heuristics if absent.
 func (c *DecompCache) Get(g *graph.Graph) (*treewidth.Decomposition, error) {
+	d, hit, err := c.get(g)
+	c.count(hit)
+	return d, err
+}
+
+// GetCtx is Get under a "decompose" span tagged with the cache outcome;
+// the call's duration is recorded in the decompose phase histogram.
+func (c *DecompCache) GetCtx(ctx context.Context, g *graph.Graph) (*treewidth.Decomposition, error) {
+	_, sp := obs.Start(ctx, "decompose")
+	d, hit, err := c.get(g)
+	c.count(hit)
+	if hit {
+		sp.SetAttr("cache", "hit")
+	} else {
+		sp.SetAttr("cache", "miss")
+	}
+	sp.End()
+	c.decompPhase.Observe(sp.Duration())
+	return d, err
+}
+
+func (c *DecompCache) count(hit bool) {
+	if hit {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
+}
+
+// get implements the singleflight lookup without touching the counters:
+// the counted entry points (Get, GetCtx) and the silent one (Provider)
+// share it.
+func (c *DecompCache) get(g *graph.Graph) (*treewidth.Decomposition, bool, error) {
 	if g == nil {
-		return nil, fmt.Errorf("engine: decomposition cache: nil graph")
+		return nil, false, fmt.Errorf("engine: decomposition cache: nil graph")
 	}
 	key := fingerprint(g)
 	c.mu.Lock()
 	if f, ok := c.flights[key]; ok {
 		c.mu.Unlock()
-		c.hits.Add(1)
 		<-f.done
-		return f.decomp, f.err
+		return f.decomp, true, f.err
 	}
 	if len(c.flights) >= maxDecompEntries {
 		for k := range c.flights {
@@ -80,7 +142,6 @@ func (c *DecompCache) Get(g *graph.Graph) (*treewidth.Decomposition, error) {
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	c.misses.Add(1)
 	f.decomp, _, f.err = treewidth.Heuristic(g)
 	close(f.done)
 	if f.err != nil {
@@ -89,14 +150,21 @@ func (c *DecompCache) Get(g *graph.Graph) (*treewidth.Decomposition, error) {
 		delete(c.flights, key)
 		c.mu.Unlock()
 	}
-	return f.decomp, f.err
+	return f.decomp, false, f.err
 }
 
 // Provider adapts the cache to the scheme's DecompProvider slot. Unlike a
 // generator witness the returned closure is graph-agnostic, so a compiled
 // tw-mso scheme carrying it stays shareable across graphs and cacheable.
+//
+// The closure reads the cache silently: when a caller prewarms via
+// PrewarmDecomposition the prewarm is the one counted logical request, and
+// the scheme's internal access must not count the same job twice.
 func (c *DecompCache) Provider() func(*graph.Graph) (*treewidth.Decomposition, error) {
-	return c.Get
+	return func(g *graph.Graph) (*treewidth.Decomposition, error) {
+		d, _, err := c.get(g)
+		return d, err
+	}
 }
 
 // DecompStats is a snapshot of decomposition-cache effectiveness.
@@ -111,7 +179,7 @@ func (c *DecompCache) Stats() DecompStats {
 	c.mu.Lock()
 	size := len(c.flights)
 	c.mu.Unlock()
-	return DecompStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: size}
+	return DecompStats{Hits: c.hits.Value(), Misses: c.misses.Value(), Size: size}
 }
 
 // Purge drops every cached decomposition (counters are kept).
@@ -130,5 +198,30 @@ func (c *Cache) attachDecompCache(s cert.Scheme) {
 	}
 	if tws, ok := s.(*treewidth.MSOScheme); ok && tws.DecompProvider == nil {
 		tws.DecompProvider = c.Decomps.Provider()
+		tws.CacheBackedDecomp = true
 	}
+}
+
+// PrewarmDecomposition populates the shared decomposition cache for g when
+// s is a cache-backed tw-mso scheme, under a "decompose" span. The
+// subsequent Prove (which takes no context) then finds the decomposition
+// in the cache, so decomposition cost is attributed to its own phase
+// instead of folding into prove time. The prewarm is the counted logical
+// cache request for the job.
+//
+// Errors are deliberately swallowed: on a failed or too-wide cached
+// decomposition the scheme falls back to its own computation (including
+// exact search), so the job may still succeed — the fallback cost shows
+// up as prove time.
+func (c *Cache) PrewarmDecomposition(ctx context.Context, s cert.Scheme, g *graph.Graph) time.Duration {
+	if c.Decomps == nil || g == nil {
+		return 0
+	}
+	tws, ok := s.(*treewidth.MSOScheme)
+	if !ok || !tws.CacheBackedDecomp {
+		return 0
+	}
+	t0 := time.Now()
+	_, _ = c.Decomps.GetCtx(ctx, g)
+	return time.Since(t0)
 }

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric families the engine writes. The names are exported so the server
+// layer and tests address the exact series the engine emits instead of
+// retyping strings.
+const (
+	// MetricPhaseSeconds is the per-phase latency histogram, labeled
+	// phase=generate|compile|decompose|prove|verify|sweep.
+	MetricPhaseSeconds = "certify_phase_seconds"
+	// MetricCacheRequests counts cache lookups, labeled
+	// cache=compile|formula|decomp and result=hit|miss|bypass.
+	MetricCacheRequests = "engine_cache_requests_total"
+	// MetricJobs counts finished pipeline jobs, labeled
+	// outcome=accepted|rejected|failed.
+	MetricJobs = "engine_jobs_total"
+)
+
+// cacheCounter returns the counter for one (cache, result) cell of the
+// cache-request family. A nil registry yields a bare unregistered counter:
+// caches built without a registry (tests, libraries, benchmarks) still
+// count exactly — readable through their Stats accessors — without paying
+// for registry wiring they will never scrape.
+func cacheCounter(r *obs.Registry, cache, result string) *obs.Counter {
+	if r == nil {
+		return new(obs.Counter)
+	}
+	return r.Counter(MetricCacheRequests,
+		"cache lookups by cache and result",
+		obs.L("cache", cache), obs.L("result", result))
+}
+
+// PhaseHistogram returns the latency histogram for one certification
+// phase. Exported so the serving layer records its inline phases into the
+// same family the pipeline writes. A nil registry yields a bare
+// unregistered histogram, like cacheCounter.
+func PhaseHistogram(r *obs.Registry, phase string) *obs.Histogram {
+	if r == nil {
+		return new(obs.Histogram)
+	}
+	return r.Histogram(MetricPhaseSeconds,
+		"certification phase latency",
+		obs.L("phase", phase))
+}
+
+// jobCounter returns the counter for one pipeline-job outcome.
+func jobCounter(r *obs.Registry, outcome string) *obs.Counter {
+	return r.Counter(MetricJobs,
+		"pipeline jobs by outcome",
+		obs.L("outcome", outcome))
+}
+
+// Phase is one named phase duration of a certification request, in
+// pipeline order.
+type Phase struct {
+	Name string
+	D    time.Duration
+}
+
+// PhasesFor lists a result's non-zero phase durations in pipeline order —
+// the shape request logs and phase histograms share.
+func PhasesFor(r JobResult) []Phase {
+	all := []Phase{
+		{"generate", r.Generate},
+		{"compile", r.Compile},
+		{"decompose", r.Decompose},
+		{"prove", r.Prove},
+		{"verify", r.Verify},
+	}
+	out := all[:0]
+	for _, p := range all {
+		if p.D > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -64,12 +65,15 @@ type JobResult struct {
 	// MaxBits and TotalBits are the certificate-size measures.
 	MaxBits   int `json:"max_bits"`
 	TotalBits int `json:"total_bits"`
-	// Generate, Compile, Prove and Verify are the phase durations
-	// (Generate is zero for jobs submitted with an explicit graph).
-	Generate time.Duration `json:"generate_ns"`
-	Compile  time.Duration `json:"compile_ns"`
-	Prove    time.Duration `json:"prove_ns"`
-	Verify   time.Duration `json:"verify_ns"`
+	// Generate, Compile, Decompose, Prove and Verify are the phase
+	// durations (Generate is zero for jobs submitted with an explicit
+	// graph; Decompose is zero unless the scheme draws its tree
+	// decomposition from the shared cache).
+	Generate  time.Duration `json:"generate_ns"`
+	Compile   time.Duration `json:"compile_ns"`
+	Decompose time.Duration `json:"decompose_ns,omitempty"`
+	Prove     time.Duration `json:"prove_ns"`
+	Verify    time.Duration `json:"verify_ns"`
 	// Distributed reports that verification ran on the network simulator.
 	Distributed bool `json:"distributed,omitempty"`
 	// Sweep is the adversarial soundness report, when the job asked for
@@ -97,6 +101,25 @@ type Pipeline struct {
 	Cache *Cache
 	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
 	Workers int
+	// Sim runs distributed verifications and sweeps. When nil the
+	// pipeline lazily builds one engine writing its metrics into the
+	// cache's registry, so batch round latencies land next to the phase
+	// histograms instead of in the package-level default registry.
+	Sim *netsim.Engine
+
+	simOnce sync.Once
+	simLazy *netsim.Engine
+}
+
+// sim resolves the network-simulation engine.
+func (p *Pipeline) sim() *netsim.Engine {
+	if p.Sim != nil {
+		return p.Sim
+	}
+	p.simOnce.Do(func() {
+		p.simLazy = &netsim.Engine{Obs: p.Cache.Obs}
+	})
+	return p.simLazy
 }
 
 // effectiveWorkers resolves the worker count.
@@ -152,21 +175,45 @@ dispatch:
 	return results, nil
 }
 
-// runOne executes a single job: compile (through the cache), prove, verify
-// (sequentially or on the network simulator), then optionally run the
-// adversarial soundness sweep.
-func (p *Pipeline) runOne(ctx context.Context, i int, job Job) JobResult {
-	res := JobResult{Index: i}
+// runOne executes a single job: generate (when lazy), compile (through the
+// cache), decompose (prewarming the shared cache when the scheme reads
+// it), prove, verify (sequentially or on the network simulator), then
+// optionally run the adversarial soundness sweep. Each phase runs under a
+// child span of the job span and lands one sample in its phase histogram.
+func (p *Pipeline) runOne(ctx context.Context, i int, job Job) (res JobResult) {
+	res = JobResult{Index: i}
 	if err := ctx.Err(); err != nil {
 		res.fail(err)
 		return res
 	}
+	reg := p.Cache.Obs
+	if reg == nil {
+		// A registry-less cache still runs fully instrumented; the
+		// pipeline metrics land in the process-wide default registry.
+		reg = obs.Default()
+	}
+	ctx, jsp := obs.Start(ctx, "job")
+	jsp.SetAttr("scheme", job.Scheme)
+	defer func() {
+		jsp.End()
+		outcome := "accepted"
+		switch {
+		case res.Err != nil:
+			outcome = "failed"
+		case !res.Accepted:
+			outcome = "rejected"
+		}
+		jsp.SetAttr("outcome", outcome)
+		jobCounter(reg, outcome).Inc()
+	}()
 	g, params := job.Graph, job.Params
 	if g == nil && job.Lazy != nil {
-		tg := time.Now()
+		_, gsp := obs.Start(ctx, "generate")
 		var err error
 		g, params, err = job.Lazy()
-		res.Generate = time.Since(tg)
+		gsp.End()
+		res.Generate = gsp.Duration()
+		PhaseHistogram(reg, "generate").Observe(res.Generate)
 		if err != nil {
 			res.fail(fmt.Errorf("generate: %w", err))
 			return res
@@ -177,26 +224,33 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) JobResult {
 		return res
 	}
 	t0 := time.Now()
-	s, err := p.Cache.GetOrCompile(job.Scheme, params)
+	s, err := p.Cache.GetOrCompileCtx(ctx, job.Scheme, params)
 	res.Compile = time.Since(t0)
 	if err != nil {
 		res.fail(err)
 		return res
 	}
 	res.Scheme = s.Name()
-	t1 := time.Now()
+	jsp.SetAttr("n", g.N())
+	res.Decompose = p.Cache.PrewarmDecomposition(ctx, s, g)
+	_, psp := obs.Start(ctx, "prove")
 	a, err := s.Prove(g)
-	res.Prove = time.Since(t1)
+	psp.End()
+	res.Prove = psp.Duration()
+	PhaseHistogram(reg, "prove").Observe(res.Prove)
 	if err != nil {
 		res.fail(fmt.Errorf("prove: %w", err))
 		return res
 	}
 	res.MaxBits = a.MaxBits()
 	res.TotalBits = a.TotalBits()
-	t2 := time.Now()
+	vctx, vsp := obs.Start(ctx, "verify")
 	if job.Distributed {
-		rep, rerr := netsim.Run(ctx, g, s, a)
-		res.Verify = time.Since(t2)
+		vsp.SetAttr("mode", "distributed")
+		rep, rerr := p.sim().Run(vctx, g, s, a)
+		vsp.End()
+		res.Verify = vsp.Duration()
+		PhaseHistogram(reg, "verify").Observe(res.Verify)
 		if rerr != nil {
 			res.fail(fmt.Errorf("verify: %w", rerr))
 			return res
@@ -205,8 +259,11 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) JobResult {
 		res.Accepted = rep.Accepted
 		res.Rejecters = rep.Rejecters
 	} else {
+		vsp.SetAttr("mode", "sequential")
 		verdict, verr := cert.RunSequential(g, s, a)
-		res.Verify = time.Since(t2)
+		vsp.End()
+		res.Verify = vsp.Duration()
+		PhaseHistogram(reg, "verify").Observe(res.Verify)
 		if verr != nil {
 			res.fail(fmt.Errorf("verify: %w", verr))
 			return res
@@ -223,7 +280,10 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) JobResult {
 		if trials <= 0 {
 			trials = 10
 		}
-		sweep, serr := netsim.Default.Sweep(ctx, g, s, a, tampers, trials, job.Sweep.Seed)
+		sctx, ssp := obs.Start(ctx, "sweep")
+		sweep, serr := p.sim().Sweep(sctx, g, s, a, tampers, trials, job.Sweep.Seed)
+		ssp.End()
+		PhaseHistogram(reg, "sweep").Observe(ssp.Duration())
 		if serr != nil {
 			res.fail(fmt.Errorf("sweep: %w", serr))
 			return res
@@ -241,10 +301,15 @@ type BatchStats struct {
 	Failed   int `json:"failed"`
 	// MaxBits is the largest certificate over the whole batch.
 	MaxBits int `json:"max_bits"`
-	// TotalProve and TotalVerify sum the per-job phase times (CPU work,
-	// not wall time: jobs overlap across workers).
-	TotalProve  time.Duration `json:"total_prove_ns"`
-	TotalVerify time.Duration `json:"total_verify_ns"`
+	// TotalGenerate through TotalVerify sum the per-job phase times (CPU
+	// work, not wall time: jobs overlap across workers). Generation and
+	// compilation were previously dropped from the totals, silently
+	// under-reporting batch cost for lazy and compile-heavy batches.
+	TotalGenerate  time.Duration `json:"total_generate_ns,omitempty"`
+	TotalCompile   time.Duration `json:"total_compile_ns,omitempty"`
+	TotalDecompose time.Duration `json:"total_decompose_ns,omitempty"`
+	TotalProve     time.Duration `json:"total_prove_ns"`
+	TotalVerify    time.Duration `json:"total_verify_ns"`
 	// SweepMutated, SweepDetected and SweepNoOps aggregate the jobs'
 	// adversarial sweeps (zero when no job swept). SweepDetected <
 	// SweepMutated means some corruption went undetected somewhere.
@@ -268,6 +333,9 @@ func Summarize(results []JobResult) BatchStats {
 		if r.MaxBits > st.MaxBits {
 			st.MaxBits = r.MaxBits
 		}
+		st.TotalGenerate += r.Generate
+		st.TotalCompile += r.Compile
+		st.TotalDecompose += r.Decompose
 		st.TotalProve += r.Prove
 		st.TotalVerify += r.Verify
 		if r.Sweep != nil {

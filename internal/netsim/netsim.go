@@ -26,9 +26,11 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Report is the outcome of a distributed verification round.
@@ -48,10 +50,18 @@ type Engine struct {
 	// the graph size.
 	Workers int
 
+	// Obs is the registry round metrics land in; nil means the
+	// package-level obs.Default(). Set before the first Run — the handles
+	// are resolved once.
+	Obs *obs.Registry
+
 	// pool recycles per-shard scratch buffers (neighbour views and
 	// rejecter lists) across runs, so a warmed-up engine performs the
 	// exchange round without per-run allocations proportional to n or m.
 	pool sync.Pool
+
+	metricsOnce sync.Once
+	sim         *simMetrics
 }
 
 // shardScratch is the reusable working memory of one worker: the view
@@ -123,10 +133,22 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.
 	if err := ctx.Err(); err != nil {
 		return Report{}, fmt.Errorf("netsim: %w", err)
 	}
+	m := e.metrics()
 	workers := e.effectiveWorkers(n)
 	if n == 0 {
+		m.rounds.Inc()
 		return Report{Accepted: true, Rounds: 1, Workers: 0}, nil
 	}
+	_, rsp := obs.Start(ctx, "round")
+	rsp.SetAttr("n", n)
+	rsp.SetAttr("workers", workers)
+	m.inflight.Inc()
+	defer func() {
+		m.inflight.Dec()
+		rsp.End()
+		m.rounds.Inc()
+		m.roundSeconds.Observe(rsp.Duration())
+	}()
 
 	// Contiguous shards, processed and concatenated in shard order, keep
 	// the merged rejecter list sorted without a final sort.
@@ -144,6 +166,15 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			// Traffic accumulates in shard-local ints so the per-view hot
+			// loop stays plain adds; one atomic flush per shard at the end.
+			t0 := time.Now()
+			shardBits, shardMsgs := 0, 0
+			defer func() {
+				m.shardSeconds.Observe(time.Since(t0))
+				m.bits.Add(int64(shardBits))
+				m.messages.Add(int64(shardMsgs))
+			}()
 			sc := e.getScratch()
 			rej := sc.rej[:0]
 			for v := lo; v < hi; v++ {
@@ -159,7 +190,9 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.
 				views := sc.views[:0]
 				for _, u := range nbrs {
 					views = append(views, cert.NeighborView{ID: g.IDOf(u), Cert: a[u]})
+					shardBits += len(a[u])
 				}
+				shardMsgs += len(nbrs)
 				slices.SortFunc(views, func(x, y cert.NeighborView) int {
 					switch {
 					case x.ID < y.ID:

@@ -72,6 +72,7 @@ func (e *Engine) Sweep(ctx context.Context, g *graph.Graph, s cert.Scheme, hones
 	if trials <= 0 {
 		return SweepReport{}, fmt.Errorf("netsim: sweep: trials must be positive, got %d", trials)
 	}
+	m := e.metrics()
 	rep := SweepReport{AllDetected: true}
 	for _, tm := range tampers {
 		rng := rand.New(rand.NewSource(seed ^ int64(nameHash(tm.Name))))
@@ -83,6 +84,7 @@ func (e *Engine) Sweep(ctx context.Context, g *graph.Graph, s cert.Scheme, hones
 			bad, mutated := tm.Apply(honest, rng)
 			if !mutated {
 				st.NoOps++
+				m.sweepNoop.Inc()
 				continue
 			}
 			st.Mutated++
@@ -94,9 +96,11 @@ func (e *Engine) Sweep(ctx context.Context, g *graph.Graph, s cert.Scheme, hones
 			}
 			if r.Accepted {
 				st.Undetected = append(st.Undetected, i)
+				m.sweepUndetected.Inc()
 			} else {
 				st.Detected++
 				st.Rejecters += len(r.Rejecters)
+				m.sweepDetected.Inc()
 			}
 		}
 		if st.Detected < st.Mutated {

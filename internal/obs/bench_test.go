@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Hot-path costs: these are the per-event overheads the engine and netsim
+// instrumentation pays. They must stay in the tens-of-nanoseconds range so
+// phase-granular instrumentation is invisible next to millisecond phases.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}
+
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "")
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("bench_total", "", L("phase", "prove"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench_total", "", L("phase", "prove")).Inc()
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "phase")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanStartEndNested(b *testing.B) {
+	ctx, root := Start(context.Background(), "request")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "phase")
+		sp.End()
+	}
+	root.End()
+}

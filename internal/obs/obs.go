@@ -1,0 +1,283 @@
+// Package obs is the repo's dependency-free observability core: monotonic
+// counters, gauges, log₂-bucketed latency histograms, and a span API that
+// threads a request identifier through the certification pipeline so one
+// certify request yields a phase tree with per-phase durations.
+//
+// Everything is built for the serving hot path: metric handles are created
+// once (get-or-create through a Registry) and then updated with plain
+// atomic operations — no locks, no allocations, no formatting. Snapshots
+// and the Prometheus text exposition pay the formatting cost at read time
+// instead, which is where a /metrics scrape can afford it.
+//
+// The package deliberately has no dependencies beyond the standard
+// library: every other package in the module may import it, so it must
+// import none of them.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates metric families.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE spelling.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// family is one named metric with a fixed kind and any number of series
+// distinguished by label sets.
+type family struct {
+	name, help string
+	kind       Kind
+
+	mu     sync.RWMutex
+	series map[string]*series // keyed by canonical label serialization
+	order  []string           // insertion order of keys, for stable listings
+}
+
+// series is one (family, label set) metric instance.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// Registry is a set of metric families. The zero value is not usable; use
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// defaultRegistry is the process-wide registry for package-level
+// instrumentation that has no injection point (see Default).
+var (
+	defaultOnce     sync.Once
+	defaultRegistry *Registry
+)
+
+// Default returns the process-wide registry. Components that can be handed
+// a registry explicitly (the engine caches, the certserver) should prefer
+// that; Default exists for package-level instrumentation points (e.g. the
+// formula compiler's backend counters) and for CLI use.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}
+
+// labelKey serializes a sorted copy of the labels into the series key.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// sortedLabels returns a key-sorted copy.
+func sortedLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// getSeries returns the series for (name, labels) in a family of the given
+// kind, creating family and series as needed. Reusing a name with a
+// different kind is a programming error and panics: silently returning a
+// fresh metric would split the series across kinds.
+func (r *Registry) getSeries(name, help string, kind Kind, labels []Label) *series {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+			r.families[name] = f
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	key := labelKey(labels)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labels: sortedLabels(labels)}
+	switch kind {
+	case KindCounter:
+		s.ctr = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = &Histogram{}
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Subsequent calls with the same name and labels return the same
+// counter, so handles can be fetched once and kept.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.getSeries(name, help, KindCounter, labels).ctr
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.getSeries(name, help, KindGauge, labels).gauge
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use. By convention histogram names end in "_seconds": observations
+// are durations, and the exposition reports bucket bounds and sums in
+// seconds.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.getSeries(name, help, KindHistogram, labels).hist
+}
+
+// SeriesSnapshot is one series' point-in-time state, JSON-friendly for the
+// enriched /healthz.
+type SeriesSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter or gauge value.
+	Value int64 `json:"value,omitempty"`
+	// Histogram is present for histogram series.
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot returns every series in registration order.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+	var out []SeriesSnapshot
+	for _, f := range fams {
+		f.mu.RLock()
+		keys := append([]string(nil), f.order...)
+		for _, k := range keys {
+			s := f.series[k]
+			snap := SeriesSnapshot{Name: f.name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				snap.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					snap.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				snap.Value = s.ctr.Value()
+			case KindGauge:
+				snap.Value = s.gauge.Value()
+			case KindHistogram:
+				h := s.hist.Snapshot()
+				snap.Histogram = &h
+			}
+			out = append(out, snap)
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}

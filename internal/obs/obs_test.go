@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreateReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("requests_total", "requests", L("code", "200"))
+	c2 := r.Counter("requests_total", "requests", L("code", "200"))
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c3 := r.Counter("requests_total", "requests", L("code", "500"))
+	if c1 == c3 {
+		t.Fatal("different labels must return a different counter")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("lat_seconds", "latency", L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("lat_seconds", "latency", L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order must not split a series")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("thing_total", "a counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("thing_total", "now a gauge")
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 6 {
+		t.Fatalf("counter = %d, want 6", c.Value())
+	}
+	g := r.Gauge("g", "")
+	g.Set(10)
+	g.Dec()
+	g.Add(-4)
+	g.Inc()
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+}
+
+// Counters, gauges and histograms must stay exact under concurrent
+// writers — this test is the -race workload for the metric core.
+func TestMetricsConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Handles fetched inside the goroutines: get-or-create must
+			// be safe under contention too.
+			c := r.Counter("hits_total", "")
+			g := r.Gauge("inflight", "")
+			h := r.Histogram("lat_seconds", "")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(time.Duration(i) * time.Nanosecond)
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("inflight", "").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("lat_seconds", "").Snapshot().Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotListsEverySeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "ha", L("k", "v")).Add(3)
+	r.Gauge("b", "hb").Set(-2)
+	r.Histogram("c_seconds", "hc").Observe(time.Millisecond)
+	snaps := r.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snaps))
+	}
+	byName := map[string]SeriesSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if s := byName["a_total"]; s.Value != 3 || s.Labels["k"] != "v" || s.Kind != "counter" {
+		t.Fatalf("counter snapshot wrong: %+v", s)
+	}
+	if s := byName["b"]; s.Value != -2 || s.Kind != "gauge" {
+		t.Fatalf("gauge snapshot wrong: %+v", s)
+	}
+	hs := byName["c_seconds"]
+	if hs.Histogram == nil || hs.Histogram.Count != 1 || hs.Histogram.SumNS != int64(time.Millisecond) {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return one registry")
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		if !strings.Contains(id, "-") || len(id) < 10 {
+			t.Fatalf("request id %q has unexpected shape", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,498 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The exposition folds the 64 internal log₂ buckets into a fixed,
+// scrape-stable le ladder: 2^e - 1 nanoseconds for e in
+// [minExpoBucket, maxExpoBucket] (≈1µs to ≈2.3min), plus +Inf. Using
+// 2^e - 1 makes each le bound coincide exactly with an internal bucket's
+// inclusive upper edge, so cumulative counts are exact, and keeping the
+// ladder fixed keeps series comparable across scrapes.
+const (
+	minExpoBucket = 10 // 2^10-1 ns ≈ 1.02µs
+	maxExpoBucket = 37 // 2^37-1 ns ≈ 137s
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Families appear in registration order; series
+// within a family in creation order. Histogram bucket bounds and sums are
+// reported in seconds, following the convention that histogram families
+// are named *_seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteMerged(w, r)
+}
+
+// WriteMerged renders several registries as one exposition. Families with
+// the same name are merged (first help/kind wins; series of later
+// registries append); a series key that appears twice keeps the first
+// occurrence, so the output never contains duplicate series. This is how
+// the certserver combines its per-server registry with the process-wide
+// Default registry.
+func WriteMerged(w io.Writer, regs ...*Registry) error {
+	bw := bufio.NewWriter(w)
+	type mergedFamily struct {
+		f     *family
+		extra []*family // same-name families from later registries
+	}
+	var order []string
+	merged := map[string]*mergedFamily{}
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.RLock()
+		names := append([]string(nil), r.order...)
+		fams := make([]*family, 0, len(names))
+		for _, n := range names {
+			fams = append(fams, r.families[n])
+		}
+		r.mu.RUnlock()
+		for i, name := range names {
+			if m, ok := merged[name]; ok {
+				if m.f != fams[i] { // same registry passed twice: skip
+					m.extra = append(m.extra, fams[i])
+				}
+				continue
+			}
+			merged[name] = &mergedFamily{f: fams[i]}
+			order = append(order, name)
+		}
+	}
+	for _, name := range order {
+		m := merged[name]
+		if err := writeFamily(bw, m.f, m.extra); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeFamily renders one family (plus same-name families merged in).
+func writeFamily(w *bufio.Writer, f *family, extra []*family) error {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	seen := map[string]bool{}
+	for _, ff := range append([]*family{f}, extra...) {
+		if ff.kind != f.kind {
+			// A kind clash across registries: skip rather than emit an
+			// exposition that contradicts the TYPE line.
+			continue
+		}
+		ff.mu.RLock()
+		keys := append([]string(nil), ff.order...)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			sers = append(sers, ff.series[k])
+		}
+		ff.mu.RUnlock()
+		for _, s := range sers {
+			writeSeries(w, f, s)
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series' sample lines.
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch f.kind {
+	case KindCounter:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels, "", ""), s.ctr.Value())
+	case KindGauge:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels, "", ""), s.gauge.Value())
+	case KindHistogram:
+		snap := s.hist.Snapshot()
+		for e := minExpoBucket; e <= maxExpoBucket; e++ {
+			boundNS := int64(1)<<e - 1
+			le := strconv.FormatFloat(float64(boundNS)/1e9, 'g', -1, 64)
+			fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, renderLabels(s.labels, "le", le), snap.CumulativeThrough(e))
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, "le", "+Inf"), snap.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(s.labels, "", ""),
+			strconv.FormatFloat(float64(snap.SumNS)/1e9, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(s.labels, "", ""), snap.Count)
+	}
+}
+
+// renderLabels renders {k="v",...}, optionally appending one extra label
+// (the histogram's le). Labels are already key-sorted at series creation.
+func renderLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParseExposition parses and validates Prometheus text exposition format:
+// every sample line must be syntactically well formed, belong to a family
+// declared by a preceding # TYPE line, and no series may repeat. For
+// histogram families it additionally checks that each series' buckets are
+// cumulative (non-decreasing in le), that an le="+Inf" bucket is present,
+// and that it equals the _count sample.
+//
+// It returns every sample keyed by its canonical series form
+// (name{k="v",...} with labels sorted), which is what the end-to-end tests
+// use to assert that specific series advanced. The certserver smoke gate
+// (cmd/promcheck) and the obs tests share this one validator, so the
+// /metrics contract is checked by the same code everywhere.
+func ParseExposition(r io.Reader) (map[string]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]Kind{}
+	samples := map[string]float64{}
+	type histSeries struct {
+		lastLE  float64
+		lastVal float64
+		inf     float64
+		hasInf  bool
+		count   float64
+		hasCnt  bool
+	}
+	hists := map[string]*histSeries{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseCommentLine(line, types); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, kind, err := familyOf(name, types)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := canonicalSeriesKey(name, labels)
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		samples[key] = value
+		if kind == KindHistogram && strings.HasSuffix(name, "_bucket") {
+			le, ok := labels["le"]
+			if !ok {
+				return nil, fmt.Errorf("line %d: histogram bucket %s has no le label", lineNo, name)
+			}
+			hk := canonicalSeriesKey(base, withoutLE(labels))
+			h := hists[hk]
+			if h == nil {
+				h = &histSeries{lastLE: math.Inf(-1)}
+				hists[hk] = h
+			}
+			if le == "+Inf" {
+				h.inf, h.hasInf = value, true
+			} else {
+				b, perr := strconv.ParseFloat(le, 64)
+				if perr != nil {
+					return nil, fmt.Errorf("line %d: bad le %q: %v", lineNo, le, perr)
+				}
+				if b <= h.lastLE {
+					return nil, fmt.Errorf("line %d: le %q not increasing for %s", lineNo, le, hk)
+				}
+				if value < h.lastVal {
+					return nil, fmt.Errorf("line %d: bucket counts not cumulative for %s", lineNo, hk)
+				}
+				h.lastLE, h.lastVal = b, value
+			}
+		}
+		if kind == KindHistogram && strings.HasSuffix(name, "_count") {
+			hk := canonicalSeriesKey(base, labels)
+			h := hists[hk]
+			if h == nil {
+				h = &histSeries{lastLE: math.Inf(-1)}
+				hists[hk] = h
+			}
+			h.count, h.hasCnt = value, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for hk, h := range hists {
+		if !h.hasInf {
+			return nil, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", hk)
+		}
+		if h.hasCnt && h.inf != h.count {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %v != count %v", hk, h.inf, h.count)
+		}
+		if h.lastVal > h.inf {
+			return nil, fmt.Errorf("histogram %s: finite bucket exceeds +Inf", hk)
+		}
+	}
+	return samples, nil
+}
+
+// parseCommentLine validates # HELP / # TYPE lines and records types.
+func parseCommentLine(line string, types map[string]Kind) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, kindStr := fields[2], strings.TrimSpace(fields[3])
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("bad metric name %q", name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		switch kindStr {
+		case "counter":
+			types[name] = KindCounter
+		case "gauge":
+			types[name] = KindGauge
+		case "histogram":
+			types[name] = KindHistogram
+		case "summary", "untyped":
+			types[name] = Kind(-1)
+		default:
+			return fmt.Errorf("unknown TYPE %q for %q", kindStr, name)
+		}
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		if !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("bad metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, stripping
+// histogram suffixes.
+func familyOf(name string, types map[string]Kind) (base string, kind Kind, err error) {
+	if k, ok := types[name]; ok {
+		return name, k, nil
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			b := strings.TrimSuffix(name, suf)
+			if k, ok := types[b]; ok && k == KindHistogram {
+				return b, k, nil
+			}
+		}
+	}
+	return "", 0, fmt.Errorf("sample %q has no preceding # TYPE declaration", name)
+}
+
+// parseSampleLine parses `name{k="v",...} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	labels = map[string]string{}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if len(rest) == 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !labelNameRe.MatchString(lname) {
+				return "", nil, 0, fmt.Errorf("bad label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			val, rem, verr := parseQuoted(rest)
+			if verr != nil {
+				return "", nil, 0, fmt.Errorf("%v in %q", verr, line)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q in %q", lname, line)
+			}
+			labels[lname] = val
+			rest = strings.TrimLeft(rem, " \t")
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parsePromValue accepts floats plus the Prometheus spellings of infinity
+// and NaN.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseQuoted consumes a leading double-quoted, backslash-escaped string.
+func parseQuoted(s string) (val, rest string, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string")
+	}
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case '\\', '"':
+				sb.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return sb.String(), s[i+1:], nil
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+// canonicalSeriesKey renders name{k="v",...} with sorted labels — the map
+// key ParseExposition reports and tests assert on.
+func canonicalSeriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(labels[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// SeriesKey builds the canonical series key for (name, labels) — the same
+// form ParseExposition emits — so tests can look up a series without
+// hand-assembling the label syntax.
+func SeriesKey(name string, labels ...Label) string {
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return canonicalSeriesKey(name, m)
+}
+
+// withoutLE copies a label map minus the le label.
+func withoutLE(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Round-trip: everything the writer emits must satisfy the validator, and
+// the parsed samples must carry the written values.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "total requests", L("code", "200")).Add(7)
+	r.Counter("requests_total", "total requests", L("code", "500")).Add(2)
+	r.Gauge("inflight", "in-flight requests").Set(3)
+	h := r.Histogram("latency_seconds", "request latency", L("phase", "prove"))
+	h.Observe(2 * time.Millisecond)
+	h.Observe(50 * time.Microsecond)
+	h.Observe(3 * time.Second)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	samples, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, out)
+	}
+	if got := samples[SeriesKey("requests_total", L("code", "200"))]; got != 7 {
+		t.Fatalf("requests_total{code=200} = %v, want 7", got)
+	}
+	if got := samples[SeriesKey("inflight")]; got != 3 {
+		t.Fatalf("inflight = %v, want 3", got)
+	}
+	if got := samples[SeriesKey("latency_seconds_count", L("phase", "prove"))]; got != 3 {
+		t.Fatalf("latency count = %v, want 3", got)
+	}
+	wantSum := (2*time.Millisecond + 50*time.Microsecond + 3*time.Second).Seconds()
+	if got := samples[SeriesKey("latency_seconds_sum", L("phase", "prove"))]; got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Fatalf("latency sum = %v, want ~%v", got, wantSum)
+	}
+	if got := samples[SeriesKey("latency_seconds_bucket", L("phase", "prove"), L("le", "+Inf"))]; got != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", got)
+	}
+	// A mid-ladder bucket: everything <= ~134ms covers the 2ms and 50µs
+	// observations but not the 3s one.
+	leMid := "0.134217727"
+	if got := samples[SeriesKey("latency_seconds_bucket", L("phase", "prove"), L("le", leMid))]; got != 2 {
+		t.Fatalf("le=%s bucket = %v, want 2\n%s", leMid, got, out)
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "help with \\ backslash\nand newline",
+		L("q", `va"lu\e`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("escaped exposition does not validate: %v\n%s", err, sb.String())
+	}
+	if len(samples) != 1 {
+		t.Fatalf("want 1 sample, got %v", samples)
+	}
+}
+
+func TestWriteMergedDeduplicates(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("shared_total", "from a", L("src", "a")).Add(1)
+	b.Counter("shared_total", "from b", L("src", "b")).Add(2)
+	b.Counter("only_b_total", "b only").Add(5)
+	var sb strings.Builder
+	if err := WriteMerged(&sb, a, b, a); err != nil { // a passed twice on purpose
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# TYPE shared_total") != 1 {
+		t.Fatalf("family emitted more than once:\n%s", out)
+	}
+	samples, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("merged exposition does not validate: %v\n%s", err, out)
+	}
+	if samples[SeriesKey("shared_total", L("src", "a"))] != 1 ||
+		samples[SeriesKey("shared_total", L("src", "b"))] != 2 ||
+		samples[SeriesKey("only_b_total")] != 5 {
+		t.Fatalf("merged samples wrong: %v", samples)
+	}
+}
+
+// The validator must reject the malformed shapes the ci smoke gate exists
+// to catch.
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no type":           "foo_total 1\n",
+		"bad name":          "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":         "# TYPE x counter\nx one\n",
+		"unterminated":      "# TYPE x counter\nx{a=\"b 1\n",
+		"dup series":        "# TYPE x counter\nx 1\nx 2\n",
+		"dup type":          "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"unknown kind":      "# TYPE x sometype\nx 1\n",
+		"bucket without le": "# TYPE h histogram\nh_bucket 3\nh_sum 1\nh_count 3\n",
+		"non-cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: validator accepted malformed exposition:\n%s", name, text)
+		}
+	}
+}
+
+func TestParseExpositionAcceptsForeignButValid(t *testing.T) {
+	text := `# some comment
+# HELP go_goroutines Number of goroutines.
+# TYPE go_goroutines gauge
+go_goroutines 42
+# TYPE up untyped
+up 1 1712345678901
+`
+	samples, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("valid foreign exposition rejected: %v", err)
+	}
+	if samples["go_goroutines"] != 42 || samples["up"] != 1 {
+		t.Fatalf("samples = %v", samples)
+	}
+}

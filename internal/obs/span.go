@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed phase of a request. Spans form a tree: starting a span
+// from a context that already carries one attaches it as a child, so a
+// certify request yields a phase tree (compile → decompose → prove →
+// verify) with per-phase durations and annotations.
+//
+// A span is written by its owning goroutine (Start, SetAttr, End);
+// children may be attached concurrently from worker goroutines. Reading a
+// span (Duration, WriteTree) is intended after the spans involved have
+// ended — the renderers tolerate an un-ended span by showing its elapsed
+// time so far.
+type Span struct {
+	// Name is the phase name, e.g. "prove".
+	Name string
+
+	start time.Time
+	endNS atomic.Int64 // 0 = still running; else duration in ns
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span annotation, e.g. cache=hit.
+type Attr struct {
+	Key, Value string
+}
+
+// spanKey and reqIDKey are the context keys; unexported types so no other
+// package can collide.
+type (
+	spanKey  struct{}
+	reqIDKey struct{}
+)
+
+// Start begins a span named name. If ctx already carries a span the new
+// span becomes its child; otherwise it is a root. The returned context
+// carries the new span, so nested phases attach beneath it.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{Name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, sp)
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// End stops the span's clock. Calling End more than once keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	ns := time.Since(s.start).Nanoseconds()
+	if ns <= 0 {
+		ns = 1 // preserve "ended" even for sub-ns phases
+	}
+	s.endNS.CompareAndSwap(0, ns)
+}
+
+// Duration returns the span's duration; for a running span, the elapsed
+// time so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if ns := s.endNS.Load(); ns > 0 {
+		return time.Duration(ns)
+	}
+	return time.Since(s.start)
+}
+
+// SetAttr annotates the span. Values are formatted eagerly with %v.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: fmt.Sprint(value)})
+	s.mu.Unlock()
+}
+
+// Attrs returns a copy of the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a copy of the span's child list, in attach order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// WriteTree renders the span tree as indented text, one line per span with
+// its duration and annotations:
+//
+//	certify                  1.82ms  graph=path n=64
+//	  compile               312µs    cache=miss
+//	  prove                 1.2ms
+func (s *Span) WriteTree(w io.Writer) {
+	s.writeTree(w, 0)
+}
+
+func (s *Span) writeTree(w io.Writer, depth int) {
+	if s == nil {
+		return
+	}
+	var sb []byte
+	for i := 0; i < depth; i++ {
+		sb = append(sb, ' ', ' ')
+	}
+	attrs := s.Attrs()
+	line := fmt.Sprintf("%s%-*s %10s", sb, 24-2*depth, s.Name, s.Duration().Round(time.Microsecond))
+	for _, a := range attrs {
+		line += "  " + a.Key + "=" + a.Value
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range s.Children() {
+		c.writeTree(w, depth+1)
+	}
+}
+
+// PhaseDurations flattens the direct children into name → duration,
+// summing repeated names (e.g. the rounds of a sweep). Used by the
+// structured per-request log line.
+func (s *Span) PhaseDurations() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, c := range s.Children() {
+		out[c.Name] += c.Duration()
+	}
+	return out
+}
+
+// reqSeq and reqBase make request identifiers unique within and across
+// processes: an 8-hex-digit random process base plus a counter.
+var (
+	reqSeq  atomic.Uint64
+	reqBase = func() uint32 {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint32(time.Now().UnixNano())
+		}
+		return binary.LittleEndian.Uint32(b[:])
+	}()
+)
+
+// NewRequestID returns a short unique request identifier, e.g.
+// "3fa9c1d2-000017".
+func NewRequestID() string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], reqBase)
+	return fmt.Sprintf("%s-%06x", hex.EncodeToString(b[:]), reqSeq.Add(1))
+}
+
+// WithRequestID attaches a request identifier to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the request identifier carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// FormatAttrs renders attributes as sorted key=value pairs joined by
+// spaces — the structured-log form.
+func FormatAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	as := append([]Attr(nil), attrs...)
+	sort.SliceStable(as, func(i, j int) bool { return as[i].Key < as[j].Key })
+	var sb []byte
+	for i, a := range as {
+		if i > 0 {
+			sb = append(sb, ' ')
+		}
+		sb = append(sb, a.Key...)
+		sb = append(sb, '=')
+		sb = append(sb, a.Value...)
+	}
+	return string(sb)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	ctx, root := Start(context.Background(), "request")
+	cctx, compile := Start(ctx, "compile")
+	compile.SetAttr("cache", "miss")
+	_, inner := Start(cctx, "parse")
+	inner.End()
+	compile.End()
+	_, prove := Start(ctx, "prove")
+	prove.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name != "compile" || kids[1].Name != "prove" {
+		t.Fatalf("root children = %v", kids)
+	}
+	if gk := kids[0].Children(); len(gk) != 1 || gk[0].Name != "parse" {
+		t.Fatalf("compile children = %v", gk)
+	}
+	if attrs := kids[0].Attrs(); len(attrs) != 1 || attrs[0] != (Attr{"cache", "miss"}) {
+		t.Fatalf("compile attrs = %v", attrs)
+	}
+	if root.Duration() <= 0 {
+		t.Fatal("ended root span must have positive duration")
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	_, sp := Start(context.Background(), "x")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if sp.Duration() != d {
+		t.Fatalf("second End changed duration: %v -> %v", d, sp.Duration())
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must carry no span")
+	}
+	ctx, sp := Start(context.Background(), "a")
+	if FromContext(ctx) != sp {
+		t.Fatal("context must carry the started span")
+	}
+}
+
+// Concurrent children and attrs on one parent — the batch-pipeline shape,
+// exercised under -race.
+func TestSpanConcurrentChildren(t *testing.T) {
+	ctx, root := Start(context.Background(), "batch")
+	const workers = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, job := Start(ctx, "job")
+			job.SetAttr("worker", w)
+			_, ph := Start(context.Background(), "detached") // no parent: must not attach
+			ph.End()
+			job.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != workers {
+		t.Fatalf("root has %d children, want %d", got, workers)
+	}
+}
+
+func TestWriteTreeRendersNamesDurationsAttrs(t *testing.T) {
+	ctx, root := Start(context.Background(), "certify")
+	_, c := Start(ctx, "compile")
+	c.SetAttr("cache", "hit")
+	c.End()
+	root.End()
+	var sb strings.Builder
+	root.WriteTree(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "certify") || !strings.Contains(out, "compile") {
+		t.Fatalf("tree missing span names:\n%s", out)
+	}
+	if !strings.Contains(out, "cache=hit") {
+		t.Fatalf("tree missing attrs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  ") {
+		t.Fatalf("child not indented:\n%s", out)
+	}
+}
+
+func TestPhaseDurationsSumsRepeatedNames(t *testing.T) {
+	ctx, root := Start(context.Background(), "r")
+	for i := 0; i < 3; i++ {
+		_, sp := Start(ctx, "round")
+		sp.End()
+	}
+	root.End()
+	pd := root.PhaseDurations()
+	if len(pd) != 1 || pd["round"] <= 0 {
+		t.Fatalf("phase durations = %v", pd)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc-123")
+	if RequestID(ctx) != "abc-123" {
+		t.Fatal("request id not carried by context")
+	}
+	if RequestID(context.Background()) != "" {
+		t.Fatal("empty context must have empty request id")
+	}
+}
+
+func TestFormatAttrs(t *testing.T) {
+	got := FormatAttrs([]Attr{{"b", "2"}, {"a", "1"}})
+	if got != "a=1 b=2" {
+		t.Fatalf("FormatAttrs = %q", got)
+	}
+	if FormatAttrs(nil) != "" {
+		t.Fatal("nil attrs must format empty")
+	}
+}
+
+// nil-span methods must be safe: instrumentation call sites never need nil
+// checks.
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	sp.End()
+	sp.SetAttr("k", "v")
+	if sp.Duration() != 0 || sp.Attrs() != nil || sp.Children() != nil {
+		t.Fatal("nil span must be inert")
+	}
+}

@@ -104,6 +104,12 @@ type MSOScheme struct {
 	// exact branch-and-bound for graphs up to ExactLimit vertices when
 	// they miss the bound.
 	DecompProvider func(g *graph.Graph) (*Decomposition, error)
+	// CacheBackedDecomp marks a DecompProvider that reads a shared
+	// decomposition cache. Callers holding a context can then prewarm the
+	// cache before Prove (which has no context) so decomposition time is
+	// attributed to its own observability phase instead of folding into
+	// prove time.
+	CacheBackedDecomp bool
 }
 
 var _ cert.Scheme = (*MSOScheme)(nil)
