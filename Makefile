@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-json bench-compare fmt-check clean
+.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-json bench-compare fmt-check lint cover clean
 
 all: ci
 
@@ -49,12 +49,33 @@ metrics-smoke:
 	exit $$rc
 
 # ci is the tier-1 gate: everything must be gofmt-clean, build, vet clean,
-# and pass — including under the race detector, a short parser fuzz, a
-# one-iteration benchmark smoke run, and a live /metrics exposition check.
-ci: fmt-check build vet test test-race fuzz-short bench-smoke metrics-smoke
+# lint clean (certlint runs before the tests: an invariant violation should
+# fail fast, not hide behind a long test run), and pass — including under
+# the race detector, a short parser fuzz, a one-iteration benchmark smoke
+# run, a live /metrics exposition check, and the internal/lint coverage
+# floor.
+ci: fmt-check build vet lint test test-race fuzz-short bench-smoke metrics-smoke cover
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# lint runs the project-invariant analyzers (internal/lint) over every
+# module package. Exit 1 on any finding; suppressions need a written
+# reason (`//certlint:ignore <reason>`).
+lint:
+	$(GO) run ./cmd/certlint ./...
+
+# cover holds internal/lint to the standard it enforces on everything
+# else: the analyzers' own statement coverage must stay at or above the
+# threshold, so an analyzer branch nobody tests cannot silently rot.
+LINT_COVER_FLOOR ?= 90.0
+cover:
+	@$(GO) test -coverprofile=lint-cover.tmp ./internal/lint > /dev/null
+	@total=$$($(GO) tool cover -func=lint-cover.tmp | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f lint-cover.tmp; \
+	echo "internal/lint coverage: $$total% (floor $(LINT_COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$total >= $(LINT_COVER_FLOOR)) }" || \
+		{ echo "coverage below floor"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE ./...

@@ -29,6 +29,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -90,6 +91,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input; refusing to emit an empty report")
+		os.Exit(1)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -104,9 +109,35 @@ func loadReport(path string) (*Report, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var rep Report
-	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+	rep, err := decodeReport(f)
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// decodeReport reads one report document and validates it is usable as a
+// regression baseline. Empty, truncated and zero-benchmark documents must
+// fail loudly: Compare against any of them finds no shared benchmarks and
+// would print a clean "0 regressions" no matter how slow the new code is.
+func decodeReport(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		switch {
+		case errors.Is(err, io.EOF):
+			return nil, errors.New("empty benchmark report")
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return nil, errors.New("truncated benchmark report")
+		default:
+			return nil, err
+		}
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after benchmark report")
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, errors.New("report has no benchmarks; a comparison against it would be vacuous")
 	}
 	return &rep, nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -123,5 +125,71 @@ func TestBenchKeyStripsGomaxprocs(t *testing.T) {
 	}
 	if benchKey(sub) != "p BenchmarkX/sub-case" {
 		t.Fatalf("sub-benchmark key mangled: %q", benchKey(sub))
+	}
+}
+
+const validReportJSON = `{"benchmarks": [{"name": "BenchmarkX-8", "runs": 10, "ns_per_op": 100}]}`
+
+func TestDecodeReportRejectsUnusableBaselines(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "empty benchmark report"},
+		{"whitespace only", "  \n\t", "empty benchmark report"},
+		{"truncated", `{"benchmarks": [{"name": "BenchmarkX-8", "runs"`, "truncated benchmark report"},
+		{"malformed", `{"benchmarks": [}`, "invalid character"},
+		{"wrong type", `{"benchmarks": 3}`, "cannot unmarshal"},
+		{"trailing garbage", validReportJSON + `{"benchmarks": []}`, "trailing data"},
+		{"no benchmarks key", `{}`, "no benchmarks"},
+		{"zero benchmarks", `{"benchmarks": []}`, "no benchmarks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeReport(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("decodeReport accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeReportAcceptsValid(t *testing.T) {
+	rep, err := decodeReport(strings.NewReader(validReportJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkX-8" {
+		t.Fatalf("decoded report: %+v", rep)
+	}
+}
+
+func TestLoadReportFileCases(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+	empty := write("empty.json", "")
+	if _, err := loadReport(empty); err == nil || !strings.Contains(err.Error(), "empty benchmark report") {
+		t.Errorf("empty file error = %v", err)
+	} else if !strings.Contains(err.Error(), empty) {
+		t.Errorf("error %q should name the offending file", err)
+	}
+	truncated := write("truncated.json", validReportJSON[:len(validReportJSON)/2])
+	if _, err := loadReport(truncated); err == nil || !strings.Contains(err.Error(), "truncated benchmark report") {
+		t.Errorf("truncated file error = %v", err)
+	}
+	ok := write("ok.json", validReportJSON)
+	if _, err := loadReport(ok); err != nil {
+		t.Errorf("valid file rejected: %v", err)
 	}
 }

@@ -76,6 +76,15 @@ func run() int {
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
 	ctx, root := obs.Start(context.Background(), "certify")
+	// Deferred so error exits still close the root span; the trace would
+	// otherwise show a forever-running phase (and certlint flags it).
+	defer func() {
+		root.End()
+		if *trace {
+			fmt.Println("trace:")
+			root.WriteTree(os.Stdout)
+		}
+	}()
 
 	spec := wire.GeneratorSpec{Kind: *graphKind, N: *n, T: *t, Density: *density, Seed: *seed}
 	_, gsp := obs.Start(ctx, "generate")
@@ -234,11 +243,6 @@ func run() int {
 		if !sweep.AllDetected {
 			fmt.Println("  WARNING: some corrupted assignments were accepted (see undetected trial indices above)")
 		}
-	}
-	root.End()
-	if *trace {
-		fmt.Println("trace:")
-		root.WriteTree(os.Stdout)
 	}
 	return 0
 }

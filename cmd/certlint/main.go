@@ -1,0 +1,125 @@
+// Command certlint runs the repo's project-invariant analyzers (see
+// internal/lint) over module packages:
+//
+//	certlint ./...                 # whole module
+//	certlint ./internal/wire       # one package
+//	certlint -run spanend ./...    # one analyzer
+//	certlint -json ./...           # machine-readable findings
+//	certlint -list                 # analyzer catalog
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors. Findings are
+// suppressed per line with `//certlint:ignore <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *run != "" {
+		var bad string
+		analyzers, bad = lint.ByName(strings.Split(*run, ","))
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "certlint: unknown analyzer %q\n", bad)
+			os.Exit(2)
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: certlint [-json] [-run names] packages...")
+		os.Exit(2)
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "certlint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(moduleDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "certlint: %v\n", err)
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, arg := range flag.Args() {
+		if strings.HasSuffix(arg, "...") {
+			root := strings.TrimSuffix(arg, "...")
+			root = strings.TrimSuffix(root, "/")
+			if root == "" || root == "." {
+				root = moduleDir
+			}
+			sub, err := lint.ModulePackages(root)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "certlint: %v\n", err)
+				os.Exit(2)
+			}
+			dirs = append(dirs, sub...)
+		} else {
+			dirs = append(dirs, arg)
+		}
+	}
+
+	runner := lint.NewRunner(analyzers)
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certlint: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runner.Package(pkg); err != nil {
+			fmt.Fprintf(os.Stderr, "certlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	findings := runner.Diagnostics()
+	if *jsonOut {
+		if err := runner.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "certlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		runner.WriteText(os.Stdout)
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "certlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

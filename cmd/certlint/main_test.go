@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCertlint compiles the command once per test binary into a temp
+// dir, so the smoke tests exercise the real CLI surface (flags, exit
+// codes, JSON shape) exactly as make ci invokes it.
+func buildCertlint(t *testing.T) (bin, moduleRoot string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = filepath.Join(t.TempDir(), "certlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/certlint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building certlint: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+type report struct {
+	Findings []struct {
+		Analyzer string `json:"analyzer"`
+		Position struct {
+			Filename string `json:"Filename"`
+			Line     int    `json:"Line"`
+		} `json:"position"`
+		Message string `json:"message"`
+	} `json:"findings"`
+}
+
+func runCertlint(t *testing.T, bin, dir string, args ...string) (stdout string, exit int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running certlint %v: %v", args, err)
+		}
+		return string(out), ee.ExitCode()
+	}
+	return string(out), 0
+}
+
+func TestJSONSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the certlint binary")
+	}
+	bin, root := buildCertlint(t)
+
+	// A fixture package with known findings: exit 1 and a parseable
+	// findings array whose entries carry analyzer, position and message.
+	out, exit := runCertlint(t, bin, root, "-json", "-run", "spanend",
+		"internal/lint/testdata/spanend")
+	if exit != 1 {
+		t.Fatalf("findings run exited %d, want 1\n%s", exit, out)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("certlint -json emitted unparseable output: %v\n%s", err, out)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("findings run emitted an empty findings array")
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer != "spanend" {
+			t.Errorf("-run spanend leaked analyzer %q", f.Analyzer)
+		}
+		if !strings.HasSuffix(f.Position.Filename, "positive.go") || f.Position.Line <= 0 {
+			t.Errorf("finding lacks a usable position: %+v", f)
+		}
+		if f.Message == "" {
+			t.Errorf("finding lacks a message: %+v", f)
+		}
+	}
+
+	// A clean package: exit 0 and an explicit empty findings array, so
+	// downstream consumers can distinguish "clean" from "crashed".
+	out, exit = runCertlint(t, bin, root, "-json", "internal/graph")
+	if exit != 0 {
+		t.Fatalf("clean run exited %d\n%s", exit, out)
+	}
+	rep = report{}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("clean-run JSON unparseable: %v\n%s", err, out)
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Fatalf("clean run should emit \"findings\": [], got %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the certlint binary")
+	}
+	bin, root := buildCertlint(t)
+	if _, exit := runCertlint(t, bin, root, "-run", "nosuchanalyzer", "./..."); exit != 2 {
+		t.Errorf("unknown analyzer exited %d, want 2", exit)
+	}
+	if _, exit := runCertlint(t, bin, root); exit != 2 {
+		t.Errorf("no package arguments exited %d, want 2", exit)
+	}
+	if _, exit := runCertlint(t, bin, t.TempDir(), "./..."); exit != 2 {
+		t.Errorf("run outside a module exited %d, want 2", exit)
+	}
+	out, exit := runCertlint(t, bin, root, "-list")
+	if exit != 0 {
+		t.Fatalf("-list exited %d", exit)
+	}
+	for _, name := range []string{"wiredeterminism", "pooldiscipline", "metrichygiene", "spanend", "hotpath"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing analyzer %s", name)
+		}
+	}
+}

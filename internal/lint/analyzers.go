@@ -1,0 +1,35 @@
+package lint
+
+// All returns a fresh instance of every analyzer in the suite, in
+// deterministic order. Fresh instances matter: analyzers may carry
+// cross-package state (metrichygiene's name/kind table), so sharing a
+// set across two runs would leak findings between them.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotPath(),
+		MetricHygiene(),
+		PoolDiscipline(),
+		SpanEnd(),
+		WireDeterminism(),
+	}
+}
+
+// ByName returns the named analyzers out of a fresh All() set; unknown
+// names are reported by the caller (the returned slice is nil if any
+// name is unknown, with the bad name second).
+func ByName(names []string) ([]*Analyzer, string) {
+	all := All()
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, n
+		}
+		out = append(out, a)
+	}
+	return out, ""
+}

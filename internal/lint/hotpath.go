@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathBannedPackages are wholesale off-limits in annotated functions:
+// fmt formats through reflection and allocates; reflect is reflection.
+var hotpathBannedPackages = map[string]bool{
+	"fmt":     true,
+	"reflect": true,
+}
+
+// HotPath returns the analyzer for //certlint:hotpath functions — the
+// EMSO DP inner loops, the per-vertex verifiers and the netsim round
+// body. These run once per vertex per round (or per DP state) and are
+// benchmarked by the committed regression gate, so they may not call
+// fmt.* or reflect.*, read time.Now, or allocate maps or closures per
+// call: each of those is an allocation or a syscall the benchmarks
+// exist to keep out.
+func HotPath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc: "functions annotated //certlint:hotpath may not call fmt.* or " +
+			"reflect.*, read time.Now, or allocate maps or closures: they run " +
+			"per vertex per round and the benchmark gate holds them to zero waste",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd, "hotpath") {
+					continue
+				}
+				checkHotPath(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(t.Pos(), "hotpath %s allocates a closure per call; hoist it to a package-level function", name)
+			return false
+		case *ast.CompositeLit:
+			if tt := pass.TypeOf(t); tt != nil {
+				if _, isMap := tt.Underlying().(*types.Map); isMap {
+					pass.Reportf(t.Pos(), "hotpath %s allocates a map per call; use a reusable scratch or a slice scan", name)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(t.Fun).(*ast.Ident); ok && id.Name == "make" && len(t.Args) > 0 {
+				if tt := pass.TypeOf(t.Args[0]); tt != nil {
+					if _, isMap := tt.Underlying().(*types.Map); isMap {
+						pass.Reportf(t.Pos(), "hotpath %s allocates a map per call; use a reusable scratch or a slice scan", name)
+					}
+				}
+			}
+			fn := pass.Callee(t)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			switch {
+			case hotpathBannedPackages[pkg]:
+				pass.Reportf(t.Pos(), "hotpath %s calls %s.%s: formatting/reflection is banned on hot paths", name, pkg, fn.Name())
+			case pkg == "time" && fn.Name() == "Now":
+				pass.Reportf(t.Pos(), "hotpath %s reads time.Now: clock reads are syscalls; time outside the hot loop", name)
+			}
+		}
+		return true
+	})
+}

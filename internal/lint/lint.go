@@ -1,0 +1,114 @@
+// Package lint is the repo's project-invariant static-analysis engine:
+// a stdlib-only analyzer framework (go/parser + go/types with the source
+// importer — no golang.org/x/tools dependency, matching the module's
+// zero-dependency rule) plus the analyzers that compile this repo's
+// engineering invariants into machine checks, the same move the paper
+// makes for graph properties: state the invariant once, have a checker
+// enforce it everywhere, locally.
+//
+// The analyzer interface is modeled on golang.org/x/tools/go/analysis:
+// an Analyzer has a Name, a Doc string and a Run function receiving a
+// Pass; diagnostics carry file:line positions. cmd/certlint drives the
+// analyzers over every package of the module and exits non-zero when any
+// diagnostic survives suppression.
+//
+// A finding is suppressed by a `//certlint:ignore <reason>` comment on
+// the flagged line or the line directly above it. The reason is
+// mandatory: a bare ignore suppresses nothing and is itself reported, so
+// every silenced finding documents why it is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one invariant checker. Analyzers may keep state across
+// packages (e.g. metrichygiene's cross-package metric-name table), so a
+// fresh instance set — see All — must be used per run.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by -list.
+	Doc string
+	// Run checks one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the position set the package was parsed with.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// TypesInfo returns the package's type-checking results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.TypesInfo }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, JSON-shaped for certlint -json.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.TypesInfo.TypeOf(e) }
+
+// Callee resolves the static callee of a call expression: a declared
+// function or method, or nil for calls through function values, builtins
+// and type conversions.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Pkg.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := p.Pkg.TypesInfo.Selections[fun]; sel != nil {
+			obj = sel.Obj()
+		} else {
+			obj = p.Pkg.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// calleeIs reports whether call statically resolves to the function or
+// method whose FullName (e.g. "(*sync.Pool).Get", "fmt.Errorf",
+// "repro/internal/obs.Start") is fullName.
+func (p *Pass) calleeIs(call *ast.CallExpr, fullName string) bool {
+	fn := p.Callee(call)
+	return fn != nil && fn.FullName() == fullName
+}
+
+// calleePackage returns the package path of the call's static callee, or
+// "" when the callee is not a declared function (builtins, conversions,
+// function values).
+func (p *Pass) calleePackage(call *ast.CallExpr) string {
+	fn := p.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

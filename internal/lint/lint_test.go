@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// moduleLoader returns a loader rooted at the repo's module (two levels
+// up from this package).
+func moduleLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := moduleLoader(t).Load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// expectation is one `// want "regexp"` comment: a finding matching re
+// must be reported on exactly that file and line.
+type expectation struct {
+	file string
+	line int
+	pat  string
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func wantExpectations(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pat, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pat: pat, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// runWantTest runs one analyzer over testdata/<name> and diffs its
+// findings against the fixture's want comments: every finding must match
+// a want on its line, and every want must be matched by a finding.
+func runWantTest(t *testing.T, analyzer string) {
+	t.Helper()
+	pkg := loadFixture(t, analyzer)
+	want := wantExpectations(t, pkg)
+	analyzers, bad := ByName([]string{analyzer})
+	if analyzers == nil {
+		t.Fatalf("unknown analyzer %q", bad)
+	}
+	r := NewRunner(analyzers)
+	if err := r.Package(pkg); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range r.Diagnostics() {
+		matched := false
+		for _, w := range want {
+			if w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range want {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.pat)
+		}
+	}
+}
+
+func TestWireDeterminism(t *testing.T) { runWantTest(t, "wiredeterminism") }
+func TestPoolDiscipline(t *testing.T)  { runWantTest(t, "pooldiscipline") }
+func TestMetricHygiene(t *testing.T)   { runWantTest(t, "metrichygiene") }
+func TestSpanEnd(t *testing.T)         { runWantTest(t, "spanend") }
+func TestHotPath(t *testing.T)         { runWantTest(t, "hotpath") }
+
+// TestIgnoreDirectives runs the full suite over the suppression fixture:
+// the reasoned ignore silences its leak, the bare ignore suppresses
+// nothing and is itself reported.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadFixture(t, "ignore")
+	r := NewRunner(All())
+	if err := r.Package(pkg); err != nil {
+		t.Fatal(err)
+	}
+	ds := r.Diagnostics()
+	if len(ds) != 2 {
+		t.Fatalf("want exactly 2 findings (bare directive + unsuppressed leak), got %d:\n%v", len(ds), ds)
+	}
+	if ds[0].Analyzer != "certlint" || !strings.Contains(ds[0].Message, "needs a reason") {
+		t.Errorf("first finding should be the bare directive, got %s", ds[0])
+	}
+	if ds[1].Analyzer != "pooldiscipline" {
+		t.Errorf("second finding should be the unsuppressed leak, got %s", ds[1])
+	}
+	for _, d := range ds {
+		if strings.Contains(d.Message, "point of the test") {
+			t.Errorf("suppressed finding leaked through: %s", d)
+		}
+	}
+	// The suppressed leak's line must not appear.
+	for _, d := range ds {
+		if d.Analyzer == "pooldiscipline" && d.Position.Line < 30 {
+			t.Errorf("finding inside the suppressed function: %s", d)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-test the CI gate relies on: the whole
+// module must lint clean with the committed annotations in place.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads every module package from source")
+	}
+	l := moduleLoader(t)
+	dirs, err := ModulePackages(l.ModuleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(All())
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		if err := r.Package(pkg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range r.Diagnostics() {
+		t.Errorf("repo finding: %s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if as, bad := ByName([]string{"spanend", "hotpath"}); as == nil || len(as) != 2 || bad != "" {
+		t.Fatalf("ByName(spanend, hotpath) = %v, %q", as, bad)
+	}
+	if as, bad := ByName([]string{"spanend", "nosuch"}); as != nil || bad != "nosuch" {
+		t.Fatalf("ByName with unknown name = %v, %q", as, bad)
+	}
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing metadata", a.Name)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	if len(names) != 5 {
+		t.Errorf("want 5 analyzers, got %d", len(names))
+	}
+}
+
+func TestOutputFormats(t *testing.T) {
+	pkg := loadFixture(t, "hotpath")
+	r := NewRunner(All())
+	if err := r.Package(pkg); err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	r.WriteText(&text)
+	if !strings.Contains(text.String(), "hotpath/positive.go:") || !strings.Contains(text.String(), ": hotpath: ") {
+		t.Errorf("text output missing file:line: analyzer: message form:\n%s", text.String())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Findings []Diagnostic `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("certlint JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("expected findings from the hotpath fixture")
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer == "" || f.Position.Filename == "" || f.Position.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+
+	// A clean run must still emit a findings array, not null.
+	var empty bytes.Buffer
+	if err := NewRunner(All()).WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), `"findings": []`) {
+		t.Errorf("clean JSON report should hold an empty array:\n%s", empty.String())
+	}
+}
+
+func TestLoaderErrors(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Error("NewLoader without go.mod should fail")
+	}
+	l := moduleLoader(t)
+	if _, err := l.Load(filepath.Join(t.TempDir(), "elsewhere")); err == nil {
+		t.Error("loading a directory outside the module should fail")
+	}
+	if _, err := l.Load(filepath.Join("testdata", "nosuchdir")); err == nil {
+		t.Error("loading a missing directory should fail")
+	}
+	if _, err := l.Load(filepath.Join("testdata", "broken")); err == nil {
+		t.Error("loading a package with type errors should fail")
+	}
+	// Load results (and failures) are cached per import path.
+	if _, err := l.Load(filepath.Join("testdata", "broken")); err == nil {
+		t.Error("cached load of a broken package should fail again")
+	}
+	pkg1, err := l.Load(filepath.Join("testdata", "hotpath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg2, err := l.Load(filepath.Join("testdata", "hotpath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg1 != pkg2 {
+		t.Error("repeated loads should return the cached package")
+	}
+}
+
+func TestModulePackages(t *testing.T) {
+	l := moduleLoader(t)
+	dirs, err := ModulePackages(l.ModuleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("expected the module's packages, got %d: %v", len(dirs), dirs)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata directory leaked into package list: %s", d)
+		}
+	}
+	for i := 1; i < len(dirs); i++ {
+		if dirs[i-1] >= dirs[i] {
+			t.Errorf("package list not sorted/unique at %q >= %q", dirs[i-1], dirs[i])
+		}
+	}
+}
+
+func TestPassAccessors(t *testing.T) {
+	pkg := loadFixture(t, "hotpath")
+	var ds []Diagnostic
+	pass := &Pass{Analyzer: &Analyzer{Name: "demo"}, Pkg: pkg, diags: &ds}
+	if pass.Fset() != pkg.Fset {
+		t.Error("Fset should return the package's file set")
+	}
+	if pass.TypesInfo() != pkg.TypesInfo {
+		t.Error("TypesInfo should return the package's type info")
+	}
+	pass.Reportf(pkg.Files[0].Pos(), "count=%d", 7)
+	if len(ds) != 1 {
+		t.Fatalf("Reportf recorded %d diagnostics, want 1", len(ds))
+	}
+	got := ds[0].String()
+	if !strings.Contains(got, "demo: count=7") || !strings.Contains(got, ".go:") {
+		t.Errorf("Diagnostic.String = %q, want pos + analyzer + message", got)
+	}
+}
+
+func TestModuleImporter(t *testing.T) {
+	l := moduleLoader(t)
+	m := &moduleImporter{l: l, dir: l.ModuleDir}
+	pkg, err := m.Import("repro/internal/graph")
+	if err != nil {
+		t.Fatalf("importing a module package: %v", err)
+	}
+	if pkg.Path() != "repro/internal/graph" {
+		t.Errorf("imported path = %q", pkg.Path())
+	}
+	std, err := m.Import("sort")
+	if err != nil {
+		t.Fatalf("importing a stdlib package: %v", err)
+	}
+	if std.Path() != "sort" {
+		t.Errorf("stdlib path = %q", std.Path())
+	}
+	if _, err := m.Import("repro/internal/lint/testdata/broken"); err == nil {
+		t.Error("importing a type-broken module package should fail")
+	}
+}

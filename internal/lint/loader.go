@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/wire").
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset positions every file in the loader's shared set.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments, sorted by
+	// file name so analysis order is deterministic.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records types, definitions, uses and selections.
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks module packages from source. Imports of
+// module-internal packages resolve recursively through the loader itself;
+// everything else resolves through the standard library's source
+// importer, so the whole pipeline needs no export data and no
+// dependencies outside the standard library.
+type Loader struct {
+	// ModuleDir is the module root (the directory holding go.mod).
+	ModuleDir string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	errs map[string]error // import path -> first load failure
+}
+
+// NewLoader returns a loader rooted at moduleDir, reading the module path
+// from go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", moduleDir)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		ModuleDir:  moduleDir,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        std,
+		pkgs:       map[string]*Package{},
+		errs:       map[string]error{},
+	}, nil
+}
+
+// Fset returns the loader's shared position set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks the package in dir (which must live under
+// the module root). Repeated loads of the same package are cached.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleDir)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadPath(path)
+}
+
+// loadPath loads a package by import path (module-internal paths only).
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if err, ok := l.errs[path]; ok {
+		return nil, err
+	}
+	pkg, err := l.load(path)
+	if err != nil {
+		l.errs[path] = err
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	rel := strings.TrimPrefix(path, l.ModulePath)
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: &moduleImporter{l: l, dir: dir},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+	}
+	return &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// moduleImporter routes module-internal import paths back through the
+// loader and everything else to the standard library source importer.
+type moduleImporter struct {
+	l   *Loader
+	dir string
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, m.dir, 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == m.l.ModulePath || strings.HasPrefix(path, m.l.ModulePath+"/") {
+		pkg, err := m.l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.l.std.ImportFrom(path, srcDir, mode)
+}
+
+// ModulePackages lists every package directory under root (relative or
+// absolute), skipping testdata, hidden directories and directories with
+// no non-test Go files. Paths come back sorted.
+func ModulePackages(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if n == "testdata" || (strings.HasPrefix(n, ".") && p != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// obsPath is the observability core every metric flows through.
+const obsPath = "repro/internal/obs"
+
+// metricNameRe is the exposition-safe spelling: snake_case, leading
+// letter. (The obs exposition writer escapes nothing in names, so
+// anything outside this set corrupts /metrics.)
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricKindSuffixes maps the registry accessor to its allowed name
+// suffixes: counters count things (_total) or accumulated quantities
+// (_bits, _bytes); histograms in this module are always durations in
+// seconds. Gauges are free-form but must not masquerade as counters.
+var metricKindSuffixes = map[string][]string{
+	"Counter":   {"_total", "_bits", "_bytes"},
+	"Histogram": {"_seconds"},
+}
+
+// MetricHygiene returns the analyzer guarding the PR6 metrics layer:
+// metric and label names must be compile-time constants in snake_case
+// with a kind-consistent unit suffix, label values must not be built
+// with fmt.Sprintf (unbounded cardinality), and one metric name must
+// keep one kind across the whole module — the runtime panics on a
+// same-registry kind clash, but only when the second registration
+// actually executes; this check is static and cross-package.
+func MetricHygiene() *Analyzer {
+	a := &Analyzer{
+		Name: "metrichygiene",
+		Doc: "obs metric/label names must be constant snake_case with a " +
+			"kind-consistent suffix (_total/_bits/_bytes for counters, _seconds " +
+			"for histograms), label values must not come from fmt.Sprintf, and a " +
+			"metric name must keep one kind across all packages",
+	}
+	type firstUse struct {
+		kind string
+		pos  token.Position
+	}
+	kinds := map[string]firstUse{} // metric name -> first kind seen (across packages)
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := pass.Callee(call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+					return true
+				}
+				kind := fn.Name()
+				if _, isAccessor := metricKindSuffixes[kind]; !isAccessor && kind != "Gauge" {
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				name, isConst := constString(pass, call.Args[0])
+				if !isConst {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric name passed to %s must be a compile-time constant", kind)
+				} else {
+					checkMetricName(pass, call.Args[0].Pos(), kind, name)
+					if prev, seen := kinds[name]; seen && prev.kind != kind {
+						pass.Reportf(call.Args[0].Pos(),
+							"metric %q used as %s here but as %s at %s: one name, one kind",
+							name, strings.ToLower(kind), strings.ToLower(prev.kind), prev.pos)
+					} else if !seen {
+						kinds[name] = firstUse{kind: kind, pos: pass.Fset().Position(call.Args[0].Pos())}
+					}
+				}
+				for _, arg := range call.Args[1:] {
+					if lcall, ok := ast.Unparen(arg).(*ast.CallExpr); ok && pass.calleeIs(lcall, obsPath+".L") {
+						checkLabel(pass, lcall)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkMetricName validates spelling and the kind/unit suffix contract.
+func checkMetricName(pass *Pass, pos token.Pos, kind, name string) {
+	if !metricNameRe.MatchString(name) {
+		pass.Reportf(pos, "metric name %q is not snake_case ([a-z][a-z0-9_]*)", name)
+		return
+	}
+	if sufs, ok := metricKindSuffixes[kind]; ok {
+		for _, s := range sufs {
+			if strings.HasSuffix(name, s) {
+				return
+			}
+		}
+		pass.Reportf(pos, "%s name %q must end in %s", strings.ToLower(kind), name, strings.Join(sufs, ", "))
+		return
+	}
+	// Gauge: anything but a counter suffix.
+	if strings.HasSuffix(name, "_total") {
+		pass.Reportf(pos, "gauge name %q ends in _total, which marks a counter", name)
+	}
+}
+
+// checkLabel validates one obs.L(key, value) argument.
+func checkLabel(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 2 {
+		return
+	}
+	key, isConst := constString(pass, call.Args[0])
+	if !isConst {
+		pass.Reportf(call.Args[0].Pos(), "label key must be a compile-time constant")
+	} else if !metricNameRe.MatchString(key) {
+		pass.Reportf(call.Args[0].Pos(), "label key %q is not snake_case ([a-z][a-z0-9_]*)", key)
+	}
+	if vcall, ok := ast.Unparen(call.Args[1]).(*ast.CallExpr); ok {
+		if pkg := pass.calleePackage(vcall); pkg == "fmt" {
+			pass.Reportf(call.Args[1].Pos(),
+				"label value built with fmt.%s: formatted values are an unbounded-cardinality risk; use a fixed vocabulary",
+				pass.Callee(vcall).Name())
+		}
+	}
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The release-path checker shared by pooldiscipline and spanend: both
+// invariants have the shape "after acquiring X, a release call must be
+// reached on every return path, normally via defer".
+//
+// The check is a structural flow analysis over the statement tree, not a
+// full CFG: a single boolean state — "the resource is outstanding" —
+// threads through every statement in source order. The acquire sets it,
+// a release (or a deferred release) clears it, and at control-flow joins
+// the branch states merge with OR (outstanding on any incoming path is
+// outstanding). A return reached while outstanding is a leak; so is
+// falling off the end of the scope. This correctly accepts a release in
+// *both* arms of an if/else, a resource acquired and released entirely
+// inside a nested block, and `defer` in all its shapes, while still
+// catching the early-`return err` between acquire and release that the
+// invariant exists to forbid.
+
+// pathCheck is one uncoveredReturns run: which assignment acquires, what
+// counts as a release, and the leaks found so far.
+type pathCheck struct {
+	acquirePos token.Pos
+	isRelease  func(*ast.CallExpr) bool
+	bad        []token.Pos
+}
+
+// uncoveredReturns reports the positions of return paths in body on which
+// the resource acquired by the statement at acquirePos is still
+// outstanding. Deferred releases count, including the
+// `defer func() { ...release... }()` shape. Nested function literals are
+// separate scopes: their returns are not this scope's returns and their
+// releases (except deferred ones) do not run on this scope's paths. If
+// the body can fall off its closing brace while outstanding, the brace
+// position is reported as a leak.
+func uncoveredReturns(body *ast.BlockStmt, acquirePos token.Pos, isRelease func(*ast.CallExpr) bool) []token.Pos {
+	c := &pathCheck{acquirePos: acquirePos, isRelease: isRelease}
+	out, term := c.block(body, false)
+	if !term && out {
+		c.bad = append(c.bad, body.Rbrace)
+	}
+	return c.bad
+}
+
+// block threads the outstanding state through a statement list.
+// Statements after a terminating one are unreachable and not analyzed.
+func (c *pathCheck) block(b *ast.BlockStmt, in bool) (out, term bool) {
+	return c.stmtList(b.List, in)
+}
+
+func (c *pathCheck) stmtList(list []ast.Stmt, in bool) (out, term bool) {
+	out = in
+	for _, s := range list {
+		var t bool
+		out, t = c.stmt(s, out)
+		if t {
+			return out, true
+		}
+	}
+	return out, false
+}
+
+// stmt analyzes one statement: given the outstanding state on entry it
+// returns the state on the fall-through exit and whether the statement
+// terminates the path (return, panic, infinite loop).
+func (c *pathCheck) stmt(s ast.Stmt, in bool) (out, term bool) {
+	switch t := s.(type) {
+	case *ast.BlockStmt:
+		return c.block(t, in)
+	case *ast.LabeledStmt:
+		return c.stmt(t.Stmt, in)
+	case *ast.ReturnStmt:
+		if in {
+			c.bad = append(c.bad, t.Pos())
+		}
+		return false, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this construct. The state at the jump
+		// is dropped rather than merged at the target — an approximation
+		// that can miss a leak routed through a break, never a false leak.
+		return in, true
+	case *ast.DeferStmt:
+		if c.isRelease(t.Call) {
+			return false, false
+		}
+		if lit, ok := t.Call.Fun.(*ast.FuncLit); ok && c.containsRelease(lit.Body) {
+			return false, false
+		}
+		return in, false
+	case *ast.GoStmt:
+		// Releases inside a spawned goroutine run asynchronously; they do
+		// not cover this scope's return paths.
+		return in, false
+	case *ast.IfStmt:
+		in = c.leafState(t.Init, in)
+		bodyOut, bodyTerm := c.block(t.Body, in)
+		elseOut, elseTerm := in, false
+		if t.Else != nil {
+			elseOut, elseTerm = c.stmt(t.Else, in)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return false, true
+		case bodyTerm:
+			return elseOut, false
+		case elseTerm:
+			return bodyOut, false
+		}
+		return bodyOut || elseOut, false
+	case *ast.ForStmt:
+		in = c.leafState(t.Init, in)
+		bodyOut, _ := c.block(t.Body, in)
+		if t.Cond == nil && !hasBreak(t.Body) {
+			return false, true // `for {}` never falls through
+		}
+		// The body may run zero times (state = in) or leave its own state.
+		return in || bodyOut, false
+	case *ast.RangeStmt:
+		bodyOut, _ := c.block(t.Body, in)
+		return in || bodyOut, false
+	case *ast.SwitchStmt:
+		in = c.leafState(t.Init, in)
+		return c.clauses(t.Body.List, in)
+	case *ast.TypeSwitchStmt:
+		in = c.leafState(t.Init, in)
+		return c.clauses(t.Body.List, in)
+	case *ast.SelectStmt:
+		return c.clauses(t.Body.List, in)
+	default:
+		// Leaf statements: assignments, expression statements, sends,
+		// declarations. The acquire and plain releases live here.
+		return c.leafState(s, in), terminalCall(s)
+	}
+}
+
+// clauses merges the case/comm clauses of a switch or select: the result
+// is outstanding if any non-terminating clause exits outstanding, or —
+// when there is no default — if the construct can be skipped entirely
+// while outstanding.
+func (c *pathCheck) clauses(list []ast.Stmt, in bool) (out, term bool) {
+	hasDefault := false
+	allTerm := len(list) > 0
+	for _, cl := range list {
+		var body []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			body = cc.Body
+		}
+		o, t := c.stmtList(body, in)
+		if !t {
+			out = out || o
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		out = out || in
+		allTerm = false
+	}
+	return out, allTerm
+}
+
+// leafState applies a leaf statement (or a nil/Init statement) to the
+// state: the acquiring statement sets outstanding, a statement containing
+// a release clears it.
+func (c *pathCheck) leafState(s ast.Stmt, in bool) bool {
+	if s == nil {
+		return in
+	}
+	if s.Pos() <= c.acquirePos && c.acquirePos < s.End() {
+		in = true
+	}
+	if c.containsRelease(s) {
+		in = false
+	}
+	return in
+}
+
+// containsRelease reports whether n contains a release call outside any
+// nested function literal.
+func (c *pathCheck) containsRelease(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && c.isRelease(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// terminalCall recognizes leaf statements control cannot flow past:
+// panic, os.Exit, runtime.Goexit, log.Fatal*.
+func terminalCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name == "panic"
+	case *ast.SelectorExpr:
+		x, ok := f.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		full := x.Name + "." + f.Sel.Name
+		return full == "os.Exit" || full == "runtime.Goexit" || strings.HasPrefix(full, "log.Fatal")
+	}
+	return false
+}
+
+// hasBreak reports whether body contains a break binding to the enclosing
+// loop (nested loops, switches and selects consume their own breaks; a
+// labeled break out of a nested construct is missed — acceptable for
+// deciding whether `for {}` can fall through).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch t := m.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false
+		case *ast.BranchStmt:
+			if t.Tok == token.BREAK {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObject reports whether expr references the identifier object obj.
+func usesObject(pkg *Package, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,383 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolGetName and poolPutName are the sync.Pool accessors the analyzer
+// tracks.
+const (
+	poolGetName = "(*sync.Pool).Get"
+	poolPutName = "(*sync.Pool).Put"
+)
+
+// PoolDiscipline returns the analyzer enforcing the scratch-buffer
+// contract of the PR2/PR5 sync.Pool paths: every Pool.Get must reach a
+// Put on every return path (normally `defer pool.Put(x)` or a deferred
+// release wrapper), and the pooled object must not escape the function
+// through a return value or a store into a non-local — an escaped
+// scratch aliases the next Get and corrupts a concurrent caller.
+func PoolDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "pooldiscipline",
+		Doc: "every sync.Pool.Get must reach a Put on all return paths and the " +
+			"pooled object must not escape via return value or non-local store; " +
+			"a leaked scratch defeats the pool, an escaped one aliases the next Get",
+	}
+	a.Run = func(pass *Pass) error {
+		releasers := releaseWrappers(pass)
+		getters := getterWrappers(pass)
+		funcBodies(pass.Pkg, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			if lit == nil && decl != nil {
+				if fn, ok := pass.Pkg.TypesInfo.Defs[decl.Name].(*types.Func); ok && getters[fn] {
+					// A getter wrapper's whole point is handing the pooled
+					// object to its caller; the discipline transfers to the
+					// call sites, which are checked as acquisitions below.
+					return
+				}
+			}
+			checkPoolScope(pass, releasers, getters, body)
+		})
+		return nil
+	}
+	return a
+}
+
+// getterWrappers finds same-package functions that hand a freshly
+// Got pooled object to their caller — netsim's
+// `func (e *Engine) getScratch() *shardScratch` shape. Calling one is an
+// acquisition; the wrapper body itself is exempt from the escape checks.
+func getterWrappers(pass *Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Results == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			// Collect the objects bound to Pool.Get results in this body.
+			pooled := map[types.Object]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					call := getCall(rhs)
+					if call == nil || !pass.calleeIs(call, poolGetName) || i >= len(as.Lhs) {
+						continue
+					}
+					if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Pkg.TypesInfo.Defs[id]; obj != nil {
+							pooled[obj] = true
+						}
+					}
+				}
+				return true
+			})
+			// A wrapper returns one of them (or a Get call directly).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if call := getCall(res); call != nil && pass.calleeIs(call, poolGetName) {
+						out[fn] = true
+					}
+					if id, ok := ast.Unparen(res).(*ast.Ident); ok && pooled[pass.Pkg.TypesInfo.Uses[id]] {
+						out[fn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// releaseWrappers finds same-package functions whose body contains a
+// Pool.Put: passing the pooled object to one of these (as receiver or
+// argument) counts as releasing it — the emso scratch's
+// `defer sc.release()` shape.
+func releaseWrappers(pass *Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && pass.calleeIs(call, poolPutName) {
+					out[fn] = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkPoolScope checks one function scope for Get/Put discipline. An
+// acquisition is a direct Pool.Get or a call to a same-package getter
+// wrapper.
+func checkPoolScope(pass *Pass, releasers, getters map[*types.Func]bool, body *ast.BlockStmt) {
+	isAcquire := func(call *ast.CallExpr) bool {
+		if call == nil {
+			return false
+		}
+		if pass.calleeIs(call, poolGetName) {
+			return true
+		}
+		fn := pass.Callee(call)
+		return fn != nil && getters[fn]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Literals are their own scopes via funcBodies; do not
+			// attribute their Gets to the enclosing function.
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call := getCall(rhs)
+			if !isAcquire(call) {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				pass.Reportf(call.Pos(), "sync.Pool.Get result is discarded: the object can never be Put back")
+				continue
+			}
+			obj := pass.Pkg.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.Pkg.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			checkPooledVar(pass, releasers, body, call, obj, id.Name)
+		}
+		return true
+	})
+}
+
+// getCall unwraps `pool.Get()` and `pool.Get().(*T)` to the call.
+func getCall(e ast.Expr) *ast.CallExpr {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return t
+	case *ast.TypeAssertExpr:
+		if call, ok := ast.Unparen(t.X).(*ast.CallExpr); ok {
+			return call
+		}
+	}
+	return nil
+}
+
+// checkPooledVar enforces release-on-all-paths and no-escape for one
+// pooled variable.
+func checkPooledVar(pass *Pass, releasers map[*types.Func]bool, body *ast.BlockStmt, get *ast.CallExpr, obj types.Object, name string) {
+	isRelease := func(call *ast.CallExpr) bool {
+		fn := pass.Callee(call)
+		if fn == nil {
+			return false
+		}
+		if fn.FullName() == poolPutName {
+			for _, arg := range call.Args {
+				if usesObject(pass.Pkg, arg, obj) {
+					return true
+				}
+			}
+			return false
+		}
+		if !releasers[fn] {
+			return false
+		}
+		// Receiver or argument mentions the pooled object.
+		if usesObject(pass.Pkg, call, obj) {
+			return true
+		}
+		return false
+	}
+	for _, ret := range uncoveredReturns(body, get.Pos(), isRelease) {
+		pass.Reportf(ret, "pooled %s from sync.Pool.Get is not returned to the pool on this path (missing Put or deferred release)", name)
+	}
+	// Escape checks: returning the object, or storing it into something
+	// that outlives the call.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range t.Results {
+				if aliasesObject(pass, res, obj) {
+					pass.Reportf(t.Pos(), "pooled %s escapes via return value: the caller would alias the next Get", name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range t.Rhs {
+				if !isBareObject(pass, rhs, obj) || i >= len(t.Lhs) {
+					continue
+				}
+				if storeEscapes(pass, t.Lhs[i], obj) {
+					pass.Reportf(t.Pos(), "pooled %s escapes via store into a non-local: the location outlives the call", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliasesObject reports whether e is the pooled object or a view into
+// its memory: the bare variable, a field, an element, a slice of a field,
+// or an address of any of those. Values merely derived from the object —
+// len(sc.views), sc.count — are copies and do not alias, so a call
+// boundary ends the chain.
+func aliasesObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	base := ast.Unparen(e)
+	for {
+		switch t := base.(type) {
+		case *ast.SelectorExpr:
+			base = ast.Unparen(t.X)
+			continue
+		case *ast.IndexExpr:
+			base = ast.Unparen(t.X)
+			continue
+		case *ast.SliceExpr:
+			base = ast.Unparen(t.X)
+			continue
+		case *ast.StarExpr:
+			base = ast.Unparen(t.X)
+			continue
+		case *ast.UnaryExpr:
+			if t.Op != token.AND {
+				return false
+			}
+			base = ast.Unparen(t.X)
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.Pkg.TypesInfo.Uses[id] == obj || pass.Pkg.TypesInfo.Defs[id] == obj
+}
+
+// isBareObject reports whether e is exactly the pooled variable (not a
+// field read or slice of it — copying data out is fine).
+func isBareObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && (pass.Pkg.TypesInfo.Uses[id] == obj || pass.Pkg.TypesInfo.Defs[id] == obj)
+}
+
+// storeEscapes reports whether assigning the pooled object to lhs lets it
+// outlive the call: a store into a field or element of anything other
+// than a function-local variable (package-level variables, parameters,
+// receivers — all visible after return). Stores into fields of the
+// pooled object itself, or of other locals, stay function-local.
+func storeEscapes(pass *Pass, lhs ast.Expr, obj types.Object) bool {
+	base := ast.Unparen(lhs)
+	for {
+		switch t := base.(type) {
+		case *ast.SelectorExpr:
+			base = ast.Unparen(t.X)
+			continue
+		case *ast.IndexExpr:
+			base = ast.Unparen(t.X)
+			continue
+		case *ast.StarExpr:
+			base = ast.Unparen(t.X)
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return true // stores through arbitrary expressions: assume escape
+	}
+	if id.Name == "_" {
+		return false
+	}
+	target := pass.Pkg.TypesInfo.Uses[id]
+	if target == nil {
+		target = pass.Pkg.TypesInfo.Defs[id]
+	}
+	if target == obj {
+		return false // sc.field = x on the pooled object itself
+	}
+	v, ok := target.(*types.Var)
+	if !ok {
+		return true
+	}
+	if v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+		return true // package-level variable
+	}
+	if id == ast.Expr(lhs) {
+		// Plain rebinding `x = sc` of a local: tracked no further, allowed
+		// only for locals; parameters are locals too in Go's model, and a
+		// caller cannot see a parameter reassignment.
+		return false
+	}
+	// A store into a field/element of a parameter or receiver escapes:
+	// the caller holds the base.
+	if isParamOrReceiver(pass, v) {
+		return true
+	}
+	return false
+}
+
+// isParamOrReceiver reports whether v is declared in a function signature
+// rather than the body.
+func isParamOrReceiver(pass *Pass, v *types.Var) bool {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil {
+				for _, fld := range fd.Recv.List {
+					for _, nm := range fld.Names {
+						if pass.Pkg.TypesInfo.Defs[nm] == types.Object(v) {
+							return true
+						}
+					}
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, fld := range fd.Type.Params.List {
+					for _, nm := range fld.Names {
+						if pass.Pkg.TypesInfo.Defs[nm] == types.Object(v) {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive: `//certlint:ignore <reason>`
+// on the flagged line, or the line directly above it, silences a finding.
+const ignorePrefix = "//certlint:ignore"
+
+// Runner drives a set of analyzers over loaded packages and owns the
+// collected diagnostics.
+type Runner struct {
+	Analyzers []*Analyzer
+
+	diags []Diagnostic
+}
+
+// NewRunner returns a runner over the given analyzers (All() for the full
+// suite).
+func NewRunner(analyzers []*Analyzer) *Runner {
+	return &Runner{Analyzers: analyzers}
+}
+
+// Package runs every analyzer over pkg, applying ignore directives.
+// Malformed directives (no reason) are themselves reported.
+func (r *Runner) Package(pkg *Package) error {
+	ignored, bad := ignoreLines(pkg)
+	for _, d := range bad {
+		r.diags = append(r.diags, d)
+	}
+	start := len(r.diags)
+	for _, a := range r.Analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &r.diags}
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	kept := r.diags[:start]
+	for _, d := range r.diags[start:] {
+		key := d.Position.Filename
+		if ignored[lineKey{key, d.Position.Line}] || ignored[lineKey{key, d.Position.Line - 1}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	r.diags = kept
+	return nil
+}
+
+// Diagnostics returns every surviving finding, sorted by position then
+// analyzer name.
+func (r *Runner) Diagnostics() []Diagnostic {
+	sort.SliceStable(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return r.diags
+}
+
+// WriteText renders one finding per line in file:line:col form.
+func (r *Runner) WriteText(w io.Writer) {
+	for _, d := range r.Diagnostics() {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// jsonReport is the certlint -json document.
+type jsonReport struct {
+	Findings []Diagnostic `json:"findings"`
+}
+
+// WriteJSON renders the findings as one JSON document (an empty findings
+// array when the run is clean).
+func (r *Runner) WriteJSON(w io.Writer) error {
+	ds := r.Diagnostics()
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Findings: ds})
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ignoreLines collects the lines carrying well-formed ignore directives
+// and reports malformed ones (an ignore without a reason documents
+// nothing, so it suppresses nothing).
+func ignoreLines(pkg *Package) (map[lineKey]bool, []Diagnostic) {
+	ignored := map[lineKey]bool{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.TrimSpace(rest) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "certlint",
+						Position: pos,
+						Message:  "ignore directive needs a reason: //certlint:ignore <reason>",
+					})
+					continue
+				}
+				ignored[lineKey{pos.Filename, pos.Line}] = true
+			}
+		}
+	}
+	return ignored, bad
+}
+
+// funcBodies visits every declared function and function literal of the
+// package in source order: fn is the enclosing declaration (nil for
+// literals at file scope, which Go does not have, so fn is never nil in
+// practice for literals — the enclosing FuncDecl is passed), and body is
+// the function's own body. Used by analyzers whose invariant is scoped
+// to one function at a time: each literal is analyzed as its own scope.
+func funcBodies(pkg *Package, visit func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd, nil, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(fd, lit, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// directives returns the certlint directive names attached to a function
+// declaration's doc comment or the comments immediately preceding it,
+// e.g. "hotpath" for //certlint:hotpath.
+func directives(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//certlint:")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		if name != "" && name != "ignore" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether fd carries //certlint:<name>.
+func hasDirective(fd *ast.FuncDecl, name string) bool {
+	for _, d := range directives(fd) {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}

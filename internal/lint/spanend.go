@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SpanEnd returns the analyzer enforcing the span lifecycle of the PR6
+// tracing layer: every span returned by obs.Start must have End() called
+// on every return path (normally `defer sp.End()` or End inside a
+// deferred closure). A span that is never ended reports a forever-running
+// phase in the request tree and skews the phase histograms its duration
+// feeds.
+func SpanEnd() *Analyzer {
+	a := &Analyzer{
+		Name: "spanend",
+		Doc: "every obs.Start span must reach End() on all return paths, " +
+			"normally via defer; an un-ended span corrupts the phase tree and " +
+			"the latency histograms fed from its duration",
+	}
+	a.Run = func(pass *Pass) error {
+		funcBodies(pass.Pkg, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			checkSpanScope(pass, body)
+		})
+		return nil
+	}
+	return a
+}
+
+func checkSpanScope(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate scope
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !pass.calleeIs(call, obsPath+".Start") {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			pass.Reportf(call.Pos(), "span from obs.Start is discarded: it can never be ended")
+			return true
+		}
+		obj := pass.Pkg.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.Pkg.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		isEnd := func(c *ast.CallExpr) bool {
+			if !pass.calleeIs(c, "(*"+obsPath+".Span).End") {
+				return false
+			}
+			sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+			return ok && usesObject(pass.Pkg, sel.X, obj)
+		}
+		for _, ret := range uncoveredReturns(body, call.Pos(), isEnd) {
+			pass.Reportf(ret, "span %s from obs.Start is not ended on this path (missing %s.End(), normally deferred)", id.Name, id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,7 @@
+// A deliberately type-broken fixture: the loader must surface the type
+// error instead of analyzing garbage.
+package fixture
+
+func undefinedName() int {
+	return notDeclared
+}

@@ -1,0 +1,52 @@
+// Positive hotpath fixtures: each function below reproduces a per-call
+// cost this PR removed from a real annotated hot function.
+package fixture
+
+import (
+	"fmt"
+	"slices"
+	"time"
+)
+
+// Mirrors internal/treewidth/emso_engine.go (emsoSolver.up) before the
+// fix: an error formatted inside the DP loop instead of a package-level
+// sentinel.
+//
+//certlint:hotpath
+func hotWithFmt(kind int) error {
+	return fmt.Errorf("unknown node kind %v", kind) // want "calls fmt.Errorf"
+}
+
+// Mirrors internal/treedepth/scheme.go (CheckPayloads) before the fix: a
+// fresh seen-set allocated per verification call.
+//
+//certlint:hotpath
+func hotWithMapLiteral(ids []int) bool {
+	seen := map[int]bool{} // want "allocates a map per call"
+	for _, id := range ids {
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+	}
+	return true
+}
+
+//certlint:hotpath
+func hotWithMakeMap(n int) int {
+	m := make(map[int]int, n) // want "allocates a map per call"
+	return len(m)
+}
+
+// Mirrors internal/netsim/netsim.go (runShard) before the fix: a sort
+// comparator closure allocated per vertex.
+//
+//certlint:hotpath
+func hotWithClosure(xs []int) {
+	slices.SortFunc(xs, func(a, b int) int { return a - b }) // want "allocates a closure per call"
+}
+
+//certlint:hotpath
+func hotWithClock() int64 {
+	return time.Now().UnixNano() // want "reads time.Now"
+}

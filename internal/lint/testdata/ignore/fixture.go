@@ -1,0 +1,38 @@
+// Fixtures for the suppression mechanism: a reasoned
+// `//certlint:ignore <reason>` on the flagged line or the line above
+// silences the finding; a bare ignore suppresses nothing and is itself
+// reported.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+type buf struct {
+	b []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var errFail = errors.New("fail")
+
+func suppressedLeak(fail bool) error {
+	sc := pool.Get().(*buf)
+	if fail {
+		//certlint:ignore fixture: the leak on this path is the point of the test
+		return errFail
+	}
+	pool.Put(sc)
+	return nil
+}
+
+func bareIgnoreDoesNotSuppress(fail bool) error {
+	sc := pool.Get().(*buf)
+	if fail {
+		//certlint:ignore
+		return errFail
+	}
+	pool.Put(sc)
+	return nil
+}

@@ -1,0 +1,27 @@
+// Negative metrichygiene fixtures: the registration idioms the repo's
+// metric surfaces use (internal/engine metric constants, the
+// cmd/certserver fixed path vocabulary, strconv for bounded values).
+package fixture
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// The internal/engine shape: names as package-level constants.
+const (
+	metricJobs         = "fixture_jobs_total"
+	metricPhaseSeconds = "fixture_phase_seconds"
+)
+
+func goodRegistrations(reg *obs.Registry, status int) {
+	reg.Counter(metricJobs, "jobs processed", obs.L("outcome", "accepted"))
+	reg.Histogram(metricPhaseSeconds, "phase latency", obs.L("phase", "prove"))
+	reg.Counter("round_bits", "certificate bits exchanged")
+	reg.Counter("payload_bytes", "payload bytes written")
+	reg.Gauge("inflight_rounds", "rounds in flight")
+	// Bounded label values computed without fmt (the cmd/certserver
+	// status-code shape) are fine.
+	reg.Counter("http_responses_total", "responses", obs.L("status", strconv.Itoa(status)))
+}

@@ -1,0 +1,27 @@
+// Positive metrichygiene fixtures: names, kinds and labels the analyzer
+// must flag. The fmt.Sprintf label value is the cardinality trap the
+// cmd/certserver handlers avoid with a fixed path vocabulary.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+func metricName(which string) string { return "dynamic_" + which }
+
+func badRegistrations(reg *obs.Registry, which string, jobs int) {
+	reg.Counter(metricName(which), "computed name") // want "must be a compile-time constant"
+	reg.Counter("badName_total", "camel case")      // want "not snake_case"
+	reg.Counter("requests_count", "bad unit")       // want "counter name .* must end in _total, _bits, _bytes"
+	reg.Histogram("request_latency", "bad unit")    // want "histogram name .* must end in _seconds"
+	reg.Gauge("inflight_total", "counter suffix")   // want "gauge name .* ends in _total, which marks a counter"
+	reg.Counter("exchange_round_bits", "first use ok")
+	reg.Gauge("exchange_round_bits", "kind clash") // want "one name, one kind"
+
+	reg.Counter("jobs_total", "ok", obs.L(metricName(which), "x")) // want "label key must be a compile-time constant"
+	reg.Counter("jobs_total", "ok", obs.L("Status-Code", "x"))     // want "label key .* is not snake_case"
+	reg.Counter("jobs_total", "ok",
+		obs.L("job", fmt.Sprintf("job-%d", jobs))) // want "unbounded-cardinality risk"
+}

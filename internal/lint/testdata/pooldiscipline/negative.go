@@ -1,0 +1,71 @@
+// Negative pooldiscipline fixtures: the disciplined shapes already used
+// across the repo, which the analyzer must accept without findings.
+package fixture
+
+import "sync"
+
+type scratch struct {
+	views []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// release is a release wrapper (the internal/treewidth emsoScratch
+// shape): passing the pooled object to it counts as a Put.
+func (s *scratch) release() {
+	s.views = s.views[:0]
+	scratchPool.Put(s)
+}
+
+// The internal/treewidth MSOScheme.Verify shape: Get, defer Put.
+func deferPut() int {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.views = append(sc.views[:0], 1)
+	return len(sc.views)
+}
+
+// The emso solver shape: Get, defer a release-wrapper call.
+func deferRelease() int {
+	sc := scratchPool.Get().(*scratch)
+	defer sc.release()
+	sc.views = append(sc.views[:0], 1, 2)
+	return len(sc.views)
+}
+
+// The netsim runShard shape: an explicit Put on the cancellation path and
+// another before the normal return, with the result copied out so the
+// scratch never escapes.
+func putOnAllPaths(cancelled bool, n int) []int {
+	sc := scratchPool.Get().(*scratch)
+	views := sc.views[:0]
+	if cancelled {
+		sc.views = views
+		scratchPool.Put(sc)
+		return nil
+	}
+	for v := 0; v < n; v++ {
+		views = append(views, v)
+	}
+	sc.views = views // keep grown capacity
+	out := append([]int(nil), views...)
+	scratchPool.Put(sc)
+	return out
+}
+
+// Rebinding to a local does not escape.
+func localAlias() {
+	sc := scratchPool.Get().(*scratch)
+	alias := sc
+	alias.views = alias.views[:0]
+	scratchPool.Put(sc)
+}
+
+// Derived scalar values do not alias the pooled object: a call boundary
+// (len) or an arithmetic expression yields a fresh value.
+func derivedValues() int {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.views = append(sc.views[:0], 3, 1)
+	return len(sc.views) - cap(sc.views)
+}

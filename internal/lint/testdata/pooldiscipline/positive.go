@@ -1,0 +1,94 @@
+// Positive pooldiscipline fixtures: Get/Put shapes the analyzer must
+// flag. The leak-on-early-return shape is what the invariant exists to
+// catch in internal/netsim and internal/treewidth, where a scratch that
+// skips its Put on a cancellation path silently defeats the pool.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+type buf struct {
+	b []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var errFail = errors.New("fail")
+
+func leakOnEarlyReturn(fail bool) error {
+	sc := pool.Get().(*buf)
+	if fail {
+		return errFail // want "pooled sc from sync.Pool.Get is not returned to the pool"
+	}
+	pool.Put(sc)
+	return nil
+}
+
+func leakOnFallThrough() {
+	sc := pool.Get().(*buf)
+	sc.b = sc.b[:0]
+} // want "pooled sc from sync.Pool.Get is not returned to the pool"
+
+func discardedGet() {
+	_ = pool.Get() // want "sync.Pool.Get result is discarded"
+}
+
+var global *buf
+
+func escapeToGlobal() {
+	sc := pool.Get().(*buf)
+	global = sc // want "pooled sc escapes via store into a non-local"
+	pool.Put(sc)
+}
+
+type holder struct {
+	sc *buf
+}
+
+func escapeToParamField(h *holder) {
+	sc := pool.Get().(*buf)
+	h.sc = sc // want "pooled sc escapes via store into a non-local"
+	pool.Put(sc)
+}
+
+func escapeFromLiteral() func() *buf {
+	return func() *buf {
+		sc := pool.Get().(*buf)
+		return sc // want "pooled sc"
+	}
+}
+
+// getBuf is a getter wrapper (the netsim Engine.getScratch shape): its
+// own escape is the point, so the discipline transfers to call sites —
+// which must still Put on every path.
+func getBuf() *buf {
+	if sc, ok := pool.Get().(*buf); ok {
+		return sc
+	}
+	return new(buf)
+}
+
+func leakFromWrapper(fail bool) error {
+	sc := getBuf()
+	if fail {
+		return errFail // want "pooled sc from sync.Pool.Get is not returned to the pool"
+	}
+	pool.Put(sc)
+	return nil
+}
+
+// Returning an interior slice aliases the pooled backing array.
+func escapeViaField() []byte {
+	sc := pool.Get().(*buf)
+	defer pool.Put(sc)
+	return sc.b // want "pooled sc escapes via return value"
+}
+
+// So does returning the address of an element.
+func escapeViaElementAddr() *byte {
+	sc := pool.Get().(*buf)
+	defer pool.Put(sc)
+	return &sc.b[0] // want "pooled sc escapes via return value"
+}

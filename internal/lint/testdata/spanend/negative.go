@@ -1,0 +1,140 @@
+// Negative spanend fixtures: the disciplined lifecycles already used
+// across the repo, which the analyzer must accept without findings.
+package fixture
+
+import (
+	"context"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// The common shape: End deferred right after Start.
+func deferEnd(ctx context.Context) {
+	ctx, sp := obs.Start(ctx, "phase")
+	defer sp.End()
+	_ = ctx
+}
+
+// The internal/engine/pipeline.go job-span shape: End inside a deferred
+// closure that also flushes metrics.
+func deferClosureEnd(ctx context.Context) {
+	_, sp := obs.Start(ctx, "job")
+	defer func() {
+		sp.End()
+		sp.SetAttr("outcome", "done")
+	}()
+}
+
+// The pipeline verify-span shape: one span ended in both arms of an
+// if/else, with returns after the join.
+func endInBothBranches(ctx context.Context, distributed bool) error {
+	_, sp := obs.Start(ctx, "verify")
+	if distributed {
+		sp.SetAttr("mode", "distributed")
+		sp.End()
+	} else {
+		sp.SetAttr("mode", "sequential")
+		sp.End()
+	}
+	return nil
+}
+
+// The cmd/certserver/server.go prove-span shape: a span acquired and
+// ended entirely inside a nested block, with error returns both inside
+// (after End) and far below the block.
+func nestedBlockSpan(ctx context.Context, prove, fail bool) error {
+	if prove {
+		_, sp := obs.Start(ctx, "prove")
+		sp.End()
+		if fail {
+			return errFail
+		}
+	}
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// End before every early return, then fall through.
+func endBeforeEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "phase")
+	sp.End()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// End in every case including default, for switch, type switch and
+// select alike.
+func endInEverySwitchCase(ctx context.Context, mode int, v any, ch chan int) {
+	_, sp := obs.Start(ctx, "switch")
+	switch mode {
+	case 0:
+		sp.End()
+	default:
+		sp.End()
+	}
+	_, tsp := obs.Start(ctx, "typeswitch")
+	switch v.(type) {
+	case int:
+		tsp.End()
+	default:
+		tsp.End()
+	}
+	_, ssp := obs.Start(ctx, "select")
+	select {
+	case <-ch:
+		ssp.End()
+	default:
+		ssp.End()
+	}
+}
+
+// Paths that panic or exit are not return paths.
+func terminatorsAreNotReturns(ctx context.Context, bad, worse bool) {
+	_, sp := obs.Start(ctx, "phase")
+	if bad {
+		panic("bad")
+	}
+	if worse {
+		os.Exit(2)
+	}
+	sp.End()
+}
+
+// Loops: End after a range loop, a labeled continue, and an infinite
+// loop left only via break.
+func endAfterLoops(ctx context.Context, xs []int) {
+	_, sp := obs.Start(ctx, "phase")
+	total := 0
+outer:
+	for _, x := range xs {
+		for _, y := range xs {
+			if x == y {
+				continue outer
+			}
+			total += y
+		}
+	}
+	for {
+		if total >= 0 {
+			break
+		}
+	}
+	sp.End()
+}
+
+// A span serving an infinite loop with a deferred End: the body never
+// falls through, and the defer covers it anyway.
+func serveForever(ctx context.Context, ch chan int) {
+	_, sp := obs.Start(ctx, "serve")
+	defer sp.End()
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}

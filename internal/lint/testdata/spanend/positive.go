@@ -1,0 +1,64 @@
+// Positive spanend fixtures: span lifecycles the analyzer must flag.
+//
+// The early-return leak below is the genuine finding this PR fixed in
+// cmd/certify/main.go: the root span was never ended on any of the
+// command's thirteen error-return paths, so -trace reported a
+// forever-running phase.
+package fixture
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/obs"
+)
+
+var errFail = errors.New("fail")
+
+func leakOnEarlyReturn(fail bool) error {
+	ctx, sp := obs.Start(context.Background(), "phase")
+	_ = ctx
+	if fail {
+		return errFail // want "span sp from obs.Start is not ended on this path"
+	}
+	sp.End()
+	return nil
+}
+
+func leakOnFallThrough() {
+	_, sp := obs.Start(context.Background(), "phase")
+	sp.SetAttr("n", 1)
+} // want "span sp from obs.Start is not ended on this path"
+
+func discardedSpan() {
+	_, _ = obs.Start(context.Background(), "phase") // want "span from obs.Start is discarded"
+}
+
+func endOnlyInOneBranch(ok bool) {
+	_, sp := obs.Start(context.Background(), "phase")
+	if ok {
+		sp.End()
+	}
+} // want "span sp from obs.Start is not ended on this path"
+
+func leakInsideLiteral() func() {
+	return func() {
+		_, sp := obs.Start(context.Background(), "phase")
+		_ = sp
+	} // want "span sp from obs.Start is not ended on this path"
+}
+
+func leakWhenSwitchHasNoDefault(mode int) {
+	_, sp := obs.Start(context.Background(), "phase")
+	switch mode {
+	case 0:
+		sp.End()
+	}
+} // want "span sp from obs.Start is not ended on this path"
+
+func endInGoroutineDoesNotCount() {
+	_, sp := obs.Start(context.Background(), "phase")
+	go func() {
+		sp.End() // runs asynchronously: this scope's paths stay uncovered
+	}()
+} // want "span sp from obs.Start is not ended on this path"

@@ -1,0 +1,31 @@
+// Negative wiredeterminism fixtures: the collect-then-sort idiom every
+// real encoder in this repo uses (internal/wire generator specs, the
+// EMSO FreeVars listing), and map iteration outside encode paths.
+package fixture
+
+import "sort"
+
+func EncodeSorted(sizes map[string]int) []byte {
+	// The benign prefix: a range whose body only collects keys, followed
+	// by a sort before anything is emitted.
+	keys := make([]string, 0, len(sizes))
+	for k := range sizes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, byte(len(k)), byte(sizes[k]))
+	}
+	return out
+}
+
+// histogramTotal is not an encode root and nothing wire-bound reaches it:
+// iteration order does not matter for a sum.
+func histogramTotal(counts map[int]int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

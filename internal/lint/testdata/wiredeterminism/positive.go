@@ -1,0 +1,40 @@
+// Positive wiredeterminism fixtures: map iteration reaching encoded
+// bytes. The repo's real encoders (internal/wire, the treewidth payload
+// builders) all collect and sort before emitting — one unsorted range
+// here would break PR5's byte-identical witness tests.
+package fixture
+
+func EncodeSizes(sizes map[string]int) []byte {
+	var out []byte
+	for k, v := range sizes { // want "range over map in encode path EncodeSizes"
+		out = append(out, byte(len(k)), byte(v))
+	}
+	return out
+}
+
+// MarshalAdjacency reaches flattenAdj through a same-package call, so the
+// helper is part of the encode path too.
+func MarshalAdjacency(adj map[int][]int) []byte {
+	return flattenAdj(adj)
+}
+
+func flattenAdj(adj map[int][]int) []byte {
+	var out []byte
+	for v, ns := range adj { // want "range over map in encode path flattenAdj"
+		out = append(out, byte(v), byte(len(ns)))
+	}
+	return out
+}
+
+// writeMembership is wire-bound by annotation rather than by name.
+//
+//certlint:wire
+func writeMembership(member map[int]bool) []int {
+	var out []int
+	for k := range member { // want "range over map in encode path writeMembership"
+		if member[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireDeterminism returns the analyzer enforcing byte-deterministic
+// certificate and wire encoding: PR5's differential tests assert
+// byte-identical witnesses across prover configurations, and one `range`
+// over a map in an encode path silently breaks that — Go randomizes map
+// iteration order on purpose, so the bytes change between runs.
+//
+// Encode paths are the functions whose name starts with Encode or
+// Marshal, ends in ToJSON or ToStrings, or carries a //certlint:wire
+// annotation, plus everything they reach through same-package calls.
+// Inside them, ranging over a map is flagged unless the loop body only
+// collects keys into a slice (the collect-then-sort idiom: every
+// statement is an append).
+func WireDeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "wiredeterminism",
+		Doc: "flags range-over-map in wire/certificate encode paths: map iteration " +
+			"order is randomized, so encoders iterating maps emit nondeterministic " +
+			"bytes; collect keys and sort, or iterate a slice",
+	}
+	a.Run = func(pass *Pass) error {
+		decls := map[*types.Func]*ast.FuncDecl{}
+		var roots []*types.Func
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.Pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[fn] = fd
+				if isEncodeRoot(fd) {
+					roots = append(roots, fn)
+				}
+			}
+		}
+		reachable := map[*types.Func]bool{}
+		var mark func(fn *types.Func)
+		mark = func(fn *types.Func) {
+			if reachable[fn] {
+				return
+			}
+			reachable[fn] = true
+			fd := decls[fn]
+			if fd == nil {
+				return
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := pass.Callee(call); callee != nil {
+					if _, local := decls[callee]; local {
+						mark(callee)
+					}
+				}
+				return true
+			})
+		}
+		for _, fn := range roots {
+			mark(fn)
+		}
+		for fn := range reachable {
+			fd := decls[fn]
+			if fd == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if keyCollectOnly(pass, rng) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"range over map in encode path %s: iteration order is nondeterministic; collect keys and sort first",
+					fn.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isEncodeRoot reports whether fd is an encode-path entry point.
+func isEncodeRoot(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if strings.HasPrefix(name, "Encode") || strings.HasPrefix(name, "Marshal") ||
+		strings.HasSuffix(name, "ToJSON") || strings.HasSuffix(name, "ToStrings") {
+		return true
+	}
+	return hasDirective(fd, "wire")
+}
+
+// keyCollectOnly reports whether the loop is the benign prefix of the
+// collect-then-sort idiom: every statement appends exactly the range KEY
+// to a slice. Appending values (or anything derived from them) bakes map
+// order into the collected data, so only the keys-for-sorting shape is
+// exempt — the subsequent sort is what restores determinism, and every
+// real encoder in this module has one.
+func keyCollectOnly(pass *Pass, rng *ast.RangeStmt) bool {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	key := pass.Pkg.TypesInfo.Defs[keyID]
+	if key == nil {
+		return false
+	}
+	body := rng.Body
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, s := range body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return false
+		}
+		arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+		if !ok || pass.Pkg.TypesInfo.Uses[arg] != key {
+			return false
+		}
+	}
+	return true
+}

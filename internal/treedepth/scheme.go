@@ -289,20 +289,24 @@ type NeighborPayload struct {
 
 // CheckPayloads runs the paper's verification steps (1)-(4) on decoded
 // payloads. It is the reusable core of Verify, embedded verbatim by the
-// kernel certification of Theorem 2.6.
+// kernel certification of Theorem 2.6. It runs once per vertex per round,
+// concurrently under the sharded simulator, so it must not allocate.
+//
+//certlint:hotpath
 func CheckPayloads(t int, ownID graph.ID, own Payload, neighbors []NeighborPayload) bool {
 	d := len(own.List)
 	// Step 1: depth bound, list starts with own identifier, identifiers
-	// distinct (honest ancestor lists never repeat).
+	// distinct (honest ancestor lists never repeat). The list is at most t
+	// long, so the quadratic scan beats allocating a set per call.
 	if d == 0 || d > t || own.List[0] != ownID {
 		return false
 	}
-	seen := map[graph.ID]bool{}
-	for _, id := range own.List {
-		if seen[id] {
-			return false
+	for i, id := range own.List {
+		for _, prev := range own.List[:i] {
+			if prev == id {
+				return false
+			}
 		}
-		seen[id] = true
 	}
 	for _, np := range neighbors {
 		if len(np.P.List) == 0 || np.P.List[0] != np.ID {

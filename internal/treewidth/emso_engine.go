@@ -1,6 +1,7 @@
 package treewidth
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
@@ -8,6 +9,12 @@ import (
 
 	"repro/internal/graph"
 )
+
+// errUnknownNodeKind is reported by the bottom-up pass on a nice
+// decomposition with an out-of-range node kind — unreachable for
+// decompositions built by Nicify, and a package-level sentinel so the DP
+// loop does not format an error per node.
+var errUnknownNodeKind = errors.New("treewidth: unknown nice-decomposition node kind")
 
 // This file is the table-driven realization of the EMSO dynamic program —
 // the hot path behind every tw-mso certify/batch/simulate request. The
@@ -469,6 +476,8 @@ func (phi *EMSO) evictIntroLocked() {
 // sc.preds (forget-node predecessor words). It reports whether the root
 // accepts; an empty state set anywhere short-circuits to false (all four
 // node transitions preserve emptiness upward).
+//
+//certlint:hotpath
 func (sv *emsoSolver) up() (bool, error) {
 	sc, m := sv.sc, sv.m
 	for _, t := range sv.postorder() {
@@ -533,7 +542,7 @@ func (sv *emsoSolver) up() (bool, error) {
 			sv.releaseChild(l)
 			sv.releaseChild(r)
 		default:
-			return false, fmt.Errorf("treewidth: unknown node kind %v", node.Kind)
+			return false, errUnknownNodeKind
 		}
 		sc.valid[t] = out
 		if len(out) == 0 {
