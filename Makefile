@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-json bench-compare fmt-check lint cover clean
+.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke slo slo-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-json bench-compare fmt-check lint cover clean
 
 all: ci
 
@@ -35,26 +35,72 @@ bench-smoke:
 # metrics-smoke is the observability gate: boot a real certserver on a
 # loopback port, drive one request, scrape /metrics and validate every
 # exposition line through cmd/promcheck (which shares the parser with the
-# unit tests). The server is always killed, even when the check fails.
+# unit tests). The -series pins assert the admission-control and
+# queue-depth series are exported from boot — shedding visibility must
+# not depend on a shed having happened. The server is always killed,
+# even when the check fails.
 metrics-smoke:
 	@$(GO) build -o /tmp/certserver-smoke ./cmd/certserver
 	@/tmp/certserver-smoke -addr 127.0.0.1:18080 -quiet & \
 	pid=$$!; \
 	$(GO) run ./cmd/promcheck \
 		-url http://127.0.0.1:18080/metrics \
-		-probe http://127.0.0.1:18080/healthz; \
+		-probe http://127.0.0.1:18080/healthz \
+		-series 'http_requests_shed_total{path="/certify"}' \
+		-series 'http_inflight_requests{path="/certify"}' \
+		-series 'http_requests_shed_total{path="/batch"}' \
+		-series engine_queue_depth; \
 	rc=$$?; \
 	kill $$pid 2>/dev/null; \
 	rm -f /tmp/certserver-smoke; \
+	exit $$rc
+
+# slo runs the full sustained-load measurement against a locally booted
+# certserver and writes the committed SLO trajectory point. Rerun it on
+# PRs that may move service latency, then gate with:
+#   go run ./cmd/slojson -compare SLO_PR8.json SLO_PR<n>.json
+SLO_OUT ?= SLO_PR8.json
+slo:
+	@$(GO) build -o /tmp/certserver-slo ./cmd/certserver
+	@/tmp/certserver-slo -addr 127.0.0.1:18081 -quiet & \
+	pid=$$!; \
+	$(GO) run ./cmd/certload \
+		-url http://127.0.0.1:18081 \
+		-rate 120 -warmup 3s -duration 15s -arrival poisson -seed 8 \
+		-o $(SLO_OUT); \
+	rc=$$?; \
+	kill -INT $$pid 2>/dev/null; \
+	rm -f /tmp/certserver-slo; \
+	[ $$rc -eq 0 ] && echo "wrote $(SLO_OUT)"; \
+	exit $$rc
+
+# slo-smoke is the seconds-long ci variant: a short certload run against
+# a throwaway server, then slojson validates the report and self-compares
+# it (which must pass — the gate's zero point). Keeps the whole harness —
+# generator, report schema, scrape delta, gate — from bit-rotting between
+# SLO PRs.
+slo-smoke:
+	@$(GO) build -o /tmp/certserver-slosmoke ./cmd/certserver
+	@/tmp/certserver-slosmoke -addr 127.0.0.1:18082 -quiet & \
+	pid=$$!; \
+	$(GO) run ./cmd/certload \
+		-url http://127.0.0.1:18082 \
+		-rate 40 -warmup 1s -duration 3s -seed 8 \
+		-o /tmp/slo-smoke.json \
+	&& $(GO) run ./cmd/slojson /tmp/slo-smoke.json \
+	&& $(GO) run ./cmd/slojson -compare /tmp/slo-smoke.json /tmp/slo-smoke.json; \
+	rc=$$?; \
+	kill -INT $$pid 2>/dev/null; \
+	rm -f /tmp/certserver-slosmoke /tmp/slo-smoke.json; \
 	exit $$rc
 
 # ci is the tier-1 gate: everything must be gofmt-clean, build, vet clean,
 # lint clean (certlint runs before the tests: an invariant violation should
 # fail fast, not hide behind a long test run), and pass — including under
 # the race detector, a short parser fuzz, a one-iteration benchmark smoke
-# run, a live /metrics exposition check, and the internal/lint coverage
-# floor.
-ci: fmt-check build vet lint test test-race fuzz-short bench-smoke metrics-smoke cover
+# run, a live /metrics exposition check, a short sustained-load SLO
+# smoke, and the internal/lint coverage floor.
+ci: fmt-check build vet lint test test-race fuzz-short bench-smoke metrics-smoke slo-smoke cover
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

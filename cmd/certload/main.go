@@ -1,0 +1,101 @@
+// Command certload drives a running certserver with sustained, open-loop
+// load and writes an SLO report.
+//
+// The generator is coordinated-omission safe: arrivals follow a
+// constant-rate or Poisson schedule fixed up front, and every latency is
+// measured from the request's scheduled arrival, so server stalls show
+// up as the queueing delay a real client would have seen instead of
+// silently thinning the sample. The workload is the standard weighted
+// mix over /certify, /verify, /simulate and /batch spanning scheme
+// kinds and graph sizes (internal/loadgen.StandardMix).
+//
+// Usage:
+//
+//	certload -url http://127.0.0.1:8080 -rate 200 -duration 30s \
+//	         -warmup 5s -arrival poisson -o SLO.json
+//
+// The report embeds a server-side /metrics scrape delta (requests, sheds
+// and phase samples as the server counted them) unless -no-server-delta
+// is set. Compare two reports with slojson -compare.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("certload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of the certserver under test")
+	rate := fs.Float64("rate", 100, "offered arrival rate, requests/second")
+	duration := fs.Duration("duration", 30*time.Second, "measurement window")
+	warmup := fs.Duration("warmup", 5*time.Second, "warmup window before measurement")
+	arrival := fs.String("arrival", loadgen.ArrivalConstant, "arrival process: constant or poisson")
+	seed := fs.Int64("seed", 1, "workload and schedule seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	noDelta := fs.Bool("no-server-delta", false, "skip the /metrics scrapes around the run")
+	out := fs.String("o", "", "write the JSON report here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	mix, err := loadgen.StandardMix()
+	if err != nil {
+		fmt.Fprintf(stderr, "certload: build workload mix: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(stderr, "certload: %s arrivals at %.0f/s against %s (%s warmup, %s measured)\n",
+		*arrival, *rate, *url, *warmup, *duration)
+	rep, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL:         *url,
+		Rate:            *rate,
+		Duration:        *duration,
+		Warmup:          *warmup,
+		Arrival:         *arrival,
+		Seed:            *seed,
+		Mix:             mix,
+		Timeout:         *timeout,
+		SkipServerDelta: *noDelta,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "certload: %v\n", err)
+		return 1
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "certload: encode report: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(stderr, "certload: %v\n", err)
+			return 1
+		}
+	} else if _, err := stdout.Write(enc); err != nil {
+		fmt.Fprintf(stderr, "certload: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr,
+		"certload: offered %.1f/s achieved %.1f/s ok=%d shed=%d errors=%d p50=%s p99=%s\n",
+		rep.OfferedRate, rep.AchievedRate, rep.OK, rep.Shed, rep.Errors,
+		time.Duration(rep.Latency.P50NS), time.Duration(rep.Latency.P99NS))
+	return 0
+}

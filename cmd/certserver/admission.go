@@ -1,0 +1,82 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Admission-control metric families. Series are created eagerly at route
+// setup so the shed counter and in-flight gauge exist (at zero) from the
+// first scrape — the metrics smoke gate pins them by name, and a series
+// that only appears once overload has already happened is useless for
+// alerting on the way in.
+const (
+	metricInflight = "http_inflight_requests"
+	metricShed     = "http_requests_shed_total"
+)
+
+// defaultMaxInflight bounds concurrent requests per certification
+// endpoint when -max-inflight is not given. Past this bound the endpoint
+// sheds with 429 instead of queueing: an open-loop client keeps arriving
+// regardless of our latency, so admitting everything turns overload into
+// unbounded latency collapse for every request instead of fast, explicit
+// rejection of the excess.
+const defaultMaxInflight = 64
+
+// shedRetryAfterSeconds is the Retry-After hint on shed responses. The
+// in-flight window turns over in well under a second for every endpoint,
+// so one second is an honest earliest-retry estimate that still spreads
+// an aggressive client's retries out.
+const shedRetryAfterSeconds = 1
+
+// gate is one endpoint's admission control: a semaphore sized at the
+// in-flight limit, the gauge mirroring its occupancy, and the shed
+// counter. The gauge and counter are the same registry handles /healthz
+// reads, so the two views cannot drift.
+type gate struct {
+	sem      chan struct{}
+	inflight *obs.Gauge
+	shed     *obs.Counter
+}
+
+// newGate builds the gate for one path with its metric series registered.
+func (s *server) newGate(path string, limit int) *gate {
+	if limit <= 0 {
+		limit = defaultMaxInflight
+	}
+	return &gate{
+		sem: make(chan struct{}, limit),
+		inflight: s.obs.Gauge(metricInflight,
+			"requests currently admitted, by path", obs.L("path", path)),
+		shed: s.obs.Counter(metricShed,
+			"requests shed with 429 at the admission gate, by path", obs.L("path", path)),
+	}
+}
+
+// admit wraps a handler with load shedding: a request either takes an
+// in-flight slot immediately or is rejected with 429 and a Retry-After
+// header. There is deliberately no queue — queued work would still be
+// measured from its arrival by any honest (coordinated-omission-safe)
+// client, so queueing under sustained overload only converts "shed, retry
+// later" into "accepted, unboundedly late".
+func (s *server) admit(g *gate, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case g.sem <- struct{}{}:
+			g.inflight.Inc()
+			defer func() {
+				g.inflight.Dec()
+				<-g.sem
+			}()
+			next(w, r)
+		default:
+			g.shed.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
+			writeError(w, http.StatusTooManyRequests,
+				"overloaded: %s has %d requests in flight; retry after %ds",
+				r.URL.Path, cap(g.sem), shedRetryAfterSeconds)
+		}
+	}
+}

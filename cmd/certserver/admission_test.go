@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAdmissionGateShedsBeyondLimit drives one slow request through a
+// limit-1 gate and asserts the second arrival is shed with 429 and a
+// Retry-After header while the first holds the slot — and that the gauge
+// and counter move exactly with admissions and sheds.
+func TestAdmissionGateShedsBeyondLimit(t *testing.T) {
+	s := newServer(registry.Default(), 2)
+	g := s.newGate("/certify", 1)
+	block := make(chan struct{})
+	h := s.admit(g, func(w http.ResponseWriter, r *http.Request) {
+		<-block
+		w.WriteHeader(http.StatusOK)
+	})
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodPost, "/certify", nil))
+		first <- rec
+	}()
+	waitFor(t, "first request admitted", func() bool { return g.inflight.Value() == 1 })
+
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodPost, "/certify", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("shed response has no Retry-After header")
+	}
+	var e errorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("shed response is not the JSON error envelope: %q", rec.Body.String())
+	}
+	if g.shed.Value() != 1 {
+		t.Fatalf("shed counter = %d, want 1", g.shed.Value())
+	}
+	if g.inflight.Value() != 1 {
+		t.Fatalf("inflight gauge = %d during shed, want 1", g.inflight.Value())
+	}
+
+	close(block)
+	if rec := <-first; rec.Code != http.StatusOK {
+		t.Fatalf("admitted request status = %d, want 200", rec.Code)
+	}
+	waitFor(t, "slot released", func() bool { return g.inflight.Value() == 0 })
+
+	// A request after release is admitted again: the gate sheds load, it
+	// does not latch shut. (block is closed, so the handler returns
+	// immediately.)
+	rec2 := httptest.NewRecorder()
+	h(rec2, httptest.NewRequest(http.MethodPost, "/certify", nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("post-release request status = %d, want 200", rec2.Code)
+	}
+
+	// /healthz reads the same handles: the shed and the (now zero)
+	// inflight slot must show up there.
+	hrec := httptest.NewRecorder()
+	s.handleHealthz(hrec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health struct {
+		Admission admissionHealth `json:"admission"`
+	}
+	if err := json.Unmarshal(hrec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Admission.Shed != 1 || health.Admission.Inflight != 0 {
+		t.Fatalf("healthz admission = %+v, want shed=1 inflight=0", health.Admission)
+	}
+}
+
+// TestAdmissionDefaultLimit pins the zero-value behavior: limit <= 0
+// falls back to defaultMaxInflight rather than a zero-capacity gate that
+// would shed everything.
+func TestAdmissionDefaultLimit(t *testing.T) {
+	s := newServer(registry.Default(), 2)
+	g := s.newGate("/verify", 0)
+	if cap(g.sem) != defaultMaxInflight {
+		t.Fatalf("default gate capacity = %d, want %d", cap(g.sem), defaultMaxInflight)
+	}
+}
+
+// TestShedSeriesPresentFromBoot asserts the admission series and the
+// pipeline queue-depth gauge are scrapeable before any request has been
+// shed — the property the metrics smoke gate pins with promcheck -series.
+func TestShedSeriesPresentFromBoot(t *testing.T) {
+	ts := newTestServer(t)
+	samples := scrape(t, ts)
+	for _, series := range []string{
+		`http_requests_shed_total{path="/certify"}`,
+		`http_inflight_requests{path="/certify"}`,
+		`http_requests_shed_total{path="/batch"}`,
+		"engine_queue_depth",
+	} {
+		if _, ok := samples[series]; !ok {
+			t.Errorf("series %s absent from a fresh server's exposition", series)
+		}
+	}
+}

@@ -12,6 +12,13 @@
 // each request logs one structured line with its per-phase latency
 // breakdown (disable with -quiet).
 //
+// Every certification endpoint sits behind an admission gate
+// (-max-inflight): excess concurrent requests are shed with 429 and a
+// Retry-After header instead of queueing into latency collapse. On
+// SIGINT the server drains in-flight requests and prints one final
+// structured summary line (uptime, request/shed totals, per-phase
+// p50/p99), so even a short load run leaves a record without a scraper.
+//
 // Graphs travel in the wire JSON form ({"n", "edges", "ids"?}) or are
 // generated server-side from a family spec ({"kind", "n", ...}). Schemes
 // are compiled once per (kind, parameters) and shared across requests via
@@ -23,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -34,26 +42,32 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("certserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "batch pipeline workers (0 = GOMAXPROCS)")
-		warm     = flag.Bool("warm", false, "pre-compile every parameterless scheme variant at startup")
-		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
-		quietLog = flag.Bool("quiet", false, "disable per-request log lines")
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", 0, "batch pipeline workers (0 = GOMAXPROCS)")
+		warm     = fs.Bool("warm", false, "pre-compile every parameterless scheme variant at startup")
+		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
+		quietLog = fs.Bool("quiet", false, "disable per-request log lines")
+		maxInfl  = fs.Int("max-inflight", 0, "max concurrent requests per certification endpoint before shedding with 429 (0 = default)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	srv := newServer(registry.Default(), *workers)
 	srv.pprof = *pprofOn
+	srv.maxInflight = *maxInfl
 	if !*quietLog {
-		srv.logger = log.New(os.Stdout, "", log.LstdFlags|log.Lmicroseconds)
+		srv.logger = log.New(stdout, "", log.LstdFlags|log.Lmicroseconds)
 	}
 	if *warm {
-		warmCache(srv.cache)
+		warmCache(srv.cache, stderr)
 	}
 
 	httpSrv := &http.Server{
@@ -66,37 +80,41 @@ func run() int {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("certserver: listening on %s (%d schemes registered)\n",
+	fmt.Fprintf(stdout, "certserver: listening on %s (%d schemes registered)\n",
 		*addr, len(registry.Default().Names()))
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "certserver: %v\n", err)
+			fmt.Fprintf(stderr, "certserver: %v\n", err)
 			return 1
 		}
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "certserver: shutdown: %v\n", err)
+			fmt.Fprintf(stderr, "certserver: shutdown: %v\n", err)
 			return 1
 		}
+		// After the drain every in-flight request has finished counting,
+		// so the summary is the complete record of the process's life —
+		// the only record, for short-lived load runs with no scraper.
+		fmt.Fprintln(stdout, srv.summaryLine())
 	}
 	return 0
 }
 
 // warmCache pre-compiles the enum-driven variants so first requests hit a
 // warm cache: every tree-mso property and every universal predicate.
-func warmCache(cache *engine.Cache) {
+func warmCache(cache *engine.Cache, stderr io.Writer) {
 	for _, p := range registry.TreeMSOProperties() {
 		if _, err := cache.GetOrCompile("tree-mso", registry.Params{Property: p}); err != nil {
-			fmt.Fprintf(os.Stderr, "certserver: warm tree-mso/%s: %v\n", p, err)
+			fmt.Fprintf(stderr, "certserver: warm tree-mso/%s: %v\n", p, err)
 		}
 	}
 	for _, p := range registry.UniversalProperties() {
 		if _, err := cache.GetOrCompile("universal", registry.Params{Property: p}); err != nil {
-			fmt.Fprintf(os.Stderr, "certserver: warm universal/%s: %v\n", p, err)
+			fmt.Fprintf(stderr, "certserver: warm universal/%s: %v\n", p, err)
 		}
 	}
 }

@@ -42,6 +42,10 @@ type server struct {
 	logger *log.Logger
 	// pprof exposes /debug/pprof when set (the -pprof flag).
 	pprof bool
+	// maxInflight bounds concurrent requests per certification endpoint
+	// (the -max-inflight flag); <= 0 means defaultMaxInflight. Excess
+	// arrivals are shed with 429 + Retry-After instead of queueing.
+	maxInflight int
 }
 
 // newServer builds a server around the given registry with the given
@@ -53,6 +57,9 @@ func newServer(reg *registry.Registry, workers int) *server {
 	// requests share per-graph decompositions across the whole process.
 	cache.Decomps = engine.NewDecompCacheObs(oreg)
 	sim := &netsim.Engine{Workers: workers, Obs: oreg}
+	// Register the pipeline queue-depth gauge now rather than on the
+	// first batch, so the series is scrapeable (at zero) from boot.
+	engine.QueueDepthGauge(oreg)
 	return &server{
 		reg:   reg,
 		cache: cache,
@@ -70,11 +77,14 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /schemes", s.handleSchemes)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /certify", s.handleCertify)
-	mux.HandleFunc("POST /verify", s.handleVerify)
-	mux.HandleFunc("POST /simulate", s.handleSimulate)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("POST /decompose", s.handleDecompose)
+	// Every certification endpoint sits behind its own admission gate:
+	// read-only probes (/schemes, /healthz, /metrics) stay ungated so the
+	// server remains observable precisely when it is shedding.
+	mux.HandleFunc("POST /certify", s.admit(s.newGate("/certify", s.maxInflight), s.handleCertify))
+	mux.HandleFunc("POST /verify", s.admit(s.newGate("/verify", s.maxInflight), s.handleVerify))
+	mux.HandleFunc("POST /simulate", s.admit(s.newGate("/simulate", s.maxInflight), s.handleSimulate))
+	mux.HandleFunc("POST /batch", s.admit(s.newGate("/batch", s.maxInflight), s.handleBatch))
+	mux.HandleFunc("POST /decompose", s.admit(s.newGate("/decompose", s.maxInflight), s.handleDecompose))
 	if s.pprof {
 		registerPprof(mux)
 	}
@@ -214,25 +224,44 @@ func (s *server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	}{s.reg.List()})
 }
 
-// handleHealthz reports liveness, uptime and cache effectiveness for the
+// admissionHealth is the /healthz view of the admission layer, read from
+// the same registry series /metrics exposes (the PR 6 no-drift
+// invariant): total sheds, currently admitted requests and the pipeline
+// queue depth.
+type admissionHealth struct {
+	Shed       int64 `json:"shed"`
+	Inflight   int64 `json:"inflight"`
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// handleHealthz reports liveness, uptime, cache effectiveness for the
 // compile cache, the decomposition cache and the formula canonicalization
-// memo. The cache stats read the same obs counters /metrics exposes, so
-// the two endpoints can never disagree.
+// memo, and the admission-control state. Everything reads the same obs
+// series /metrics exposes, so the two endpoints can never disagree.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	var requests int64
+	var adm admissionHealth
 	for _, snap := range s.obs.Snapshot() {
-		if snap.Name == "http_requests_total" {
+		switch snap.Name {
+		case "http_requests_total":
 			requests += snap.Value
+		case metricShed:
+			adm.Shed += snap.Value
+		case metricInflight:
+			adm.Inflight += snap.Value
+		case engine.MetricQueueDepth:
+			adm.QueueDepth += snap.Value
 		}
 	}
 	writeJSON(w, http.StatusOK, struct {
 		OK            bool                `json:"ok"`
 		UptimeSeconds float64             `json:"uptime_seconds"`
 		Requests      int64               `json:"requests"`
+		Admission     admissionHealth     `json:"admission"`
 		Cache         engine.Stats        `json:"cache"`
 		Decomps       engine.DecompStats  `json:"decompositions"`
 		Formulas      engine.FormulaStats `json:"formulas"`
-	}{true, time.Since(s.start).Seconds(), requests,
+	}{true, time.Since(s.start).Seconds(), requests, adm,
 		s.cache.Stats(), s.cache.Decomps.Stats(), s.cache.FormulaStats()})
 }
 

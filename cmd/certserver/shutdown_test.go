@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves a loopback port and releases it for the server to
+// bind. The tiny reuse race is acceptable in a test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestGracefulShutdownSummary drives the real signal path: boot run() on
+// a loopback port, serve a few requests, deliver SIGINT to the process,
+// and assert the drain completes with exit 0 and one structured summary
+// line carrying uptime, request totals, shed count and per-phase
+// quantiles.
+func TestGracefulShutdownSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real certserver and signals the test process")
+	}
+	addr := freeAddr(t)
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-addr", addr, "-quiet"}, &stdout, &stderr) }()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	waitFor(t, "server boot", func() bool {
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	// One real certify so the phase histograms have samples to summarize.
+	resp, err := client.Post(base+"/certify", "application/json", strings.NewReader(
+		`{"scheme":"tree-mso","params":{"property":"perfect-matching"},"generator":{"kind":"path","n":16}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("certify status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rc := <-done:
+		if rc != 0 {
+			t.Fatalf("run exited %d\nstderr: %s", rc, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after SIGINT")
+	}
+
+	out := stdout.String()
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "shutdown summary") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no shutdown summary line in output:\n%s", out)
+	}
+	for _, want := range []string{"uptime_s=", "requests=", "shed=0",
+		"prove_p50_us=", "prove_p99_us=", "verify_p50_us=", "verify_p99_us="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary line missing %q: %s", want, line)
+		}
+	}
+	// The request totals must count the traffic we drove (healthz polls +
+	// the certify), not read zero from a detached registry.
+	var requests int
+	if _, err := fmt.Sscanf(line[strings.Index(line, "requests="):], "requests=%d", &requests); err != nil || requests < 2 {
+		t.Errorf("summary requests=%d (err %v), want >= 2: %s", requests, err, line)
+	}
+}

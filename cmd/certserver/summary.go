@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// summaryLine renders the one-line end-of-life record printed after a
+// graceful shutdown: uptime, request and shed totals, and per-phase
+// p50/p99 latencies. Everything reads the same registry /metrics serves,
+// so the line agrees with the last scrape — it exists for runs too short
+// or too ad hoc to have had a scraper at all (a certload run against a
+// locally booted server being the motivating case).
+func (s *server) summaryLine() string {
+	var requests, shed int64
+	type phaseQ struct {
+		name     string
+		p50, p99 time.Duration
+	}
+	var phases []phaseQ
+	for _, snap := range s.obs.Snapshot() {
+		switch snap.Name {
+		case "http_requests_total":
+			requests += snap.Value
+		case metricShed:
+			shed += snap.Value
+		case engine.MetricPhaseSeconds:
+			if snap.Histogram == nil || snap.Histogram.Count == 0 {
+				continue
+			}
+			phases = append(phases, phaseQ{
+				name: snap.Labels["phase"],
+				p50:  time.Duration(snap.Histogram.P50NS),
+				p99:  time.Duration(snap.Histogram.P99NS),
+			})
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "certserver: shutdown summary uptime_s=%.1f requests=%d shed=%d",
+		time.Since(s.start).Seconds(), requests, shed)
+	for _, ph := range phases {
+		fmt.Fprintf(&sb, " %s_p50_us=%d %s_p99_us=%d",
+			ph.name, ph.p50.Microseconds(), ph.name, ph.p99.Microseconds())
+	}
+	return sb.String()
+}

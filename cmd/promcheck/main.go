@@ -7,6 +7,15 @@
 //
 //	promcheck -url http://127.0.0.1:8080/metrics -probe http://127.0.0.1:8080/healthz
 //
+// The repeatable -series flag pins specific series by exact canonical
+// name (as ParseExposition keys them, labels sorted):
+//
+//	promcheck -series 'http_requests_shed_total{path="/certify"}' -series engine_queue_depth
+//
+// so the gate fails the moment an expected series stops being exported —
+// admission-control and queue-depth visibility must exist from boot, not
+// only after the first shed.
+//
 // `make metrics-smoke` boots a throwaway server and runs exactly that.
 package main
 
@@ -21,6 +30,19 @@ import (
 	"repro/internal/obs"
 )
 
+// seriesList is a repeatable -series flag.
+type seriesList []string
+
+func (s *seriesList) String() string { return strings.Join(*s, ", ") }
+
+func (s *seriesList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty series name")
+	}
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -32,7 +54,9 @@ func run() int {
 		retries   = flag.Int("retries", 40, "connection attempts while waiting for the server to boot")
 		delay     = flag.Duration("delay", 250*time.Millisecond, "pause between connection attempts")
 		minSeries = flag.Int("min-series", 10, "fail unless the exposition carries at least this many series")
+		want      seriesList
 	)
+	flag.Var(&want, "series", "canonical series that must be present (repeatable), e.g. 'http_requests_shed_total{path=\"/certify\"}'")
 	flag.Parse()
 
 	client := &http.Client{Timeout: 5 * time.Second}
@@ -101,6 +125,16 @@ func run() int {
 			return 1
 		}
 	}
-	fmt.Printf("promcheck: OK — %d series, valid exposition\n", len(samples))
+	missing := 0
+	for _, series := range want {
+		if _, ok := samples[series]; !ok {
+			fmt.Fprintf(os.Stderr, "promcheck: required series %s absent from the exposition\n", series)
+			missing++
+		}
+	}
+	if missing > 0 {
+		return 1
+	}
+	fmt.Printf("promcheck: OK — %d series, valid exposition, %d pinned series present\n", len(samples), len(want))
 	return 0
 }

@@ -1,0 +1,214 @@
+// Command slojson reads and compares the SLO reports certload emits, and
+// is the regression gate over the committed SLO trajectory (SLO_PR8.json
+// and successors).
+//
+// Single-file mode pretty-prints the headline numbers:
+//
+//	slojson SLO_PR8.json
+//
+// Compare mode is the gate:
+//
+//	slojson -compare old.json new.json
+//
+// It prints a per-endpoint delta table and exits non-zero when, for any
+// endpoint present in both reports, accepted-request p99 regressed by
+// more than -p99-threshold percent (default 50 — latency quantiles off a
+// log2-bucketed histogram are only bucket-accurate, so small thresholds
+// would gate on noise), or the overall shed rate (shed/requests) grew by
+// more than -shed-threshold percentage points (default 5), or errors
+// appeared where there were none. Empty, truncated and zero-request
+// reports are rejected up front: a gate that compares against a vacuous
+// baseline passes everything.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slojson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	compare := fs.Bool("compare", false, "compare two SLO reports: slojson -compare old.json new.json")
+	p99Threshold := fs.Float64("p99-threshold", 50, "per-endpoint p99 regression percentage that fails -compare")
+	shedThreshold := fs.Float64("shed-threshold", 5, "shed-rate increase in percentage points that fails -compare")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "slojson: -compare needs exactly two files: old.json new.json")
+			return 2
+		}
+		old, err := loadReport(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "slojson: %v\n", err)
+			return 2
+		}
+		cur, err := loadReport(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintf(stderr, "slojson: %v\n", err)
+			return 2
+		}
+		violations := Compare(stdout, old, cur, *p99Threshold, *shedThreshold)
+		if len(violations) > 0 {
+			fmt.Fprintf(stderr, "slojson: %d SLO violation(s):\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintf(stderr, "  %s\n", v)
+			}
+			return 1
+		}
+		return 0
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "slojson: need one report file (or -compare old.json new.json)")
+		return 2
+	}
+	rep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "slojson: %v\n", err)
+		return 2
+	}
+	summarize(stdout, rep)
+	return 0
+}
+
+func loadReport(path string) (*loadgen.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := decodeReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// decodeReport reads one SLO report and validates it is usable as a gate
+// baseline. Empty, truncated, wrong-schema and zero-request documents
+// must fail loudly here: comparing against any of them would find no
+// shared endpoints and wave every regression through.
+func decodeReport(r io.Reader) (*loadgen.Report, error) {
+	dec := json.NewDecoder(r)
+	var rep loadgen.Report
+	if err := dec.Decode(&rep); err != nil {
+		switch {
+		case errors.Is(err, io.EOF):
+			return nil, errors.New("empty SLO report")
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return nil, errors.New("truncated SLO report")
+		default:
+			return nil, err
+		}
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after SLO report")
+	}
+	if rep.Schema != loadgen.ReportSchema {
+		return nil, fmt.Errorf("schema %q, want %q", rep.Schema, loadgen.ReportSchema)
+	}
+	if rep.Requests == 0 || len(rep.Endpoints) == 0 {
+		return nil, errors.New("report measured no requests; a comparison against it would be vacuous")
+	}
+	return &rep, nil
+}
+
+// shedRate returns the shed fraction of measured requests, in percent.
+func shedRate(rep *loadgen.Report) float64 {
+	if rep.Requests == 0 {
+		return 0
+	}
+	return float64(rep.Shed) / float64(rep.Requests) * 100
+}
+
+// Compare writes the per-endpoint delta table to w and returns the SLO
+// violations: p99 regressions beyond p99Threshold percent on endpoints
+// present in both reports, a shed-rate increase beyond shedThreshold
+// percentage points, and errors appearing in a previously clean run.
+func Compare(w io.Writer, old, cur *loadgen.Report, p99Threshold, shedThreshold float64) []string {
+	oldBy := map[string]loadgen.EndpointReport{}
+	for _, ep := range old.Endpoints {
+		oldBy[ep.Name] = ep
+	}
+	var violations []string
+	fmt.Fprintf(w, "%-12s %12s %12s %9s %8s %8s\n", "endpoint", "old p99", "new p99", "delta", "old shed", "new shed")
+	for _, ep := range cur.Endpoints {
+		ob, shared := oldBy[ep.Name]
+		if !shared {
+			fmt.Fprintf(w, "%-12s %12s %12s\n", ep.Name, "(new)", time.Duration(ep.Latency.P99NS))
+			continue
+		}
+		delta := 0.0
+		// Endpoints with no accepted requests on either side have no p99
+		// to compare; the shed-rate gate covers that failure mode.
+		if ob.Latency.P99NS > 0 && ep.Latency.P99NS > 0 {
+			delta = float64(ep.Latency.P99NS-ob.Latency.P99NS) / float64(ob.Latency.P99NS) * 100
+		}
+		mark := ""
+		if delta > p99Threshold {
+			mark = "  << REGRESSION"
+			violations = append(violations,
+				fmt.Sprintf("%s: p99 %v -> %v (%+.0f%% > %.0f%%)", ep.Name,
+					time.Duration(ob.Latency.P99NS), time.Duration(ep.Latency.P99NS), delta, p99Threshold))
+		}
+		fmt.Fprintf(w, "%-12s %12s %12s %+8.1f%% %8d %8d%s\n", ep.Name,
+			time.Duration(ob.Latency.P99NS), time.Duration(ep.Latency.P99NS), delta, ob.Shed, ep.Shed, mark)
+	}
+	var removed []string
+	for name := range oldBy {
+		found := false
+		for _, ep := range cur.Endpoints {
+			if ep.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-12s %12s\n", name, "(removed)")
+	}
+	oldShed, curShed := shedRate(old), shedRate(cur)
+	fmt.Fprintf(w, "shed rate: %.2f%% -> %.2f%%; errors: %d -> %d\n", oldShed, curShed, old.Errors, cur.Errors)
+	if curShed-oldShed > shedThreshold {
+		violations = append(violations,
+			fmt.Sprintf("shed rate %.2f%% -> %.2f%% (+%.2fpp > %.0fpp)", oldShed, curShed, curShed-oldShed, shedThreshold))
+	}
+	if old.Errors == 0 && cur.Errors > 0 {
+		violations = append(violations, fmt.Sprintf("errors appeared: 0 -> %d", cur.Errors))
+	}
+	return violations
+}
+
+// summarize prints one report's headline numbers.
+func summarize(w io.Writer, rep *loadgen.Report) {
+	fmt.Fprintf(w, "%s %s arrivals, offered %.1f/s achieved %.1f/s over %.0fs\n",
+		rep.BaseURL, rep.Arrival, rep.OfferedRate, rep.AchievedRate, rep.DurationSeconds)
+	fmt.Fprintf(w, "requests=%d ok=%d shed=%d errors=%d shed_rate=%.2f%%\n",
+		rep.Requests, rep.OK, rep.Shed, rep.Errors, shedRate(rep))
+	fmt.Fprintf(w, "%-12s %9s %9s %9s %9s %9s\n", "endpoint", "requests", "p50", "p90", "p99", "p99.9")
+	for _, ep := range rep.Endpoints {
+		fmt.Fprintf(w, "%-12s %9d %9s %9s %9s %9s\n", ep.Name, ep.Requests,
+			time.Duration(ep.Latency.P50NS), time.Duration(ep.Latency.P90NS),
+			time.Duration(ep.Latency.P99NS), time.Duration(ep.Latency.P999NS))
+	}
+}

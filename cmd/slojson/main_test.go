@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// sampleReport builds a healthy two-endpoint report.
+func sampleReport() *loadgen.Report {
+	return &loadgen.Report{
+		Schema:          loadgen.ReportSchema,
+		BaseURL:         "http://127.0.0.1:8080",
+		Arrival:         loadgen.ArrivalConstant,
+		TargetRate:      100,
+		DurationSeconds: 10,
+		OfferedRate:     100,
+		AchievedRate:    98,
+		Requests:        1000,
+		OK:              980,
+		Shed:            20,
+		Latency:         loadgen.Quantiles{P50NS: 2e6, P90NS: 5e6, P99NS: 9e6, P999NS: 2e7, MaxNS: 3e7},
+		Endpoints: []loadgen.EndpointReport{
+			{Name: "certify", Path: "/certify", Requests: 600, OK: 590, Shed: 10,
+				Latency: loadgen.Quantiles{P50NS: 3e6, P90NS: 6e6, P99NS: 1e7, P999NS: 2e7, MaxNS: 3e7}},
+			{Name: "verify", Path: "/verify", Requests: 400, OK: 390, Shed: 10,
+				Latency: loadgen.Quantiles{P50NS: 1e6, P90NS: 2e6, P99NS: 4e6, P999NS: 8e6, MaxNS: 1e7}},
+		},
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep *loadgen.Report) string {
+	t.Helper()
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSelfCompareExitsZeroAndDegradedFails is the gate's core contract:
+// a report compared against itself passes, and a synthetically degraded
+// copy — p99 blown up, sheds exploded — fails with exit 1.
+func TestSelfCompareExitsZeroAndDegradedFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", sampleReport())
+
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-compare", base, base}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("self-compare exited %d\nstderr: %s", rc, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "certify") {
+		t.Fatalf("delta table missing endpoints:\n%s", stdout.String())
+	}
+
+	degraded := sampleReport()
+	degraded.Endpoints[0].Latency.P99NS *= 4 // certify p99 10ms -> 40ms
+	degraded.Shed = 400                      // shed rate 2% -> 40%
+	degPath := writeReport(t, dir, "degraded.json", degraded)
+
+	stdout.Reset()
+	stderr.Reset()
+	if rc := run([]string{"-compare", base, degPath}, &stdout, &stderr); rc != 1 {
+		t.Fatalf("degraded compare exited %d, want 1\nstdout: %s", rc, stdout.String())
+	}
+	for _, want := range []string{"REGRESSION", "shed rate"} {
+		if !strings.Contains(stdout.String()+stderr.String(), want) {
+			t.Errorf("compare output missing %q:\nstdout: %s\nstderr: %s", want, stdout.String(), stderr.String())
+		}
+	}
+	// The degraded report still passes against itself: the gate measures
+	// movement, not absolute numbers.
+	if rc := run([]string{"-compare", degPath, degPath}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("degraded self-compare exited %d", rc)
+	}
+}
+
+// TestErrorsAppearingFailsGate pins the third violation kind.
+func TestErrorsAppearingFailsGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", sampleReport())
+	bad := sampleReport()
+	bad.Errors = 3
+	badPath := writeReport(t, dir, "bad.json", bad)
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-compare", base, badPath}, &stdout, &stderr); rc != 1 {
+		t.Fatalf("errors-appeared compare exited %d, want 1", rc)
+	}
+	if !strings.Contains(stderr.String(), "errors appeared") {
+		t.Fatalf("stderr missing violation: %s", stderr.String())
+	}
+}
+
+// TestRejectsUnusableReports: empty, truncated, wrong-schema and
+// zero-request reports must be refused with exit 2, not silently waved
+// through as a vacuous baseline.
+func TestRejectsUnusableReports(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", sampleReport())
+
+	blob, _ := json.Marshal(sampleReport())
+	empty := sampleReport()
+	empty.Requests = 0
+	empty.Endpoints = nil
+	emptyBlob, _ := json.Marshal(empty)
+	wrongSchema := sampleReport()
+	wrongSchema.Schema = "certload/slo-report/v0"
+	wrongBlob, _ := json.Marshal(wrongSchema)
+
+	cases := []struct {
+		name    string
+		content []byte
+	}{
+		{"empty.json", nil},
+		{"truncated.json", blob[:len(blob)/2]},
+		{"trailing.json", append(append([]byte{}, blob...), []byte("{}")...)},
+		{"zero.json", emptyBlob},
+		{"schema.json", wrongBlob},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.name)
+		if err := os.WriteFile(path, tc.content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		if rc := run([]string{"-compare", good, path}, &stdout, &stderr); rc != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, rc, stderr.String())
+		}
+		if rc := run([]string{"-compare", path, good}, &stdout, &stderr); rc != 2 {
+			t.Errorf("%s as baseline: exit %d, want 2", tc.name, rc)
+		}
+	}
+}
+
+// TestSummarizeSingleReport covers the one-file mode.
+func TestSummarizeSingleReport(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "r.json", sampleReport())
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{path}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("exit %d: %s", rc, stderr.String())
+	}
+	for _, want := range []string{"certify", "verify", "shed_rate"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestUsageErrors pins the exit-2 paths for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-compare", "one.json"}, &stdout, &stderr); rc != 2 {
+		t.Errorf("one-arg compare exited %d", rc)
+	}
+	if rc := run([]string{}, &stdout, &stderr); rc != 2 {
+		t.Errorf("no-arg exited %d", rc)
+	}
+	if rc := run([]string{"/nonexistent/report.json"}, &stdout, &stderr); rc != 2 {
+		t.Errorf("missing file exited %d", rc)
+	}
+}
+
+// TestNewEndpointIsNotAViolation: adding an endpoint to the mix must not
+// fail the gate, only regressions on shared ones do.
+func TestNewEndpointIsNotAViolation(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", sampleReport())
+	cur := sampleReport()
+	cur.Endpoints = append(cur.Endpoints, loadgen.EndpointReport{
+		Name: "simulate", Path: "/simulate", Requests: 50, OK: 50,
+		Latency: loadgen.Quantiles{P50NS: 5e6, P99NS: 2e7},
+	})
+	curPath := writeReport(t, dir, "cur.json", cur)
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-compare", base, curPath}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("new endpoint failed the gate: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "(new)") {
+		t.Errorf("table does not mark the new endpoint:\n%s", stdout.String())
+	}
+}

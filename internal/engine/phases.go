@@ -19,6 +19,11 @@ const (
 	// MetricJobs counts finished pipeline jobs, labeled
 	// outcome=accepted|rejected|failed.
 	MetricJobs = "engine_jobs_total"
+	// MetricQueueDepth gauges batch-pipeline jobs accepted but not yet
+	// picked up by a worker, summed across concurrently running batches.
+	// A persistently non-zero depth under load is the first sign the
+	// worker pool is the bottleneck rather than any single phase.
+	MetricQueueDepth = "engine_queue_depth"
 )
 
 // cacheCounter returns the counter for one (cache, result) cell of the
@@ -46,6 +51,18 @@ func PhaseHistogram(r *obs.Registry, phase string) *obs.Histogram {
 	return r.Histogram(MetricPhaseSeconds,
 		"certification phase latency",
 		obs.L("phase", phase))
+}
+
+// QueueDepthGauge returns the pipeline's queued-jobs gauge. Exported so
+// the serving layer can register the series eagerly (a gauge that only
+// appears after the first batch can't be pinned by the metrics smoke
+// gate). A nil registry yields a bare unregistered gauge, like
+// cacheCounter.
+func QueueDepthGauge(r *obs.Registry) *obs.Gauge {
+	if r == nil {
+		return new(obs.Gauge)
+	}
+	return r.Gauge(MetricQueueDepth, "batch jobs queued for a pipeline worker")
 }
 
 // jobCounter returns the counter for one pipeline-job outcome.

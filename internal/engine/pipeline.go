@@ -148,11 +148,17 @@ func (p *Pipeline) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	results := make([]JobResult, len(jobs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	// depth tracks jobs accepted into this Run but not yet picked up by a
+	// worker; the gauge sums across concurrent batches, so overload shows
+	// up as queue depth on /metrics instead of only as latency.
+	depth := QueueDepthGauge(p.Cache.Obs)
+	depth.Add(int64(len(jobs)))
 	for w := 0; w < p.effectiveWorkers(len(jobs)); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				depth.Dec()
 				results[i] = p.runOne(ctx, i, jobs[i])
 			}
 		}()
@@ -167,6 +173,7 @@ dispatch:
 				results[j] = JobResult{Index: j}
 				results[j].fail(ctx.Err())
 			}
+			depth.Add(int64(-(len(jobs) - i)))
 			break dispatch
 		}
 	}

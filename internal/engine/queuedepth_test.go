@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// TestQueueDepthGaugeTracksQueuedJobs pins the engine_queue_depth
+// contract: while one worker is busy, the jobs not yet picked up are
+// visible on the gauge, and a finished batch always returns it to zero.
+func TestQueueDepthGaugeTracksQueuedJobs(t *testing.T) {
+	oreg := obs.NewRegistry()
+	cache := NewCacheObs(registry.Default(), oreg)
+	depth := QueueDepthGauge(oreg)
+
+	block := make(chan struct{})
+	jobs := make([]Job, 3)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Scheme: "tree-mso",
+			Params: registry.Params{Property: "perfect-matching"},
+			Lazy: func() (*graph.Graph, registry.Params, error) {
+				if i == 0 {
+					<-block // hold the only worker
+				}
+				return graphgen.Path(8), registry.Params{Property: "perfect-matching"}, nil
+			},
+		}
+	}
+	pipe := &Pipeline{Cache: cache, Workers: 1}
+	done := make(chan []JobResult, 1)
+	go func() {
+		results, err := pipe.Run(context.Background(), jobs)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- results
+	}()
+
+	// Worker 0 holds job 0; jobs 1 and 2 are accepted but queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for depth.Value() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := depth.Value(); got != 2 {
+		t.Fatalf("queue depth while worker blocked = %d, want 2", got)
+	}
+	close(block)
+	results := <-done
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", r.Index, r.Err)
+		}
+	}
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("queue depth after batch = %d, want 0", got)
+	}
+}
+
+// A batch cancelled before dispatch must hand back every queued slot: the
+// gauge cannot leak the undispatched remainder.
+func TestQueueDepthGaugeZeroAfterCancellation(t *testing.T) {
+	oreg := obs.NewRegistry()
+	cache := NewCacheObs(registry.Default(), oreg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		jobs[i] = Job{Graph: graphgen.Path(8), Scheme: "tree-mso", Params: registry.Params{Property: "perfect-matching"}}
+	}
+	pipe := &Pipeline{Cache: cache, Workers: 2}
+	if _, err := pipe.Run(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := QueueDepthGauge(oreg).Value(); got != 0 {
+		t.Fatalf("queue depth after cancelled batch = %d, want 0", got)
+	}
+}

@@ -1,0 +1,278 @@
+// Package loadgen is an open-loop, coordinated-omission-safe load
+// generator for the certification service. Arrivals are scheduled by a
+// constant-rate or Poisson process fixed in advance of any response:
+// the generator never waits for the server before firing the next
+// request, so a slow server faces exactly the offered rate instead of a
+// politely backing-off closed loop. Every latency is measured from the
+// request's *scheduled* arrival time — a request the client could not
+// even send on time counts its queueing delay, which is precisely the
+// delay a real user would see (the coordinated-omission correction).
+//
+// A run is warmup then measurement: arrivals scheduled inside the warmup
+// window fire normally (caches warm, connections open) but stay out of
+// the report. The report carries offered vs achieved rate, per-endpoint
+// latency quantiles off obs.Histogram, shed (429) and error counts, and
+// — when the target exposes /metrics — a server-side scrape delta
+// computed with obs.DiffSnapshots, so one artifact holds both sides of
+// the run.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Target is one weighted endpoint of the workload mix.
+type Target struct {
+	// Name labels the endpoint in the report, e.g. "certify".
+	Name string
+	// Path is the request path, e.g. "/certify". Requests are POSTs.
+	Path string
+	// Weight is the target's relative share of arrivals (> 0).
+	Weight int
+	// Body builds one request body. It runs on the dispatcher goroutine,
+	// so it may use the shared rng without synchronization; it must not
+	// block.
+	Body func(rng *rand.Rand) []byte
+}
+
+// Arrival processes.
+const (
+	// ArrivalConstant schedules arrivals at exactly 1/rate intervals.
+	ArrivalConstant = "constant"
+	// ArrivalPoisson schedules exponentially distributed inter-arrival
+	// gaps with mean 1/rate — bursty, like independent user traffic.
+	ArrivalPoisson = "poisson"
+)
+
+// Options configures a run.
+type Options struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Rate is the offered arrival rate in requests/second.
+	Rate float64
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Warmup precedes measurement; its arrivals fire but are not
+	// reported.
+	Warmup time.Duration
+	// Arrival is ArrivalConstant (default) or ArrivalPoisson.
+	Arrival string
+	// Seed drives the arrival process, the mix choice and the body
+	// builders; runs with equal seeds schedule identical workloads.
+	Seed int64
+	// Mix is the weighted endpoint set; required.
+	Mix []Target
+	// Timeout bounds each request (default 10s). It also bounds the
+	// generator's outstanding-request memory: at offered rate R the
+	// generator holds at most R×Timeout requests in flight.
+	Timeout time.Duration
+	// SkipServerDelta disables the /metrics scrapes around the run.
+	SkipServerDelta bool
+	// Client overrides the HTTP client (tests). When nil, a client with
+	// Timeout and an idle-connection pool sized for the offered rate is
+	// built.
+	Client *http.Client
+}
+
+// validate applies defaults and rejects unusable options.
+func (o *Options) validate() error {
+	if o.BaseURL == "" {
+		return fmt.Errorf("loadgen: no base URL")
+	}
+	if o.Rate <= 0 {
+		return fmt.Errorf("loadgen: rate %v must be positive", o.Rate)
+	}
+	if o.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration %v must be positive", o.Duration)
+	}
+	if o.Warmup < 0 {
+		return fmt.Errorf("loadgen: negative warmup %v", o.Warmup)
+	}
+	switch o.Arrival {
+	case "":
+		o.Arrival = ArrivalConstant
+	case ArrivalConstant, ArrivalPoisson:
+	default:
+		return fmt.Errorf("loadgen: unknown arrival process %q (known: %s, %s)",
+			o.Arrival, ArrivalConstant, ArrivalPoisson)
+	}
+	if len(o.Mix) == 0 {
+		return fmt.Errorf("loadgen: empty workload mix")
+	}
+	for i, tgt := range o.Mix {
+		if tgt.Weight <= 0 {
+			return fmt.Errorf("loadgen: mix[%d] %q has non-positive weight %d", i, tgt.Name, tgt.Weight)
+		}
+		if tgt.Body == nil {
+			return fmt.Errorf("loadgen: mix[%d] %q has no body builder", i, tgt.Name)
+		}
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	return nil
+}
+
+// targetStats accumulates one endpoint's measured outcomes. Counters and
+// the histogram are the obs primitives, so concurrent completions need no
+// extra locking.
+type targetStats struct {
+	requests, ok, shed, errs obs.Counter
+	// retryAfterMissing counts 429s violating the Retry-After contract.
+	retryAfterMissing obs.Counter
+	// latency holds accepted-request latency from scheduled arrival.
+	latency obs.Histogram
+	// shedLatency holds shed-response latency: sheds must be fast —
+	// that is their entire point — and this histogram proves it.
+	shedLatency obs.Histogram
+}
+
+// Run executes one open-loop run and builds its report. The context
+// cancels the dispatcher between arrivals; in-flight requests still run
+// to completion (or their timeout) so the report stays well formed.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	client := opts.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		// The default per-host idle cap (2) would churn connections at
+		// any real rate; size the pool to the offered concurrency.
+		tr.MaxIdleConns = 256
+		tr.MaxIdleConnsPerHost = 256
+		client = &http.Client{Timeout: opts.Timeout, Transport: tr}
+	}
+
+	var before obs.ScrapeSnapshot
+	if !opts.SkipServerDelta {
+		var err error
+		before, err = obs.ScrapeEndpoint(client, opts.BaseURL+"/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: pre-run scrape: %w", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	totalWeight := 0
+	for _, tgt := range opts.Mix {
+		totalWeight += tgt.Weight
+	}
+	stats := make([]targetStats, len(opts.Mix))
+	var warmupArrivals, measuredArrivals obs.Counter
+	var overall obs.Histogram
+
+	window := opts.Warmup + opts.Duration
+	start := time.Now()
+	var wg sync.WaitGroup
+	offset := time.Duration(0)
+dispatch:
+	for offset < window {
+		// Weighted target choice and body construction happen on the
+		// dispatcher goroutine: rng stays unsynchronized and the fire
+		// goroutine does nothing but send, receive and record.
+		ti := pickTarget(rng, opts.Mix, totalWeight)
+		body := opts.Mix[ti].Body(rng)
+		scheduled := start.Add(offset)
+		measured := offset >= opts.Warmup
+		if d := time.Until(scheduled); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		if measured {
+			measuredArrivals.Inc()
+		} else {
+			warmupArrivals.Inc()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fire(client, opts.BaseURL, opts.Mix[ti].Path, body, scheduled, measured, &stats[ti], &overall)
+		}()
+		switch opts.Arrival {
+		case ArrivalPoisson:
+			offset += time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second))
+		default:
+			offset += time.Duration(float64(time.Second) / opts.Rate)
+		}
+	}
+	wg.Wait()
+
+	var after obs.ScrapeSnapshot
+	if !opts.SkipServerDelta {
+		var err error
+		after, err = obs.ScrapeEndpoint(client, opts.BaseURL+"/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: post-run scrape: %w", err)
+		}
+	}
+	return buildReport(opts, stats, &overall,
+		warmupArrivals.Value(), measuredArrivals.Value(), before, after), nil
+}
+
+// pickTarget draws a mix index proportionally to weight.
+func pickTarget(rng *rand.Rand, mix []Target, totalWeight int) int {
+	w := rng.Intn(totalWeight)
+	for i, tgt := range mix {
+		w -= tgt.Weight
+		if w < 0 {
+			return i
+		}
+	}
+	return len(mix) - 1
+}
+
+// fire sends one request and classifies its outcome. Latency runs from
+// the scheduled arrival, not the send: if the client (or the dial, or a
+// stalled connection pool) delayed the send, that delay is part of what
+// the scheduled arrival experienced.
+func fire(client *http.Client, baseURL, path string, body []byte, scheduled time.Time, measured bool, st *targetStats, overall *obs.Histogram) {
+	resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(body))
+	latency := time.Since(scheduled)
+	if !measured {
+		if err == nil {
+			drain(resp)
+		}
+		return
+	}
+	st.requests.Inc()
+	if err != nil {
+		st.errs.Inc()
+		return
+	}
+	defer drain(resp)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.shed.Inc()
+		st.shedLatency.Observe(latency)
+		if resp.Header.Get("Retry-After") == "" {
+			st.retryAfterMissing.Inc()
+		}
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		st.ok.Inc()
+		st.latency.Observe(latency)
+		overall.Observe(latency)
+	default:
+		st.errs.Inc()
+	}
+}
+
+// drain consumes and closes a response body so the connection is reused.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -1,0 +1,400 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// okMix is a single-target mix posting a fixed body.
+func okMix(path string) []Target {
+	return []Target{{
+		Name:   "t",
+		Path:   path,
+		Weight: 1,
+		Body:   func(*rand.Rand) []byte { return []byte(`{}`) },
+	}}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	base := func() Options {
+		return Options{
+			BaseURL:  "http://x",
+			Rate:     10,
+			Duration: time.Second,
+			Mix:      okMix("/certify"),
+		}
+	}
+	if o := base(); o.validate() != nil {
+		t.Fatalf("valid options rejected: %v", o.validate())
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"no base URL", func(o *Options) { o.BaseURL = "" }},
+		{"zero rate", func(o *Options) { o.Rate = 0 }},
+		{"negative duration", func(o *Options) { o.Duration = -time.Second }},
+		{"negative warmup", func(o *Options) { o.Warmup = -time.Second }},
+		{"unknown arrival", func(o *Options) { o.Arrival = "uniform" }},
+		{"empty mix", func(o *Options) { o.Mix = nil }},
+		{"zero weight", func(o *Options) { o.Mix[0].Weight = 0 }},
+		{"nil body", func(o *Options) { o.Mix[0].Body = nil }},
+	}
+	for _, tc := range cases {
+		o := base()
+		tc.mutate(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("%s: validate accepted bad options", tc.name)
+		}
+	}
+	o := base()
+	o.Arrival = ""
+	if err := o.validate(); err != nil || o.Arrival != ArrivalConstant {
+		t.Fatalf("defaults not applied: arrival=%q err=%v", o.Arrival, err)
+	}
+	if o.Timeout != 10*time.Second {
+		t.Fatalf("default timeout = %v", o.Timeout)
+	}
+}
+
+// TestRunCountsAndRates drives a fast handler and checks bookkeeping:
+// every measured arrival lands in exactly one outcome bucket, warmup
+// arrivals stay out of the report, and rates use the measurement window.
+func TestRunCountsAndRates(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:         ts.URL,
+		Rate:            200,
+		Warmup:          100 * time.Millisecond,
+		Duration:        400 * time.Millisecond,
+		Mix:             okMix("/certify"),
+		SkipServerDelta: true,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if rep.Requests == 0 || rep.OK != rep.Requests || rep.Shed != 0 || rep.Errors != 0 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.WarmupRequests == 0 {
+		t.Fatal("no warmup arrivals recorded")
+	}
+	if got := served.Load(); got != rep.Requests+rep.WarmupRequests {
+		t.Fatalf("server saw %d requests, generator fired %d", got, rep.Requests+rep.WarmupRequests)
+	}
+	// 200/s over 0.4s ≈ 80 measured arrivals; allow generous slack for a
+	// loaded CI machine, but the offered rate must be in the ballpark.
+	if rep.OfferedRate < 100 || rep.OfferedRate > 300 {
+		t.Fatalf("offered rate %.1f implausible for target 200", rep.OfferedRate)
+	}
+	if rep.AchievedRate != float64(rep.OK)/0.4 {
+		t.Fatalf("achieved rate %.1f != ok/window", rep.AchievedRate)
+	}
+	if len(rep.Endpoints) != 1 || rep.Endpoints[0].Name != "t" {
+		t.Fatalf("endpoints: %+v", rep.Endpoints)
+	}
+	if rep.Latency.P50NS <= 0 || rep.Latency.P99NS < rep.Latency.P50NS {
+		t.Fatalf("latency quantiles: %+v", rep.Latency)
+	}
+	if rep.Server != nil {
+		t.Fatal("server delta present despite SkipServerDelta")
+	}
+}
+
+// TestRunClassifiesOutcomes mixes 200s, 429s (with and without
+// Retry-After) and 500s and checks each lands in the right bucket.
+func TestRunClassifiesOutcomes(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 4 {
+		case 0:
+			w.WriteHeader(http.StatusOK)
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests) // contract violation
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:         ts.URL,
+		Rate:            400,
+		Duration:        300 * time.Millisecond,
+		Mix:             okMix("/certify"),
+		SkipServerDelta: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.Shed == 0 || rep.Errors == 0 {
+		t.Fatalf("expected all outcome kinds: %+v", rep)
+	}
+	if rep.OK+rep.Shed+rep.Errors != rep.Requests {
+		t.Fatalf("outcome buckets don't partition requests: %+v", rep)
+	}
+	ep := rep.Endpoints[0]
+	if ep.RetryAfterMissing == 0 || ep.RetryAfterMissing == ep.Shed {
+		t.Fatalf("retry-after accounting: missing=%d shed=%d", ep.RetryAfterMissing, ep.Shed)
+	}
+	if ep.ShedLatency.P50NS <= 0 {
+		t.Fatalf("shed latency not recorded: %+v", ep.ShedLatency)
+	}
+}
+
+// TestRunCoordinatedOmissionSafety is the property the whole package
+// exists for. A server that stalls every request by a fixed delay leaves
+// a closed-loop generator reporting only the stall; an open-loop
+// generator measuring from scheduled arrival must report queueing delay
+// well above it for late arrivals when the stall exceeds the arrival
+// interval times the connection pool.
+func TestRunCoordinatedOmissionSafety(t *testing.T) {
+	const stall = 100 * time.Millisecond
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(stall)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:         ts.URL,
+		Rate:            100,
+		Duration:        500 * time.Millisecond,
+		Mix:             okMix("/certify"),
+		SkipServerDelta: true,
+		Timeout:         10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no accepted requests: %+v", rep)
+	}
+	// Every latency includes at least the server stall…
+	if got := time.Duration(rep.Latency.P50NS); got < stall/2 {
+		t.Fatalf("p50 %v below server stall %v: latency not measured end to end", got, stall)
+	}
+	// …and the generator stayed open-loop: it offered ~100/s even though
+	// a closed loop over default connections would collapse to ~20/s.
+	if rep.OfferedRate < 60 {
+		t.Fatalf("offered rate %.1f collapsed — generator is not open-loop", rep.OfferedRate)
+	}
+}
+
+// TestRunScheduleDeterminism pins that two runs with the same seed
+// schedule the same arrival count for both processes (the schedule is a
+// pure function of seed, rate and window).
+func TestRunScheduleDeterminism(t *testing.T) {
+	for _, arrival := range []string{ArrivalConstant, ArrivalPoisson} {
+		counts := make([]int64, 2)
+		for i := range counts {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusOK)
+			}))
+			rep, err := Run(context.Background(), Options{
+				BaseURL:         ts.URL,
+				Rate:            500,
+				Duration:        200 * time.Millisecond,
+				Arrival:         arrival,
+				Seed:            42,
+				Mix:             okMix("/x"),
+				SkipServerDelta: true,
+			})
+			ts.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[i] = rep.Requests + rep.WarmupRequests
+		}
+		if counts[0] != counts[1] {
+			t.Errorf("%s: same seed scheduled %d then %d arrivals", arrival, counts[0], counts[1])
+		}
+	}
+}
+
+// TestRunServerDelta exercises the /metrics scrape-diff path against a
+// handler that exposes a live obs registry.
+func TestRunServerDelta(t *testing.T) {
+	reg := obs.NewRegistry()
+	requests := reg.Counter("http_requests_total", "requests", obs.L("path", "/certify"), obs.L("code", "200"))
+	shed := reg.Counter("http_requests_shed_total", "sheds", obs.L("path", "/certify"))
+	depth := reg.Gauge("engine_queue_depth", "queue depth")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if err := obs.WriteMerged(w, reg); err != nil {
+			t.Error(err)
+		}
+	})
+	mux.HandleFunc("/certify", func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		if requests.Value()%3 == 0 {
+			shed.Inc()
+			depth.Inc()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Rate:     300,
+		Duration: 200 * time.Millisecond,
+		Mix:      okMix("/certify"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server == nil {
+		t.Fatal("no server delta")
+	}
+	sd := rep.Server
+	if sd.RequestsByPath["/certify"] == 0 {
+		t.Fatalf("request delta missing: %+v", sd)
+	}
+	if sd.ShedByPath["/certify"] == 0 {
+		t.Fatalf("shed delta missing: %+v", sd)
+	}
+	if sd.QueueDepth == 0 {
+		t.Fatalf("queue depth last-value missing: %+v", sd)
+	}
+	// The server's request count must cover at least the measured window
+	// (warmup requests also hit it, so >=).
+	if sd.RequestsByPath["/certify"] < float64(rep.Requests) {
+		t.Fatalf("server saw %.0f requests, report claims %d measured",
+			sd.RequestsByPath["/certify"], rep.Requests)
+	}
+}
+
+// TestRunScrapeFailure surfaces a broken /metrics endpoint as an error
+// instead of a report with a silently missing server section.
+func TestRunScrapeFailure(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no metrics here", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	_, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Rate:     10,
+		Duration: 50 * time.Millisecond,
+		Mix:      okMix("/certify"),
+	})
+	if err == nil {
+		t.Fatal("Run succeeded despite unscrapeable /metrics")
+	}
+}
+
+// TestRunContextCancel stops the dispatcher promptly and still returns a
+// well-formed report.
+func TestRunContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Options{
+		BaseURL:         ts.URL,
+		Rate:            10,
+		Duration:        time.Hour,
+		Mix:             okMix("/certify"),
+		SkipServerDelta: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v", elapsed)
+	}
+	if rep.Schema != ReportSchema {
+		t.Fatalf("report malformed after cancel: %+v", rep)
+	}
+}
+
+// TestStandardMixShapes builds the canonical mix and checks every body
+// parses as JSON and the weights and paths are sane.
+func TestStandardMixShapes(t *testing.T) {
+	mix, err := StandardMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 4 {
+		t.Fatalf("mix has %d targets", len(mix))
+	}
+	paths := map[string]bool{}
+	rng := rand.New(rand.NewSource(7))
+	for _, tgt := range mix {
+		if tgt.Weight <= 0 {
+			t.Errorf("%s: weight %d", tgt.Name, tgt.Weight)
+		}
+		paths[tgt.Path] = true
+		for i := 0; i < 16; i++ {
+			var v map[string]any
+			if err := json.Unmarshal(tgt.Body(rng), &v); err != nil {
+				t.Fatalf("%s body %d: %v", tgt.Name, i, err)
+			}
+		}
+	}
+	for _, p := range []string{"/certify", "/verify", "/simulate", "/batch"} {
+		if !paths[p] {
+			t.Errorf("mix missing %s", p)
+		}
+	}
+	// The verify bodies must carry certificates and an explicit graph.
+	for _, tgt := range mix {
+		if tgt.Name != "verify" {
+			continue
+		}
+		var v struct {
+			Certificates []string       `json:"certificates"`
+			Graph        map[string]any `json:"graph"`
+		}
+		if err := json.Unmarshal(tgt.Body(rng), &v); err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Certificates) == 0 || v.Graph == nil {
+			t.Fatalf("verify body lacks certificates or graph: %+v", v)
+		}
+	}
+}
+
+func TestPickTargetRespectsWeights(t *testing.T) {
+	mix := []Target{
+		{Name: "a", Weight: 9, Body: func(*rand.Rand) []byte { return nil }},
+		{Name: "b", Weight: 1, Body: func(*rand.Rand) []byte { return nil }},
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pickTarget(rng, mix, 10)]++
+	}
+	fracA := float64(counts[0]) / 10000
+	if fracA < 0.85 || fracA > 0.95 {
+		t.Fatalf("target a drew %.2f of arrivals, want ~0.9", fracA)
+	}
+}

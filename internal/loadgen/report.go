@@ -1,0 +1,207 @@
+package loadgen
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ReportSchema names the JSON shape emitted by certload and consumed by
+// slojson. Bump it when the shape changes incompatibly.
+const ReportSchema = "certload/slo-report/v1"
+
+// Quantiles summarizes one latency distribution in nanoseconds,
+// quantiles read off the log2-bucketed obs.Histogram.
+type Quantiles struct {
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// quantilesOf reads a histogram snapshot into the report shape.
+func quantilesOf(h *obs.Histogram) Quantiles {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		P50NS:  snap.P50NS,
+		P90NS:  snap.P90NS,
+		P99NS:  snap.P99NS,
+		P999NS: snap.Quantile(0.999),
+		MaxNS:  snap.MaxNS,
+	}
+}
+
+// EndpointReport is one mix target's measured outcomes.
+type EndpointReport struct {
+	Name     string `json:"name"`
+	Path     string `json:"path"`
+	Requests int64  `json:"requests"`
+	OK       int64  `json:"ok"`
+	Shed     int64  `json:"shed"`
+	Errors   int64  `json:"errors"`
+	// RetryAfterMissing counts 429 responses without a Retry-After
+	// header — a server-contract violation the gate test also pins.
+	RetryAfterMissing int64 `json:"retry_after_missing"`
+	// Latency covers accepted (2xx) requests, measured from scheduled
+	// arrival.
+	Latency Quantiles `json:"latency"`
+	// ShedLatency covers 429 responses; sheds are only useful if fast.
+	ShedLatency Quantiles `json:"shed_latency"`
+}
+
+// ServerDelta is the server's own account of the run: the difference of
+// two /metrics scrapes taken immediately before and after.
+type ServerDelta struct {
+	// RequestsByPath is the http_requests_total delta per path, summed
+	// over status codes.
+	RequestsByPath map[string]float64 `json:"requests_by_path,omitempty"`
+	// ShedByPath is the http_requests_shed_total delta per path.
+	ShedByPath map[string]float64 `json:"shed_by_path,omitempty"`
+	// PhaseSamples is the certify phase-histogram _count delta per phase.
+	PhaseSamples map[string]float64 `json:"phase_samples,omitempty"`
+	// InflightByPath is the post-run http_inflight_requests value per
+	// path; non-zero values mean the server still held requests after
+	// the generator finished.
+	InflightByPath map[string]float64 `json:"inflight_by_path,omitempty"`
+	// QueueDepth is the post-run engine_queue_depth value.
+	QueueDepth float64 `json:"queue_depth"`
+}
+
+// Report is the full artifact of one run.
+type Report struct {
+	Schema  string `json:"schema"`
+	BaseURL string `json:"base_url"`
+	Arrival string `json:"arrival"`
+	Seed    int64  `json:"seed"`
+
+	TargetRate      float64 `json:"target_rate"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	// OfferedRate is what the generator actually scheduled inside the
+	// measurement window; it trails TargetRate only if the dispatcher
+	// itself could not keep up or the run was cancelled.
+	OfferedRate float64 `json:"offered_rate"`
+	// AchievedRate counts accepted (2xx) completions per measured second.
+	AchievedRate float64 `json:"achieved_rate"`
+
+	WarmupRequests int64 `json:"warmup_requests"`
+	Requests       int64 `json:"requests"`
+	OK             int64 `json:"ok"`
+	Shed           int64 `json:"shed"`
+	Errors         int64 `json:"errors"`
+
+	// Latency aggregates accepted requests across all endpoints.
+	Latency   Quantiles        `json:"latency"`
+	Endpoints []EndpointReport `json:"endpoints"`
+
+	// Server is nil when the run skipped the /metrics scrapes.
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// buildReport assembles the artifact from the run's accumulated state.
+func buildReport(opts Options, stats []targetStats, overall *obs.Histogram,
+	warmupArrivals, measuredArrivals int64,
+	before, after obs.ScrapeSnapshot) *Report {
+	rep := &Report{
+		Schema:          ReportSchema,
+		BaseURL:         opts.BaseURL,
+		Arrival:         opts.Arrival,
+		Seed:            opts.Seed,
+		TargetRate:      opts.Rate,
+		WarmupSeconds:   opts.Warmup.Seconds(),
+		DurationSeconds: opts.Duration.Seconds(),
+		WarmupRequests:  warmupArrivals,
+		Latency:         quantilesOf(overall),
+	}
+	for i := range stats {
+		st := &stats[i]
+		ep := EndpointReport{
+			Name:              opts.Mix[i].Name,
+			Path:              opts.Mix[i].Path,
+			Requests:          st.requests.Value(),
+			OK:                st.ok.Value(),
+			Shed:              st.shed.Value(),
+			Errors:            st.errs.Value(),
+			RetryAfterMissing: st.retryAfterMissing.Value(),
+			Latency:           quantilesOf(&st.latency),
+			ShedLatency:       quantilesOf(&st.shedLatency),
+		}
+		rep.Requests += ep.Requests
+		rep.OK += ep.OK
+		rep.Shed += ep.Shed
+		rep.Errors += ep.Errors
+		rep.Endpoints = append(rep.Endpoints, ep)
+	}
+	sort.Slice(rep.Endpoints, func(i, j int) bool { return rep.Endpoints[i].Name < rep.Endpoints[j].Name })
+
+	// Rates are over the measurement window. The elapsed wall clock can
+	// exceed warmup+duration by stragglers' completion time; the window
+	// the arrivals were scheduled into is the honest denominator.
+	window := opts.Duration.Seconds()
+	if window > 0 {
+		rep.OfferedRate = float64(measuredArrivals) / window
+		rep.AchievedRate = float64(rep.OK) / window
+	}
+
+	if before != nil || after != nil {
+		rep.Server = buildServerDelta(obs.DiffSnapshots(before, after))
+	}
+	return rep
+}
+
+// buildServerDelta projects the raw scrape diff onto the handful of
+// series the SLO story cares about.
+func buildServerDelta(diff obs.ScrapeDiff) *ServerDelta {
+	sd := &ServerDelta{}
+	sd.RequestsByPath = sumByLabel(diff.DeltasByName("http_requests_total"), "path")
+	sd.ShedByPath = sumByLabel(diff.DeltasByName("http_requests_shed_total"), "path")
+	sd.PhaseSamples = sumByLabel(diff.DeltasByName("certify_phase_seconds_count"), "phase")
+	sd.InflightByPath = lastByLabel(diff, "http_inflight_requests", "path")
+	if v, ok := diff.Value("engine_queue_depth"); ok {
+		sd.QueueDepth = v
+	}
+	return sd
+}
+
+// sumByLabel folds a per-series delta map down to one value per label,
+// summing over every other label dimension (e.g. status code).
+func sumByLabel(deltas map[string]float64, label string) map[string]float64 {
+	if len(deltas) == 0 {
+		return nil
+	}
+	out := make(map[string]float64)
+	for series, d := range deltas {
+		_, labels, err := obs.SplitSeriesKey(series)
+		if err != nil {
+			continue
+		}
+		out[labels[label]] += d
+	}
+	return out
+}
+
+// lastByLabel reads the post-run value of every series of a family,
+// keyed by one label.
+func lastByLabel(diff obs.ScrapeDiff, family, label string) map[string]float64 {
+	var out map[string]float64
+	for series, v := range diff.After {
+		name, labels, err := obs.SplitSeriesKey(series)
+		if err != nil || name != family {
+			continue
+		}
+		if !strings.HasPrefix(series, family) {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64)
+		}
+		out[labels[label]] = v
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// StandardMix is the canonical sustained-load workload: a weighted blend
+// of the four hot POST endpoints, spanning scheme kinds (tree-automaton
+// MSO, treewidth-bounded MSO, whole-graph universal) and graph sizes
+// small through mid. Bodies are built once here — including locally
+// proven certificate sets for /verify — and the per-request Body funcs
+// only pick among them, so the dispatcher's per-arrival work is an
+// index draw, not a marshal.
+//
+// The mix leans toward /certify (the service's reason to exist), keeps
+// /verify warm with honest assignments proven in-process, and adds
+// lighter /simulate and /batch traffic so the pipeline and queue-depth
+// paths see load too.
+func StandardMix() ([]Target, error) {
+	certify := [][]byte{
+		mustJobBody("tree-mso", params{Property: "perfect-matching"}, gen("path", 32, 0)),
+		mustJobBody("tree-mso", params{Property: "perfect-matching"}, gen("path", 128, 0)),
+		mustJobBody("tree-mso", params{Property: "is-star"}, gen("star", 24, 0)),
+		mustJobBody("tree-mso", params{Property: "max-degree-<=2"}, gen("path", 64, 0)),
+		mustJobBody("tw-mso", params{Property: "tw-bound", T: 2}, genT("partial-k-tree", 48, 2, 7)),
+		mustJobBody("tw-mso", params{Property: "tw-bound", T: 2}, genT("k-tree", 32, 2, 3)),
+		mustJobBody("universal", params{Property: "connected"}, gen("random-tree", 40, 5)),
+	}
+	verify, err := verifyBodies()
+	if err != nil {
+		return nil, err
+	}
+	simulate := [][]byte{
+		mustMarshal(map[string]any{
+			"scheme":    "tree-mso",
+			"params":    params{Property: "perfect-matching"},
+			"generator": gen("path", 32, 0),
+			"workers":   2,
+		}),
+		mustMarshal(map[string]any{
+			"scheme":    "universal",
+			"params":    params{Property: "connected"},
+			"generator": gen("star", 32, 0),
+			"workers":   2,
+		}),
+	}
+	batch := [][]byte{
+		mustMarshal(map[string]any{
+			"workers": 2,
+			"jobs": []map[string]any{
+				{"scheme": "tree-mso", "params": params{Property: "perfect-matching"}, "generator": gen("path", 16, 0)},
+				{"scheme": "tree-mso", "params": params{Property: "perfect-matching"}, "generator": gen("path", 64, 0)},
+				{"scheme": "tw-mso", "params": params{Property: "tw-bound", T: 2}, "generator": genT("partial-k-tree", 24, 2, 9)},
+				{"scheme": "universal", "params": params{Property: "connected"}, "generator": gen("random-tree", 24, 2)},
+			},
+		}),
+	}
+	return []Target{
+		{Name: "certify", Path: "/certify", Weight: 4, Body: pick(certify)},
+		{Name: "verify", Path: "/verify", Weight: 2, Body: pick(verify)},
+		{Name: "simulate", Path: "/simulate", Weight: 1, Body: pick(simulate)},
+		{Name: "batch", Path: "/batch", Weight: 1, Body: pick(batch)},
+	}, nil
+}
+
+// params mirrors the server's paramsJSON wire shape.
+type params struct {
+	Property string `json:"property,omitempty"`
+	Formula  string `json:"formula,omitempty"`
+	T        int    `json:"t,omitempty"`
+}
+
+// gen builds a server-side generator spec.
+func gen(kind string, n int, seed int64) *wire.GeneratorSpec {
+	return &wire.GeneratorSpec{Kind: kind, N: n, Seed: seed}
+}
+
+// genT is gen for the treewidth-bounded kinds, which need a clique size.
+func genT(kind string, n, t int, seed int64) *wire.GeneratorSpec {
+	return &wire.GeneratorSpec{Kind: kind, N: n, T: t, Seed: seed}
+}
+
+// pick returns a Body func choosing uniformly among prebuilt bodies.
+func pick(bodies [][]byte) func(rng *rand.Rand) []byte {
+	return func(rng *rand.Rand) []byte { return bodies[rng.Intn(len(bodies))] }
+}
+
+// mustJobBody marshals a {scheme, params, generator} certify-shaped job.
+// The inputs are package-internal literals, so a marshal failure is a
+// programming error, not a runtime condition.
+func mustJobBody(scheme string, p params, g *wire.GeneratorSpec) []byte {
+	return mustMarshal(map[string]any{"scheme": scheme, "params": p, "generator": g})
+}
+
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: marshal workload body: %v", err))
+	}
+	return b
+}
+
+// verifyBodies proves honest assignments in-process and packages them as
+// /verify payloads with explicit graphs, so the server-side referee is
+// exercised with certificates it did not itself produce.
+func verifyBodies() ([][]byte, error) {
+	cache := engine.NewCache(registry.Default())
+	type vcase struct {
+		scheme string
+		p      registry.Params
+		g      *graph.Graph
+	}
+	cases := []vcase{
+		{"tree-mso", registry.Params{Property: "perfect-matching"}, graphgen.Path(32)},
+		{"tree-mso", registry.Params{Property: "is-star"}, graphgen.Star(24)},
+		{"universal", registry.Params{Property: "connected"}, graphgen.Star(48)},
+	}
+	var bodies [][]byte
+	for _, c := range cases {
+		scheme, err := cache.GetOrCompile(c.scheme, c.p)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: compile %s: %w", c.scheme, err)
+		}
+		a, err := scheme.Prove(c.g)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: prove %s/%s: %w", c.scheme, c.p.Property, err)
+		}
+		gj := wire.GraphToJSON(c.g)
+		bodies = append(bodies, mustMarshal(map[string]any{
+			"scheme":       c.scheme,
+			"params":       params{Property: c.p.Property, Formula: c.p.Formula, T: c.p.T},
+			"graph":        &gj,
+			"certificates": wire.AssignmentToStrings(a),
+		}))
+	}
+	return bodies, nil
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ScrapeSnapshot is one parsed /metrics scrape: every sample keyed by its
+// canonical series form (see ParseExposition). Two snapshots taken around
+// a workload diff into the server-side view of that workload — the
+// load-generator report embeds exactly that.
+type ScrapeSnapshot map[string]float64
+
+// SnapshotExposition parses one exposition into a snapshot, applying the
+// full ParseExposition validation (a malformed scrape is an error, not a
+// partial snapshot).
+func SnapshotExposition(r io.Reader) (ScrapeSnapshot, error) {
+	samples, err := ParseExposition(r)
+	if err != nil {
+		return nil, err
+	}
+	return ScrapeSnapshot(samples), nil
+}
+
+// ScrapeEndpoint GETs a /metrics URL and parses the body. A nil client
+// uses http.DefaultClient.
+func ScrapeEndpoint(client *http.Client, url string) (ScrapeSnapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	snap, err := SnapshotExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// ScrapeDiff relates two snapshots of the same target taken at different
+// times. Counter-style series are read through Delta (after minus before;
+// a series that appeared between scrapes contributes its full value, since
+// counters start at zero). Gauge-style series are read through Value: the
+// last scraped value, because a gauge's history between scrapes is
+// unknowable and subtracting two gauge readings is meaningless.
+type ScrapeDiff struct {
+	Before, After ScrapeSnapshot
+}
+
+// DiffSnapshots pairs two snapshots.
+func DiffSnapshots(before, after ScrapeSnapshot) ScrapeDiff {
+	return ScrapeDiff{Before: before, After: after}
+}
+
+// Delta returns after minus before for one series. Series absent from a
+// snapshot count as zero, so a counter that first appeared after the
+// workload reports its full value and a series that disappeared reports a
+// negative delta (which, for a true counter, signals a restart).
+func (d ScrapeDiff) Delta(series string) float64 {
+	return d.After[series] - d.Before[series]
+}
+
+// Value returns the series' value in the after snapshot — gauge last-value
+// semantics. The boolean reports presence.
+func (d ScrapeDiff) Value(series string) (float64, bool) {
+	v, ok := d.After[series]
+	return v, ok
+}
+
+// Appeared lists series present after but not before, sorted.
+func (d ScrapeDiff) Appeared() []string {
+	var out []string
+	for k := range d.After {
+		if _, ok := d.Before[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Disappeared lists series present before but not after, sorted. On a
+// healthy server nothing disappears between scrapes; a disappearance means
+// the target restarted (or the scrape hit a different process).
+func (d ScrapeDiff) Disappeared() []string {
+	var out []string
+	for k := range d.Before {
+		if _, ok := d.After[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeltasByName returns the per-series deltas of every series belonging to
+// the named family (union of both snapshots), keyed by canonical series.
+// Series that only exist on one side still show up, with the missing side
+// read as zero.
+func (d ScrapeDiff) DeltasByName(family string) map[string]float64 {
+	out := map[string]float64{}
+	collect := func(snap ScrapeSnapshot) {
+		for k := range snap {
+			if seriesFamily(k) == family {
+				out[k] = d.Delta(k)
+			}
+		}
+	}
+	collect(d.Before)
+	collect(d.After)
+	return out
+}
+
+// seriesFamily strips the label block off a canonical series key.
+func seriesFamily(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// SplitSeriesKey parses a canonical series key (the form ParseExposition
+// and SeriesKey emit) back into its name and label map, so consumers of a
+// diff can aggregate by one label (e.g. sum http_requests_total over
+// status codes, grouped by path) without re-implementing label syntax.
+func SplitSeriesKey(series string) (name string, labels map[string]string, err error) {
+	// A canonical key is exactly a sample line minus the value; reuse the
+	// sample-line parser by appending one.
+	name, labels, _, err = parseSampleLine(series + " 0")
+	if err != nil {
+		return "", nil, fmt.Errorf("bad series key %q: %w", series, err)
+	}
+	return name, labels, nil
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// expo renders a registry and re-parses it into a snapshot, so every diff
+// test also round-trips through the real exposition writer and validator.
+func expo(t *testing.T, r *Registry) ScrapeSnapshot {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := SnapshotExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exposition did not re-parse: %v", err)
+	}
+	return snap
+}
+
+func TestScrapeDiffCounterDeltas(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "", L("path", "/certify"))
+	c.Add(5)
+	before := expo(t, r)
+	c.Add(7)
+	after := expo(t, r)
+
+	d := DiffSnapshots(before, after)
+	key := SeriesKey("requests_total", L("path", "/certify"))
+	if got := d.Delta(key); got != 7 {
+		t.Fatalf("counter delta = %v, want 7", got)
+	}
+	// A series absent from both snapshots deltas to zero, not a panic.
+	if got := d.Delta("no_such_series_total"); got != 0 {
+		t.Fatalf("missing series delta = %v, want 0", got)
+	}
+}
+
+// A counter series that first appears between the scrapes contributes its
+// full value: counters start at zero, so "appeared at 3" means +3.
+func TestScrapeDiffAppearingSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "", L("path", "/certify")).Add(2)
+	before := expo(t, r)
+	r.Counter("shed_total", "", L("path", "/batch")).Add(3)
+	after := expo(t, r)
+
+	d := DiffSnapshots(before, after)
+	shedKey := SeriesKey("shed_total", L("path", "/batch"))
+	if got := d.Delta(shedKey); got != 3 {
+		t.Fatalf("appeared-series delta = %v, want 3", got)
+	}
+	if got := d.Appeared(); len(got) != 1 || got[0] != shedKey {
+		t.Fatalf("Appeared() = %v, want [%s]", got, shedKey)
+	}
+	if got := d.Disappeared(); len(got) != 0 {
+		t.Fatalf("Disappeared() = %v, want empty", got)
+	}
+	// The reverse diff sees the same series disappear.
+	rev := DiffSnapshots(after, before)
+	if got := rev.Disappeared(); len(got) != 1 || got[0] != shedKey {
+		t.Fatalf("reverse Disappeared() = %v, want [%s]", got, shedKey)
+	}
+}
+
+// Gauges read through Value: the after-scrape reading, never a subtraction
+// — a gauge that went 3 → 1 must report 1, not -2.
+func TestScrapeDiffGaugeLastValue(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", "")
+	g.Set(3)
+	before := expo(t, r)
+	g.Set(1)
+	after := expo(t, r)
+
+	d := DiffSnapshots(before, after)
+	v, ok := d.Value("queue_depth")
+	if !ok || v != 1 {
+		t.Fatalf("gauge Value = %v,%v, want 1,true", v, ok)
+	}
+	if _, ok := d.Value("absent_gauge"); ok {
+		t.Fatal("absent gauge must report ok=false")
+	}
+}
+
+func TestScrapeDiffDeltasByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "", L("path", "/certify"))
+	b := r.Counter("requests_total", "", L("path", "/verify"))
+	r.Counter("other_total", "").Add(100)
+	a.Add(1)
+	before := expo(t, r)
+	a.Add(4)
+	b.Add(2)
+	after := expo(t, r)
+
+	d := DiffSnapshots(before, after)
+	got := d.DeltasByName("requests_total")
+	want := map[string]float64{
+		SeriesKey("requests_total", L("path", "/certify")): 4,
+		SeriesKey("requests_total", L("path", "/verify")):  2,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DeltasByName = %v, want %v", got, want)
+	}
+}
+
+// Histogram families diff by their _count/_sum/_bucket samples like any
+// counter: observing twice between scrapes moves the count by exactly 2.
+func TestScrapeDiffHistogramCounts(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("request_seconds", "", L("path", "/certify"))
+	h.Observe(time.Millisecond)
+	before := expo(t, r)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	after := expo(t, r)
+
+	d := DiffSnapshots(before, after)
+	if got := d.Delta(SeriesKey("request_seconds_count", L("path", "/certify"))); got != 2 {
+		t.Fatalf("histogram count delta = %v, want 2", got)
+	}
+}
+
+func TestSplitSeriesKey(t *testing.T) {
+	name, labels, err := SplitSeriesKey(SeriesKey("http_requests_total", L("path", "/certify"), L("code", "200")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "http_requests_total" {
+		t.Fatalf("name = %q", name)
+	}
+	if !reflect.DeepEqual(labels, map[string]string{"path": "/certify", "code": "200"}) {
+		t.Fatalf("labels = %v", labels)
+	}
+	name, labels, err = SplitSeriesKey("bare_gauge")
+	if err != nil || name != "bare_gauge" || len(labels) != 0 {
+		t.Fatalf("bare key: %q %v %v", name, labels, err)
+	}
+	if _, _, err := SplitSeriesKey(`broken{path=`); err == nil {
+		t.Fatal("malformed key must error")
+	}
+}
+
+func TestScrapeEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "").Add(9)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_ = r.WritePrometheus(w)
+	}))
+	defer ts.Close()
+	snap, err := ScrapeEndpoint(nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["requests_total"] != 9 {
+		t.Fatalf("scraped %v", snap)
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if _, err := ScrapeEndpoint(nil, bad.URL); err == nil {
+		t.Fatal("non-200 scrape must error")
+	}
+	garbled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("this is not an exposition 12 34\n"))
+	}))
+	defer garbled.Close()
+	if _, err := ScrapeEndpoint(nil, garbled.URL); err == nil {
+		t.Fatal("malformed exposition must error")
+	}
+}

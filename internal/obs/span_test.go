@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -99,6 +100,67 @@ func TestWriteTreeRendersNamesDurationsAttrs(t *testing.T) {
 	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  ") {
 		t.Fatalf("child not indented:\n%s", out)
 	}
+}
+
+// A span with no attrs must render a clean line: no trailing separator,
+// no stray "=".
+func TestWriteTreeEmptyAttrs(t *testing.T) {
+	_, root := Start(context.Background(), "bare")
+	root.End()
+	var sb strings.Builder
+	root.WriteTree(&sb)
+	out := strings.TrimRight(sb.String(), "\n")
+	if strings.Contains(out, "=") {
+		t.Fatalf("attr-less span rendered an attribute:\n%s", out)
+	}
+	if strings.HasSuffix(out, " ") && !strings.Contains(out, "bare") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) != 1 {
+		t.Fatalf("leaf span rendered %d lines:\n%s", len(lines), out)
+	}
+}
+
+// Deep nesting: past depth 12 the name column width 24-2*depth goes
+// non-positive; the renderer must keep producing one indented line per
+// span instead of corrupting the layout.
+func TestWriteTreeDeepNesting(t *testing.T) {
+	const depth = 20
+	ctx, root := Start(context.Background(), "d0")
+	spans := []*Span{root}
+	for i := 1; i < depth; i++ {
+		var sp *Span
+		ctx, sp = Start(ctx, fmt.Sprintf("d%d", i))
+		spans = append(spans, sp)
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		spans[i].End()
+	}
+	var sb strings.Builder
+	root.WriteTree(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != depth {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), depth, sb.String())
+	}
+	for i, line := range lines {
+		indent := strings.Repeat("  ", i)
+		if !strings.HasPrefix(line, indent+fmt.Sprintf("d%d", i)) {
+			t.Fatalf("line %d misrendered: %q", i, line)
+		}
+	}
+}
+
+// WriteTree on a span that has not ended shows its elapsed time so far —
+// the documented tolerance for rendering mid-flight.
+func TestWriteTreeRunningSpan(t *testing.T) {
+	_, root := Start(context.Background(), "running")
+	var sb strings.Builder
+	root.WriteTree(&sb)
+	if !strings.Contains(sb.String(), "running") {
+		t.Fatalf("running span not rendered:\n%s", sb.String())
+	}
+	root.End()
 }
 
 func TestPhaseDurationsSumsRepeatedNames(t *testing.T) {
