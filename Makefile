@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke slo slo-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-json bench-compare fmt-check lint cover clean
+.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke slo slo-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-large bench-gate bench-json bench-compare fmt-check lint cover clean
 
 all: ci
 
@@ -98,9 +98,10 @@ slo-smoke:
 # lint clean (certlint runs before the tests: an invariant violation should
 # fail fast, not hide behind a long test run), and pass — including under
 # the race detector, a short parser fuzz, a one-iteration benchmark smoke
-# run, a live /metrics exposition check, a short sustained-load SLO
-# smoke, and the internal/lint coverage floor.
-ci: fmt-check build vet lint test test-race fuzz-short bench-smoke metrics-smoke slo-smoke cover
+# run, the committed benchmark-snapshot gate, a live /metrics exposition
+# check, a short sustained-load SLO smoke, and the internal/lint
+# coverage floor.
+ci: fmt-check build vet lint test test-race fuzz-short bench-smoke bench-gate metrics-smoke slo-smoke cover
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -161,6 +162,29 @@ bench-obs:
 	@rm -f bench-raw.tmp
 	@echo wrote BENCH_PR6.json
 	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR6.json
+
+# bench-large is the million-vertex acceptance instrument: the shared
+# benchmark set (the BENCH_PR6 packages) plus the large-n raw-speed
+# benchmarks — O(n+m) generators, stream encode/decode, parallel sparse
+# decomposition and the tw-mso prove+verify round trip at n=1e5 and
+# (ungated by BENCH_LARGE=1) n=1e6 — emitting BENCH_PR9.json, then the
+# regression gate against the committed BENCH_PR6.json snapshot.
+bench-large:
+	BENCH_LARGE=1 $(GO) test -p 1 -bench=. -benchmem -run=NONE \
+		-benchtime=3s -timeout=60m \
+		./internal/logic ./internal/engine ./internal/treewidth ./internal/obs \
+		./internal/wire ./internal/graphgen > bench-raw.tmp
+	$(GO) run ./cmd/benchjson < bench-raw.tmp > BENCH_PR9.json
+	@rm -f bench-raw.tmp
+	@echo wrote BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR9.json
+
+# bench-gate re-checks the committed snapshots without re-running the
+# benchmarks (seconds, so ci affords it on every run): any shared
+# benchmark that regressed >25% ns/op between the PR6 and PR9 artifacts
+# fails. Rerun `make bench-large` to refresh BENCH_PR9.json on perf PRs.
+bench-gate:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR9.json
 
 # bench-json runs the logic, engine and treewidth benchmarks and emits
 # machine-readable BENCH_PR5.json, so the perf trajectory accumulates as

@@ -22,8 +22,11 @@
 // prints a per-benchmark delta table (ns/op and allocs/op) for every
 // benchmark present in both documents, lists added and removed ones, and
 // exits non-zero when any shared benchmark's ns/op regressed by more than
-// -threshold percent (default 25). `make bench-compare` wires it against
-// the committed per-PR snapshots.
+// -threshold percent (default 25). With enough shared benchmarks the gate
+// first subtracts uniform machine drift — the median new/old ns ratio —
+// so snapshots recorded on differently clocked days compare on code, not
+// hardware mood (see Compare). `make bench-compare` wires it against the
+// committed per-PR snapshots.
 package main
 
 import (
@@ -155,9 +158,35 @@ func benchKey(b Benchmark) string {
 	return b.Package + " " + name
 }
 
+// driftMinShared is the fewest shared benchmarks from which the
+// machine-drift estimate (the median ns/op ratio) is trusted. Below it a
+// couple of real regressions could drag the median and normalize
+// themselves away, so small comparisons gate on raw deltas.
+const driftMinShared = 8
+
+// medianRatio returns the median of ratios (which it sorts in place).
+func medianRatio(ratios []float64) float64 {
+	sort.Float64s(ratios)
+	n := len(ratios)
+	if n%2 == 1 {
+		return ratios[n/2]
+	}
+	return (ratios[n/2-1] + ratios[n/2]) / 2
+}
+
 // Compare writes the per-benchmark delta table for benchmarks present in
 // both reports (plus added/removed listings) to w and returns the keys
 // whose ns/op regressed by more than threshold percent.
+//
+// Snapshots from different PRs are recorded on whatever the shared
+// container was clocking at that day, so raw deltas carry a uniform
+// machine-speed term that has nothing to do with the code. With enough
+// shared benchmarks (driftMinShared) Compare estimates that term as the
+// median ns/op ratio — a robust location estimate a handful of genuine
+// regressions cannot drag — prints it, and gates each benchmark on its
+// drift-normalized delta: a real single-path regression stands out
+// against the median, while "everything is +12% because the machine is"
+// cancels out. The table shows both the raw and normalized deltas.
 func Compare(w io.Writer, old, cur *Report, threshold float64) []string {
 	oldBy := map[string]Benchmark{}
 	for _, b := range old.Benchmarks {
@@ -173,8 +202,23 @@ func Compare(w io.Writer, old, cur *Report, threshold float64) []string {
 		curBy[k] = b
 	}
 	sort.Strings(curKeys)
+	// First pass: estimate machine drift as the median new/old ns ratio
+	// over the shared benchmarks (trusted only when there are enough of
+	// them — see driftMinShared).
+	var ratios []float64
+	for _, k := range curKeys {
+		if ob, shared := oldBy[k]; shared && ob.NsPerOp > 0 {
+			ratios = append(ratios, curBy[k].NsPerOp/ob.NsPerOp)
+		}
+	}
+	drift := 1.0
+	if len(ratios) >= driftMinShared {
+		drift = medianRatio(ratios)
+		fmt.Fprintf(w, "machine drift: median ns/op ratio over %d shared benchmarks is %+.1f%%; gating on drift-normalized deltas\n",
+			len(ratios), (drift-1)*100)
+	}
 	var regressions, added []string
-	fmt.Fprintf(w, "%-64s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	fmt.Fprintf(w, "%-64s %14s %14s %9s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "norm", "allocs")
 	for _, k := range curKeys {
 		nb := curBy[k]
 		ob, shared := oldBy[k]
@@ -182,20 +226,22 @@ func Compare(w io.Writer, old, cur *Report, threshold float64) []string {
 			added = append(added, k)
 			continue
 		}
-		delta := 0.0
+		delta, norm := 0.0, 0.0
 		if ob.NsPerOp > 0 {
-			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+			ratio := nb.NsPerOp / ob.NsPerOp
+			delta = (ratio - 1) * 100
+			norm = (ratio/drift - 1) * 100
 		}
 		allocs := "-"
 		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
 			allocs = fmt.Sprintf("%+d", *nb.AllocsPerOp-*ob.AllocsPerOp)
 		}
 		flag := ""
-		if delta > threshold {
+		if norm > threshold {
 			flag = "  << REGRESSION"
 			regressions = append(regressions, k)
 		}
-		fmt.Fprintf(w, "%-64s %14.1f %14.1f %+8.1f%% %9s%s\n", k, ob.NsPerOp, nb.NsPerOp, delta, allocs, flag)
+		fmt.Fprintf(w, "%-64s %14.1f %14.1f %+8.1f%% %+8.1f%% %9s%s\n", k, ob.NsPerOp, nb.NsPerOp, delta, norm, allocs, flag)
 	}
 	for _, k := range added {
 		fmt.Fprintf(w, "%-64s %14s %14.1f %9s\n", k, "(new)", curBy[k].NsPerOp, "")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -113,6 +114,87 @@ func TestCompareThresholdAndImprovements(t *testing.T) {
 	var out3 strings.Builder
 	if regs := Compare(&out3, fast, slow, 25); len(regs) != 1 {
 		t.Fatalf("10x slowdown not flagged at 25%%: %v", regs)
+	}
+}
+
+// TestCompareDriftNormalization: with driftMinShared or more shared
+// benchmarks, a uniform slowdown is machine drift and must not gate,
+// while a single benchmark slower than the drifted pack must.
+func TestCompareDriftNormalization(t *testing.T) {
+	mkReport := func(scale func(i int) float64) *Report {
+		rep := &Report{}
+		for i := 0; i < driftMinShared+1; i++ {
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+				Package: "p",
+				Name:    fmt.Sprintf("Benchmark%c-8", 'A'+i),
+				NsPerOp: 1000 * scale(i),
+			})
+		}
+		return rep
+	}
+	old := mkReport(func(int) float64 { return 1 })
+
+	// Everything +30%: pure drift, nothing is a regression.
+	uniform := mkReport(func(int) float64 { return 1.3 })
+	var out strings.Builder
+	if regs := Compare(&out, old, uniform, 25); len(regs) != 0 {
+		t.Fatalf("uniform +30%% drift flagged as regressions: %v", regs)
+	}
+	if !strings.Contains(out.String(), "machine drift") {
+		t.Fatalf("drift line missing:\n%s", out.String())
+	}
+
+	// One benchmark +69% on top of flat peers: a real regression.
+	outlier := mkReport(func(i int) float64 {
+		if i == 0 {
+			return 1.69
+		}
+		return 1
+	})
+	var out2 strings.Builder
+	if regs := Compare(&out2, old, outlier, 25); len(regs) != 1 || regs[0] != "p BenchmarkA" {
+		t.Fatalf("outlier regressions = %v, want exactly [p BenchmarkA]", regs)
+	}
+
+	// The same outlier riding +30% drift still stands out after
+	// normalization: 1.3*1.69/1.3 - 1 = +69% normalized.
+	drifted := mkReport(func(i int) float64 {
+		if i == 0 {
+			return 1.3 * 1.69
+		}
+		return 1.3
+	})
+	var out3 strings.Builder
+	if regs := Compare(&out3, old, drifted, 25); len(regs) != 1 || regs[0] != "p BenchmarkA" {
+		t.Fatalf("drifted outlier regressions = %v, want exactly [p BenchmarkA]", regs)
+	}
+}
+
+// Below driftMinShared the median is not trusted: a small comparison
+// where most benchmarks regress must still gate on raw deltas.
+func TestCompareNoDriftBelowFloor(t *testing.T) {
+	var old, cur Report
+	for i := 0; i < driftMinShared-1; i++ {
+		name := fmt.Sprintf("Benchmark%c-8", 'A'+i)
+		old.Benchmarks = append(old.Benchmarks, Benchmark{Package: "p", Name: name, NsPerOp: 1000})
+		cur.Benchmarks = append(cur.Benchmarks, Benchmark{Package: "p", Name: name, NsPerOp: 1400})
+	}
+	var out strings.Builder
+	regs := Compare(&out, &old, &cur, 25)
+	if len(regs) != driftMinShared-1 {
+		t.Fatalf("got %d regressions below the drift floor, want %d (raw gating)", len(regs), driftMinShared-1)
+	}
+	if strings.Contains(out.String(), "machine drift") {
+		t.Fatalf("drift line printed below the floor:\n%s", out.String())
+	}
+}
+
+func TestMedianRatio(t *testing.T) {
+	if got := medianRatio([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := medianRatio([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
 	}
 }
 

@@ -39,6 +39,29 @@ func main() {
 	os.Exit(run())
 }
 
+// loadGraphStream reads one wire-v2 binary graph from a file.
+func loadGraphStream(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return wire.DecodeGraphStream(f, wire.StreamLimits{})
+}
+
+// emitGraphStream writes g to a file in the wire-v2 binary format.
+func emitGraphStream(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wire.EncodeGraphStream(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // schemeNames renders the flag help for -scheme from the registry listing
 // plus the historical alias.
 func schemeNames() string {
@@ -72,6 +95,8 @@ func run() int {
 		trials      = flag.Int("trials", 10, "trials per tamper for -tamper-kind sweeps")
 		decompose   = flag.Bool("decompose", false, "print the graph's tree decomposition summary (heuristics, exact when small)")
 		trace       = flag.Bool("trace", false, "print the phase span tree (compile/prove/verify/rounds) after the run")
+		emitStream  = flag.String("emit-stream", "", "also write the graph to FILE in the binary stream format (wire v2)")
+		loadStream  = flag.String("load-stream", "", "load the graph from FILE (binary stream format) instead of generating; -graph/-n/-density are ignored")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -86,13 +111,38 @@ func run() int {
 		}
 	}()
 
-	spec := wire.GeneratorSpec{Kind: *graphKind, N: *n, T: *t, Density: *density, Seed: *seed}
-	_, gsp := obs.Start(ctx, "generate")
-	g, witness, err := spec.Build()
-	gsp.End()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "certify: %v\n", err)
-		return 2
+	var (
+		g       *graph.Graph
+		witness wire.Witness
+		err     error
+	)
+	if *loadStream != "" {
+		// Stream-loaded graphs carry no construction witness; witness-driven
+		// schemes fall back to computing their own model.
+		_, gsp := obs.Start(ctx, "generate")
+		g, err = loadGraphStream(*loadStream)
+		gsp.End()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certify: %v\n", err)
+			return 2
+		}
+		*graphKind = "stream:" + *loadStream
+	} else {
+		spec := wire.GeneratorSpec{Kind: *graphKind, N: *n, T: *t, Density: *density, Seed: *seed}
+		_, gsp := obs.Start(ctx, "generate")
+		g, witness, err = spec.Build()
+		gsp.End()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certify: %v\n", err)
+			return 2
+		}
+	}
+	if *emitStream != "" {
+		if err := emitGraphStream(*emitStream, g); err != nil {
+			fmt.Fprintf(os.Stderr, "certify: %v\n", err)
+			return 1
+		}
+		fmt.Printf("stream: wrote %s\n", *emitStream)
 	}
 
 	name := *schemeSel

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/wire"
+)
+
+func postStream(t *testing.T, base string, g *graph.Graph, query url.Values) (*http.Response, certifyResponse, errorJSON) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.EncodeGraphStream(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/certify?"+query.Encode(), streamContentType, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out certifyResponse
+	var errOut errorJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := json.NewDecoder(resp.Body).Decode(&errOut); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out, errOut
+}
+
+// POST /certify with the binary stream content type certifies the graph
+// with parameters taken from the query string, and never echoes
+// certificates.
+func TestCertifyStream(t *testing.T) {
+	ts := newTestServer(t)
+	g := graphgen.Path(600)
+	q := url.Values{}
+	q.Set("scheme", "tree-mso")
+	q.Set("property", "perfect-matching")
+	resp, out, errOut := postStream(t, ts.URL, g, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, errOut.Error)
+	}
+	if !out.Result.Accepted {
+		t.Fatalf("honest proof rejected: %+v", out.Result)
+	}
+	if len(out.Certificates) != 0 {
+		t.Fatal("stream path echoed certificates")
+	}
+	if out.Result.MaxBits == 0 || out.ProveNS == 0 {
+		t.Fatalf("stats missing: %+v", out)
+	}
+}
+
+// Property-parameterised schemes read the query string too, and the
+// stream body may carry a graph built by the bulk Builder.
+func TestCertifyStreamProperty(t *testing.T) {
+	ts := newTestServer(t)
+	g, _ := graphgen.KTree(60, 2, rand.New(rand.NewSource(41)))
+	q := url.Values{}
+	q.Set("scheme", "tw-mso")
+	q.Set("property", "tw-bound")
+	q.Set("t", strconv.Itoa(2))
+	resp, out, errOut := postStream(t, ts.URL, g, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, errOut.Error)
+	}
+	if !out.Result.Accepted {
+		t.Fatalf("rejected: %+v", out.Result)
+	}
+}
+
+// Malformed stream bodies and missing parameters are 400s, not 500s.
+func TestCertifyStreamBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	post := func(q url.Values, body []byte) int {
+		resp, err := http.Post(ts.URL+"/certify?"+q.Encode(), streamContentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	var good bytes.Buffer
+	if err := wire.EncodeGraphStream(&good, graphgen.Path(4)); err != nil {
+		t.Fatal(err)
+	}
+	noScheme := url.Values{}
+	if code := post(noScheme, good.Bytes()); code != http.StatusBadRequest {
+		t.Fatalf("missing scheme: status %d", code)
+	}
+	q := url.Values{}
+	q.Set("scheme", "tree-mso")
+	q.Set("property", "perfect-matching")
+	if code := post(q, []byte("not a stream")); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d", code)
+	}
+	bad := url.Values{}
+	bad.Set("scheme", "treedepth")
+	bad.Set("t", "not-a-number")
+	if code := post(bad, good.Bytes()); code != http.StatusBadRequest {
+		t.Fatalf("bad t: status %d", code)
+	}
+	// JSON requests on /certify still work beside the stream branch.
+	var out certifyResponse
+	resp := postJSON(t, ts.URL+"/certify", map[string]any{
+		"scheme": "tree-mso",
+		"params": map[string]any{"property": "perfect-matching"},
+		"graph":  wire.GraphToJSON(graphgen.Path(6)),
+	}, &out)
+	if resp.StatusCode != http.StatusOK || !out.Result.Accepted {
+		t.Fatalf("JSON path broken beside stream branch: %d %+v", resp.StatusCode, out.Result)
+	}
+}

@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"time"
 
@@ -11,7 +10,6 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/treewidth"
-	"repro/internal/wire"
 )
 
 // DecompCache memoizes tree decompositions by graph fingerprint with the
@@ -22,7 +20,7 @@ import (
 // workload — the heuristics are quadratic — so this is the engine-level
 // reuse the compile cache cannot provide for graph-specific state.
 //
-// Keys are FNV-64a fingerprints of the canonical wire encoding; a
+// Keys are FNV-64a fingerprints of the CSR snapshot; a
 // collision would hand a scheme a decomposition of the wrong graph, which
 // the prover's validity check rejects instead of certifying garbage.
 type DecompCache struct {
@@ -79,11 +77,37 @@ func NewDecompCacheObs(r *obs.Registry) *DecompCache {
 	return c
 }
 
-// fingerprint folds the canonical binary encoding of g into a cache key.
+// fingerprint folds g into a cache key: FNV-64a over the vertex count,
+// the identifiers and the CSR rows, streamed value by value. Hashing the
+// snapshot directly instead of a serialized encoding keeps the key
+// allocation-free — at a million vertices the old wire-encoding detour
+// materialized a buffer larger than the graph just to hash it.
 func fingerprint(g *graph.Graph) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write(wire.EncodeGraph(g))
-	return h.Sum64()
+	const prime64 = 1099511628211
+	h := uint64(14695981039346545037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	c := g.CSR()
+	n := c.N()
+	mix(uint64(n))
+	for v := 0; v < n; v++ {
+		mix(uint64(g.IDOf(v)))
+	}
+	// Row lengths delimit the neighbor stream, so distinct graphs cannot
+	// collide by concatenation.
+	for v := 0; v < n; v++ {
+		row := c.Row(v)
+		mix(uint64(len(row)))
+		for _, w := range row {
+			mix(uint64(w))
+		}
+	}
+	return h
 }
 
 // Get returns the cached decomposition for g, computing it with the

@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // ID is a vertex identifier. The paper assumes unique IDs in [1, n^k]; we
@@ -22,11 +23,21 @@ type ID = int64
 // internal, contiguous handle.
 //
 // The zero value is an empty graph; use New or NewWithIDs to create one.
+// Graphs must not be copied by value after first use (they cache an
+// atomically published CSR snapshot).
 type Graph struct {
-	ids  []ID
-	adj  [][]int
-	byID map[ID]int
-	m    int // number of edges
+	ids []ID
+	adj [][]int
+	// byID maps identifier to index; nil when identifiers are the default
+	// 1..n (the common case for generated graphs), where the mapping is
+	// arithmetic and the map would cost n entries for nothing.
+	byID  map[ID]int
+	m     int // number of edges
+	maxID ID  // largest identifier, fixed at construction
+	// csr caches the immutable CSR snapshot of the current revision;
+	// AddEdge invalidates it. Atomic so concurrent readers of a quiescent
+	// graph (server handlers, netsim shards) share one snapshot safely.
+	csr atomic.Pointer[CSR]
 }
 
 // New creates a graph with n vertices and default identifiers 1..n.
@@ -35,17 +46,26 @@ func New(n int) *Graph {
 	for i := range ids {
 		ids[i] = ID(i + 1)
 	}
-	g, err := NewWithIDs(ids)
-	if err != nil {
-		// Unreachable: default IDs are unique.
-		panic(err)
+	return &Graph{
+		ids:   ids,
+		adj:   make([][]int, n),
+		maxID: ID(n),
 	}
-	return g
 }
 
 // NewWithIDs creates a graph whose i-th vertex has identifier ids[i].
 // It returns an error if identifiers are not unique or not positive.
 func NewWithIDs(ids []ID) (*Graph, error) {
+	own := make([]ID, len(ids))
+	copy(own, ids)
+	g := &Graph{
+		ids: own,
+		adj: make([][]int, len(ids)),
+	}
+	if defaultIDs(own) {
+		g.maxID = ID(len(own))
+		return g, nil
+	}
 	byID := make(map[ID]int, len(ids))
 	for i, id := range ids {
 		if id <= 0 {
@@ -55,14 +75,23 @@ func NewWithIDs(ids []ID) (*Graph, error) {
 			return nil, fmt.Errorf("graph: duplicate identifier %d at indices %d and %d", id, j, i)
 		}
 		byID[id] = i
+		if id > g.maxID {
+			g.maxID = id
+		}
 	}
-	own := make([]ID, len(ids))
-	copy(own, ids)
-	return &Graph{
-		ids:  own,
-		adj:  make([][]int, len(ids)),
-		byID: byID,
-	}, nil
+	g.byID = byID
+	return g, nil
+}
+
+// defaultIDs reports whether ids is exactly the default sequence 1..n,
+// for which the identifier-to-index map can be elided.
+func defaultIDs(ids []ID) bool {
+	for i, id := range ids {
+		if id != ID(i+1) {
+			return false
+		}
+	}
+	return true
 }
 
 // N returns the number of vertices.
@@ -77,19 +106,35 @@ func (g *Graph) IDOf(v int) ID { return g.ids[v] }
 // IndexOf returns the index of the vertex with the given identifier and
 // whether it exists.
 func (g *Graph) IndexOf(id ID) (int, bool) {
+	if g.byID == nil {
+		if id >= 1 && id <= ID(len(g.ids)) {
+			return int(id - 1), true
+		}
+		return 0, false
+	}
 	v, ok := g.byID[id]
 	return v, ok
 }
 
-// MaxID returns the largest identifier in the graph (0 for an empty graph).
-func (g *Graph) MaxID() ID {
-	var max ID
-	for _, id := range g.ids {
-		if id > max {
-			max = id
-		}
+// MaxID returns the largest identifier in the graph (0 for an empty
+// graph). It is a stored field — the value sits on the cert-encoding hot
+// path for ID-width accounting, so it must not rescan the vertex list.
+func (g *Graph) MaxID() ID { return g.maxID }
+
+// CSR returns the immutable CSR snapshot of the graph's current
+// revision, building and caching it on first use. Mutating the graph
+// (AddEdge) invalidates the cache; snapshots already handed out stay
+// valid for the revision they captured. Safe for concurrent use on a
+// quiescent graph.
+func (g *Graph) CSR() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
 	}
-	return max
+	c := buildCSR(g.adj, g.m)
+	// A racing builder may publish first; both snapshots are identical,
+	// so either may win.
+	g.csr.CompareAndSwap(nil, c)
+	return g.csr.Load()
 }
 
 // AddEdge inserts the undirected edge {u, v} given by vertex indices.
@@ -108,6 +153,7 @@ func (g *Graph) AddEdge(u, v int) error {
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 	g.m++
+	g.csr.Store(nil) // invalidate the snapshot of the previous revision
 	return nil
 }
 
@@ -119,10 +165,16 @@ func (g *Graph) MustAddEdge(u, v int) {
 	}
 }
 
-// HasEdge reports whether {u, v} is an edge.
+// HasEdge reports whether {u, v} is an edge. When a CSR snapshot is
+// cached the test is a binary search over the shorter sorted row;
+// otherwise it scans the shorter adjacency list (construction-time
+// callers, where no snapshot exists yet).
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= len(g.ids) || v < 0 || v >= len(g.ids) {
 		return false
+	}
+	if c := g.csr.Load(); c != nil {
+		return c.HasEdge(u, v)
 	}
 	// Scan the shorter adjacency list.
 	a, b := u, v
@@ -155,22 +207,18 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
-// Edges returns all edges as index pairs with u < v, sorted.
+// Edges returns all edges as index pairs with u < v, sorted. The CSR
+// snapshot's sorted rows make this a single ordered sweep, no sort pass.
 func (g *Graph) Edges() [][2]int {
+	c := g.CSR()
 	out := make([][2]int, 0, g.m)
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
-			if u < v {
-				out = append(out, [2]int{u, v})
+	for u := 0; u < c.N(); u++ {
+		for _, v := range c.Row(u) {
+			if int(v) > u {
+				out = append(out, [2]int{u, int(v)})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
 	return out
 }
 
@@ -196,6 +244,12 @@ func (g *Graph) String() string {
 // BFSFrom runs a breadth-first search from src and returns the distance
 // (in edges) to every vertex, with -1 for unreachable vertices.
 func (g *Graph) BFSFrom(src int) []int {
+	return g.CSR().BFSFrom(src)
+}
+
+// bfsFromRef is the retained slice-adjacency reference for BFSFrom; the
+// differential test pins the CSR traversal byte-identical to it.
+func (g *Graph) bfsFromRef(src int) []int {
 	dist := make([]int, g.N())
 	for i := range dist {
 		dist[i] = -1
@@ -237,6 +291,11 @@ func (g *Graph) Connected() bool {
 // Components returns the connected components as lists of vertex indices,
 // each sorted, ordered by smallest contained index.
 func (g *Graph) Components() [][]int {
+	return g.CSR().Components()
+}
+
+// componentsRef is the retained slice-adjacency reference for Components.
+func (g *Graph) componentsRef() [][]int {
 	seen := make([]bool, g.N())
 	var comps [][]int
 	for s := 0; s < g.N(); s++ {

@@ -4,8 +4,92 @@ import "sort"
 
 // ArticulationPoints returns the set of cut vertices of the graph as a
 // sorted list of vertex indices, using Tarjan's low-link algorithm
-// (iteratively, to stay safe on deep graphs).
+// (iteratively, to stay safe on deep graphs) over the CSR snapshot.
 func (g *Graph) ArticulationPoints() []int {
+	c := g.CSR()
+	n := c.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	isCut := make([]bool, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+
+	type frame struct {
+		v, childIdx, rootChildren int
+	}
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{v: s}}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			row := c.Row(v)
+			if f.childIdx < len(row) {
+				w := int(row[f.childIdx])
+				f.childIdx++
+				if w == parent[v] {
+					continue
+				}
+				if disc[w] != -1 {
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+					continue
+				}
+				parent[w] = v
+				if v == s {
+					f.rootChildren++
+				}
+				disc[w] = timer
+				low[w] = timer
+				timer++
+				stack = append(stack, frame{v: w})
+				continue
+			}
+			// Post-order: propagate low-link to parent.
+			stack = stack[:len(stack)-1]
+			if p := parent[v]; p != -1 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if p != s && low[v] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		// Root rule: the DFS root is a cut vertex iff it has >= 2 DFS children.
+		rootChildren := 0
+		for _, w := range c.Row(s) {
+			if parent[w] == s {
+				rootChildren++
+			}
+		}
+		if rootChildren >= 2 {
+			isCut[s] = true
+		}
+	}
+
+	var out []int
+	for v, cut := range isCut {
+		if cut {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// articulationPointsRef is the retained slice-adjacency reference the
+// differential test pins the CSR version against.
+func (g *Graph) articulationPointsRef() []int {
 	n := g.N()
 	disc := make([]int, n)
 	low := make([]int, n)
@@ -53,7 +137,6 @@ func (g *Graph) ArticulationPoints() []int {
 				stack = append(stack, frame{v: w})
 				continue
 			}
-			// Post-order: propagate low-link to parent.
 			stack = stack[:len(stack)-1]
 			if p := parent[v]; p != -1 {
 				if low[v] < low[p] {
@@ -64,7 +147,6 @@ func (g *Graph) ArticulationPoints() []int {
 				}
 			}
 		}
-		// Root rule: the DFS root is a cut vertex iff it has >= 2 DFS children.
 		rootChildren := 0
 		for _, w := range g.adj[s] {
 			if parent[w] == s {
@@ -77,8 +159,8 @@ func (g *Graph) ArticulationPoints() []int {
 	}
 
 	var out []int
-	for v, c := range isCut {
-		if c {
+	for v, cut := range isCut {
+		if cut {
 			out = append(out, v)
 		}
 	}
@@ -87,8 +169,103 @@ func (g *Graph) ArticulationPoints() []int {
 
 // BiconnectedComponents returns the 2-connected components (blocks) of the
 // graph as vertex-index sets. Bridges form blocks of size 2. Every edge
-// belongs to exactly one block; cut vertices belong to several.
+// belongs to exactly one block; cut vertices belong to several. The CSR
+// rewrite replaces the per-block membership map of the reference with an
+// epoch-stamped mark array, so popping a block allocates only its output.
 func (g *Graph) BiconnectedComponents() [][]int {
+	c := g.CSR()
+	n := c.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	stamp := make([]int, n) // stamp[v] == epoch: v already in the block being popped
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+		stamp[i] = -1
+	}
+	timer := 0
+	epoch := 0
+	var edgeStack [][2]int
+	var blocks [][]int
+
+	popBlock := func(u, w int) {
+		var block []int
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			if stamp[e[0]] != epoch {
+				stamp[e[0]] = epoch
+				block = append(block, e[0])
+			}
+			if stamp[e[1]] != epoch {
+				stamp[e[1]] = epoch
+				block = append(block, e[1])
+			}
+			if e[0] == u && e[1] == w || e[0] == w && e[1] == u {
+				break
+			}
+		}
+		sort.Ints(block)
+		blocks = append(blocks, block)
+		epoch++
+	}
+
+	type frame struct {
+		v, childIdx int
+	}
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{v: s}}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			row := c.Row(v)
+			if f.childIdx < len(row) {
+				w := int(row[f.childIdx])
+				f.childIdx++
+				if w == parent[v] {
+					continue
+				}
+				if disc[w] != -1 {
+					if disc[w] < disc[v] { // back edge
+						edgeStack = append(edgeStack, [2]int{v, w})
+						if disc[w] < low[v] {
+							low[v] = disc[w]
+						}
+					}
+					continue
+				}
+				parent[w] = v
+				edgeStack = append(edgeStack, [2]int{v, w})
+				disc[w] = timer
+				low[w] = timer
+				timer++
+				stack = append(stack, frame{v: w})
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[v]; p != -1 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] >= disc[p] {
+					popBlock(p, v)
+				}
+			}
+		}
+	}
+	return blocks
+}
+
+// biconnectedComponentsRef is the retained slice-adjacency reference the
+// differential test pins the CSR version against.
+func (g *Graph) biconnectedComponentsRef() [][]int {
 	n := g.N()
 	disc := make([]int, n)
 	low := make([]int, n)

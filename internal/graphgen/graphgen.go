@@ -7,7 +7,6 @@ package graphgen
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/graph"
 )
@@ -222,39 +221,77 @@ func KTree(n, k int, rng *rand.Rand) (*graph.Graph, [][]int) {
 	if k < 1 || n < k+1 {
 		panic(fmt.Sprintf("graphgen: k-tree needs k >= 1 and n >= k+1, got n=%d k=%d", n, k))
 	}
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	attach := make([][]int, n)
-	// Seed clique on 0..k, and its k-element subsets as attachable cliques.
+	// Seed clique on 0..k.
 	for i := 0; i <= k; i++ {
 		for j := i + 1; j <= k; j++ {
-			g.MustAddEdge(i, j)
+			mustBuildEdge(b, i, j)
 		}
 	}
-	var cliques [][]int
-	for skip := 0; skip <= k; skip++ {
-		c := make([]int, 0, k)
-		for i := 0; i <= k; i++ {
-			if i != skip {
-				c = append(c, i)
+	// The attachable k-cliques are never materialised as a list — that
+	// list holds k cliques per vertex and made the generator O(nk²) in
+	// memory. Instead cliques are numbered in the order the list-based
+	// construction appended them, and decoded on demand:
+	//
+	//   c in [0, k]:  the seed subset {0..k} \ {c}
+	//   c >  k:       let j = c-(k+1); vertex v = k+1 + j/k swapped its
+	//                 attachment clique's member at position i = j%k for
+	//                 itself, so the clique is attach[v] minus that member
+	//                 plus v — already sorted, since every member of
+	//                 attach[v] precedes v.
+	//
+	// One rng.Intn per vertex over the same index range as before keeps
+	// seeded outputs identical to the list-based generator.
+	buf := make([]int, 0, k)
+	cliqueAt := func(c int) []int {
+		buf = buf[:0]
+		if c <= k {
+			for i := 0; i <= k; i++ {
+				if i != c {
+					buf = append(buf, i)
+				}
 			}
+			return buf
 		}
-		cliques = append(cliques, c)
+		j := c - (k + 1)
+		v, i := k+1+j/k, j%k
+		av := attach[v]
+		buf = append(buf, av[:i]...)
+		buf = append(buf, av[i+1:]...)
+		buf = append(buf, v)
+		return buf
 	}
+	// attach rows share one exactly-sized backing array; capacity caps
+	// make any caller append reallocate instead of clobbering the next row.
+	flat := make([]int, 0, k*(n-k-1))
 	for v := k + 1; v < n; v++ {
-		c := cliques[rng.Intn(len(cliques))]
-		attach[v] = append([]int(nil), c...)
+		count := (k + 1) + (v-(k+1))*k
+		c := cliqueAt(rng.Intn(count))
+		start := len(flat)
+		flat = append(flat, c...)
+		attach[v] = flat[start:len(flat):len(flat)]
 		for _, u := range c {
-			g.MustAddEdge(v, u)
-		}
-		// Each member swapped for v yields a new attachable k-clique.
-		for i := range c {
-			nc := append([]int(nil), c...)
-			nc[i] = v
-			sort.Ints(nc)
-			cliques = append(cliques, nc)
+			mustBuildEdge(b, v, u)
 		}
 	}
-	return g, attach
+	return mustFinish(b), attach
+}
+
+// mustBuildEdge adds an edge that is valid by construction.
+func mustBuildEdge(b *graph.Builder, u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(fmt.Sprintf("graphgen: internal edge invalid: %v", err))
+	}
+}
+
+// mustFinish finalises a builder whose edges are distinct by construction.
+func mustFinish(b *graph.Builder) *graph.Graph {
+	g, err := b.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("graphgen: internal build failed: %v", err))
+	}
+	return g
 }
 
 // PartialKTree returns a random partial k-tree — a connected subgraph of a
@@ -266,21 +303,30 @@ func KTree(n, k int, rng *rand.Rand) (*graph.Graph, [][]int) {
 // connected.
 func PartialKTree(n, k int, keepProb float64, rng *rand.Rand) (*graph.Graph, [][]int) {
 	full, attach := KTree(n, k, rng)
-	g := graph.New(n)
-	for _, e := range full.Edges() {
-		u, v := e[0], e[1]
-		mandatory := false
-		switch {
-		case v <= k:
-			mandatory = v == u+1 // seed path
-		case attach[v] != nil && u == attach[v][0]:
-			mandatory = true // first clique member anchors v
-		}
-		if mandatory || rng.Float64() < keepProb {
-			g.MustAddEdge(u, v)
+	c := full.CSR()
+	b := graph.NewBuilder(n)
+	// Walking CSR rows with w > u enumerates edges in exactly the sorted
+	// order Edges() used to produce, so the per-edge rng.Float64 sequence
+	// — and with it every seeded graph — is unchanged.
+	for u := 0; u < n; u++ {
+		for _, w := range c.Row(u) {
+			v := int(w)
+			if v <= u {
+				continue
+			}
+			mandatory := false
+			switch {
+			case v <= k:
+				mandatory = v == u+1 // seed path
+			case attach[v] != nil && u == attach[v][0]:
+				mandatory = true // first clique member anchors v
+			}
+			if mandatory || rng.Float64() < keepProb {
+				mustBuildEdge(b, u, v)
+			}
 		}
 	}
-	return g, attach
+	return mustFinish(b), attach
 }
 
 // Grid returns the rows x cols grid graph.

@@ -42,6 +42,10 @@ type Target struct {
 	// so it may use the shared rng without synchronization; it must not
 	// block.
 	Body func(rng *rand.Rand) []byte
+	// ContentType labels the body; empty means "application/json". The
+	// binary stream targets set the wire-v2 media type so the server
+	// routes them down the streaming decode path.
+	ContentType string
 }
 
 // Arrival processes.
@@ -201,7 +205,7 @@ dispatch:
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fire(client, opts.BaseURL, opts.Mix[ti].Path, body, scheduled, measured, &stats[ti], &overall)
+			fire(client, opts.BaseURL, &opts.Mix[ti], body, scheduled, measured, &stats[ti], &overall)
 		}()
 		switch opts.Arrival {
 		case ArrivalPoisson:
@@ -240,8 +244,12 @@ func pickTarget(rng *rand.Rand, mix []Target, totalWeight int) int {
 // the scheduled arrival, not the send: if the client (or the dial, or a
 // stalled connection pool) delayed the send, that delay is part of what
 // the scheduled arrival experienced.
-func fire(client *http.Client, baseURL, path string, body []byte, scheduled time.Time, measured bool, st *targetStats, overall *obs.Histogram) {
-	resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(body))
+func fire(client *http.Client, baseURL string, tgt *Target, body []byte, scheduled time.Time, measured bool, st *targetStats, overall *obs.Histogram) {
+	ct := tgt.ContentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	resp, err := client.Post(baseURL+tgt.Path, ct, bytes.NewReader(body))
 	latency := time.Since(scheduled)
 	if !measured {
 		if err == nil {

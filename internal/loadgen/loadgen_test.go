@@ -1,16 +1,19 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // okMix is a single-target mix posting a fixed body.
@@ -343,7 +346,7 @@ func TestStandardMixShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mix) != 4 {
+	if len(mix) != 5 {
 		t.Fatalf("mix has %d targets", len(mix))
 	}
 	paths := map[string]bool{}
@@ -354,8 +357,19 @@ func TestStandardMixShapes(t *testing.T) {
 		}
 		paths[tgt.Path] = true
 		for i := 0; i < 16; i++ {
+			body := tgt.Body(rng)
+			if tgt.ContentType == StreamContentType {
+				g, err := wire.DecodeGraphStream(bytes.NewReader(body), wire.StreamLimits{})
+				if err != nil {
+					t.Fatalf("%s body %d: %v", tgt.Name, i, err)
+				}
+				if g.N() < 4096 || g.N() > 16384 {
+					t.Fatalf("%s body %d: n=%d outside the large-graph class", tgt.Name, i, g.N())
+				}
+				continue
+			}
 			var v map[string]any
-			if err := json.Unmarshal(tgt.Body(rng), &v); err != nil {
+			if err := json.Unmarshal(body, &v); err != nil {
 				t.Fatalf("%s body %d: %v", tgt.Name, i, err)
 			}
 		}
@@ -364,6 +378,20 @@ func TestStandardMixShapes(t *testing.T) {
 		if !paths[p] {
 			t.Errorf("mix missing %s", p)
 		}
+	}
+	// The large-graph class posts binary stream bodies with the certify
+	// parameters in the query string.
+	var large *Target
+	for i := range mix {
+		if mix[i].Name == "certify-large" {
+			large = &mix[i]
+		}
+	}
+	if large == nil {
+		t.Fatal("mix missing certify-large")
+	}
+	if !strings.HasPrefix(large.Path, "/certify?") || !strings.Contains(large.Path, "scheme=tw-mso") {
+		t.Errorf("certify-large path %q lacks query parameters", large.Path)
 	}
 	// The verify bodies must carry certificates and an explicit graph.
 	for _, tgt := range mix {
@@ -380,6 +408,40 @@ func TestStandardMixShapes(t *testing.T) {
 		if len(v.Certificates) == 0 || v.Graph == nil {
 			t.Fatalf("verify body lacks certificates or graph: %+v", v)
 		}
+	}
+}
+
+// TestFireContentType pins the header contract: targets default to JSON,
+// and a stream target's content type reaches the server verbatim (the
+// server routes on it, so a silent default here would send large bodies
+// down the JSON decoder).
+func TestFireContentType(t *testing.T) {
+	var gotJSON, gotStream atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/json":
+			gotJSON.Store(r.Header.Get("Content-Type"))
+		case "/stream":
+			gotStream.Store(r.Header.Get("Content-Type"))
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	mix := []Target{
+		{Name: "j", Path: "/json", Weight: 1, Body: func(*rand.Rand) []byte { return []byte(`{}`) }},
+		{Name: "s", Path: "/stream", Weight: 1, Body: func(*rand.Rand) []byte { return []byte("x") },
+			ContentType: StreamContentType},
+	}
+	var st targetStats
+	var overall obs.Histogram
+	for i := range mix {
+		fire(srv.Client(), srv.URL, &mix[i], mix[i].Body(nil), time.Now(), true, &st, &overall)
+	}
+	if ct, _ := gotJSON.Load().(string); ct != "application/json" {
+		t.Errorf("json target sent Content-Type %q", ct)
+	}
+	if ct, _ := gotStream.Load().(string); ct != StreamContentType {
+		t.Errorf("stream target sent Content-Type %q", ct)
 	}
 }
 

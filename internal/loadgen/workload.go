@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -11,6 +12,11 @@ import (
 	"repro/internal/registry"
 	"repro/internal/wire"
 )
+
+// StreamContentType is the media type of the binary wire-v2 graph bodies
+// the large-graph class POSTs; it must match what cmd/certserver routes
+// to its streaming decoder.
+const StreamContentType = "application/x-graph-stream"
 
 // StandardMix is the canonical sustained-load workload: a weighted blend
 // of the four hot POST endpoints, spanning scheme kinds (tree-automaton
@@ -63,12 +69,46 @@ func StandardMix() ([]Target, error) {
 			},
 		}),
 	}
+	large, err := streamBodies()
+	if err != nil {
+		return nil, err
+	}
 	return []Target{
 		{Name: "certify", Path: "/certify", Weight: 4, Body: pick(certify)},
 		{Name: "verify", Path: "/verify", Weight: 2, Body: pick(verify)},
 		{Name: "simulate", Path: "/simulate", Weight: 1, Body: pick(simulate)},
 		{Name: "batch", Path: "/batch", Weight: 1, Body: pick(batch)},
+		{
+			Name: "certify-large",
+			// t=6: the server decomposes stream-loaded graphs with the
+			// heuristics (no witness crosses the wire), which land at
+			// width 5 on these partial 4-trees — 6 leaves margin.
+			Path:        "/certify?scheme=tw-mso&property=tw-bound&t=6",
+			Weight:      1,
+			Body:        pick(large),
+			ContentType: StreamContentType,
+		},
 	}, nil
+}
+
+// streamBodies prebuilds the large-graph class: partial 4-trees at
+// n=4096..16384 in the binary wire-v2 format. These exercise the
+// streaming decode path and the sparse decomposition at sizes the JSON
+// body shape would make pathological (a 16k-vertex edge list is a
+// multi-megabyte JSON document; the stream body is a few hundred KB).
+// Seeds are fixed so repeated arrivals hit the server's decomposition
+// cache the way a steady client re-certifying one deployment would.
+func streamBodies() ([][]byte, error) {
+	var bodies [][]byte
+	for i, n := range []int{4096, 8192, 16384} {
+		g, _ := graphgen.PartialKTree(n, 4, 0.85, rand.New(rand.NewSource(int64(20+i))))
+		var buf bytes.Buffer
+		if err := wire.EncodeGraphStream(&buf, g); err != nil {
+			return nil, fmt.Errorf("loadgen: encode stream body n=%d: %w", n, err)
+		}
+		bodies = append(bodies, buf.Bytes())
+	}
+	return bodies, nil
 }
 
 // params mirrors the server's paramsJSON wire shape.

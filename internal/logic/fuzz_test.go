@@ -30,6 +30,7 @@ var fuzzSeeds = []string{
 	strings.Repeat("forall x. ", 600) + "x = x",
 	"x = x -> " + strings.Repeat("x = x -> ", 600) + "x = x",
 	"\x00\xff\xfe",
+	"a~\xba",
 	"forall é. é = é",
 	"label(x,)",
 	"label(,1)",

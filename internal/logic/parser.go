@@ -344,8 +344,13 @@ func tokenize(input string) []string {
 			toks = append(toks, input[i:j])
 			i = j
 		default:
-			// Emit the offending byte as its own token; the parser reports it.
-			toks = append(toks, string(c))
+			// Emit the offending byte as its own raw token; the parser
+			// reports it. It must stay the raw byte, not string(rune(b)):
+			// that promotion re-encodes 0xBA as the two-byte letter 'º',
+			// which isIdent accepts — but the printed formula then
+			// re-tokenizes as different bytes and fails to reparse
+			// (regression seed "a~\xba" in FuzzParse).
+			toks = append(toks, input[i:i+1])
 			i++
 		}
 	}

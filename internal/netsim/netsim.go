@@ -205,6 +205,10 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.
 func (e *Engine) runShard(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.Assignment, lo, hi int) (rejOut []int, bits, msgs int, aborted bool) {
 	sc := e.getScratch()
 	rej := sc.rej[:0]
+	// All shards read the same immutable CSR snapshot; hoisting it out of
+	// the vertex loop keeps the row accesses two loads with no pointer
+	// chasing through the mutable adjacency.
+	csr := g.CSR()
 	for v := lo; v < hi; v++ {
 		if (v-lo)%checkInterval == 0 && ctx.Err() != nil {
 			sc.rej = rej[:0]
@@ -213,10 +217,10 @@ func (e *Engine) runShard(ctx context.Context, g *graph.Graph, s cert.Scheme, a 
 		}
 		// The exchange round for v: collect (id, certificate) from every
 		// neighbour into the reused view buffer.
-		nbrs := g.Neighbors(v)
+		nbrs := csr.Row(v)
 		views := sc.views[:0]
 		for _, u := range nbrs {
-			views = append(views, cert.NeighborView{ID: g.IDOf(u), Cert: a[u]})
+			views = append(views, cert.NeighborView{ID: g.IDOf(int(u)), Cert: a[u]})
 			bits += len(a[u])
 		}
 		msgs += len(nbrs)

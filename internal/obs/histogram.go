@@ -115,9 +115,10 @@ func (s *HistogramSnapshot) CumulativeThrough(i int) uint64 {
 }
 
 // quantile estimates the q-quantile (0 <= q <= 1) in nanoseconds: find the
-// bucket containing the continuous rank q*(count-1) and interpolate
-// linearly across the bucket's nanosecond range. The estimate lies inside
-// the bucket of the true order statistic, so it is within a factor of two.
+// bucket containing the ceil-rank order statistic ceil(q*(count-1)) and
+// interpolate linearly across the bucket's nanosecond range. The estimate
+// lies inside the bucket of the true order statistic, so it is within a
+// factor of two, and is monotone in q.
 func (s *HistogramSnapshot) quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
@@ -128,7 +129,14 @@ func (s *HistogramSnapshot) quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(s.Count-1)
+	// The ceil rank is an integer 0-based position, so the bucket walk
+	// locates the true order statistic exactly and the in-bucket position
+	// stays in [0, 1). A fractional rank compared against cum+c-1 used to
+	// push ranks in the gap between two occupied buckets (e.g. 7.2 over
+	// positions ...,7 | 8,...) into the later bucket with a negative
+	// position, interpolating below its lower bound and inverting
+	// quantile order (p99 < p50 on small samples).
+	rank := uint64(math.Ceil(q * float64(s.Count-1)))
 	var cum uint64
 	for i := 0; i < numBuckets; i++ {
 		c := s.buckets[i]
@@ -136,12 +144,12 @@ func (s *HistogramSnapshot) quantile(q float64) int64 {
 			continue
 		}
 		// The bucket covers 0-based positions [cum, cum+c-1].
-		if float64(cum+c-1) >= rank {
+		if cum+c-1 >= rank {
 			lo, hi := bucketBounds(i)
 			if lo >= hi {
 				return lo
 			}
-			pos := (rank - float64(cum)) / float64(c)
+			pos := float64(rank-cum) / float64(c)
 			return lo + int64(pos*float64(hi-lo))
 		}
 		cum += c

@@ -122,6 +122,49 @@ func TestHistogramQuantilePropertyAgainstSortedReference(t *testing.T) {
 	}
 }
 
+// Quantile estimates must be monotone in q for any sample set. The seeded
+// sweep reproduces the loadgen flake: with few samples spread over
+// non-adjacent buckets, a fractional rank falling in the gap between one
+// bucket's last position and the next bucket's first used to interpolate
+// with a negative in-bucket position, landing below the bucket and
+// inverting the order (p99 < p50).
+func TestHistogramQuantileMonotone(t *testing.T) {
+	// The distilled inversion: 9 samples, occupied buckets 18/19/21/22;
+	// rank .9*(9-1)=7.2 sits between position 7 (last of bucket 21) and
+	// position 8 (bucket 22).
+	var h Histogram
+	for _, ns := range []int64{
+		300_000,
+		600_000, 700_000,
+		1_100_000, 1_200_000, 1_300_000, 1_400_000, 1_500_000,
+		3_400_000,
+	} {
+		h.Observe(time.Duration(ns))
+	}
+	s := h.Snapshot()
+	if s.P50NS > s.P90NS || s.P90NS > s.P99NS {
+		t.Fatalf("distilled case not monotone: %+v", s)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		var hh Histogram
+		n := rng.Intn(120) + 1
+		for i := 0; i < n; i++ {
+			hh.Observe(time.Duration(rng.Int63n(4_000_000) + 1))
+		}
+		ss := hh.Snapshot()
+		prev := int64(0)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			est := ss.Quantile(q)
+			if est < prev {
+				t.Fatalf("trial %d n=%d: Quantile(%v)=%d below previous %d (%+v)", trial, n, q, est, prev, ss)
+			}
+			prev = est
+		}
+	}
+}
+
 // The snapshot's named quantiles must agree with Quantile.
 func TestHistogramSnapshotNamedQuantiles(t *testing.T) {
 	var h Histogram

@@ -318,12 +318,12 @@ func FromEliminationOrder(g *graph.Graph, order []int) (*Decomposition, error) {
 	}
 	// Replay the elimination on the shared fill-in state: at step i the
 	// alive vertices are exactly the later ones, so each bag is the
-	// vertex plus its remaining neighbours. The bitset state is bounded
-	// by its quadratic memory; larger graphs replay on the map state.
+	// vertex plus its remaining neighbours. Counts stay off in both
+	// engines — the replay only reads bags, so incremental fill-in
+	// maintenance would be pure overhead. The engine choice mirrors the
+	// heuristics' own dispatch.
 	bags := make([][]int, n)
-	if n <= MaxHeuristicVertices {
-		// Counts off: the replay only reads bags, so the incremental
-		// fill-in maintenance would be pure overhead.
+	if useBitset(g) {
 		st := newElimBits(g, false)
 		nbrs := make([]int, 0, n)
 		for i, v := range order {
@@ -331,7 +331,7 @@ func FromEliminationOrder(g *graph.Graph, order []int) (*Decomposition, error) {
 			nbrs, _ = st.eliminate(v, nbrs)
 		}
 	} else {
-		st := newRefElimState(g)
+		st := newElimSparse(g, false)
 		for i, v := range order {
 			bags[i] = st.bagOf(v)
 			st.eliminate(v)

@@ -111,8 +111,8 @@ func buildIntroTables(phi *EMSO, bagSize, pos int, adj func(i, j int) bool) *int
 		tuples [][]int
 	}
 	// Groups are keyed by their sorted distinct positions packed 14 bits
-	// apiece (r <= 3 distinct positions, each < MaxHeuristicVertices, so
-	// any bag size fits).
+	// apiece (r <= 3 distinct positions, each a bag-internal index well
+	// under 2^14 for any bag the DP could afford to process).
 	accs := map[uint64]*groupAcc{}
 	tuple := make([]int, r)
 	var rec func(i int, has bool)

@@ -8,10 +8,27 @@ import (
 	"repro/internal/graph"
 )
 
-// MaxHeuristicVertices bounds the elimination heuristics: selection scans
-// every remaining vertex each round, so the cost grows quadratically in n,
-// and the bitset adjacency rows take n²/8 bytes.
-const MaxHeuristicVertices = 1 << 13
+// MaxDenseVertices bounds the dense bitset engine, whose adjacency rows
+// take n²/8 bytes and whose selection scans every remaining vertex each
+// round. It is no longer a cap on the heuristics — graphs that are too
+// big (or too sparse) for the bitset engine run on the sparse
+// sorted-slice engine (see sparse.go), which has no size limit.
+const MaxDenseVertices = 1 << 13
+
+// useBitset picks the elimination engine: the dense bitset rows win on
+// small or dense graphs (word-parallel scans, no per-insert memmoves),
+// the sparse engine everywhere else — and is the only option above
+// MaxDenseVertices. The rule is deterministic, so the engine choice — and
+// with it the (identical) elimination order — is reproducible.
+func useBitset(g *graph.Graph) bool {
+	n := g.N()
+	if n > MaxDenseVertices {
+		return false
+	}
+	// Average degree at least n/32, or tiny: elimination fills
+	// neighbourhoods toward n, where bitset rows dominate.
+	return n <= 128 || 64*g.M() >= n*n
+}
 
 // elimBits is the working state of the elimination heuristics: adjacency
 // as bitset rows (one word-packed row per vertex, eliminated vertices
@@ -224,13 +241,24 @@ func runHeuristic(g *graph.Graph, score heuristicScore) (*Decomposition, []int, 
 	return linkEliminationBags(order, bags), order, width
 }
 
+// minScoreDecomp dispatches one greedy elimination run to the engine
+// that fits the graph; both engines produce identical orders, bags and
+// widths (pinned by differential tests), so the choice is purely a
+// performance decision.
+func minScoreDecomp(g *graph.Graph, score heuristicScore) (*Decomposition, []int, int) {
+	if useBitset(g) {
+		return runHeuristic(g, score)
+	}
+	return runHeuristicSparse(g, score)
+}
+
 // MinDegree runs the minimum-degree elimination heuristic and returns the
 // induced decomposition, the elimination order, and the realized width.
 func MinDegree(g *graph.Graph) (*Decomposition, []int, int, error) {
 	if err := checkHeuristicInput(g); err != nil {
 		return nil, nil, 0, err
 	}
-	d, order, width := runHeuristic(g, scoreDegree)
+	d, order, width := minScoreDecomp(g, scoreDegree)
 	return d, order, width, nil
 }
 
@@ -240,14 +268,25 @@ func MinFill(g *graph.Graph) (*Decomposition, []int, int, error) {
 	if err := checkHeuristicInput(g); err != nil {
 		return nil, nil, 0, err
 	}
-	d, order, width := runHeuristic(g, scoreFill)
+	d, order, width := minScoreDecomp(g, scoreFill)
 	return d, order, width, nil
 }
 
-// Heuristic runs both elimination heuristics and returns the narrower
-// decomposition together with the name of the winning method ("min-fill"
-// or "min-degree"; min-fill wins ties, matching its usual edge in quality).
+// parallelThreshold is the size above which Heuristic hands the graph to
+// the component/block-parallel driver instead of running both
+// heuristics sequentially on the whole graph.
+const parallelThreshold = 1 << 12
+
+// Heuristic runs the elimination heuristics and returns the narrower
+// decomposition together with the name of the winning method. Small
+// graphs run min-fill and min-degree back to back, min-fill winning
+// ties (its usual edge in quality); larger graphs go through the
+// parallel per-component/per-block driver (see parallel.go), which
+// applies the same contest block by block.
 func Heuristic(g *graph.Graph) (*Decomposition, string, error) {
+	if g.N() > parallelThreshold {
+		return HeuristicParallel(g, 0)
+	}
 	df, _, wf, err := MinFill(g)
 	if err != nil {
 		return nil, "", err
@@ -264,30 +303,56 @@ func Heuristic(g *graph.Graph) (*Decomposition, string, error) {
 
 // Degeneracy returns the graph's degeneracy (the max over the elimination
 // of always removing a minimum-degree vertex, without fill edges) — a
-// cheap lower bound on treewidth used by the exact solver.
+// cheap lower bound on treewidth used by the exact solver. A bucket
+// queue over the CSR snapshot makes the peeling O(n+m); the result is a
+// graph invariant, so the order vertices leave their buckets in does not
+// affect it.
 func Degeneracy(g *graph.Graph) int {
-	n := g.N()
+	c := g.CSR()
+	n := c.N()
+	if n == 0 {
+		return 0
+	}
 	deg := make([]int, n)
 	alive := make([]bool, n)
+	maxDeg := 0
 	for v := 0; v < n; v++ {
-		deg[v] = g.Degree(v)
+		deg[v] = c.Degree(v)
 		alive[v] = true
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// buckets[d] holds vertices that entered with degree d; entries go
+	// stale when a degree drops, so each pop revalidates against deg.
+	buckets := make([][]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
 	}
 	degen := 0
-	for left := n; left > 0; left-- {
-		best := -1
-		for v := 0; v < n; v++ {
-			if alive[v] && (best == -1 || deg[v] < deg[best]) {
-				best = v
-			}
+	cur := 0
+	for left := n; left > 0; {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
 		}
-		if deg[best] > degen {
-			degen = deg[best]
+		b := buckets[cur]
+		v := int(b[len(b)-1])
+		buckets[cur] = b[:len(b)-1]
+		if !alive[v] || deg[v] != cur {
+			continue // stale entry; the vertex re-entered a lower bucket
 		}
-		alive[best] = false
-		for _, w := range g.Neighbors(best) {
+		if cur > degen {
+			degen = cur
+		}
+		alive[v] = false
+		left--
+		for _, w := range c.Row(v) {
 			if alive[w] {
 				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+				if deg[w] < cur {
+					cur = deg[w]
+				}
 			}
 		}
 	}
@@ -297,9 +362,6 @@ func Degeneracy(g *graph.Graph) int {
 func checkHeuristicInput(g *graph.Graph) error {
 	if g.N() == 0 {
 		return fmt.Errorf("treewidth: empty graph")
-	}
-	if g.N() > MaxHeuristicVertices {
-		return fmt.Errorf("treewidth: heuristics limited to %d vertices, got %d", MaxHeuristicVertices, g.N())
 	}
 	return nil
 }

@@ -1,0 +1,96 @@
+package treewidth
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+)
+
+// The large-n raw-speed set: million-vertex partial 4-trees through the
+// sparse heuristics, the parallel block decomposition and the full
+// prove+verify round trip. The 1e5 sizes run everywhere (bench-smoke
+// keeps them from bit-rotting); the 1e6 sizes take tens of seconds per
+// iteration and only run under `make bench-large` (BENCH_LARGE=1).
+
+// skipUnlessLarge gates the million-vertex benchmarks out of routine
+// `go test -bench` runs; `make bench-large` sets the variable.
+func skipUnlessLarge(b *testing.B) {
+	b.Helper()
+	if os.Getenv("BENCH_LARGE") == "" {
+		b.Skip("set BENCH_LARGE=1 (make bench-large) to run million-vertex benchmarks")
+	}
+}
+
+// largeKTree builds the canonical large instance: a partial 4-tree with
+// the default edge-keep probability, the workload the paper's compact
+// certification story is about (bounded treewidth, certifiable with
+// O(log n)-ish labels).
+func largeKTree(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g, _ := graphgen.PartialKTree(n, 4, 0.85, rand.New(rand.NewSource(9)))
+	return g
+}
+
+func benchLargeDecompose(b *testing.B, n int) {
+	g := largeKTree(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _, err := HeuristicParallel(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w := d.Width(); w < 1 || w > 8 {
+			b.Fatalf("implausible width %d for a partial 4-tree", w)
+		}
+	}
+}
+
+func BenchmarkLargeDecomposePartialKTree100k(b *testing.B) { benchLargeDecompose(b, 100_000) }
+
+func BenchmarkLargeDecomposePartialKTree1M(b *testing.B) {
+	skipUnlessLarge(b)
+	benchLargeDecompose(b, 1_000_000)
+}
+
+// benchLargeProveVerify measures the tw-mso prove + sequential-verify
+// round trip with the generator-witness decomposition (width exactly 4;
+// the heuristics land at 5-6 on partial k-trees, and the serving path
+// amortizes whichever decomposition it has through the engine cache).
+func benchLargeProveVerify(b *testing.B, n int) {
+	g, attach := graphgen.PartialKTree(n, 4, 0.85, rand.New(rand.NewSource(9)))
+	d, err := FromKTree(g.N(), 4, attach)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prop, ok := PropertyByName("tw-bound")
+	if !ok {
+		b.Fatal("tw-bound property missing")
+	}
+	s := &MSOScheme{T: 4, Prop: prop, DecompProvider: func(*graph.Graph) (*Decomposition, error) {
+		return d, nil
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := s.Prove(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := cert.RunSequential(g, s, a)
+		if err != nil || !res.Accepted {
+			b.Fatalf("rejected: %v %v", err, res.Rejecters)
+		}
+	}
+}
+
+func BenchmarkLargeTWMSOProveVerify100k(b *testing.B) { benchLargeProveVerify(b, 100_000) }
+
+func BenchmarkLargeTWMSOProveVerify1M(b *testing.B) {
+	skipUnlessLarge(b)
+	benchLargeProveVerify(b, 1_000_000)
+}
