@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke slo slo-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-large bench-gate bench-json bench-compare fmt-check lint cover clean
+.PHONY: all build vet test test-race fuzz-short bench-smoke metrics-smoke slo slo-smoke chaos-smoke ci bench bench-engine bench-netsim bench-treewidth bench-logic bench-obs bench-large bench-gate bench-json bench-compare fmt-check lint cover clean
 
 all: ci
 
@@ -94,14 +94,31 @@ slo-smoke:
 	rm -f /tmp/certserver-slosmoke /tmp/slo-smoke.json; \
 	exit $$rc
 
+# chaos-smoke boots a server with a seeded fault plan armed (errors,
+# panics and delays across the engine fault points) and drives the
+# standard mix through certload -chaos for a few seconds: the server must
+# survive, and every error response must carry the JSON envelope.
+chaos-smoke:
+	@$(GO) build -o /tmp/certserver-chaossmoke ./cmd/certserver
+	@/tmp/certserver-chaossmoke -addr 127.0.0.1:18083 -quiet \
+		-fault-plan 'seed=42;engine.prove.pre:error@0.3;engine.compile.build:panic@0.1;engine.decomp.compute:delay=5ms@0.5' & \
+	pid=$$!; \
+	$(GO) run ./cmd/certload \
+		-url http://127.0.0.1:18083 \
+		-rate 40 -warmup 500ms -duration 3s -seed 9 -chaos; \
+	rc=$$?; \
+	kill -INT $$pid 2>/dev/null; \
+	rm -f /tmp/certserver-chaossmoke; \
+	exit $$rc
+
 # ci is the tier-1 gate: everything must be gofmt-clean, build, vet clean,
 # lint clean (certlint runs before the tests: an invariant violation should
 # fail fast, not hide behind a long test run), and pass — including under
 # the race detector, a short parser fuzz, a one-iteration benchmark smoke
 # run, the committed benchmark-snapshot gate, a live /metrics exposition
-# check, a short sustained-load SLO smoke, and the internal/lint
-# coverage floor.
-ci: fmt-check build vet lint test test-race fuzz-short bench-smoke bench-gate metrics-smoke slo-smoke cover
+# check, a short sustained-load SLO smoke, a seeded fault-injection
+# smoke, and the internal/lint coverage floor.
+ci: fmt-check build vet lint test test-race fuzz-short bench-smoke bench-gate metrics-smoke slo-smoke chaos-smoke cover
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -14,6 +14,13 @@
 //	certload -url http://127.0.0.1:8080 -rate 200 -duration 30s \
 //	         -warmup 5s -arrival poisson -o SLO.json
 //
+// Shed (429) responses are retried up to -retries times, honoring the
+// server's Retry-After with capped exponential backoff and jitter under
+// a per-request -retry-budget; the report carries retried/gave-up counts
+// alongside goodput. With -chaos the run doubles as a fault-injection
+// check: drive a server started with -fault-plan, expect fault-induced
+// 5xx, and fail if any non-2xx response lacks the JSON error envelope.
+//
 // The report embeds a server-side /metrics scrape delta (requests, sheds
 // and phase samples as the server counted them) unless -no-server-delta
 // is set. Compare two reports with slojson -compare.
@@ -46,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	arrival := fs.String("arrival", loadgen.ArrivalConstant, "arrival process: constant or poisson")
 	seed := fs.Int64("seed", 1, "workload and schedule seed")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	retries := fs.Int("retries", 3, "max retries per request after a 429, honoring Retry-After with capped exponential backoff and jitter (0 disables)")
+	retryBudget := fs.Duration("retry-budget", 0, "total backoff budget per request across its retries (0 = the -timeout value)")
+	chaos := fs.Bool("chaos", false, "chaos-run mode: fault-induced 5xx responses are expected, but every non-2xx must carry the JSON error envelope; envelope violations fail the run")
 	noDelta := fs.Bool("no-server-delta", false, "skip the /metrics scrapes around the run")
 	out := fs.String("o", "", "write the JSON report here instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:            *seed,
 		Mix:             mix,
 		Timeout:         *timeout,
+		Retries:         *retries,
+		RetryBudget:     *retryBudget,
+		VerifyEnvelope:  *chaos,
 		SkipServerDelta: *noDelta,
 	})
 	if err != nil {
@@ -94,8 +107,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stderr,
-		"certload: offered %.1f/s achieved %.1f/s ok=%d shed=%d errors=%d p50=%s p99=%s\n",
+		"certload: offered %.1f/s goodput %.1f/s ok=%d shed=%d errors=%d retried=%d gave_up=%d timeouts=%d p50=%s p99=%s\n",
 		rep.OfferedRate, rep.AchievedRate, rep.OK, rep.Shed, rep.Errors,
+		rep.RetryOK, rep.RetryGaveUp, rep.Timeouts,
 		time.Duration(rep.Latency.P50NS), time.Duration(rep.Latency.P99NS))
+	if *chaos {
+		// The chaos invariants a client can check: the server answered
+		// (the run measured something), and every non-2xx carried the
+		// error envelope. Fault-induced 5xx are the point, not a failure.
+		if rep.EnvelopeViolations > 0 {
+			fmt.Fprintf(stderr, "certload: CHAOS FAIL: %d non-2xx response(s) without the error envelope\n",
+				rep.EnvelopeViolations)
+			return 1
+		}
+		if rep.Requests == 0 {
+			fmt.Fprintln(stderr, "certload: CHAOS FAIL: no requests measured (server unreachable?)")
+			return 1
+		}
+		fmt.Fprintf(stderr, "certload: chaos invariants held over %d requests (%d error responses, all enveloped)\n",
+			rep.Requests, rep.Errors)
+	}
 	return 0
 }

@@ -35,9 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/registry"
 )
 
@@ -49,12 +51,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("certserver", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		workers  = fs.Int("workers", 0, "batch pipeline workers (0 = GOMAXPROCS)")
-		warm     = fs.Bool("warm", false, "pre-compile every parameterless scheme variant at startup")
-		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
-		quietLog = fs.Bool("quiet", false, "disable per-request log lines")
-		maxInfl  = fs.Int("max-inflight", 0, "max concurrent requests per certification endpoint before shedding with 429 (0 = default)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", 0, "batch pipeline workers (0 = GOMAXPROCS)")
+		warm      = fs.Bool("warm", false, "pre-compile every parameterless scheme variant at startup")
+		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
+		quietLog  = fs.Bool("quiet", false, "disable per-request log lines")
+		maxInfl   = fs.Int("max-inflight", 0, "max concurrent requests per certification endpoint before shedding with 429 (0 = default)")
+		reqTO     = fs.Duration("request-timeout", 30*time.Second, "per-request deadline budget, split across the certify phases; exceeding it answers 503 (0 disables)")
+		epTO      = fs.String("endpoint-timeouts", "", "per-endpoint overrides of -request-timeout, comma-separated path=duration pairs (e.g. \"/batch=120s,/certify=60s\")")
+		readHdr   = fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout: slowloris guard on request headers")
+		readTO    = fs.Duration("read-timeout", 5*time.Minute, "http.Server ReadTimeout: whole-request read budget, sized for streamed graph uploads (0 disables)")
+		writeTO   = fs.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout: whole-response write budget; keep it above -request-timeout (0 disables)")
+		idleTO    = fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: keep-alive connection reaper (0 disables)")
+		faultSpec = fs.String("fault-plan", "", "arm the seeded fault-injection plan, e.g. \"seed=7;engine.prove.pre:error@0.1\" (chaos testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +72,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	srv := newServer(registry.Default(), *workers)
 	srv.pprof = *pprofOn
 	srv.maxInflight = *maxInfl
+	srv.requestTimeout = *reqTO
+	if *epTO != "" {
+		overrides, err := parseEndpointTimeouts(*epTO)
+		if err != nil {
+			fmt.Fprintf(stderr, "certserver: -endpoint-timeouts: %v\n", err)
+			return 2
+		}
+		srv.endpointTimeouts = overrides
+	}
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "certserver: -fault-plan: %v\n", err)
+			return 2
+		}
+		if err := fault.Arm(plan); err != nil {
+			fmt.Fprintf(stderr, "certserver: -fault-plan: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "certserver: CHAOS: fault plan armed (%d rules, seed %d)\n", len(plan.Rules), plan.Seed)
+	}
 	if !*quietLog {
 		srv.logger = log.New(stdout, "", log.LstdFlags|log.Lmicroseconds)
 	}
@@ -73,7 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHdr,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -102,6 +135,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, srv.summaryLine())
 	}
 	return 0
+}
+
+// parseEndpointTimeouts parses the -endpoint-timeouts value: comma-
+// separated path=duration pairs.
+func parseEndpointTimeouts(spec string) (map[string]time.Duration, error) {
+	out := map[string]time.Duration{}
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		path, ds, ok := strings.Cut(pair, "=")
+		if !ok || !strings.HasPrefix(path, "/") {
+			return nil, fmt.Errorf("bad pair %q (want /path=duration)", pair)
+		}
+		d, err := time.ParseDuration(ds)
+		if err != nil {
+			return nil, fmt.Errorf("bad duration in %q: %v", pair, err)
+		}
+		out[path] = d
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no pairs in %q", spec)
+	}
+	return out, nil
 }
 
 // warmCache pre-compiles the enum-driven variants so first requests hit a

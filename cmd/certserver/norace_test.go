@@ -1,0 +1,6 @@
+//go:build !race
+
+package main
+
+// raceEnabled is false in ordinary test builds; see race_test.go.
+const raceEnabled = false

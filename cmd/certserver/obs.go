@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -10,6 +13,16 @@ import (
 	"time"
 
 	"repro/internal/obs"
+)
+
+// Metric families of the HTTP fault-containment layer.
+const (
+	// metricPanics counts handler panics contained by the recovery
+	// middleware, labeled by path. Any non-zero value is a bug report.
+	metricPanics = "http_panics_total"
+	// metricTimeouts counts requests whose deadline budget expired while
+	// the handler was still working, labeled by path.
+	metricTimeouts = "http_request_timeouts_total"
 )
 
 // knownPaths is the label allowlist for HTTP metrics: paths outside it
@@ -37,15 +50,93 @@ func pathLabel(p string) string {
 	return "other"
 }
 
-// statusRecorder captures the response status for the request metrics.
+// statusRecorder captures the response status for the request metrics and
+// whether anything was written at all — the recovery middleware can only
+// substitute a 500 envelope for a panic that fired before the first byte.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	if r.wrote {
+		return
+	}
+	r.wrote = true
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// recoverer contains handler panics: the stack goes to the log, the
+// panic counter ticks for the path, and — when the response has not
+// started — the client gets a 500 with the standard error envelope and
+// its request id. The process keeps serving; that is the whole point.
+func (s *server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// The sentinel asks net/http to abort quietly; honor it.
+				panic(rec)
+			}
+			s.obs.Counter(metricPanics, "handler panics contained by the recovery middleware",
+				obs.L("path", pathLabel(r.URL.Path))).Inc()
+			reqID := w.Header().Get("X-Request-Id")
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			logf := log.Printf
+			if s.logger != nil {
+				logf = s.logger.Printf
+			}
+			logf("panic req=%s method=%s path=%s: %v\n%s", reqID, r.Method, r.URL.Path, rec, buf)
+			if sr, ok := w.(*statusRecorder); !ok || !sr.wrote {
+				writeJSON(w, http.StatusInternalServerError,
+					errorJSON{Error: fmt.Sprintf("internal error (request %s)", reqID)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// deadline enforces the per-request time budget: the configured timeout
+// (per-endpoint override first, then the -request-timeout default)
+// becomes the request context's deadline, which the engine splits across
+// its phases and every long-running loop checkpoints against. Expiries
+// tick the timeout counter for the path.
+func (s *server) deadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := s.timeoutFor(r.URL.Path)
+		if d <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.obs.Counter(metricTimeouts, "requests whose deadline budget expired",
+				obs.L("path", pathLabel(r.URL.Path))).Inc()
+		}
+	})
+}
+
+// timeoutFor resolves the deadline budget for a path.
+func (s *server) timeoutFor(path string) time.Duration {
+	if d, ok := s.endpointTimeouts[path]; ok {
+		return d
+	}
+	return s.requestTimeout
 }
 
 // instrument wraps the mux with the request observability layer: a request

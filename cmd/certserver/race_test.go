@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled scales the cancellation-latency budget in the disconnect
+// regression test: race-instrumented binaries run the same checkpoint
+// strides several times slower in wall time, which is a property of the
+// instrumentation, not of the cancellation layer under test.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -59,6 +61,12 @@ type server struct {
 	// (the -max-inflight flag); <= 0 means defaultMaxInflight. Excess
 	// arrivals are shed with 429 + Retry-After instead of queueing.
 	maxInflight int
+	// requestTimeout is the default per-request deadline budget
+	// (-request-timeout); <= 0 disables the deadline middleware.
+	requestTimeout time.Duration
+	// endpointTimeouts overrides requestTimeout per path
+	// (-endpoint-timeouts).
+	endpointTimeouts map[string]time.Duration
 }
 
 // newServer builds a server around the given registry with the given
@@ -101,7 +109,11 @@ func (s *server) routes() http.Handler {
 	if s.pprof {
 		registerPprof(mux)
 	}
-	return s.instrument(mux)
+	// instrument assigns the request id and records status/latency; the
+	// recoverer inside it converts panics to 500s that instrument then
+	// counts; the deadline layer innermost, so handlers (and the engine
+	// below them) see the budget on their context.
+	return s.instrument(s.recoverer(s.deadline(mux)))
 }
 
 // paramsJSON is the wire form of registry.Params.
@@ -207,6 +219,37 @@ func writeProveError(w http.ResponseWriter, err error) {
 		return
 	}
 	writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
+}
+
+// statusClientClosedRequest is nginx's conventional 499: the client went
+// away and the server abandoned the work at a cancellation checkpoint
+// instead of finishing a response nobody will read.
+const statusClientClosedRequest = 499
+
+// writeCancelled maps cooperative-cancellation failures onto transport
+// statuses — 499 when the client disconnected, 503 when the deadline
+// budget expired — carrying the standard error envelope either way, and
+// counts the abandoned phase. It reports false for every other error so
+// callers fall through to their normal mapping.
+func (s *server) writeCancelled(w http.ResponseWriter, err error) bool {
+	if err == nil {
+		return false
+	}
+	deadline := errors.Is(err, context.DeadlineExceeded)
+	if !deadline && !errors.Is(err, context.Canceled) {
+		return false
+	}
+	phase := "request"
+	if ce, ok := fault.Cancelled(err); ok {
+		phase = ce.Phase
+	}
+	engine.CancelledCounter(s.obs, phase).Inc()
+	if deadline {
+		writeError(w, http.StatusServiceUnavailable, "deadline exceeded during %s: %v", phase, err)
+	} else {
+		writeError(w, statusClientClosedRequest, "client closed request during %s: %v", phase, err)
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -324,21 +367,8 @@ func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	}
 	rsp.SetAttr("scheme", scheme.Name())
 	rsp.SetAttr("n", g.N())
-	decomposeNS := s.cache.PrewarmDecomposition(ctx, scheme, g).Nanoseconds()
-	_, psp := obs.Start(ctx, "prove")
-	a, err := scheme.Prove(g)
-	psp.End()
-	engine.PhaseHistogram(s.obs, "prove").Observe(psp.Duration())
-	if err != nil {
-		writeProveError(w, err)
-		return
-	}
-	_, vsp := obs.Start(ctx, "verify")
-	res, err := cert.RunSequential(g, scheme, a)
-	vsp.End()
-	engine.PhaseHistogram(s.obs, "verify").Observe(vsp.Duration())
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+	a, res, phases, ok := s.proveAndVerify(ctx, w, scheme, g)
+	if !ok {
 		return
 	}
 	rsp.SetAttr("accepted", res.Accepted)
@@ -346,9 +376,9 @@ func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		Scheme:      scheme.Name(),
 		Result:      wire.ResultToJSON(res, a),
 		CompileNS:   compileNS,
-		DecomposeNS: decomposeNS,
-		ProveNS:     psp.Duration().Nanoseconds(),
-		VerifyNS:    vsp.Duration().Nanoseconds(),
+		DecomposeNS: phases.decomposeNS,
+		ProveNS:     phases.proveNS,
+		VerifyNS:    phases.verifyNS,
 	}
 	if req.IncludeCertificates {
 		resp.Certificates = wire.AssignmentToStrings(a)
@@ -356,12 +386,64 @@ func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	if req.Distributed {
 		rep, err := s.sim.Run(ctx, g, scheme, a)
 		if err != nil {
+			if s.writeCancelled(w, err) {
+				return
+			}
 			writeError(w, http.StatusInternalServerError, "distributed: %v", err)
 			return
 		}
 		resp.DistributedAccepted = &rep.Accepted
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// certifyPhases carries the inline certify path's phase timings.
+type certifyPhases struct {
+	decomposeNS, proveNS, verifyNS int64
+}
+
+// proveAndVerify is the shared prove+verify tail of the JSON and stream
+// certify paths: prewarm the decomposition cache, prove, referee — each
+// phase under its weighted slice of the request deadline, cancellable at
+// the engine's checkpoints. On failure the response has been written
+// (499/503 for cancellations, the existing mappings otherwise) and ok is
+// false.
+func (s *server) proveAndVerify(ctx context.Context, w http.ResponseWriter, scheme cert.Scheme, g *graph.Graph) (cert.Assignment, cert.Result, certifyPhases, bool) {
+	var ph certifyPhases
+	dctx, dcancel := engine.PhaseBudget(ctx, "decompose")
+	ph.decomposeNS = s.cache.PrewarmDecomposition(dctx, scheme, g).Nanoseconds()
+	dcancel()
+	if err := ctx.Err(); err != nil {
+		s.writeCancelled(w, &fault.CancelledError{Phase: "decompose", Cause: err})
+		return nil, cert.Result{}, ph, false
+	}
+	pctx, pcancel := engine.PhaseBudget(ctx, "prove")
+	pctx, psp := obs.Start(pctx, "prove")
+	a, err := cert.ProveWithContext(pctx, scheme, g)
+	psp.End()
+	pcancel()
+	ph.proveNS = psp.Duration().Nanoseconds()
+	engine.PhaseHistogram(s.obs, "prove").Observe(psp.Duration())
+	if err != nil {
+		if !s.writeCancelled(w, err) {
+			writeProveError(w, err)
+		}
+		return nil, cert.Result{}, ph, false
+	}
+	vctx, vcancel := engine.PhaseBudget(ctx, "verify")
+	vctx, vsp := obs.Start(vctx, "verify")
+	res, err := cert.RunSequentialCtx(vctx, g, scheme, a)
+	vsp.End()
+	vcancel()
+	ph.verifyNS = vsp.Duration().Nanoseconds()
+	engine.PhaseHistogram(s.obs, "verify").Observe(vsp.Duration())
+	if err != nil {
+		if !s.writeCancelled(w, err) {
+			writeError(w, http.StatusInternalServerError, "verify: %v", err)
+		}
+		return nil, cert.Result{}, ph, false
+	}
+	return a, res, ph, true
 }
 
 // mediaType returns the request's Content-Type without parameters.
@@ -418,21 +500,8 @@ func (s *server) handleCertifyStream(w http.ResponseWriter, r *http.Request) {
 	}
 	rsp.SetAttr("scheme", scheme.Name())
 	rsp.SetAttr("n", g.N())
-	decomposeNS := s.cache.PrewarmDecomposition(ctx, scheme, g).Nanoseconds()
-	_, psp := obs.Start(ctx, "prove")
-	a, err := scheme.Prove(g)
-	psp.End()
-	engine.PhaseHistogram(s.obs, "prove").Observe(psp.Duration())
-	if err != nil {
-		writeProveError(w, err)
-		return
-	}
-	_, vsp := obs.Start(ctx, "verify")
-	res, err := cert.RunSequential(g, scheme, a)
-	vsp.End()
-	engine.PhaseHistogram(s.obs, "verify").Observe(vsp.Duration())
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+	a, res, phases, ok := s.proveAndVerify(ctx, w, scheme, g)
+	if !ok {
 		return
 	}
 	rsp.SetAttr("accepted", res.Accepted)
@@ -440,9 +509,9 @@ func (s *server) handleCertifyStream(w http.ResponseWriter, r *http.Request) {
 		Scheme:      scheme.Name(),
 		Result:      wire.ResultToJSON(res, a),
 		CompileNS:   compileNS,
-		DecomposeNS: decomposeNS,
-		ProveNS:     psp.Duration().Nanoseconds(),
-		VerifyNS:    vsp.Duration().Nanoseconds(),
+		DecomposeNS: phases.decomposeNS,
+		ProveNS:     phases.proveNS,
+		VerifyNS:    phases.verifyNS,
 	})
 }
 
@@ -518,13 +587,15 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		s.cache.PrewarmDecomposition(ctx, scheme, g)
-		_, psp := obs.Start(ctx, "prove")
-		a, err = scheme.Prove(g)
+		pctx, psp := obs.Start(ctx, "prove")
+		a, err = cert.ProveWithContext(pctx, scheme, g)
 		psp.End()
 		engine.PhaseHistogram(s.obs, "prove").Observe(psp.Duration())
 		resp.ProveNS = psp.Duration().Nanoseconds()
 		if err != nil {
-			writeProveError(w, err)
+			if !s.writeCancelled(w, err) {
+				writeProveError(w, err)
+			}
 			return
 		}
 	}
@@ -541,6 +612,9 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	engine.PhaseHistogram(s.obs, "verify").Observe(vsp.Duration())
 	resp.VerifyNS = vsp.Duration().Nanoseconds()
 	if err != nil {
+		if s.writeCancelled(w, err) {
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "simulate: %v", err)
 		return
 	}
@@ -568,6 +642,9 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		engine.PhaseHistogram(s.obs, "sweep").Observe(ssp.Duration())
 		resp.SweepNS = ssp.Duration().Nanoseconds()
 		if serr != nil {
+			if s.writeCancelled(w, serr) {
+				return
+			}
 			writeError(w, http.StatusInternalServerError, "sweep: %v", serr)
 			return
 		}
@@ -604,11 +681,14 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	_, vsp := obs.Start(ctx, "verify")
-	res, err := cert.RunSequential(g, scheme, a)
+	vctx, vsp := obs.Start(ctx, "verify")
+	res, err := cert.RunSequentialCtx(vctx, g, scheme, a)
 	vsp.End()
 	engine.PhaseHistogram(s.obs, "verify").Observe(vsp.Duration())
 	if err != nil {
+		if s.writeCancelled(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "verify: %v", err)
 		return
 	}
@@ -828,17 +908,20 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	case "auto":
 		d, err = s.cache.Decomps.GetCtx(r.Context(), g)
 	case "min-fill":
-		d, _, _, err = treewidth.MinFill(g)
+		d, _, _, err = treewidth.MinFillCtx(r.Context(), g)
 	case "min-degree":
-		d, _, _, err = treewidth.MinDegree(g)
+		d, _, _, err = treewidth.MinDegreeCtx(r.Context(), g)
 	case "exact":
-		_, d, err = treewidth.Exact(g)
+		_, d, err = treewidth.ExactCtx(r.Context(), g)
 	default:
 		writeError(w, http.StatusBadRequest, "unknown method %q (known: auto, min-fill, min-degree, exact)", method)
 		return
 	}
 	computeNS := time.Since(t0).Nanoseconds()
 	if err != nil {
+		if s.writeCancelled(w, err) {
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, "decompose: %v", err)
 		return
 	}
@@ -852,8 +935,11 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		ComputeNS: computeNS,
 	}
 	if req.Nice {
-		nice, nerr := treewidth.MakeNice(d, 0)
+		nice, nerr := treewidth.MakeNiceCtx(r.Context(), d, 0)
 		if nerr != nil {
+			if s.writeCancelled(w, nerr) {
+				return
+			}
 			writeError(w, http.StatusInternalServerError, "nice: %v", nerr)
 			return
 		}

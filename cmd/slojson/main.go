@@ -196,6 +196,9 @@ func Compare(w io.Writer, old, cur *loadgen.Report, p99Threshold, shedThreshold 
 	if old.Errors == 0 && cur.Errors > 0 {
 		violations = append(violations, fmt.Sprintf("errors appeared: 0 -> %d", cur.Errors))
 	}
+	if old.Timeouts == 0 && cur.Timeouts > 0 {
+		violations = append(violations, fmt.Sprintf("client timeouts appeared: 0 -> %d", cur.Timeouts))
+	}
 	return violations
 }
 
@@ -205,6 +208,12 @@ func summarize(w io.Writer, rep *loadgen.Report) {
 		rep.BaseURL, rep.Arrival, rep.OfferedRate, rep.AchievedRate, rep.DurationSeconds)
 	fmt.Fprintf(w, "requests=%d ok=%d shed=%d errors=%d shed_rate=%.2f%%\n",
 		rep.Requests, rep.OK, rep.Shed, rep.Errors, shedRate(rep))
+	// Retry and timeout fields arrived with the fault-containment PR;
+	// reports written before it decode them as zero and print nothing.
+	if rep.Retries > 0 || rep.Timeouts > 0 || rep.EnvelopeViolations > 0 {
+		fmt.Fprintf(w, "retries=%d retry_ok=%d retry_gave_up=%d timeouts=%d envelope_violations=%d\n",
+			rep.Retries, rep.RetryOK, rep.RetryGaveUp, rep.Timeouts, rep.EnvelopeViolations)
+	}
 	fmt.Fprintf(w, "%-12s %9s %9s %9s %9s %9s\n", "endpoint", "requests", "p50", "p90", "p99", "p99.9")
 	for _, ep := range rep.Endpoints {
 		fmt.Fprintf(w, "%-12s %9d %9s %9s %9s %9s\n", ep.Name, ep.Requests,

@@ -15,9 +15,11 @@
 package cert
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -103,6 +105,24 @@ type Scheme interface {
 	Verify(v View) bool
 }
 
+// CtxProver is the optional cancellable side of a Scheme: provers whose
+// work is long enough to need cooperative cancellation implement
+// ProveCtx and keep Prove as the background-context shim. Callers go
+// through ProveWithContext, which falls back to plain Prove for cheap
+// schemes.
+type CtxProver interface {
+	ProveCtx(ctx context.Context, g *graph.Graph) (Assignment, error)
+}
+
+// ProveWithContext proves g under s, threading ctx through when the
+// scheme supports cancellation.
+func ProveWithContext(ctx context.Context, s Scheme, g *graph.Graph) (Assignment, error) {
+	if cp, ok := s.(CtxProver); ok {
+		return cp.ProveCtx(ctx, g)
+	}
+	return s.Prove(g)
+}
+
 // ViewOf constructs the radius-1 view of vertex v under an assignment.
 func ViewOf(g *graph.Graph, a Assignment, v int) View {
 	view := View{
@@ -131,11 +151,22 @@ type Result struct {
 // RunSequential evaluates the verifier at every vertex of g under the
 // given assignment and aggregates the results.
 func RunSequential(g *graph.Graph, s Scheme, a Assignment) (Result, error) {
+	return RunSequentialCtx(context.Background(), g, s, a)
+}
+
+// RunSequentialCtx is RunSequential with cooperative cancellation: the
+// per-vertex loop polls an amortized checkpoint, so abandoning a
+// million-vertex referee costs at most one checkpoint stride.
+func RunSequentialCtx(ctx context.Context, g *graph.Graph, s Scheme, a Assignment) (Result, error) {
 	if len(a) != g.N() {
 		return Result{}, fmt.Errorf("cert: assignment has %d certificates for %d vertices", len(a), g.N())
 	}
+	cp := fault.NewCheckpoint(ctx, "verify")
 	res := Result{Accepted: true}
 	for v := 0; v < g.N(); v++ {
+		if err := cp.Check(); err != nil {
+			return Result{}, err
+		}
 		if !s.Verify(ViewOf(g, a, v)) {
 			res.Accepted = false
 			res.Rejecters = append(res.Rejecters, v)

@@ -14,10 +14,15 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/compile"
+	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/registry"
 )
+
+// compileBuild is the fault point in front of every scheme build the
+// compile cache performs (misses and bypasses alike).
+var compileBuild = fault.NewPoint("engine.compile.build")
 
 // Cache memoizes compiled schemes by (kind, parameters). Concurrent
 // requests for the same key block on a single in-flight compilation
@@ -227,6 +232,9 @@ func (c *Cache) GetOrCompileCtx(ctx context.Context, name string, p registry.Par
 func (c *Cache) getOrCompile(name string, p registry.Params) (cert.Scheme, string, error) {
 	if !p.Cacheable() {
 		c.bypasses.Inc()
+		if err := compileBuild.Inject(); err != nil {
+			return nil, "bypass", err
+		}
 		s, err := c.reg.Build(name, p)
 		if err == nil {
 			c.attachDecompCache(s)
@@ -249,11 +257,28 @@ func (c *Cache) getOrCompile(name string, p registry.Params) (cert.Scheme, strin
 	c.mu.Unlock()
 
 	c.misses.Inc()
-	f.scheme, f.err = c.reg.Build(name, p)
+	// Unpin and release waiters even if a panic (injected chaos, or a
+	// compiler bug) unwinds through the build: a flight whose done channel
+	// never closes would strand every later request for the key.
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		f.err = fmt.Errorf("engine: compile flight panicked")
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	if f.err = compileBuild.Inject(); f.err == nil {
+		f.scheme, f.err = c.reg.Build(name, p)
+	}
 	if f.err == nil {
 		// Attach shared per-graph state before publishing to waiters.
 		c.attachDecompCache(f.scheme)
 	}
+	settled = true
 	close(f.done)
 	if f.err != nil {
 		// Failed compiles are not pinned: a later request with the same

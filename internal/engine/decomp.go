@@ -7,10 +7,15 @@ import (
 	"time"
 
 	"repro/internal/cert"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/treewidth"
 )
+
+// decompCompute is the fault point inside the decomposition cache's
+// computing flight, between the singleflight claim and the heuristic run.
+var decompCompute = fault.NewPoint("engine.decomp.compute")
 
 // DecompCache memoizes tree decompositions by graph fingerprint with the
 // same singleflight discipline as the compile cache: a batch of tw-mso
@@ -113,16 +118,19 @@ func fingerprint(g *graph.Graph) uint64 {
 // Get returns the cached decomposition for g, computing it with the
 // elimination heuristics if absent.
 func (c *DecompCache) Get(g *graph.Graph) (*treewidth.Decomposition, error) {
-	d, hit, err := c.get(g)
+	d, hit, err := c.get(context.Background(), g)
 	c.count(hit)
 	return d, err
 }
 
 // GetCtx is Get under a "decompose" span tagged with the cache outcome;
-// the call's duration is recorded in the decompose phase histogram.
+// the call's duration is recorded in the decompose phase histogram. The
+// context cancels a computation this call started; a waiter whose winning
+// flight was cancelled by someone else retries instead of inheriting the
+// stranger's cancellation.
 func (c *DecompCache) GetCtx(ctx context.Context, g *graph.Graph) (*treewidth.Decomposition, error) {
 	_, sp := obs.Start(ctx, "decompose")
-	d, hit, err := c.get(g)
+	d, hit, err := c.get(ctx, g)
 	c.count(hit)
 	if hit {
 		sp.SetAttr("cache", "hit")
@@ -144,17 +152,31 @@ func (c *DecompCache) count(hit bool) {
 
 // get implements the singleflight lookup without touching the counters:
 // the counted entry points (Get, GetCtx) and the silent one (Provider)
-// share it.
-func (c *DecompCache) get(g *graph.Graph) (*treewidth.Decomposition, bool, error) {
+// share it. The context belongs to the request that wins the computing
+// flight; waiters that inherit a *cancelled* flight retry with their own
+// context instead of failing for someone else's disconnect.
+func (c *DecompCache) get(ctx context.Context, g *graph.Graph) (*treewidth.Decomposition, bool, error) {
 	if g == nil {
 		return nil, false, fmt.Errorf("engine: decomposition cache: nil graph")
 	}
 	key := fingerprint(g)
-	c.mu.Lock()
-	if f, ok := c.flights[key]; ok {
+	for {
+		c.mu.Lock()
+		f, ok := c.flights[key]
+		if !ok {
+			break
+		}
 		c.mu.Unlock()
 		<-f.done
-		return f.decomp, true, f.err
+		if _, cancelled := fault.Cancelled(f.err); !cancelled {
+			return f.decomp, true, f.err
+		}
+		// The computing request went away mid-flight. Its failure was
+		// unpinned before done closed, so looping re-claims the key —
+		// unless this waiter is itself cancelled.
+		if err := ctx.Err(); err != nil {
+			return nil, true, &fault.CancelledError{Phase: "decompose", Cause: err}
+		}
 	}
 	if len(c.flights) >= maxDecompEntries {
 		for k := range c.flights {
@@ -166,14 +188,37 @@ func (c *DecompCache) get(g *graph.Graph) (*treewidth.Decomposition, bool, error
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	f.decomp, _, f.err = treewidth.Heuristic(g)
-	close(f.done)
+	// A panic unwinding through the computing flight (injected chaos, or
+	// a heuristic bug) must not strand waiters on a never-closed channel:
+	// unpin the flight and release them with an error, then let the panic
+	// keep unwinding to the per-job/per-handler recovery above us.
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		f.err = fmt.Errorf("engine: decomposition flight panicked")
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+
+	if err := decompCompute.Inject(); err != nil {
+		f.err = err
+	} else {
+		f.decomp, _, f.err = treewidth.HeuristicCtx(ctx, g)
+	}
+	settled = true
 	if f.err != nil {
 		// Failed computations are not pinned, mirroring the compile cache.
+		// The unpin happens before done closes so a retrying waiter finds
+		// the slot free instead of re-observing the dead flight.
 		c.mu.Lock()
 		delete(c.flights, key)
 		c.mu.Unlock()
 	}
+	close(f.done)
 	return f.decomp, false, f.err
 }
 
@@ -186,7 +231,17 @@ func (c *DecompCache) get(g *graph.Graph) (*treewidth.Decomposition, bool, error
 // the scheme's internal access must not count the same job twice.
 func (c *DecompCache) Provider() func(*graph.Graph) (*treewidth.Decomposition, error) {
 	return func(g *graph.Graph) (*treewidth.Decomposition, error) {
-		d, _, err := c.get(g)
+		d, _, err := c.get(context.Background(), g)
+		return d, err
+	}
+}
+
+// ProviderCtx is Provider with the caller's context threaded into any
+// computation the lookup starts, so a prove that resolves its
+// decomposition through the cache stays cancellable end to end.
+func (c *DecompCache) ProviderCtx() func(context.Context, *graph.Graph) (*treewidth.Decomposition, error) {
+	return func(ctx context.Context, g *graph.Graph) (*treewidth.Decomposition, error) {
+		d, _, err := c.get(ctx, g)
 		return d, err
 	}
 }
@@ -222,6 +277,7 @@ func (c *Cache) attachDecompCache(s cert.Scheme) {
 	}
 	if tws, ok := s.(*treewidth.MSOScheme); ok && tws.DecompProvider == nil {
 		tws.DecompProvider = c.Decomps.Provider()
+		tws.DecompProviderCtx = c.Decomps.ProviderCtx()
 		tws.CacheBackedDecomp = true
 	}
 }

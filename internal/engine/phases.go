@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/obs"
@@ -24,6 +25,12 @@ const (
 	// A persistently non-zero depth under load is the first sign the
 	// worker pool is the bottleneck rather than any single phase.
 	MetricQueueDepth = "engine_queue_depth"
+	// MetricCancelled counts certification work abandoned at a cooperative
+	// cancellation checkpoint, labeled phase=decompose|prove|verify. A
+	// climbing decompose count under load means clients give up while
+	// their graphs are still being decomposed — raise the deadline or
+	// shrink the graphs.
+	MetricCancelled = "certify_cancelled_total"
 )
 
 // cacheCounter returns the counter for one (cache, result) cell of the
@@ -70,6 +77,73 @@ func jobCounter(r *obs.Registry, outcome string) *obs.Counter {
 	return r.Counter(MetricJobs,
 		"pipeline jobs by outcome",
 		obs.L("outcome", outcome))
+}
+
+// CancelledCounter returns the counter for one cancelled-work phase.
+// Exported so the serving layer counts its inline phases (the /decompose
+// handler) into the same family the pipeline writes. A nil registry
+// yields a bare unregistered counter, like cacheCounter.
+func CancelledCounter(r *obs.Registry, phase string) *obs.Counter {
+	if r == nil {
+		return new(obs.Counter)
+	}
+	return r.Counter(MetricCancelled,
+		"work abandoned at a cancellation checkpoint, by phase",
+		obs.L("phase", phase))
+}
+
+// Deadline budgets: a request-scoped deadline is apportioned across the
+// sequential certify phases by weight, so a slow decompose cannot eat the
+// entire budget and leave prove and verify no room to fail fast. The
+// split is recomputed from the *remaining* budget at each phase start, so
+// slack from a fast phase flows to the later ones.
+var (
+	phaseOrder  = []string{"generate", "compile", "decompose", "prove", "verify"}
+	phaseWeight = map[string]int{
+		"generate":  1,
+		"compile":   1,
+		"decompose": 5,
+		"prove":     6,
+		"verify":    3,
+	}
+)
+
+// PhaseFloor is the minimum deadline slice any phase is handed (bounded
+// by the request's own remaining budget): a request arriving with little
+// budget left still gives each phase a usable slice instead of a
+// microsecond deadline that cancels it before the first checkpoint.
+const PhaseFloor = 25 * time.Millisecond
+
+// PhaseBudget returns a child context whose deadline is phase's weighted
+// share of ctx's remaining budget, floored at PhaseFloor and capped at
+// the parent deadline. A context with no deadline — and any unknown
+// phase name — passes through untouched with a no-op cancel, so callers
+// can uniformly `defer cancel()`.
+func PhaseBudget(ctx context.Context, phase string) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	w := phaseWeight[phase]
+	if !ok || w <= 0 {
+		return ctx, func() {}
+	}
+	remaining := time.Until(dl)
+	rest := 0
+	seen := false
+	for _, p := range phaseOrder {
+		if p == phase {
+			seen = true
+		}
+		if seen {
+			rest += phaseWeight[p]
+		}
+	}
+	share := remaining * time.Duration(w) / time.Duration(rest)
+	if share < PhaseFloor {
+		share = PhaseFloor
+	}
+	if share > remaining {
+		share = remaining
+	}
+	return context.WithTimeout(ctx, share)
 }
 
 // Phase is one named phase duration of a certification request, in

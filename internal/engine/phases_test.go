@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPhaseBudgetNoDeadline pins the passthrough: a context without a
+// deadline (and any unknown phase) comes back untouched, so callers can
+// defer the no-op cancel without special-casing.
+func TestPhaseBudgetNoDeadline(t *testing.T) {
+	ctx := context.Background()
+	got, cancel := PhaseBudget(ctx, "prove")
+	defer cancel()
+	if got != ctx {
+		t.Fatal("deadline-free context should pass through unchanged")
+	}
+	if _, ok := got.Deadline(); ok {
+		t.Fatal("passthrough context grew a deadline")
+	}
+}
+
+func TestPhaseBudgetUnknownPhase(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	got, pcancel := PhaseBudget(ctx, "no-such-phase")
+	defer pcancel()
+	if got != ctx {
+		t.Fatal("unknown phase should pass through unchanged")
+	}
+}
+
+// TestPhaseBudgetWeightedShares checks each phase gets its weight's
+// share of the *remaining* weights (later phases split what is left, so
+// slack flows forward): with a 1.5s budget the expected first-slice
+// fractions are generate 1/16, compile 1/15, decompose 5/14, prove 6/9,
+// verify 3/3.
+func TestPhaseBudgetWeightedShares(t *testing.T) {
+	const budget = 1500 * time.Millisecond
+	want := map[string]float64{
+		"generate":  1.0 / 16,
+		"compile":   1.0 / 15,
+		"decompose": 5.0 / 14,
+		"prove":     6.0 / 9,
+		"verify":    3.0 / 3,
+	}
+	for phase, frac := range want {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		pctx, pcancel := PhaseBudget(ctx, phase)
+		dl, ok := pctx.Deadline()
+		if !ok {
+			t.Fatalf("%s: no deadline on budgeted context", phase)
+		}
+		share := time.Until(dl)
+		expect := time.Duration(float64(budget) * frac)
+		// time.Until is measured after WithTimeout, so allow scheduling
+		// slop well under one share step.
+		if diff := (share - expect).Abs(); diff > 20*time.Millisecond {
+			t.Errorf("%s: share %v, want ~%v (fraction %.3f of %v)", phase, share, expect, frac, budget)
+		}
+		pcancel()
+		cancel()
+	}
+}
+
+// TestPhaseBudgetFloor: a nearly spent request still hands each phase
+// PhaseFloor — but never more than the parent has left, so the floor
+// cannot extend a deadline.
+func TestPhaseBudgetFloor(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	pctx, pcancel := PhaseBudget(ctx, "generate") // raw share would be 40ms/16 = 2.5ms
+	defer pcancel()
+	dl, ok := pctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline on budgeted context")
+	}
+	share := time.Until(dl)
+	if share < PhaseFloor-15*time.Millisecond {
+		t.Fatalf("share %v fell well below the %v floor", share, PhaseFloor)
+	}
+	parentDL, _ := ctx.Deadline()
+	if dl.After(parentDL) {
+		t.Fatalf("phase deadline %v extends past parent %v", dl, parentDL)
+	}
+}
+
+// TestPhaseBudgetCapsAtParent: when the floor exceeds what the parent
+// has left, the slice is clamped to the parent's remaining budget.
+func TestPhaseBudgetCapsAtParent(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	pctx, pcancel := PhaseBudget(ctx, "verify")
+	defer pcancel()
+	dl, ok := pctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline on budgeted context")
+	}
+	parentDL, _ := ctx.Deadline()
+	if dl.After(parentDL) {
+		t.Fatalf("phase deadline %v extends past parent %v", dl, parentDL)
+	}
+}
+
+// TestPhaseBudgetSlackFlowsForward: a fast early phase leaves its unused
+// budget to the later ones — the verify slice computed from a fresh
+// 1s budget must be the whole remaining second, not 3/16 of it.
+func TestPhaseBudgetSlackFlowsForward(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	pctx, pcancel := PhaseBudget(ctx, "verify")
+	defer pcancel()
+	dl, _ := pctx.Deadline()
+	if share := time.Until(dl); share < 900*time.Millisecond {
+		t.Fatalf("verify (last phase) got %v of a fresh 1s budget, want nearly all of it", share)
+	}
+}

@@ -8,11 +8,16 @@ import (
 	"time"
 
 	"repro/internal/cert"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/registry"
 )
+
+// provePre is the fault point between a job's compiled scheme and its
+// prove call — the last moment before the expensive work starts.
+var provePre = fault.NewPoint("engine.prove.pre")
 
 // TamperSweep asks a job to additionally attack its own honest assignment:
 // each tamper is applied Trials times and every corrupted variant is
@@ -186,9 +191,17 @@ dispatch:
 // cache), decompose (prewarming the shared cache when the scheme reads
 // it), prove, verify (sequentially or on the network simulator), then
 // optionally run the adversarial soundness sweep. Each phase runs under a
-// child span of the job span and lands one sample in its phase histogram.
+// child span of the job span, lands one sample in its phase histogram,
+// and receives its weighted slice of any request deadline (PhaseBudget).
+// A panicking job — a buggy scheme, an armed panic fault — is contained:
+// it fails its own result, never the worker or the process.
 func (p *Pipeline) runOne(ctx context.Context, i int, job Job) (res JobResult) {
 	res = JobResult{Index: i}
+	defer func() {
+		if r := recover(); r != nil {
+			res.fail(fmt.Errorf("engine: job %d panicked: %v", i, r))
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		res.fail(err)
 		return res
@@ -201,17 +214,24 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) (res JobResult) {
 	}
 	ctx, jsp := obs.Start(ctx, "job")
 	jsp.SetAttr("scheme", job.Scheme)
+	completed := false
 	defer func() {
 		jsp.End()
+		// A panic unwinds through here before the recover above runs, so
+		// an uncompleted job counts as failed even while res.Err is still
+		// unset.
 		outcome := "accepted"
 		switch {
-		case res.Err != nil:
+		case res.Err != nil || !completed:
 			outcome = "failed"
 		case !res.Accepted:
 			outcome = "rejected"
 		}
 		jsp.SetAttr("outcome", outcome)
 		jobCounter(reg, outcome).Inc()
+		if ce, ok := fault.Cancelled(res.Err); ok {
+			CancelledCounter(reg, ce.Phase).Inc()
+		}
 	}()
 	g, params := job.Graph, job.Params
 	if g == nil && job.Lazy != nil {
@@ -230,8 +250,10 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) (res JobResult) {
 		res.fail(fmt.Errorf("engine: job %d has no graph", i))
 		return res
 	}
+	cctx, ccancel := PhaseBudget(ctx, "compile")
 	t0 := time.Now()
-	s, err := p.Cache.GetOrCompileCtx(ctx, job.Scheme, params)
+	s, err := p.Cache.GetOrCompileCtx(cctx, job.Scheme, params)
+	ccancel()
 	res.Compile = time.Since(t0)
 	if err != nil {
 		res.fail(err)
@@ -239,10 +261,24 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) (res JobResult) {
 	}
 	res.Scheme = s.Name()
 	jsp.SetAttr("n", g.N())
-	res.Decompose = p.Cache.PrewarmDecomposition(ctx, s, g)
-	_, psp := obs.Start(ctx, "prove")
-	a, err := s.Prove(g)
+	dctx, dcancel := PhaseBudget(ctx, "decompose")
+	res.Decompose = p.Cache.PrewarmDecomposition(dctx, s, g)
+	dcancel()
+	if err := ctx.Err(); err != nil {
+		// The prewarm swallows errors by design; do not hand a cancelled
+		// job to the context-less fallback paths below.
+		res.fail(&fault.CancelledError{Phase: "decompose", Cause: err})
+		return res
+	}
+	if err := provePre.Inject(); err != nil {
+		res.fail(fmt.Errorf("prove: %w", err))
+		return res
+	}
+	pctx, pcancel := PhaseBudget(ctx, "prove")
+	pctx, psp := obs.Start(pctx, "prove")
+	a, err := cert.ProveWithContext(pctx, s, g)
 	psp.End()
+	pcancel()
 	res.Prove = psp.Duration()
 	PhaseHistogram(reg, "prove").Observe(res.Prove)
 	if err != nil {
@@ -251,11 +287,13 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) (res JobResult) {
 	}
 	res.MaxBits = a.MaxBits()
 	res.TotalBits = a.TotalBits()
-	vctx, vsp := obs.Start(ctx, "verify")
+	vctx, vcancel := PhaseBudget(ctx, "verify")
+	vctx, vsp := obs.Start(vctx, "verify")
 	if job.Distributed {
 		vsp.SetAttr("mode", "distributed")
 		rep, rerr := p.sim().Run(vctx, g, s, a)
 		vsp.End()
+		vcancel()
 		res.Verify = vsp.Duration()
 		PhaseHistogram(reg, "verify").Observe(res.Verify)
 		if rerr != nil {
@@ -267,8 +305,9 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) (res JobResult) {
 		res.Rejecters = rep.Rejecters
 	} else {
 		vsp.SetAttr("mode", "sequential")
-		verdict, verr := cert.RunSequential(g, s, a)
+		verdict, verr := cert.RunSequentialCtx(vctx, g, s, a)
 		vsp.End()
+		vcancel()
 		res.Verify = vsp.Duration()
 		PhaseHistogram(reg, "verify").Observe(res.Verify)
 		if verr != nil {
@@ -297,6 +336,7 @@ func (p *Pipeline) runOne(ctx context.Context, i int, job Job) (res JobResult) {
 		}
 		res.Sweep = &sweep
 	}
+	completed = true
 	return res
 }
 

@@ -1,0 +1,274 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCheckpointCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cp := NewCheckpoint(ctx, "decompose")
+	for i := 0; i < 2*CheckStride; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("checkpoint fired with live context: %v", err)
+		}
+	}
+	cancel()
+	var got error
+	for i := 0; i < CheckStride; i++ {
+		if err := cp.Check(); err != nil {
+			got = err
+			break
+		}
+	}
+	if got == nil {
+		t.Fatal("checkpoint never noticed cancellation within one stride")
+	}
+	ce, ok := Cancelled(got)
+	if !ok {
+		t.Fatalf("got %T, want *CancelledError", got)
+	}
+	if ce.Phase != "decompose" {
+		t.Errorf("phase = %q, want decompose", ce.Phase)
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", got)
+	}
+}
+
+func TestCheckpointDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cp := NewCheckpoint(ctx, "prove")
+	if err := cp.Now(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Now() = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestCheckpointInert(t *testing.T) {
+	var zero Checkpoint
+	if err := zero.Now(); err != nil {
+		t.Fatalf("zero checkpoint: %v", err)
+	}
+	cp := NewCheckpoint(context.Background(), "x")
+	for i := 0; i < 2*CheckStride; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("background checkpoint fired: %v", err)
+		}
+	}
+	cpn := NewCheckpoint(nil, "x") //nolint:staticcheck // deliberate nil-context test
+	if err := cpn.Check(); err != nil {
+		t.Fatalf("nil-context checkpoint fired: %v", err)
+	}
+}
+
+func TestCancelledHelper(t *testing.T) {
+	if _, ok := Cancelled(errors.New("plain")); ok {
+		t.Error("plain error reported as cancelled")
+	}
+	wrapped := &CancelledError{Phase: "verify", Elapsed: time.Second, Cause: context.Canceled}
+	if ce, ok := Cancelled(wrapped); !ok || ce.Phase != "verify" {
+		t.Errorf("Cancelled(%v) = %v, %v", wrapped, ce, ok)
+	}
+	if wrapped.Error() == "" || wrapped.Unwrap() != context.Canceled {
+		t.Error("CancelledError formatting or unwrap broken")
+	}
+}
+
+var (
+	testErrPoint     = NewPoint("test.err")
+	testPanicPoint   = NewPoint("test.panic")
+	testDelayPoint   = NewPoint("test.delay")
+	testCorruptPoint = NewPoint("test.corrupt")
+)
+
+func TestDisarmedIsNoOpAndAllocFree(t *testing.T) {
+	Disarm()
+	if err := testErrPoint.Inject(); err != nil {
+		t.Fatalf("disarmed inject: %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() true after Disarm")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := testErrPoint.Inject(); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("disarmed Inject allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestArmActions(t *testing.T) {
+	defer Disarm()
+	if err := Arm(&Plan{Seed: 1, Rules: []Rule{
+		{Point: "test.err", Action: ActionError},
+		{Point: "test.delay", Action: ActionDelay, Delay: time.Millisecond},
+		{Point: "test.corrupt", Action: ActionCorrupt},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	var ie *InjectedError
+	if err := testErrPoint.Inject(); !errors.As(err, &ie) || ie.Point != "test.err" {
+		t.Fatalf("error action: got %v", err)
+	}
+	start := time.Now()
+	if err := testDelayPoint.Inject(); err != nil {
+		t.Fatalf("delay action returned error: %v", err)
+	}
+	if d := time.Since(start); d < time.Millisecond {
+		t.Errorf("delay action slept %v, want >= 1ms", d)
+	}
+	buf := []byte{0, 0, 0, 0}
+	if err := testCorruptPoint.InjectBytes(buf); err != nil {
+		t.Fatalf("corrupt action: %v", err)
+	}
+	flipped := 0
+	for _, b := range buf {
+		if b != 0 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Errorf("corrupt flipped %d bytes, want exactly 1 (buf %v)", flipped, buf)
+	}
+	// A corrupt rule on a windowless hit degrades to an injected error.
+	if err := testCorruptPoint.Inject(); !errors.As(err, &ie) {
+		t.Errorf("windowless corrupt: got %v, want InjectedError", err)
+	}
+	// A point with no rule stays silent while armed.
+	if err := testPanicPoint.Inject(); err != nil {
+		t.Errorf("unruled point fired: %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Disarm()
+	if err := Arm(&Plan{Rules: []Rule{{Point: "test.panic", Action: ActionPanic}}}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *InjectedPanic", r, r)
+		}
+		if ip.Point != "test.panic" || ip.String() == "" {
+			t.Errorf("bad injected panic: %+v", ip)
+		}
+	}()
+	_ = testPanicPoint.Inject()
+	t.Fatal("panic action did not panic")
+}
+
+func TestCountAndProbability(t *testing.T) {
+	defer Disarm()
+	if err := Arm(&Plan{Seed: 7, Rules: []Rule{{Point: "test.err", Action: ActionError, Count: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if testErrPoint.Inject() != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("count-capped rule fired %d times, want 2", fired)
+	}
+
+	// Probability: same seed, same hit sequence, same firing pattern.
+	pattern := func(seed int64) []bool {
+		if err := Arm(&Plan{Seed: seed, Rules: []Rule{{Point: "test.err", Action: ActionError, Prob: 0.3}}}); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, testErrPoint.Inject() != nil)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed-42 runs diverge at hit %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("prob 0.3 fired %d/%d hits; expected a strict subset", hits, len(a))
+	}
+}
+
+func TestArmValidates(t *testing.T) {
+	defer Disarm()
+	cases := []Plan{
+		{Rules: []Rule{{Point: "no.such.point", Action: ActionError}}},
+		{Rules: []Rule{{Point: "test.err", Action: "explode"}}},
+		{Rules: []Rule{{Point: "test.err", Action: ActionError, Prob: 1.5}}},
+		{Rules: []Rule{{Point: "test.err", Action: ActionError, Count: -1}}},
+		{Rules: []Rule{{Point: "test.err", Action: ActionDelay, Delay: -time.Second}}},
+	}
+	for i, p := range cases {
+		if err := Arm(&p); err == nil {
+			t.Errorf("case %d: Arm accepted invalid plan %+v", i, p)
+		}
+	}
+	if Armed() {
+		t.Error("failed Arm left a plan armed")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	names := Registered()
+	want := map[string]bool{"test.err": true, "test.panic": true}
+	found := 0
+	for i, n := range names {
+		if want[n] {
+			found++
+		}
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("Registered() not strictly sorted: %v", names)
+		}
+	}
+	if found != len(want) {
+		t.Errorf("Registered() = %v missing test points", names)
+	}
+	if p := NewPoint("test.err"); p != testErrPoint {
+		t.Error("NewPoint did not return the existing registration")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=42; test.err:error@0.25#3 ;test.delay:delay=5ms@0.1;test.corrupt:corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Rules) != 3 {
+		t.Fatalf("parsed %+v", p)
+	}
+	r0 := p.Rules[0]
+	if r0.Point != "test.err" || r0.Action != ActionError || r0.Prob != 0.25 || r0.Count != 3 {
+		t.Errorf("rule 0 = %+v", r0)
+	}
+	r1 := p.Rules[1]
+	if r1.Action != ActionDelay || r1.Delay != 5*time.Millisecond || r1.Prob != 0.1 {
+		t.Errorf("rule 1 = %+v", r1)
+	}
+	if p.Rules[2].Action != ActionCorrupt {
+		t.Errorf("rule 2 = %+v", p.Rules[2])
+	}
+
+	for _, bad := range []string{
+		"", "seed=x;test.err:error", "noaction", "test.err:error@nope",
+		"test.err:error#x", "test.delay:delay=zzz", "seed=42",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point is one named fault-injection site. Points are created at
+// package init time with NewPoint and injected on the relevant path
+// with Inject (or InjectBytes where a byte buffer is available to
+// corrupt). A disarmed point costs one atomic pointer load and a nil
+// check — no allocation, no branch on shared mutable state — so points
+// may sit on hot paths.
+type Point struct {
+	name string
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+var (
+	regMu  sync.Mutex
+	points = map[string]*Point{}
+)
+
+// NewPoint registers (or returns the existing) point with the given
+// name. Call it from package-level var initializers so the catalog is
+// complete before any plan can be armed.
+func NewPoint(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := points[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	points[name] = p
+	return p
+}
+
+// Registered returns the sorted catalog of registered point names.
+func Registered() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(points))
+	for name := range points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// armed holds the active plan; nil means every point is a no-op.
+var armed atomic.Pointer[armedPlan]
+
+// Inject fires the point against the armed plan, if any. It returns an
+// *InjectedError (error action), panics with *InjectedPanic (panic
+// action), sleeps (delay action), or does nothing.
+func (p *Point) Inject() error {
+	a := armed.Load()
+	if a == nil {
+		return nil
+	}
+	return a.fire(p.name, nil)
+}
+
+// InjectBytes is Inject for sites that hold a decodable byte window:
+// the corrupt action flips one seeded bit of buf in place instead of
+// returning an error, modeling wire damage the decoder must catch.
+func (p *Point) InjectBytes(buf []byte) error {
+	a := armed.Load()
+	if a == nil {
+		return nil
+	}
+	return a.fire(p.name, buf)
+}
+
+// InjectedError is the error action's product. It unwraps to nothing:
+// an injected fault is its own root cause.
+type InjectedError struct {
+	Point string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected error at %s", e.Point)
+}
+
+// InjectedPanic is the value panicked with by the panic action, so
+// recovery layers can tell a chaos panic from a genuine bug in logs.
+type InjectedPanic struct {
+	Point string
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("fault: injected panic at %s", p.Point)
+}
+
+// armedPlan is a Plan compiled for firing: rules grouped by point, each
+// with its own deterministic rng stream and firing count.
+type armedPlan struct {
+	rules map[string][]*armedRule
+}
+
+type armedRule struct {
+	mu    sync.Mutex
+	rule  Rule
+	rng   *splitmix
+	fired int
+}
+
+// Arm validates the plan against the registered point catalog, resets
+// all firing state, and makes the plan the active one. Arming replaces
+// any previously armed plan.
+func Arm(p *Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	a := &armedPlan{rules: make(map[string][]*armedRule)}
+	for i, r := range p.Rules {
+		if r.Prob == 0 {
+			r.Prob = 1
+		}
+		a.rules[r.Point] = append(a.rules[r.Point], &armedRule{
+			rule: r,
+			rng:  newSplitmix(uint64(p.Seed) ^ (uint64(i+1) * 0x9e3779b97f4a7c15)),
+		})
+	}
+	armed.Store(a)
+	return nil
+}
+
+// Disarm deactivates the armed plan; every point is a no-op again.
+func Disarm() { armed.Store(nil) }
+
+// Armed reports whether a plan is active.
+func Armed() bool { return armed.Load() != nil }
+
+func (a *armedPlan) fire(name string, buf []byte) error {
+	rules := a.rules[name]
+	if len(rules) == 0 {
+		return nil
+	}
+	for _, r := range rules {
+		if err := r.fire(name, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *armedRule) fire(name string, buf []byte) error {
+	r.mu.Lock()
+	if r.rule.Count > 0 && r.fired >= r.rule.Count {
+		r.mu.Unlock()
+		return nil
+	}
+	if r.rule.Prob < 1 && r.rng.float64() >= r.rule.Prob {
+		r.mu.Unlock()
+		return nil
+	}
+	r.fired++
+	corruptIdx, corruptBit := -1, byte(0)
+	if r.rule.Action == ActionCorrupt && len(buf) > 0 {
+		corruptIdx = int(r.rng.uint64() % uint64(len(buf)))
+		corruptBit = 1 << (r.rng.uint64() % 8)
+	}
+	delay := r.rule.Delay
+	action := r.rule.Action
+	r.mu.Unlock()
+
+	switch action {
+	case ActionError:
+		return &InjectedError{Point: name}
+	case ActionPanic:
+		panic(&InjectedPanic{Point: name})
+	case ActionDelay:
+		time.Sleep(delay)
+		return nil
+	case ActionCorrupt:
+		if corruptIdx >= 0 {
+			buf[corruptIdx] ^= corruptBit
+			return nil
+		}
+		// A corrupt rule on a point with no byte window degrades to an
+		// injected error, so blanket "corrupt everywhere" plans still
+		// exercise every point.
+		return &InjectedError{Point: name}
+	}
+	return nil
+}
+
+// splitmix is a tiny deterministic rng (SplitMix64). Using it instead
+// of math/rand keeps the armed-plan state self-contained and the
+// per-rule streams reproducible from (plan seed, rule index) alone.
+type splitmix struct{ s uint64 }
+
+func newSplitmix(seed uint64) *splitmix { return &splitmix{s: seed} }
+
+func (s *splitmix) uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) float64() float64 {
+	return float64(s.uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is what a rule does when it fires.
+type Action string
+
+const (
+	// ActionError makes the point return an *InjectedError.
+	ActionError Action = "error"
+	// ActionPanic makes the point panic with an *InjectedPanic.
+	ActionPanic Action = "panic"
+	// ActionDelay makes the point sleep for the rule's Delay.
+	ActionDelay Action = "delay"
+	// ActionCorrupt flips one seeded bit of the point's byte window
+	// (InjectBytes sites); on windowless sites it degrades to an error.
+	ActionCorrupt Action = "corrupt"
+)
+
+// Rule arms one point with one action.
+type Rule struct {
+	// Point names a registered fault point.
+	Point string
+	// Action is what happens when the rule fires.
+	Action Action
+	// Prob is the per-hit firing probability in (0, 1]; 0 means 1
+	// (always fire).
+	Prob float64
+	// Count caps total firings; 0 means unlimited.
+	Count int
+	// Delay is the sleep for ActionDelay.
+	Delay time.Duration
+}
+
+// Plan is a seeded set of rules. Equal plans produce identical fault
+// sequences for identical hit sequences.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Validate rejects rules naming unregistered points, unknown actions,
+// or out-of-range probabilities — before arming, so a typo in a chaos
+// spec fails loudly instead of silently testing nothing.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		switch r.Action {
+		case ActionError, ActionPanic, ActionDelay, ActionCorrupt:
+		default:
+			return fmt.Errorf("fault: rule %d: unknown action %q", i, r.Action)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return fmt.Errorf("fault: rule %d: probability %v outside [0,1]", i, r.Prob)
+		}
+		if r.Count < 0 {
+			return fmt.Errorf("fault: rule %d: negative count %d", i, r.Count)
+		}
+		if r.Delay < 0 {
+			return fmt.Errorf("fault: rule %d: negative delay %v", i, r.Delay)
+		}
+		regMu.Lock()
+		_, known := points[r.Point]
+		regMu.Unlock()
+		if !known {
+			return fmt.Errorf("fault: rule %d: unknown point %q (registered: %s)",
+				i, r.Point, strings.Join(Registered(), ", "))
+		}
+	}
+	return nil
+}
+
+// ParsePlan reads the textual plan spec used by flags:
+//
+//	seed=42;engine.prove.pre:error@0.01;netsim.round:panic#2;wire.stream.chunk:corrupt@0.05;engine.compile.pre:delay=5ms@0.1
+//
+// Semicolon-separated clauses; `seed=N` sets the seed, every other
+// clause is `point:action[=delay][@prob][#count]`. The parsed plan is
+// not validated against the point registry — call Validate (or Arm,
+// which does) once the relevant packages are linked in.
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		point, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q: want point:action", clause)
+		}
+		r := Rule{Point: point}
+		if i := strings.IndexByte(rest, '#'); i >= 0 {
+			count, err := strconv.Atoi(rest[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: bad count: %v", clause, err)
+			}
+			r.Count = count
+			rest = rest[:i]
+		}
+		if i := strings.IndexByte(rest, '@'); i >= 0 {
+			prob, err := strconv.ParseFloat(rest[i+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: bad probability: %v", clause, err)
+			}
+			r.Prob = prob
+			rest = rest[:i]
+		}
+		if action, delay, ok := strings.Cut(rest, "="); ok {
+			d, err := time.ParseDuration(delay)
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: bad delay: %v", clause, err)
+			}
+			r.Action, r.Delay = Action(action), d
+		} else {
+			r.Action = Action(rest)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("fault: plan %q has no rules", spec)
+	}
+	return p, nil
+}

@@ -6,6 +6,7 @@ package lint
 // set across two runs would leak findings between them.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxLoop(),
 		HotPath(),
 		MetricHygiene(),
 		PoolDiscipline(),

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop returns the analyzer for //certlint:longrun functions — the
+// elimination heuristics, the exact search, the EMSO DP passes, the
+// prover/verifier walks and the netsim round driver. Their running time
+// grows with the input, so every loop they run must reach a cooperative
+// cancellation probe: a fault.Checkpoint Check/Now call, a ctx.Err()
+// poll, or a ctx.Done() receive. A long-running loop without one holds
+// its worker hostage after the client has gone — the exact bug class the
+// disconnect regression test pins at the HTTP layer, caught here at the
+// function that would reintroduce it.
+func CtxLoop() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxloop",
+		Doc: "every loop in a //certlint:longrun function must contain a " +
+			"cancellation checkpoint (Checkpoint.Check/Now, ctx.Err or " +
+			"ctx.Done): unbounded work without one cannot be cancelled",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd, "longrun") {
+					continue
+				}
+				checkCtxLoop(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// checkCtxLoop reports every outermost loop of fd that contains no
+// cancellation probe anywhere in its subtree. Outermost is the right
+// granularity: a probe in an inner loop covers the enclosing iteration
+// as long as the inner loop runs, and flagging each nesting level would
+// demand redundant probes the hot-loop stride already amortizes.
+func checkCtxLoop(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			// A literal is its own scope; its loops belong to whatever
+			// runs the literal, not to this declaration's annotation.
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !loopHasCheckpoint(pass, n) {
+				pass.Reportf(n.Pos(), "longrun %s has a loop with no cancellation checkpoint; call Checkpoint.Check (or poll ctx.Err) in its body", name)
+			}
+			return false // inner loops are covered by the outermost verdict
+		}
+		return true
+	})
+}
+
+// loopHasCheckpoint reports whether any call in the loop's subtree is a
+// cancellation probe.
+func loopHasCheckpoint(pass *Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A probe captured in a literal runs on the literal's
+			// schedule, not the loop's — it does not make the loop stop.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCancellationProbe(pass, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isCancellationProbe recognizes the three probe shapes: Check/Now on a
+// value of a named Checkpoint type (fault.Checkpoint in real code; any
+// package's Checkpoint counts so fixtures stay self-contained), and
+// Err/Done on a context.Context.
+func isCancellationProbe(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Check", "Now":
+		t := pass.TypeOf(sel.X)
+		if t == nil {
+			return false
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "Checkpoint"
+	case "Err", "Done":
+		t := pass.TypeOf(sel.X)
+		return t != nil && t.String() == "context.Context"
+	}
+	return false
+}

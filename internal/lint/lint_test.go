@@ -109,6 +109,7 @@ func TestPoolDiscipline(t *testing.T)  { runWantTest(t, "pooldiscipline") }
 func TestMetricHygiene(t *testing.T)   { runWantTest(t, "metrichygiene") }
 func TestSpanEnd(t *testing.T)         { runWantTest(t, "spanend") }
 func TestHotPath(t *testing.T)         { runWantTest(t, "hotpath") }
+func TestCtxLoop(t *testing.T)         { runWantTest(t, "ctxloop") }
 
 // TestIgnoreDirectives runs the full suite over the suppression fixture:
 // the reasoned ignore silences its leak, the bare ignore suppresses
@@ -185,8 +186,8 @@ func TestByName(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	if len(names) != 5 {
-		t.Errorf("want 5 analyzers, got %d", len(names))
+	if len(names) != 6 {
+		t.Errorf("want 6 analyzers, got %d", len(names))
 	}
 }
 

@@ -1,0 +1,91 @@
+// Negative ctxloop fixtures: every probe shape the analyzer accepts,
+// plus unannotated functions, which may loop however they like.
+package fixture
+
+import "context"
+
+// Unannotated: no directive, no requirement.
+func coldLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// The canonical repo shape: an amortized fault.Checkpoint probed once
+// per round (runHeuristicSparse, the EMSO DP, the netsim driver).
+//
+//certlint:longrun
+func longrunWithCheckpoint(cp *Checkpoint, left int) (int, error) {
+	total := 0
+	for left > 0 {
+		if err := cp.Check(); err != nil {
+			return 0, err
+		}
+		total += left
+		left--
+	}
+	return total, nil
+}
+
+// Now (the unamortized probe) counts too — the coarse-boundary variant.
+//
+//certlint:longrun
+func longrunWithNow(cp *Checkpoint, xs []int) error {
+	for range xs {
+		if err := cp.Now(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Polling ctx.Err directly is the probe shape of code that predates the
+// checkpoint helper.
+//
+//certlint:longrun
+func longrunWithCtxErr(ctx context.Context, xs []int) error {
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = x
+	}
+	return nil
+}
+
+// A ctx.Done select is the channel-shaped probe (the netsim barrier).
+//
+//certlint:longrun
+func longrunWithDone(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case x, ok := <-work:
+			if !ok {
+				return total
+			}
+			total += x
+		}
+	}
+}
+
+// A probe in an inner loop covers the outermost verdict: the outer
+// iteration cannot outrun the inner loop that polls.
+//
+//certlint:longrun
+func longrunInnerProbe(cp *Checkpoint, rows [][]int) (int, error) {
+	total := 0
+	for _, row := range rows {
+		for _, x := range row {
+			if err := cp.Check(); err != nil {
+				return 0, err
+			}
+			total += x
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,70 @@
+// Positive ctxloop fixtures: each function below reproduces a loop shape
+// this PR made cancellable in the real heuristics — unbounded work with
+// no way to notice a dead client.
+package fixture
+
+import "context"
+
+// Checkpoint mimics fault.Checkpoint: the analyzer recognizes Check/Now
+// on any named Checkpoint type, so the fixture stays self-contained.
+type Checkpoint struct{}
+
+func (c *Checkpoint) Check() error { return nil }
+func (c *Checkpoint) Now() error   { return nil }
+
+// Mirrors the pre-fix elimination driver: the round loop runs until the
+// graph is consumed and never looks up.
+//
+//certlint:longrun
+func longrunNoProbe(left int) int {
+	total := 0
+	for left > 0 { // want "no cancellation checkpoint"
+		total += left
+		left--
+	}
+	return total
+}
+
+// A range loop is just as flaggable as a for loop.
+//
+//certlint:longrun
+func longrunRangeNoProbe(xs []int) int {
+	total := 0
+	for _, x := range xs { // want "no cancellation checkpoint"
+		total += x
+	}
+	return total
+}
+
+// Holding a context without polling it is not a checkpoint: the loop
+// below carries ctx but never calls Err or Done.
+//
+//certlint:longrun
+func longrunIgnoresCtx(ctx context.Context, xs []int) int {
+	_ = ctx
+	total := 0
+	for _, x := range xs { // want "no cancellation checkpoint"
+		total += x
+	}
+	return total
+}
+
+// A probe parked in a function literal does not cover the declaration's
+// own loop — the literal runs on someone else's schedule.
+//
+//certlint:longrun
+func longrunProbeInClosure(ctx context.Context, xs []int) func() error {
+	for range xs { // want "no cancellation checkpoint"
+	}
+	return func() error { return ctx.Err() }
+}
+
+// Even inside the loop, a probe captured by a literal belongs to the
+// literal's caller (here a deferred cleanup), not to the iteration.
+//
+//certlint:longrun
+func longrunClosureInsideLoop(ctx context.Context, xs []int) {
+	for range xs { // want "no cancellation checkpoint"
+		defer func() { _ = ctx.Err() }()
+	}
+}

@@ -20,10 +20,15 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,6 +84,23 @@ type Options struct {
 	// generator's outstanding-request memory: at offered rate R the
 	// generator holds at most R×Timeout requests in flight.
 	Timeout time.Duration
+	// Retries is the per-request cap on 429 retries. When positive, a
+	// shed response is retried after honoring its Retry-After header
+	// (plus capped exponential backoff with jitter); a request counts as
+	// shed only once its retries are exhausted. 0 disables retries, which
+	// also preserves the exact arrival schedule of earlier report
+	// versions for a given seed.
+	Retries int
+	// RetryBudget caps the total backoff a single request may spend
+	// across its retries; past it the request gives up even with retries
+	// left. Defaults to Timeout when Retries is positive.
+	RetryBudget time.Duration
+	// VerifyEnvelope makes every non-2xx response body load-bearing: it
+	// must parse as the server's JSON error envelope ({"error": "..."}),
+	// and violations are counted per endpoint. This is the chaos-mode
+	// client-side invariant — fault injection may turn responses into
+	// 5xx, but never into envelope-less ones.
+	VerifyEnvelope bool
 	// SkipServerDelta disables the /metrics scrapes around the run.
 	SkipServerDelta bool
 	// Client overrides the HTTP client (tests). When nil, a client with
@@ -123,6 +145,12 @@ func (o *Options) validate() error {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Second
 	}
+	if o.Retries < 0 {
+		return fmt.Errorf("loadgen: negative retries %d", o.Retries)
+	}
+	if o.Retries > 0 && o.RetryBudget <= 0 {
+		o.RetryBudget = o.Timeout
+	}
 	return nil
 }
 
@@ -133,6 +161,17 @@ type targetStats struct {
 	requests, ok, shed, errs obs.Counter
 	// retryAfterMissing counts 429s violating the Retry-After contract.
 	retryAfterMissing obs.Counter
+	// retries counts extra attempts sent after a 429; retryOK counts
+	// requests rescued by a retry (shed first, accepted eventually);
+	// retryGaveUp counts requests still shed after exhausting their
+	// retry allowance or backoff budget.
+	retries, retryOK, retryGaveUp obs.Counter
+	// timeouts is the subset of errs that were client-side timeouts —
+	// the request outlived Options.Timeout (or its context deadline).
+	timeouts obs.Counter
+	// envelopeViolations counts non-2xx responses whose body was not the
+	// server's JSON error envelope (counted only under VerifyEnvelope).
+	envelopeViolations obs.Counter
 	// latency holds accepted-request latency from scheduled arrival.
 	latency obs.Histogram
 	// shedLatency holds shed-response latency: sheds must be fast —
@@ -155,6 +194,10 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		tr.MaxIdleConns = 256
 		tr.MaxIdleConnsPerHost = 256
 		client = &http.Client{Timeout: opts.Timeout, Transport: tr}
+		// The pool is private to this run: drop its idle connections on
+		// the way out instead of parking hundreds of goroutines (client
+		// loops and server conn handlers both) on the 90s idle timer.
+		defer tr.CloseIdleConnections()
 	}
 
 	var before obs.ScrapeSnapshot
@@ -186,6 +229,15 @@ dispatch:
 		// goroutine does nothing but send, receive and record.
 		ti := pickTarget(rng, opts.Mix, totalWeight)
 		body := opts.Mix[ti].Body(rng)
+		pol := firePolicy{verifyEnvelope: opts.VerifyEnvelope}
+		if opts.Retries > 0 {
+			// The jitter seed is drawn only when retries are on, so a
+			// retry-free run keeps the exact schedule earlier report
+			// versions produced for the same seed.
+			pol.retries = opts.Retries
+			pol.budget = opts.RetryBudget
+			pol.jitterSeed = rng.Int63()
+		}
 		scheduled := start.Add(offset)
 		measured := offset >= opts.Warmup
 		if d := time.Until(scheduled); d > 0 {
@@ -205,7 +257,7 @@ dispatch:
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fire(client, opts.BaseURL, &opts.Mix[ti], body, scheduled, measured, &stats[ti], &overall)
+			fire(client, opts.BaseURL, &opts.Mix[ti], body, scheduled, measured, pol, &stats[ti], &overall)
 		}()
 		switch opts.Arrival {
 		case ArrivalPoisson:
@@ -240,43 +292,158 @@ func pickTarget(rng *rand.Rand, mix []Target, totalWeight int) int {
 	return len(mix) - 1
 }
 
+// firePolicy carries the per-request retry and chaos-verification
+// parameters from the dispatcher into the fire goroutine.
+type firePolicy struct {
+	// retries is the 429-retry allowance; 0 means fail-fast (legacy).
+	retries int
+	// budget caps the total backoff across one request's retries.
+	budget time.Duration
+	// jitterSeed seeds this request's backoff jitter, drawn from the
+	// dispatcher rng so runs with equal seeds back off identically.
+	jitterSeed int64
+	// verifyEnvelope checks every non-2xx body against the error envelope.
+	verifyEnvelope bool
+}
+
+// Backoff shape for 429 retries: exponential from retryBackoffBase,
+// capped at retryBackoffCap, jittered to 50–150%. A Retry-After header
+// takes precedence when it asks for longer.
+const (
+	retryBackoffBase = 50 * time.Millisecond
+	retryBackoffCap  = 2 * time.Second
+)
+
 // fire sends one request and classifies its outcome. Latency runs from
 // the scheduled arrival, not the send: if the client (or the dial, or a
-// stalled connection pool) delayed the send, that delay is part of what
-// the scheduled arrival experienced.
-func fire(client *http.Client, baseURL string, tgt *Target, body []byte, scheduled time.Time, measured bool, st *targetStats, overall *obs.Histogram) {
+// stalled connection pool, or a 429 backoff loop) delayed the final
+// accepted response, that delay is part of what the scheduled arrival
+// experienced.
+func fire(client *http.Client, baseURL string, tgt *Target, body []byte, scheduled time.Time, measured bool, pol firePolicy, st *targetStats, overall *obs.Histogram) {
 	ct := tgt.ContentType
 	if ct == "" {
 		ct = "application/json"
 	}
-	resp, err := client.Post(baseURL+tgt.Path, ct, bytes.NewReader(body))
-	latency := time.Since(scheduled)
-	if !measured {
-		if err == nil {
+	var jitter *rand.Rand
+	attempt := 0
+	backoffSpent := time.Duration(0)
+	retried := false
+	for {
+		resp, err := client.Post(baseURL+tgt.Path, ct, bytes.NewReader(body))
+		latency := time.Since(scheduled)
+		if !measured {
+			// Warmup arrivals never retry: they exist to warm caches and
+			// connections, not to model client behavior.
+			if err == nil {
+				drain(resp)
+			}
+			return
+		}
+		if err != nil {
+			st.requests.Inc()
+			st.errs.Inc()
+			if isTimeout(err) {
+				st.timeouts.Inc()
+			}
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < pol.retries {
+			// Shed but retryable: honor the server's Retry-After, floor it
+			// with capped exponential backoff, jitter to decorrelate the
+			// retrying population, and stop once the budget is spent.
+			retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 			drain(resp)
+			if jitter == nil {
+				jitter = rand.New(rand.NewSource(pol.jitterSeed))
+			}
+			wait := retryBackoffCap
+			if attempt < 6 {
+				wait = min(retryBackoffBase<<attempt, retryBackoffCap)
+			}
+			if retryAfter > wait {
+				wait = retryAfter
+			}
+			wait = time.Duration(float64(wait) * (0.5 + jitter.Float64()))
+			if backoffSpent+wait > pol.budget {
+				st.requests.Inc()
+				st.shed.Inc()
+				st.shedLatency.Observe(latency)
+				st.retries.Add(int64(attempt))
+				st.retryGaveUp.Inc()
+				return
+			}
+			backoffSpent += wait
+			attempt++
+			retried = true
+			time.Sleep(wait)
+			continue
+		}
+		st.requests.Inc()
+		st.retries.Add(int64(attempt))
+		if pol.verifyEnvelope && (resp.StatusCode < 200 || resp.StatusCode >= 300) {
+			if !envelopeOK(resp) {
+				st.envelopeViolations.Inc()
+			}
+		}
+		defer drain(resp)
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			st.shed.Inc()
+			st.shedLatency.Observe(latency)
+			if retried {
+				st.retryGaveUp.Inc()
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				st.retryAfterMissing.Inc()
+			}
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			st.ok.Inc()
+			if retried {
+				st.retryOK.Inc()
+			}
+			st.latency.Observe(latency)
+			overall.Observe(latency)
+		default:
+			st.errs.Inc()
 		}
 		return
 	}
-	st.requests.Inc()
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form; the
+// HTTP-date form and garbage both come back as zero (use the backoff).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// isTimeout reports whether a client error was a timeout — the request
+// outlived http.Client.Timeout or its context deadline.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// envelopeOK reports whether a non-2xx response body is the server's
+// JSON error envelope: an object with a non-empty "error" string.
+func envelopeOK(resp *http.Response) bool {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		st.errs.Inc()
-		return
+		return false
 	}
-	defer drain(resp)
-	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		st.shed.Inc()
-		st.shedLatency.Observe(latency)
-		if resp.Header.Get("Retry-After") == "" {
-			st.retryAfterMissing.Inc()
-		}
-	case resp.StatusCode >= 200 && resp.StatusCode < 300:
-		st.ok.Inc()
-		st.latency.Observe(latency)
-		overall.Observe(latency)
-	default:
-		st.errs.Inc()
+	var env struct {
+		Error string `json:"error"`
 	}
+	return json.Unmarshal(body, &env) == nil && env.Error != ""
 }
 
 // drain consumes and closes a response body so the connection is reused.

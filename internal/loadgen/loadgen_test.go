@@ -435,7 +435,7 @@ func TestFireContentType(t *testing.T) {
 	var st targetStats
 	var overall obs.Histogram
 	for i := range mix {
-		fire(srv.Client(), srv.URL, &mix[i], mix[i].Body(nil), time.Now(), true, &st, &overall)
+		fire(srv.Client(), srv.URL, &mix[i], mix[i].Body(nil), time.Now(), true, firePolicy{}, &st, &overall)
 	}
 	if ct, _ := gotJSON.Load().(string); ct != "application/json" {
 		t.Errorf("json target sent Content-Type %q", ct)
@@ -458,5 +458,174 @@ func TestPickTargetRespectsWeights(t *testing.T) {
 	fracA := float64(counts[0]) / 10000
 	if fracA < 0.85 || fracA > 0.95 {
 		t.Fatalf("target a drew %.2f of arrivals, want ~0.9", fracA)
+	}
+}
+
+// TestFireRetriesOn429 sheds the first attempt and accepts the second:
+// the request must end in the ok bucket, marked as rescued by retry,
+// with no shed recorded.
+func TestFireRetriesOn429(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	var st targetStats
+	var overall obs.Histogram
+	mix := okMix("/certify")
+	pol := firePolicy{retries: 3, budget: time.Second, jitterSeed: 1}
+	fire(ts.Client(), ts.URL, &mix[0], nil, time.Now(), true, pol, &st, &overall)
+	if st.ok.Value() != 1 || st.shed.Value() != 0 {
+		t.Fatalf("ok=%d shed=%d, want 1/0", st.ok.Value(), st.shed.Value())
+	}
+	if st.retries.Value() != 1 || st.retryOK.Value() != 1 || st.retryGaveUp.Value() != 0 {
+		t.Fatalf("retries=%d retryOK=%d gaveUp=%d, want 1/1/0",
+			st.retries.Value(), st.retryOK.Value(), st.retryGaveUp.Value())
+	}
+	if st.requests.Value() != 1 {
+		t.Fatalf("requests=%d: retries must not inflate the logical count", st.requests.Value())
+	}
+}
+
+// TestFireRetryExhaustion sheds every attempt: after the allowance runs
+// out the request is shed once, marked gave-up, with every extra
+// attempt counted.
+func TestFireRetryExhaustion(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	var st targetStats
+	var overall obs.Histogram
+	mix := okMix("/certify")
+	pol := firePolicy{retries: 2, budget: time.Minute, jitterSeed: 1}
+	fire(ts.Client(), ts.URL, &mix[0], nil, time.Now(), true, pol, &st, &overall)
+	if got := n.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 1 + 2 retries", got)
+	}
+	if st.shed.Value() != 1 || st.retryGaveUp.Value() != 1 || st.retries.Value() != 2 {
+		t.Fatalf("shed=%d gaveUp=%d retries=%d, want 1/1/2",
+			st.shed.Value(), st.retryGaveUp.Value(), st.retries.Value())
+	}
+}
+
+// TestFireRetryBudget makes the server demand a Retry-After far beyond
+// the backoff budget: the request must give up immediately instead of
+// sleeping past its budget.
+func TestFireRetryBudget(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	var st targetStats
+	var overall obs.Histogram
+	mix := okMix("/certify")
+	pol := firePolicy{retries: 3, budget: 50 * time.Millisecond, jitterSeed: 1}
+	start := time.Now()
+	fire(ts.Client(), ts.URL, &mix[0], nil, start, true, pol, &st, &overall)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fire slept %v past a %v budget", elapsed, pol.budget)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (budget forbids the wait)", got)
+	}
+	if st.shed.Value() != 1 || st.retryGaveUp.Value() != 1 {
+		t.Fatalf("shed=%d gaveUp=%d, want 1/1", st.shed.Value(), st.retryGaveUp.Value())
+	}
+}
+
+// TestFireEnvelopeVerification drives enveloped and bare error bodies
+// through chaos-mode fire and checks only the bare one is flagged.
+func TestFireEnvelopeVerification(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/good" {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"injected fault"}`))
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`oops`))
+	}))
+	defer ts.Close()
+	var overall obs.Histogram
+	pol := firePolicy{verifyEnvelope: true}
+	var good, bad targetStats
+	gm := okMix("/good")
+	fire(ts.Client(), ts.URL, &gm[0], nil, time.Now(), true, pol, &good, &overall)
+	bm := okMix("/bad")
+	fire(ts.Client(), ts.URL, &bm[0], nil, time.Now(), true, pol, &bad, &overall)
+	if good.envelopeViolations.Value() != 0 {
+		t.Fatalf("enveloped 500 flagged as violation")
+	}
+	if bad.envelopeViolations.Value() != 1 {
+		t.Fatalf("bare 500 not flagged")
+	}
+	if good.errs.Value() != 1 || bad.errs.Value() != 1 {
+		t.Fatalf("errs=%d/%d, want 1/1", good.errs.Value(), bad.errs.Value())
+	}
+}
+
+// TestRunRetryReport checks the retry counters surface in the report and
+// its totals when retries are enabled on a Run.
+func TestRunRetryReport(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Shed only the very first attempt: exactly one request gets
+		// rescued by a retry, every other goes straight through.
+		if n.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Options{
+		BaseURL:         ts.URL,
+		Rate:            100,
+		Duration:        300 * time.Millisecond,
+		Mix:             okMix("/certify"),
+		Retries:         2,
+		SkipServerDelta: true,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 || rep.RetryOK == 0 {
+		t.Fatalf("no retries surfaced in report: %+v", rep)
+	}
+	if rep.Endpoints[0].Retries != rep.Retries || rep.Endpoints[0].RetryOK != rep.RetryOK {
+		t.Fatalf("endpoint/total mismatch: %+v vs %+v", rep.Endpoints[0], rep)
+	}
+	if rep.Shed != 0 {
+		t.Fatalf("alternating 429s should all be rescued, shed=%d", rep.Shed)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"2", 2 * time.Second}, {" 1 ", time.Second},
+		{"-3", 0}, {"soon", 0}, {"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
 	}
 }

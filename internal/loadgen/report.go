@@ -47,6 +47,19 @@ type EndpointReport struct {
 	// RetryAfterMissing counts 429 responses without a Retry-After
 	// header — a server-contract violation the gate test also pins.
 	RetryAfterMissing int64 `json:"retry_after_missing"`
+	// Retries counts the extra attempts sent after 429s (zero unless the
+	// run enabled Options.Retries). RetryOK counts requests shed at
+	// least once but eventually accepted; RetryGaveUp counts requests
+	// that stayed shed after exhausting their retry allowance or backoff
+	// budget. Absent in pre-retry reports, which parse as zero.
+	Retries     int64 `json:"retries,omitempty"`
+	RetryOK     int64 `json:"retry_ok,omitempty"`
+	RetryGaveUp int64 `json:"retry_gave_up,omitempty"`
+	// Timeouts is the subset of Errors that were client-side timeouts.
+	Timeouts int64 `json:"timeouts,omitempty"`
+	// EnvelopeViolations counts non-2xx responses without the JSON error
+	// envelope (counted only under Options.VerifyEnvelope — chaos runs).
+	EnvelopeViolations int64 `json:"envelope_violations,omitempty"`
 	// Latency covers accepted (2xx) requests, measured from scheduled
 	// arrival.
 	Latency Quantiles `json:"latency"`
@@ -96,6 +109,15 @@ type Report struct {
 	Shed           int64 `json:"shed"`
 	Errors         int64 `json:"errors"`
 
+	// Retry and timeout totals across endpoints; all zero (and omitted)
+	// in reports from runs without retries, so pre-retry artifacts
+	// (SLO_PR8.json, SLO_PR9.json) keep validating unchanged.
+	Retries            int64 `json:"retries,omitempty"`
+	RetryOK            int64 `json:"retry_ok,omitempty"`
+	RetryGaveUp        int64 `json:"retry_gave_up,omitempty"`
+	Timeouts           int64 `json:"timeouts,omitempty"`
+	EnvelopeViolations int64 `json:"envelope_violations,omitempty"`
+
 	// Latency aggregates accepted requests across all endpoints.
 	Latency   Quantiles        `json:"latency"`
 	Endpoints []EndpointReport `json:"endpoints"`
@@ -122,20 +144,30 @@ func buildReport(opts Options, stats []targetStats, overall *obs.Histogram,
 	for i := range stats {
 		st := &stats[i]
 		ep := EndpointReport{
-			Name:              opts.Mix[i].Name,
-			Path:              opts.Mix[i].Path,
-			Requests:          st.requests.Value(),
-			OK:                st.ok.Value(),
-			Shed:              st.shed.Value(),
-			Errors:            st.errs.Value(),
-			RetryAfterMissing: st.retryAfterMissing.Value(),
-			Latency:           quantilesOf(&st.latency),
-			ShedLatency:       quantilesOf(&st.shedLatency),
+			Name:               opts.Mix[i].Name,
+			Path:               opts.Mix[i].Path,
+			Requests:           st.requests.Value(),
+			OK:                 st.ok.Value(),
+			Shed:               st.shed.Value(),
+			Errors:             st.errs.Value(),
+			RetryAfterMissing:  st.retryAfterMissing.Value(),
+			Retries:            st.retries.Value(),
+			RetryOK:            st.retryOK.Value(),
+			RetryGaveUp:        st.retryGaveUp.Value(),
+			Timeouts:           st.timeouts.Value(),
+			EnvelopeViolations: st.envelopeViolations.Value(),
+			Latency:            quantilesOf(&st.latency),
+			ShedLatency:        quantilesOf(&st.shedLatency),
 		}
 		rep.Requests += ep.Requests
 		rep.OK += ep.OK
 		rep.Shed += ep.Shed
 		rep.Errors += ep.Errors
+		rep.Retries += ep.Retries
+		rep.RetryOK += ep.RetryOK
+		rep.RetryGaveUp += ep.RetryGaveUp
+		rep.Timeouts += ep.Timeouts
+		rep.EnvelopeViolations += ep.EnvelopeViolations
 		rep.Endpoints = append(rep.Endpoints, ep)
 	}
 	sort.Slice(rep.Endpoints, func(i, j int) bool { return rep.Endpoints[i].Name < rep.Endpoints[j].Name })

@@ -22,6 +22,9 @@ const (
 	MetricRoundMessages = "netsim_round_messages_total"
 	// MetricInflightRounds gauges rounds currently executing.
 	MetricInflightRounds = "netsim_inflight_rounds"
+	// MetricShardPanics counts shard workers that panicked and were
+	// contained: the round fails with an error, the process survives.
+	MetricShardPanics = "netsim_shard_panics_total"
 	// MetricSweepTrials counts adversarial sweep trials, labeled
 	// outcome=noop|detected|undetected. Mutated trials are the detected
 	// and undetected ones together.
@@ -37,6 +40,7 @@ type simMetrics struct {
 	bits         *obs.Counter
 	messages     *obs.Counter
 	inflight     *obs.Gauge
+	shardPanics  *obs.Counter
 
 	sweepNoop       *obs.Counter
 	sweepDetected   *obs.Counter
@@ -63,6 +67,7 @@ func (e *Engine) metrics() *simMetrics {
 			bits:            r.Counter(MetricRoundBits, "certificate bits exchanged"),
 			messages:        r.Counter(MetricRoundMessages, "simulated messages (one per directed edge)"),
 			inflight:        r.Gauge(MetricInflightRounds, "verification rounds in flight"),
+			shardPanics:     r.Counter(MetricShardPanics, "contained shard worker panics"),
 			sweepNoop:       trial("noop"),
 			sweepDetected:   trial("detected"),
 			sweepUndetected: trial("undetected"),

@@ -29,9 +29,15 @@ import (
 	"time"
 
 	"repro/internal/cert"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
+
+// roundBarrier is the fault point at the shard fan-out: each worker passes
+// it before touching its vertex range, so an armed plan can fail or panic
+// individual shards and exercise the containment path.
+var roundBarrier = fault.NewPoint("netsim.round.barrier")
 
 // Report is the outcome of a distributed verification round.
 type Report struct {
@@ -126,12 +132,13 @@ func (e *Engine) getScratch() *shardScratch {
 // all workers are joined before Run returns, so no goroutine outlives the
 // call, and at most Workers goroutines exist during it.
 func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.Assignment) (Report, error) {
+	start := time.Now()
 	n := g.N()
 	if len(a) != n {
 		return Report{}, fmt.Errorf("netsim: assignment has %d certificates for %d vertices", len(a), n)
 	}
 	if err := ctx.Err(); err != nil {
-		return Report{}, fmt.Errorf("netsim: %w", err)
+		return Report{}, &fault.CancelledError{Phase: "verify", Cause: err}
 	}
 	m := e.metrics()
 	workers := e.effectiveWorkers(n)
@@ -153,6 +160,7 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.
 	// Contiguous shards, processed and concatenated in shard order, keep
 	// the merged rejecter list sorted without a final sort.
 	rejecters := make([][]int, workers)
+	shardErrs := make([]error, workers)
 	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	per := n / workers
@@ -166,6 +174,20 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			// A panicking shard (a buggy Verify, an armed panic fault) must
+			// not take the process down: contain it, fail the round.
+			defer func() {
+				if r := recover(); r != nil {
+					m.shardPanics.Inc()
+					shardErrs[w] = fmt.Errorf("netsim: shard %d panicked: %v", w, r)
+					aborted.Store(true)
+				}
+			}()
+			if err := roundBarrier.Inject(); err != nil {
+				shardErrs[w] = fmt.Errorf("netsim: shard %d: %w", w, err)
+				aborted.Store(true)
+				return
+			}
 			// Clock reads and the atomic metric flush stay out here so the
 			// annotated shard body is pure verification work.
 			t0 := time.Now()
@@ -182,7 +204,16 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, s cert.Scheme, a cert.
 	}
 	wg.Wait()
 	if aborted.Load() {
-		return Report{}, fmt.Errorf("netsim: %w", context.Cause(ctx))
+		for _, err := range shardErrs {
+			if err != nil {
+				return Report{}, err
+			}
+		}
+		return Report{}, &fault.CancelledError{
+			Phase:   "verify",
+			Elapsed: time.Since(start),
+			Cause:   context.Cause(ctx),
+		}
 	}
 
 	rep := Report{Accepted: true, Rounds: 1, Workers: workers}
@@ -253,7 +284,7 @@ func cmpNeighborView(x, y cert.NeighborView) int {
 
 // ProveAndRun is the distributed counterpart of cert.ProveAndVerify.
 func ProveAndRun(ctx context.Context, g *graph.Graph, s cert.Scheme) (cert.Assignment, Report, error) {
-	a, err := s.Prove(g)
+	a, err := cert.ProveWithContext(ctx, s, g)
 	if err != nil {
 		return nil, Report{}, fmt.Errorf("netsim: %s: prove: %w", s.Name(), err)
 	}

@@ -1,6 +1,7 @@
 package treewidth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -215,7 +216,10 @@ func TestHeuristicMatchesReference(t *testing.T) {
 		}
 		for _, score := range []heuristicScore{scoreDegree, scoreFill} {
 			wantD, wantOrder, wantWidth := runHeuristicReference(g, score)
-			gotD, gotOrder, gotWidth := runHeuristic(g, score)
+			gotD, gotOrder, gotWidth, err := runHeuristic(context.Background(), g, score)
+			if err != nil {
+				t.Fatalf("seed %d score %d: %v", seed, score, err)
+			}
 			if wantWidth != gotWidth {
 				t.Fatalf("seed %d score %d: width %d vs reference %d", seed, score, gotWidth, wantWidth)
 			}

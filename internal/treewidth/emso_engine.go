@@ -1,12 +1,14 @@
 package treewidth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -269,6 +271,7 @@ type emsoSolver struct {
 	phi  *EMSO
 	m    int
 	sc   *emsoScratch
+	cp   fault.Checkpoint
 }
 
 // SolveEMSO decides whether g satisfies phi by the Courcelle-style dynamic
@@ -278,6 +281,13 @@ type emsoSolver struct {
 // when phi does not hold and an error when the width is too large for the
 // state-table bound.
 func SolveEMSO(g *graph.Graph, nice *Nice, phi *EMSO) ([]uint8, bool, error) {
+	return SolveEMSOCtx(context.Background(), g, nice, phi)
+}
+
+// SolveEMSOCtx is SolveEMSO with cooperative cancellation: the bottom-up
+// pass checkpoints the context once per nice node (amortized), so a
+// cancelled prove at n=10⁶ abandons the DP within one stride.
+func SolveEMSOCtx(ctx context.Context, g *graph.Graph, nice *Nice, phi *EMSO) ([]uint8, bool, error) {
 	m := len(phi.Sets)
 	states := 1
 	for i := 0; i <= nice.Width(); i++ {
@@ -299,7 +309,8 @@ func SolveEMSO(g *graph.Graph, nice *Nice, phi *EMSO) ([]uint8, bool, error) {
 			sc.preds[i] = nil
 		}
 	}
-	sv := &emsoSolver{g: g, nice: nice, phi: phi, m: m, sc: sc}
+	sv := &emsoSolver{g: g, nice: nice, phi: phi, m: m, sc: sc,
+		cp: fault.NewCheckpoint(ctx, "prove")}
 	defer sc.release()
 	ok, err := sv.up()
 	if err != nil || !ok {
@@ -481,6 +492,9 @@ func (phi *EMSO) evictIntroLocked() {
 func (sv *emsoSolver) up() (bool, error) {
 	sc, m := sv.sc, sv.m
 	for _, t := range sv.postorder() {
+		if err := sv.cp.Check(); err != nil {
+			return false, err
+		}
 		node := &sv.nice.Nodes[t]
 		out := sc.getStates()
 		switch node.Kind {

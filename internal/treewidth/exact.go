@@ -1,10 +1,12 @@
 package treewidth
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -32,6 +34,13 @@ const maxExactSteps = 2_000_000
 // eliminating a vertex whose remaining neighbourhood is a clique is always
 // optimal).
 func Exact(g *graph.Graph) (int, *Decomposition, error) {
+	return ExactCtx(context.Background(), g)
+}
+
+// ExactCtx is Exact with cooperative cancellation: the branch-and-bound
+// checkpoints the context on its step counter, so a doomed search stops
+// within one checkpoint stride instead of running to the step cap.
+func ExactCtx(ctx context.Context, g *graph.Graph) (int, *Decomposition, error) {
 	n := g.N()
 	if n == 0 {
 		return 0, nil, fmt.Errorf("treewidth: empty graph")
@@ -40,11 +49,11 @@ func Exact(g *graph.Graph) (int, *Decomposition, error) {
 		return 0, nil, fmt.Errorf("treewidth: exact computation limited to %d vertices, got %d", ExactLimit, n)
 	}
 	// Incumbent: the better of the two elimination heuristics.
-	_, orderF, widthF, err := MinFill(g)
+	_, orderF, widthF, err := MinFillCtx(ctx, g)
 	if err != nil {
 		return 0, nil, err
 	}
-	_, orderD, widthD, err := MinDegree(g)
+	_, orderD, widthD, err := MinDegreeCtx(ctx, g)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -60,6 +69,7 @@ func Exact(g *graph.Graph) (int, *Decomposition, error) {
 			lower: lower,
 			adj:   make([]uint64, n),
 			memo:  map[uint64]int{},
+			cp:    fault.NewCheckpoint(ctx, "decompose"),
 		}
 		for v := 0; v < n; v++ {
 			for _, w := range g.Neighbors(v) {
@@ -68,6 +78,9 @@ func Exact(g *graph.Graph) (int, *Decomposition, error) {
 		}
 		order := make([]int, 0, n)
 		s.search(0, 0, order)
+		if s.cancelled != nil {
+			return 0, nil, s.cancelled
+		}
 		if s.steps > maxExactSteps {
 			return 0, nil, fmt.Errorf("treewidth: exact search exceeded %d steps on n=%d (use the heuristics)",
 				maxExactSteps, n)
@@ -91,6 +104,8 @@ type exactSolver struct {
 	bestOrder []int // order realizing best, nil while the incumbent stands
 	memo      map[uint64]int
 	steps     int // search-node expansions, checked against maxExactSteps
+	cp        fault.Checkpoint
+	cancelled error // first checkpoint error; the search unwinds once set
 }
 
 // elimNeighbors returns the neighbours of v in the elimination graph after
@@ -118,11 +133,15 @@ func (s *exactSolver) elimNeighbors(v int, S uint64) uint64 {
 // running width cur; it updates best/bestOrder when a full order beats the
 // incumbent.
 func (s *exactSolver) search(S uint64, cur int, order []int) {
-	if cur >= s.best || s.best <= s.lower {
+	if cur >= s.best || s.best <= s.lower || s.cancelled != nil {
 		return
 	}
 	s.steps++
 	if s.steps > maxExactSteps {
+		return
+	}
+	if err := s.cp.Check(); err != nil {
+		s.cancelled = err
 		return
 	}
 	if bits.OnesCount64(S) == s.n {

@@ -1,10 +1,12 @@
 package treewidth
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -208,8 +210,13 @@ const (
 // (smallest score wins, lowest index breaks ties — deterministic) and
 // returns the induced decomposition, the order, and the realized width.
 // The bags are recorded during the single elimination pass — the
-// decomposition costs no second simulation.
-func runHeuristic(g *graph.Graph, score heuristicScore) (*Decomposition, []int, int) {
+// decomposition costs no second simulation. The per-round checkpoint
+// makes long eliminations cancellable: a round is O(n)-ish, so the
+// amortized probe adds nothing measurable while bounding the reaction
+// time to a few thousand rounds.
+//
+//certlint:longrun
+func runHeuristic(ctx context.Context, g *graph.Graph, score heuristicScore) (*Decomposition, []int, int, error) {
 	st := newElimBits(g, true)
 	n := g.N()
 	order := make([]int, 0, n)
@@ -220,7 +227,11 @@ func runHeuristic(g *graph.Graph, score heuristicScore) (*Decomposition, []int, 
 	if score == scoreFill {
 		vals = st.fill
 	}
+	cp := fault.NewCheckpoint(ctx, "decompose")
 	for st.left > 0 {
+		if err := cp.Check(); err != nil {
+			return nil, nil, 0, err
+		}
 		best, bestScore := -1, 0
 		for v := 0; v < n; v++ {
 			if !st.alive[v] {
@@ -238,38 +249,48 @@ func runHeuristic(g *graph.Graph, score heuristicScore) (*Decomposition, []int, 
 			width = d
 		}
 	}
-	return linkEliminationBags(order, bags), order, width
+	return linkEliminationBags(order, bags), order, width, nil
 }
 
 // minScoreDecomp dispatches one greedy elimination run to the engine
 // that fits the graph; both engines produce identical orders, bags and
 // widths (pinned by differential tests), so the choice is purely a
 // performance decision.
-func minScoreDecomp(g *graph.Graph, score heuristicScore) (*Decomposition, []int, int) {
+func minScoreDecomp(ctx context.Context, g *graph.Graph, score heuristicScore) (*Decomposition, []int, int, error) {
 	if useBitset(g) {
-		return runHeuristic(g, score)
+		return runHeuristic(ctx, g, score)
 	}
-	return runHeuristicSparse(g, score)
+	return runHeuristicSparse(ctx, g, score)
 }
 
 // MinDegree runs the minimum-degree elimination heuristic and returns the
 // induced decomposition, the elimination order, and the realized width.
 func MinDegree(g *graph.Graph) (*Decomposition, []int, int, error) {
+	return MinDegreeCtx(context.Background(), g)
+}
+
+// MinDegreeCtx is MinDegree with cooperative cancellation: the
+// elimination loop checkpoints the context and returns a
+// *fault.CancelledError once it is done.
+func MinDegreeCtx(ctx context.Context, g *graph.Graph) (*Decomposition, []int, int, error) {
 	if err := checkHeuristicInput(g); err != nil {
 		return nil, nil, 0, err
 	}
-	d, order, width := minScoreDecomp(g, scoreDegree)
-	return d, order, width, nil
+	return minScoreDecomp(ctx, g, scoreDegree)
 }
 
 // MinFill runs the minimum-fill-in elimination heuristic and returns the
 // induced decomposition, the elimination order, and the realized width.
 func MinFill(g *graph.Graph) (*Decomposition, []int, int, error) {
+	return MinFillCtx(context.Background(), g)
+}
+
+// MinFillCtx is MinFill with cooperative cancellation, as MinDegreeCtx.
+func MinFillCtx(ctx context.Context, g *graph.Graph) (*Decomposition, []int, int, error) {
 	if err := checkHeuristicInput(g); err != nil {
 		return nil, nil, 0, err
 	}
-	d, order, width := minScoreDecomp(g, scoreFill)
-	return d, order, width, nil
+	return minScoreDecomp(ctx, g, scoreFill)
 }
 
 // parallelThreshold is the size above which Heuristic hands the graph to
@@ -284,14 +305,20 @@ const parallelThreshold = 1 << 12
 // parallel per-component/per-block driver (see parallel.go), which
 // applies the same contest block by block.
 func Heuristic(g *graph.Graph) (*Decomposition, string, error) {
+	return HeuristicCtx(context.Background(), g)
+}
+
+// HeuristicCtx is Heuristic with cooperative cancellation threaded into
+// every elimination engine it dispatches to.
+func HeuristicCtx(ctx context.Context, g *graph.Graph) (*Decomposition, string, error) {
 	if g.N() > parallelThreshold {
-		return HeuristicParallel(g, 0)
+		return HeuristicParallelCtx(ctx, g, 0)
 	}
-	df, _, wf, err := MinFill(g)
+	df, _, wf, err := MinFillCtx(ctx, g)
 	if err != nil {
 		return nil, "", err
 	}
-	dd, _, wd, err := MinDegree(g)
+	dd, _, wd, err := MinDegreeCtx(ctx, g)
 	if err != nil {
 		return nil, "", err
 	}

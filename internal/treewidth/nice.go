@@ -1,9 +1,11 @@
 package treewidth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -74,6 +76,13 @@ func (n *Nice) Width() int {
 // introduce chains, and the root grows a forget chain so the nice root's
 // bag is empty.
 func MakeNice(d *Decomposition, root int) (*Nice, error) {
+	return MakeNiceCtx(context.Background(), d, root)
+}
+
+// MakeNiceCtx is MakeNice with cooperative cancellation: the per-bag
+// conversion loop checkpoints the context, so abandoning the nice form
+// of a million-bag decomposition costs at most one stride.
+func MakeNiceCtx(ctx context.Context, d *Decomposition, root int) (*Nice, error) {
 	parent, _, order, err := d.Rooted(root)
 	if err != nil {
 		return nil, err
@@ -85,9 +94,13 @@ func MakeNice(d *Decomposition, root int) (*Nice, error) {
 		}
 	}
 	nice := &Nice{}
+	cp := fault.NewCheckpoint(ctx, "decompose")
 	var build func(b int) (int, error)
 	// build returns the index of a nice node whose bag equals d.Bags[b].
 	build = func(b int) (int, error) {
+		if err := cp.Check(); err != nil {
+			return 0, err
+		}
 		bag := append([]int(nil), d.Bags[b]...)
 		kids := children[b]
 		if len(kids) == 0 {

@@ -1,10 +1,12 @@
 package treewidth
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -30,6 +32,15 @@ const largeBlockMinDegreeOnly = 1 << 15
 // workers <= 0 means GOMAXPROCS. The result is deterministic: task
 // results are indexed, not raced.
 func HeuristicParallel(g *graph.Graph, workers int) (*Decomposition, string, error) {
+	return HeuristicParallelCtx(context.Background(), g, workers)
+}
+
+// HeuristicParallelCtx is HeuristicParallel with cooperative
+// cancellation: the context reaches every block's elimination engine,
+// and workers stop pulling tasks once it is done, so cancelling a
+// million-vertex decomposition frees the whole pool within one
+// checkpoint stride.
+func HeuristicParallelCtx(ctx context.Context, g *graph.Graph, workers int) (*Decomposition, string, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, "", fmt.Errorf("treewidth: empty graph")
@@ -41,7 +52,10 @@ func HeuristicParallel(g *graph.Graph, workers int) (*Decomposition, string, err
 	// k-tree): no parallel structure to exploit, run directly and skip
 	// the subgraph copy.
 	if len(blocks) == 1 && len(blocks[0]) == n {
-		d, name := blockContest(g)
+		d, name, err := blockContest(ctx, g)
+		if err != nil {
+			return nil, "", err
+		}
 		return d, name, nil
 	}
 
@@ -80,8 +94,13 @@ func HeuristicParallel(g *graph.Graph, workers int) (*Decomposition, string, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cp := fault.NewCheckpoint(ctx, "decompose")
 			for ti := range tasks {
-				d, err := decomposeBlock(c, pieces[ti].verts)
+				if err := cp.Now(); err != nil {
+					errs[ti] = err
+					continue
+				}
+				d, err := decomposeBlock(ctx, c, pieces[ti].verts)
 				if err != nil {
 					errs[ti] = err
 					continue
@@ -188,13 +207,19 @@ func HeuristicParallel(g *graph.Graph, workers int) (*Decomposition, string, err
 // (block sorted ascending) straight from the CSR snapshot — a Builder
 // bulk-load, no per-edge duplicate scans — runs the heuristic contest on
 // it, and maps the bags back to global vertex indices.
-func decomposeBlock(c *graph.CSR, block []int) (*Decomposition, error) {
+func decomposeBlock(ctx context.Context, c *graph.CSR, block []int) (*Decomposition, error) {
+	// The induced-subgraph copy of a near-spanning block is itself long
+	// work at n=10⁵⁺, so it checkpoints like the elimination that follows.
+	cp := fault.NewCheckpoint(ctx, "decompose")
 	idx := make(map[int32]int32, len(block))
 	for i, v := range block {
 		idx[int32(v)] = int32(i)
 	}
 	b := graph.NewBuilder(len(block))
 	for i, v := range block {
+		if err := cp.Check(); err != nil {
+			return nil, err
+		}
 		for _, w := range c.Row(v) {
 			if int(w) > v {
 				if j, ok := idx[w]; ok {
@@ -209,7 +234,10 @@ func decomposeBlock(c *graph.CSR, block []int) (*Decomposition, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, _ := blockContest(sub)
+	d, _, err := blockContest(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
 	// Map bags to global indices; block is sorted, so bags stay sorted.
 	for _, bag := range d.Bags {
 		for k, v := range bag {
@@ -222,15 +250,24 @@ func decomposeBlock(c *graph.CSR, block []int) (*Decomposition, error) {
 // blockContest runs the heuristic contest on one (sub)graph: min-fill
 // vs min-degree with min-fill winning ties, except that blocks above
 // largeBlockMinDegreeOnly run min-degree alone.
-func blockContest(g *graph.Graph) (*Decomposition, string) {
+func blockContest(ctx context.Context, g *graph.Graph) (*Decomposition, string, error) {
 	if g.N() > largeBlockMinDegreeOnly {
-		d, _, _ := minScoreDecomp(g, scoreDegree)
-		return d, "min-degree"
+		d, _, _, err := minScoreDecomp(ctx, g, scoreDegree)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, "min-degree", nil
 	}
-	df, _, wf := minScoreDecomp(g, scoreFill)
-	dd, _, wd := minScoreDecomp(g, scoreDegree)
+	df, _, wf, err := minScoreDecomp(ctx, g, scoreFill)
+	if err != nil {
+		return nil, "", err
+	}
+	dd, _, wd, err := minScoreDecomp(ctx, g, scoreDegree)
+	if err != nil {
+		return nil, "", err
+	}
 	if wd < wf {
-		return dd, "min-degree"
+		return dd, "min-degree", nil
 	}
-	return df, "min-fill"
+	return df, "min-fill", nil
 }

@@ -1,6 +1,7 @@
 package treewidth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/cert"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/logic"
 )
@@ -104,6 +106,10 @@ type MSOScheme struct {
 	// exact branch-and-bound for graphs up to ExactLimit vertices when
 	// they miss the bound.
 	DecompProvider func(g *graph.Graph) (*Decomposition, error)
+	// DecompProviderCtx, when set, is preferred over DecompProvider on
+	// context-carrying paths (ProveCtx), so a cache-backed decomposition
+	// computed on behalf of this prove is cooperatively cancellable.
+	DecompProviderCtx func(ctx context.Context, g *graph.Graph) (*Decomposition, error)
 	// CacheBackedDecomp marks a DecompProvider that reads a shared
 	// decomposition cache. Callers holding a context can then prewarm the
 	// cache before Prove (which has no context) so decomposition time is
@@ -365,8 +371,23 @@ var errTooWide = errors.New("treewidth exceeds the certified bound")
 // branch-and-bound for graphs up to ExactLimit vertices. A proven
 // no-instance returns an error wrapping errTooWide.
 func (s *MSOScheme) decomposition(g *graph.Graph) (*Decomposition, error) {
-	if s.DecompProvider != nil {
-		d, err := s.DecompProvider(g)
+	return s.decompositionCtx(context.Background(), g)
+}
+
+func (s *MSOScheme) decompositionCtx(ctx context.Context, g *graph.Graph) (*Decomposition, error) {
+	if s.DecompProvider != nil || s.DecompProviderCtx != nil {
+		var d *Decomposition
+		var err error
+		if s.DecompProviderCtx != nil {
+			d, err = s.DecompProviderCtx(ctx, g)
+		} else {
+			d, err = s.DecompProvider(g)
+		}
+		if cerr, ok := fault.Cancelled(err); ok {
+			// Cancellation is the caller's signal, not a witness failure:
+			// do not fall through to recomputing without a context.
+			return nil, cerr
+		}
 		if err == nil {
 			if verr := Validate(g, d); verr != nil {
 				return nil, fmt.Errorf("treewidth: provided decomposition: %w", verr)
@@ -378,7 +399,7 @@ func (s *MSOScheme) decomposition(g *graph.Graph) (*Decomposition, error) {
 		// A missing or too-wide witness is not a proof of anything;
 		// fall through to computing one.
 	}
-	d, _, err := Heuristic(g)
+	d, _, err := HeuristicCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +410,7 @@ func (s *MSOScheme) decomposition(g *graph.Graph) (*Decomposition, error) {
 		return nil, fmt.Errorf("treewidth: %s: no decomposition of width <= %d found for n=%d (heuristic; exact limited to %d vertices)",
 			s.Name(), s.T, g.N(), ExactLimit)
 	}
-	w, dx, err := Exact(g)
+	w, dx, err := ExactCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}
@@ -401,14 +422,22 @@ func (s *MSOScheme) decomposition(g *graph.Graph) (*Decomposition, error) {
 
 // Prove implements cert.Scheme.
 func (s *MSOScheme) Prove(g *graph.Graph) (cert.Assignment, error) {
+	return s.ProveCtx(context.Background(), g)
+}
+
+// ProveCtx implements cert.CtxProver: the full prove path — resolving
+// the decomposition, making it nice, the EMSO DP, the encode loop —
+// runs under cooperative cancellation and returns a
+// *fault.CancelledError once ctx is done.
+func (s *MSOScheme) ProveCtx(ctx context.Context, g *graph.Graph) (cert.Assignment, error) {
 	if g.N() == 0 || !g.Connected() {
 		return nil, fmt.Errorf("treewidth: %s: graph must be connected and non-empty", s.Name())
 	}
-	d, err := s.decomposition(g)
+	d, err := s.decompositionCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}
-	payloads, err := BuildPayloads(g, d, Property{Name: s.Prop.Name, Phi: s.phi()})
+	payloads, err := BuildPayloadsCtx(ctx, g, d, Property{Name: s.Prop.Name, Phi: s.phi()})
 	if err != nil {
 		return nil, err
 	}
@@ -428,6 +457,12 @@ func (s *MSOScheme) Prove(g *graph.Graph) (cert.Assignment, error) {
 // homed vertex id, and attach each vertex's adjacency row over its home
 // bag and its EMSO witness word.
 func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, error) {
+	return BuildPayloadsCtx(context.Background(), g, d, prop)
+}
+
+// BuildPayloadsCtx is BuildPayloads with cooperative cancellation
+// threaded through the nice conversion and the EMSO DP.
+func BuildPayloadsCtx(ctx context.Context, g *graph.Graph, d *Decomposition, prop Property) ([]Payload, error) {
 	n := g.N()
 	parent, depth, order, err := d.Rooted(0)
 	if err != nil {
@@ -474,11 +509,11 @@ func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, 
 	if phi == nil {
 		phi = propertyLibrary[0].Phi
 	}
-	nice, err := MakeNice(d, 0)
+	nice, err := MakeNiceCtx(ctx, d, 0)
 	if err != nil {
 		return nil, err
 	}
-	words, ok, err := SolveEMSO(g, nice, phi)
+	words, ok, err := SolveEMSOCtx(ctx, g, nice, phi)
 	if err != nil {
 		return nil, err
 	}
@@ -487,7 +522,11 @@ func BuildPayloads(g *graph.Graph, d *Decomposition, prop Property) ([]Payload, 
 	}
 	payloads := make([]Payload, n)
 	bagIDs := make(map[int][]graph.ID, d.NumBags())
+	cp := fault.NewCheckpoint(ctx, "prove")
 	for v := 0; v < n; v++ {
+		if err := cp.Check(); err != nil {
+			return nil, err
+		}
 		b := home[v]
 		ids, ok := bagIDs[b]
 		if !ok {

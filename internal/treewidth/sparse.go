@@ -1,8 +1,10 @@
 package treewidth
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -39,6 +41,20 @@ type elimSparse struct {
 }
 
 func newElimSparse(g *graph.Graph, counts bool) *elimSparse {
+	st, _ := newElimSparseCp(nil, g, counts)
+	return st
+}
+
+// newElimSparseCp is newElimSparse with a cancellation checkpoint probed
+// through the setup loops. At n=10⁵ the initial fill-in counts alone cost
+// most of a second — longer than the whole disconnect budget — so setup
+// must be abandonable, not just the elimination rounds that follow.
+//
+//certlint:longrun
+func newElimSparseCp(cp *fault.Checkpoint, g *graph.Graph, counts bool) (*elimSparse, error) {
+	if cp == nil {
+		cp = &fault.Checkpoint{}
+	}
 	c := g.CSR()
 	n := c.N()
 	st := &elimSparse{
@@ -56,6 +72,9 @@ func newElimSparse(g *graph.Graph, counts bool) *elimSparse {
 	// into a row reallocates just that row.
 	flat := make([]int32, 0, 2*c.M())
 	for v := 0; v < n; v++ {
+		if err := cp.Check(); err != nil {
+			return nil, err
+		}
 		st.alive[v] = true
 		row := c.Row(v)
 		st.deg[v] = len(row)
@@ -64,20 +83,26 @@ func newElimSparse(g *graph.Graph, counts bool) *elimSparse {
 		st.nbr[v] = flat[start:len(flat):len(flat)]
 	}
 	if !counts {
-		return st
+		return st, nil
 	}
 	// Initial fill-in counts, as in elimBits: missing pairs among N(v) =
 	// all pairs minus edges inside N(v), via sorted intersections.
 	st.fill = make([]int, n)
 	for v := 0; v < n; v++ {
 		inside := 0
+		// The probe sits on the inner loop: per-vertex cost is skewed by
+		// orders of magnitude (a hub's count is quadratic in its degree),
+		// so an outer-loop stride can sleep through the whole budget.
 		for _, w := range st.nbr[v] {
+			if err := cp.Check(); err != nil {
+				return nil, err
+			}
 			inside += intersectCountSorted(st.nbr[v], st.nbr[w])
 		}
 		d := st.deg[v]
 		st.fill[v] = d*(d-1)/2 - inside/2
 	}
-	return st
+	return st, nil
 }
 
 // intersectCountSorted returns |a ∩ b| for two ascending slices.
@@ -326,8 +351,14 @@ func (h *scoreHeap) pop() scoreEntry {
 // greedy elimination (smallest score wins, lowest index breaks ties),
 // with selection through the lazy min-heap instead of an O(n) scan per
 // round, and bags recorded during the single elimination pass.
-func runHeuristicSparse(g *graph.Graph, score heuristicScore) (*Decomposition, []int, int) {
-	st := newElimSparse(g, true)
+//
+//certlint:longrun
+func runHeuristicSparse(ctx context.Context, g *graph.Graph, score heuristicScore) (*Decomposition, []int, int, error) {
+	cp := fault.NewCheckpoint(ctx, "decompose")
+	st, err := newElimSparseCp(&cp, g, true)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	n := st.n
 	vals := st.deg
 	if score == scoreFill {
@@ -335,6 +366,9 @@ func runHeuristicSparse(g *graph.Graph, score heuristicScore) (*Decomposition, [
 	}
 	h := make(scoreHeap, 0, n+n/2)
 	for v := 0; v < n; v++ {
+		if err := cp.Check(); err != nil {
+			return nil, nil, 0, err
+		}
 		h = append(h, scoreEntry{score: int64(vals[v]), v: int32(v)})
 	}
 	sort.Slice(h, func(i, j int) bool { return h.less(i, j) })
@@ -342,6 +376,9 @@ func runHeuristicSparse(g *graph.Graph, score heuristicScore) (*Decomposition, [
 	bags := make([][]int, 0, n)
 	width := 0
 	for st.left > 0 {
+		if err := cp.Check(); err != nil {
+			return nil, nil, 0, err
+		}
 		e := h.pop()
 		v := int(e.v)
 		if !st.alive[v] || int64(vals[v]) != e.score {
@@ -358,5 +395,5 @@ func runHeuristicSparse(g *graph.Graph, score heuristicScore) (*Decomposition, [
 			}
 		}
 	}
-	return linkEliminationBags(order, bags), order, width
+	return linkEliminationBags(order, bags), order, width, nil
 }

@@ -1,6 +1,7 @@
 package treewidth
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -34,8 +35,14 @@ func TestSparseMatchesBitset(t *testing.T) {
 			n := 2 + rng.Intn(60)
 			p := []float64{0.05, 0.15, 0.4, 0.8}[trial%4]
 			g := randomGraphForDiff(rng, n, p)
-			wantD, wantOrder, wantWidth := runHeuristic(g, score)
-			gotD, gotOrder, gotWidth := runHeuristicSparse(g, score)
+			wantD, wantOrder, wantWidth, err := runHeuristic(context.Background(), g, score)
+			if err != nil {
+				t.Fatalf("score %d %v: bitset engine: %v", score, g, err)
+			}
+			gotD, gotOrder, gotWidth, err := runHeuristicSparse(context.Background(), g, score)
+			if err != nil {
+				t.Fatalf("score %d %v: sparse engine: %v", score, g, err)
+			}
 			if !reflect.DeepEqual(wantOrder, gotOrder) {
 				t.Fatalf("score %d %v: order mismatch\nbitset: %v\nsparse: %v", score, g, wantOrder, gotOrder)
 			}
@@ -60,7 +67,10 @@ func TestSparseMatchesReference(t *testing.T) {
 		for trial := 0; trial < 30; trial++ {
 			g := randomGraphForDiff(rng, 2+rng.Intn(40), 0.25)
 			wantD, wantOrder, wantWidth := runHeuristicReference(g, score)
-			gotD, gotOrder, gotWidth := runHeuristicSparse(g, score)
+			gotD, gotOrder, gotWidth, err := runHeuristicSparse(context.Background(), g, score)
+			if err != nil {
+				t.Fatalf("score %d %v: sparse engine: %v", score, g, err)
+			}
 			if !reflect.DeepEqual(wantOrder, gotOrder) || wantWidth != gotWidth ||
 				!reflect.DeepEqual(wantD.Bags, gotD.Bags) {
 				t.Fatalf("score %d %v: sparse diverges from reference", score, g)
@@ -78,8 +88,14 @@ func TestSparseBitsetAcrossBoundary(t *testing.T) {
 	}
 	for _, n := range []int{MaxDenseVertices - 2, MaxDenseVertices + 8} {
 		g, _ := graphgen.PartialKTree(n, 3, 0.7, rand.New(rand.NewSource(int64(n))))
-		wantD, wantOrder, wantWidth := runHeuristic(g, scoreDegree)
-		gotD, gotOrder, gotWidth := runHeuristicSparse(g, scoreDegree)
+		wantD, wantOrder, wantWidth, err := runHeuristic(context.Background(), g, scoreDegree)
+		if err != nil {
+			t.Fatalf("n=%d: bitset engine: %v", n, err)
+		}
+		gotD, gotOrder, gotWidth, err := runHeuristicSparse(context.Background(), g, scoreDegree)
+		if err != nil {
+			t.Fatalf("n=%d: sparse engine: %v", n, err)
+		}
 		if !reflect.DeepEqual(wantOrder, gotOrder) || wantWidth != gotWidth {
 			t.Fatalf("n=%d: engines diverge (width %d vs %d)", n, wantWidth, gotWidth)
 		}

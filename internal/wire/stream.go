@@ -6,8 +6,15 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
+
+// streamChunk is the fault point at every v2 edge-chunk boundary on the
+// decode side. Its corrupt action flips a bit inside the reader's
+// buffered window, exercising the decoder's delta guards the way real
+// line noise would.
+var streamChunk = fault.NewPoint("wire.stream.chunk")
 
 // Streaming graph format (v2). Where the v1 format (EncodeGraph) is a
 // single bit-packed buffer — fine at thousands of vertices, hostile at a
@@ -207,6 +214,18 @@ func DecodeGraphStream(r io.Reader, lim StreamLimits) (*graph.Graph, error) {
 	prevU, prev := 0, 0
 	got := 0
 	for {
+		if fault.Armed() {
+			if err := streamChunk.Inject(); err != nil {
+				return nil, fmt.Errorf("wire: stream chunk: %w", err)
+			}
+			// Peek aliases the bufio buffer, so a corrupt rule flips a bit
+			// the decode loop is about to consume.
+			if w := br.Buffered(); w > 0 {
+				if win, err := br.Peek(min(w, 64)); err == nil {
+					streamChunk.InjectBytes(win)
+				}
+			}
+		}
 		count, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("wire: stream chunk header: %w", err)
